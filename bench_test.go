@@ -1,0 +1,194 @@
+package diacap_test
+
+// Benchmarks regenerating the paper's evaluation, one per figure (and per
+// sub-figure where the paper has (a)/(b)/(c) panels). The instances are
+// scaled down from the paper's 1796-node Meridian matrix so that
+// `go test -bench=.` completes in minutes; cmd/capbench runs the
+// full-scale versions. Shapes (algorithm ordering, crossovers) are
+// preserved at this scale — see EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"diacap"
+)
+
+// benchMatrixSize is the node count for benchmark instances.
+const benchMatrixSize = 300
+
+// benchServers is the scaled equivalent of the paper's 80 servers
+// (80/1796 of the nodes, rounded up to keep load comparable).
+const benchServers = 14
+
+func benchOpts(b *testing.B, runs int) diacap.BenchOptions {
+	b.Helper()
+	return diacap.BenchOptions{
+		Matrix: diacap.SyntheticInternet(benchMatrixSize, 20260705),
+		Seed:   7,
+		Runs:   runs,
+	}
+}
+
+func BenchmarkFigure7RandomPlacement(b *testing.B) {
+	opts := benchOpts(b, 5)
+	counts := []int{4, 7, 10, 14, 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure7(opts, diacap.RandomPlacement, counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7KCenterA(b *testing.B) {
+	opts := benchOpts(b, 1)
+	counts := []int{4, 7, 10, 14, 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure7(opts, diacap.KCenterA, counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7KCenterB(b *testing.B) {
+	opts := benchOpts(b, 1)
+	counts := []int{4, 7, 10, 14, 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure7(opts, diacap.KCenterB, counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8CDF(b *testing.B) {
+	opts := benchOpts(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure8(opts, benchServers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9Convergence(b *testing.B) {
+	opts := benchOpts(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure9(opts, benchServers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10CapacitatedRandom(b *testing.B) {
+	opts := benchOpts(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure10(opts, diacap.RandomPlacement, benchServers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10CapacitatedKCenterA(b *testing.B) {
+	opts := benchOpts(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure10(opts, diacap.KCenterA, benchServers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10CapacitatedKCenterB(b *testing.B) {
+	opts := benchOpts(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.Figure10(opts, diacap.KCenterB, benchServers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Example runs the full algorithm suite on the paper's Fig. 4
+// tightness example (via an equivalent star metric).
+func BenchmarkFig4Example(b *testing.B) {
+	m := diacap.SyntheticInternet(30, 1)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, alg := range diacap.Algorithms() {
+			if _, err := alg.Assign(inst, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDIASimulation measures the discrete-event runtime validating
+// the Section II-C analysis (the δ = D feasibility experiment).
+func BenchmarkDIASimulation(b *testing.B) {
+	m := diacap.SyntheticInternet(80, 2)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, 8, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := diacap.Greedy().Assign(inst, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	off, err := inst.ComputeOffsets(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := diacap.UniformWorkload(inst.NumClients(), 200, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := diacap.SimulateDIA(diacap.DIAConfig{
+			Instance: inst, Assignment: a, Delta: off.D, Offsets: off, Workload: wl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Clean() {
+			b.Fatal("unexpected violations")
+		}
+	}
+}
+
+// BenchmarkDistributedProtocol measures the message-passing
+// Distributed-Greedy protocol (Section IV-D as described).
+func BenchmarkDistributedProtocol(b *testing.B) {
+	m := diacap.SyntheticInternet(150, 3)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, 10, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial, err := diacap.NearestServer().Assign(inst, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diacap.RunDistributedProtocol(inst, nil, initial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command capassign computes client assignments for one deployment and
+// reports the resulting interactivity: the maximum interaction-path
+// length D (the minimum feasible lag δ), the normalized interactivity
+// against the theoretical lower bound, server load balance, and runtime.
+//
+// Usage:
+//
+//	capassign -preset mit -placement k-center-b -servers 40
+//	capassign -data meridian.lat -servers 80 -alg Greedy -capacity 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/latency"
+	"diacap/internal/placement"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "latency matrix file (latgen format)")
+		preset    = flag.String("preset", "", `generate a data set instead: "meridian", "mit", or a node count like "400"`)
+		seed      = flag.Int64("seed", 1, "random seed (data generation and random placement)")
+		strategy  = flag.String("placement", "k-center-b", "server placement: random | k-center-a | k-center-b")
+		servers   = flag.Int("servers", 20, "number of servers")
+		algName   = flag.String("alg", "all", `algorithm name or "all"`)
+		capacity  = flag.Int("capacity", 0, "per-server client capacity (0 = uncapacitated)")
+		showLoads = flag.Bool("loads", false, "print per-server load distribution")
+	)
+	flag.Parse()
+
+	m, err := loadMatrix(*data, *preset, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	placed, err := placement.Place(placement.Strategy(*strategy), m, *servers, rng)
+	if err != nil {
+		fatal(err)
+	}
+	clients := make([]int, m.Len())
+	for i := range clients {
+		clients[i] = i
+	}
+	in, err := core.NewInstanceTrusted(m, placed, clients)
+	if err != nil {
+		fatal(err)
+	}
+	var caps core.Capacities
+	if *capacity > 0 {
+		caps = core.UniformCapacities(len(placed), *capacity)
+	}
+
+	var algs []assign.Algorithm
+	if *algName == "all" {
+		algs = assign.All()
+	} else {
+		alg, err := assign.ByName(*algName)
+		if err != nil {
+			fatal(err)
+		}
+		algs = []assign.Algorithm{alg}
+	}
+
+	fmt.Printf("nodes=%d servers=%d placement=%s capacity=%s\n",
+		m.Len(), len(placed), *strategy, capStr(*capacity))
+	lbStart := time.Now()
+	lb := in.LowerBound()
+	fmt.Printf("lower bound: %.3f ms (computed in %v)\n\n", lb, time.Since(lbStart).Round(time.Millisecond))
+
+	fmt.Printf("%-22s %12s %12s %10s\n", "algorithm", "D (ms)", "normalized", "runtime")
+	for _, alg := range algs {
+		start := time.Now()
+		a, err := alg.Assign(in, caps)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Printf("%-22s failed: %v\n", alg.Name(), err)
+			continue
+		}
+		d := in.MaxInteractionPath(a)
+		fmt.Printf("%-22s %12.3f %12.4f %10s\n", alg.Name(), d, d/lb, elapsed.Round(time.Microsecond))
+		if *showLoads {
+			printLoads(in, a)
+		}
+	}
+}
+
+func loadMatrix(path, preset string, seed int64) (latency.Matrix, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return latency.Read(f)
+	case preset == "meridian":
+		return latency.MeridianLike(seed), nil
+	case preset == "mit":
+		return latency.MITLike(seed), nil
+	case preset != "":
+		var n int
+		if _, err := fmt.Sscanf(preset, "%d", &n); err != nil || n < 2 {
+			return nil, fmt.Errorf("bad preset %q", preset)
+		}
+		return latency.ScaledLike(n, seed), nil
+	default:
+		return nil, fmt.Errorf("one of -data or -preset is required")
+	}
+}
+
+func printLoads(in *core.Instance, a core.Assignment) {
+	loads := in.Loads(a)
+	sorted := append([]int(nil), loads...)
+	sort.Ints(sorted)
+	used := 0
+	for _, l := range loads {
+		if l > 0 {
+			used++
+		}
+	}
+	fmt.Printf("    loads: used %d/%d servers, min %d, median %d, max %d\n",
+		used, len(loads), sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1])
+}
+
+func capStr(c int) string {
+	if c <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(c)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capassign:", err)
+	os.Exit(1)
+}

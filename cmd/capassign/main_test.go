@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diacap/internal/latency"
+)
+
+func TestLoadMatrixPresetCount(t *testing.T) {
+	m, err := loadMatrix("", "64", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 64 {
+		t.Fatalf("nodes = %d", m.Len())
+	}
+}
+
+func TestLoadMatrixFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.lat")
+	orig := latency.ScaledLike(10, 3)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadMatrix(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("nodes = %d", m.Len())
+	}
+}
+
+func TestLoadMatrixErrors(t *testing.T) {
+	if _, err := loadMatrix("", "", 1); err == nil {
+		t.Fatal("missing source should fail")
+	}
+	if _, err := loadMatrix("", "bogus", 1); err == nil {
+		t.Fatal("bad preset should fail")
+	}
+	if _, err := loadMatrix("/nonexistent/file", "", 1); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestCapStr(t *testing.T) {
+	if capStr(0) != "unlimited" || capStr(-1) != "unlimited" {
+		t.Fatal("non-positive capacity should render unlimited")
+	}
+	if capStr(7) != "7" {
+		t.Fatal("positive capacity should render numerically")
+	}
+}

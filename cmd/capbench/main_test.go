@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diacap/internal/bench"
+	"diacap/internal/latency"
+)
+
+func TestSetupScaled(t *testing.T) {
+	m, servers, counts, err := setup("120", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 120 {
+		t.Fatalf("nodes = %d", m.Len())
+	}
+	// Server counts scale with nodes/1796 and stay ≥ 2, deduplicated and
+	// ascending.
+	if len(counts) == 0 {
+		t.Fatal("no server counts")
+	}
+	for i, c := range counts {
+		if c < 2 || c > 120 {
+			t.Fatalf("count %d out of range", c)
+		}
+		if i > 0 && counts[i] <= counts[i-1] {
+			t.Fatalf("counts not ascending: %v", counts)
+		}
+	}
+	if servers < 2 {
+		t.Fatalf("fig8-10 servers = %d", servers)
+	}
+}
+
+func TestSetupFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Meridian generation is slow")
+	}
+	m, servers, counts, err := setup("meridian", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != latency.MeridianNodes {
+		t.Fatalf("nodes = %d", m.Len())
+	}
+	if servers != 80 || len(counts) != 9 || counts[0] != 20 || counts[8] != 100 {
+		t.Fatalf("paper parameters wrong: servers=%d counts=%v", servers, counts)
+	}
+}
+
+func TestSetupBadDataset(t *testing.T) {
+	for _, bad := range []string{"x", "", "5"} {
+		if _, _, _, err := setup(bad, false, 1); err == nil {
+			t.Fatalf("dataset %q should fail", bad)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	fig := &bench.Figure{ID: "7a", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []bench.Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}
+	if err := writeCSV(dir, fig); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure7a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "figure,series,x,y,stddev\n") {
+		t.Fatalf("csv = %q", data)
+	}
+}

@@ -1,0 +1,60 @@
+// Command capserver serves the client assignment system over HTTP/JSON —
+// the form in which a matchmaker or connection broker would consume it.
+//
+// Usage:
+//
+//	capserver -addr :8080
+//
+//	curl -s localhost:8080/v1/algorithms
+//	curl -s -X POST localhost:8080/v1/assign -d '{
+//	    "matrix": [[0,10,20],[10,0,15],[20,15,0]],
+//	    "servers": [0],
+//	    "algorithm": "Greedy",
+//	    "includeOffsets": true
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"diacap/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxNodes = flag.Int("max-nodes", 2048, "largest accepted matrix")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(service.Options{MaxNodes: *maxNodes}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "capserver: listening on %s\n", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "capserver:", err)
+		os.Exit(1)
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "capserver: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"diacap/internal/dia"
+)
+
+func TestParseRepair(t *testing.T) {
+	if mode, err := parseRepair("none"); err != nil || mode != dia.RepairNone {
+		t.Fatalf("none: %v, %v", mode, err)
+	}
+	if mode, err := parseRepair("timewarp"); err != nil || mode != dia.RepairTimewarp {
+		t.Fatalf("timewarp: %v, %v", mode, err)
+	}
+	if mode, err := parseRepair("tss"); err != nil || mode != dia.RepairTSS {
+		t.Fatalf("tss: %v, %v", mode, err)
+	}
+	if _, err := parseRepair("magic"); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+func TestLoadMatrixPresets(t *testing.T) {
+	m, err := loadMatrix("50", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("nodes = %d", m.Len())
+	}
+	if _, err := loadMatrix("bogus", 1); err == nil {
+		t.Fatal("bad preset should fail")
+	}
+	if _, err := loadMatrix("2", 1); err == nil {
+		t.Fatal("too-small preset should fail")
+	}
+}

@@ -1,0 +1,110 @@
+// Command latgen generates synthetic Internet-like pairwise latency
+// matrices — the stand-ins for the Meridian and MIT King data sets used
+// by the paper — and writes them in the text format understood by the
+// other tools.
+//
+// Usage:
+//
+//	latgen -preset meridian -seed 1 -o meridian.lat
+//	latgen -n 400 -seed 7 -clusters 10 -o small.lat
+//	latgen -n 100 -stats              # print distribution stats only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diacap/internal/latency"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", `data set preset: "meridian" (1796 nodes) or "mit" (1024 nodes)`)
+		n         = flag.Int("n", 200, "number of nodes (ignored with -preset)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		clusters  = flag.Int("clusters", 0, "geographic clusters (0 = default for size)")
+		noise     = flag.Float64("noise", -1, "lognormal noise sigma (-1 = default)")
+		detour    = flag.Float64("detour", -1, "fraction of pairs with detour inflation (-1 = default)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		showStat  = flag.Bool("stats", false, "print distribution statistics to stderr")
+		fromKing  = flag.String("from-king", "", "convert a King measurement file (src dst value triples) instead of generating")
+		kingUnit  = flag.Float64("king-unit", 1e-3, "multiplier converting King values to ms (published files use µs RTTs)")
+		kingHalve = flag.Bool("king-halve", true, "halve King RTTs to one-way latencies")
+	)
+	flag.Parse()
+
+	if *fromKing != "" {
+		f, err := os.Open(*fromKing)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		m, ids, err := latency.ReadKingTriples(f, latency.KingOptions{Unit: *kingUnit, HalveRTT: *kingHalve})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "latgen: king data reduced to a complete %d-node matrix\n", len(ids))
+		writeOut(m, *out, *showStat)
+		return
+	}
+
+	var m latency.Matrix
+	switch *preset {
+	case "meridian":
+		m = latency.MeridianLike(*seed)
+	case "mit":
+		m = latency.MITLike(*seed)
+	case "":
+		cfg := latency.DefaultConfig(*n)
+		if *clusters > 0 {
+			cfg.Clusters = *clusters
+		}
+		if *noise >= 0 {
+			cfg.NoiseSigma = *noise
+		}
+		if *detour >= 0 {
+			cfg.DetourFraction = *detour
+		}
+		var err error
+		m, err = latency.SyntheticInternet(cfg, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+
+	writeOut(m, *out, *showStat)
+}
+
+func writeOut(m latency.Matrix, out string, showStat bool) {
+	if showStat {
+		st := m.MeasureStats()
+		fmt.Fprintf(os.Stderr,
+			"nodes=%d min=%.2fms median=%.2fms mean=%.2fms p90=%.2fms max=%.2fms tiv=%.4f (sampled=%v)\n",
+			st.N, st.Min, st.Median, st.Mean, st.P90, st.Max, st.TIVRatio, st.TIVSampled)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if _, err := m.WriteTo(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "latgen:", err)
+	os.Exit(1)
+}

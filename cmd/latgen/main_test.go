@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diacap/internal/latency"
+)
+
+// TestLatgenEndToEnd builds and runs the binary: generate → stats → parse
+// back.
+func TestLatgenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "latgen")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	out := filepath.Join(dir, "m.lat")
+	run := exec.Command(bin, "-n", "30", "-seed", "5", "-stats", "-o", out)
+	stderr := &strings.Builder{}
+	run.Stderr = stderr
+	if err := run.Run(); err != nil {
+		t.Fatalf("latgen: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nodes=30") {
+		t.Fatalf("stats output missing: %q", stderr.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := latency.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 30 {
+		t.Fatalf("nodes = %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism across process runs: same seed, same matrix.
+	want := latency.ScaledLike(30, 5)
+	for i := range want {
+		for j := range want[i] {
+			d := m[i][j] - want[i][j]
+			if d > 1e-6 || d < -1e-6 {
+				t.Fatalf("binary output differs from library at [%d][%d]", i, j)
+			}
+		}
+	}
+
+	// Bad preset exits nonzero.
+	bad := exec.Command(bin, "-preset", "bogus")
+	if err := bad.Run(); err == nil {
+		t.Fatal("bad preset should exit nonzero")
+	}
+}

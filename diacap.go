@@ -1,0 +1,231 @@
+package diacap
+
+import (
+	"io"
+	"math/rand"
+
+	"diacap/internal/assign"
+	"diacap/internal/bench"
+	"diacap/internal/core"
+	"diacap/internal/dgreedy"
+	"diacap/internal/dia"
+	"diacap/internal/latency"
+	"diacap/internal/placement"
+	"diacap/internal/setcover"
+)
+
+// Core problem types (see internal/core for full documentation).
+type (
+	// Matrix is a complete pairwise latency matrix in milliseconds.
+	Matrix = latency.Matrix
+	// Instance is one client assignment problem.
+	Instance = core.Instance
+	// Assignment maps each client to a server index (the paper's sA).
+	Assignment = core.Assignment
+	// Capacities holds per-server client limits; nil = uncapacitated.
+	Capacities = core.Capacities
+	// Offsets are the Section II-C simulation-time offsets achieving δ = D.
+	Offsets = core.Offsets
+	// Algorithm is a client assignment algorithm.
+	Algorithm = assign.Algorithm
+)
+
+// Unassigned marks a client without a server in a partial Assignment.
+const Unassigned = core.Unassigned
+
+// NewInstance builds a problem instance from a latency matrix and the node
+// indices acting as servers and clients.
+func NewInstance(m Matrix, servers, clients []int) (*Instance, error) {
+	return core.NewInstance(m, servers, clients)
+}
+
+// AllNodes returns [0, n) — the paper's setup places a client at every
+// node of the data set.
+func AllNodes(m Matrix) []int {
+	nodes := make([]int, m.Len())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+// UniformCapacities gives every one of n servers the same capacity.
+func UniformCapacities(n, capacity int) Capacities {
+	return core.UniformCapacities(n, capacity)
+}
+
+// The paper's four assignment algorithms (Section IV).
+func NearestServer() Algorithm                       { return assign.NearestServer{} }
+func LongestFirstBatch() Algorithm                   { return assign.LongestFirstBatch{} }
+func Greedy() Algorithm                              { return assign.Greedy{} }
+func DistributedGreedy() Algorithm                   { return assign.NewDistributedGreedy() }
+func BruteForceOptimal() Algorithm                   { return assign.BruteForce{} }
+func Algorithms() []Algorithm                        { return assign.All() }
+func AlgorithmByName(name string) (Algorithm, error) { return assign.ByName(name) }
+
+// Extensions beyond the paper: baselines and refinement variants.
+func SingleServer() Algorithm               { return assign.SingleServer{} }
+func RandomAssignment(seed int64) Algorithm { return assign.RandomAssign{Seed: seed} }
+func TwoPhase() Algorithm                   { return assign.TwoPhase{} }
+func LocalSearch() Algorithm                { return assign.LocalSearch{} }
+func GreedyPlainDeltaAblation() Algorithm   { return assign.GreedyPlainDelta{} }
+
+// SimulatedAnnealing is the strongest (and slowest) heuristic: annealed
+// single-client moves from a Greedy start; steps ≤ 0 uses 200·|C|.
+func SimulatedAnnealing(seed int64, steps int) Algorithm {
+	return assign.Anneal{Seed: seed, Steps: steps}
+}
+
+// MinAverage optimizes the *average* interaction-path length instead of
+// the paper's maximum — the relaxed-fairness objective.
+func MinAverage() Algorithm { return assign.MinAverage{} }
+
+// DistributedGreedyTrace runs Distributed-Greedy and additionally returns
+// the per-modification D trace (the paper's Fig. 9 data).
+func DistributedGreedyTrace(in *Instance, caps Capacities) (Assignment, *assign.Trace, error) {
+	return assign.NewDistributedGreedy().AssignWithTrace(in, caps)
+}
+
+// Server placement strategies (Section V experimental setup).
+type PlacementStrategy = placement.Strategy
+
+const (
+	RandomPlacement PlacementStrategy = placement.Random
+	KCenterA        PlacementStrategy = placement.KCenterA
+	KCenterB        PlacementStrategy = placement.KCenterB
+)
+
+// PlaceServers selects k server nodes using the given strategy; rng is
+// required for RandomPlacement only.
+func PlaceServers(strategy PlacementStrategy, m Matrix, k int, rng *rand.Rand) ([]int, error) {
+	return placement.Place(strategy, m, k, rng)
+}
+
+// Synthetic latency data sets (stand-ins for Meridian and MIT King; see
+// DESIGN.md for the substitution rationale).
+
+// MeridianLike generates a 1796-node Internet-like latency matrix.
+func MeridianLike(seed int64) Matrix { return latency.MeridianLike(seed) }
+
+// MITLike generates a 1024-node Internet-like latency matrix.
+func MITLike(seed int64) Matrix { return latency.MITLike(seed) }
+
+// SyntheticInternet generates an n-node Internet-like latency matrix with
+// the default model parameters.
+func SyntheticInternet(n int, seed int64) Matrix { return latency.ScaledLike(n, seed) }
+
+// TransitStub generates an n-node (or slightly larger) latency matrix by
+// shortest-path routing over an explicit transit-stub link topology —
+// unlike SyntheticInternet, the result satisfies the triangle inequality
+// by construction, the regime where the Nearest-Server 3-approximation
+// guarantee (Theorem 2) holds.
+func TransitStub(n int, seed int64) (Matrix, error) {
+	m, _, err := latency.TransitStub(latency.DefaultTransitStub(n), seed)
+	return m, err
+}
+
+// ReadMatrix parses a matrix in the text format written by Matrix.WriteTo.
+func ReadMatrix(r io.Reader) (Matrix, error) { return latency.Read(r) }
+
+// JitterModel models latency variability (Section II-E): assignments can
+// be planned against any percentile of the latency distribution.
+type JitterModel = latency.JitterModel
+
+// NewJitterModel attaches lognormal jitter of the given sigma to a base
+// matrix.
+func NewJitterModel(base Matrix, sigma float64) (*JitterModel, error) {
+	return latency.NewJitterModel(base, sigma)
+}
+
+// DIA runtime (discrete-event validation of the Section II analysis).
+type (
+	// DIAConfig configures a continuous-DIA simulation run.
+	DIAConfig = dia.Config
+	// DIAResult reports violations and observed interaction times.
+	DIAResult = dia.Result
+	// Operation is one user-initiated operation.
+	Operation = dia.Operation
+)
+
+// SimulateDIA executes the full operation pipeline (issue → forward →
+// lag-δ execution → state update) over a simulated network and audits
+// consistency, fairness, and interaction times.
+func SimulateDIA(cfg DIAConfig) (*DIAResult, error) { return dia.Run(cfg) }
+
+// UniformWorkload issues ops round-robin at a fixed interval.
+func UniformWorkload(numClients, numOps int, start, interval float64) []Operation {
+	return dia.UniformWorkload(numClients, numOps, start, interval)
+}
+
+// PoissonWorkload issues ops with exponential inter-arrivals.
+func PoissonWorkload(rng *rand.Rand, numClients, numOps int, meanInterval float64) []Operation {
+	return dia.PoissonWorkload(rng, numClients, numOps, meanInterval)
+}
+
+// ProtocolResult reports a message-passing Distributed-Greedy run.
+type ProtocolResult = dgreedy.Result
+
+// RunDistributedProtocol executes Distributed-Greedy as an actual
+// message-passing protocol over the simulated network, starting from the
+// given initial assignment.
+func RunDistributedProtocol(in *Instance, caps Capacities, initial Assignment) (*ProtocolResult, error) {
+	return dgreedy.Run(in, caps, initial)
+}
+
+// NP-completeness machinery (Section III).
+type (
+	// SetCover is a minimum set cover instance.
+	SetCover = setcover.Instance
+	// Reduction is the Theorem 1 construction.
+	Reduction = setcover.Reduction
+)
+
+// ReduceSetCover builds the Theorem 1 client-assignment network from a
+// set cover instance and budget K.
+func ReduceSetCover(src *SetCover, k int) (*Reduction, error) { return setcover.Reduce(src, k) }
+
+// Experiment harness (Section V reproduction).
+type (
+	// BenchOptions configures the figure generators.
+	BenchOptions = bench.Options
+	// FigureResult is a reproduced figure with plot-ready series.
+	FigureResult = bench.Figure
+)
+
+// Figure7 reproduces Fig. 7 (interactivity vs number of servers).
+func Figure7(opts BenchOptions, strategy PlacementStrategy, serverCounts []int) (*FigureResult, error) {
+	return bench.Figure7(opts, strategy, serverCounts)
+}
+
+// Figure8 reproduces Fig. 8 (CDF of normalized interactivity).
+func Figure8(opts BenchOptions, numServers int) (*FigureResult, error) {
+	return bench.Figure8(opts, numServers)
+}
+
+// Figure9 reproduces Fig. 9 (Distributed-Greedy convergence).
+func Figure9(opts BenchOptions, numServers int) (*FigureResult, error) {
+	return bench.Figure9(opts, numServers)
+}
+
+// Figure10 reproduces Fig. 10 (capacitated interactivity vs capacity).
+func Figure10(opts BenchOptions, strategy PlacementStrategy, numServers int, factors []float64) (*FigureResult, error) {
+	return bench.Figure10(opts, strategy, numServers, factors)
+}
+
+// AblationGreedyCost compares the paper's Δl/Δn greedy cost rule against
+// plain Δl and the refinement variants (DESIGN.md §7).
+func AblationGreedyCost(opts BenchOptions, serverCounts []int) (*FigureResult, error) {
+	return bench.AblationGreedyCost(opts, serverCounts)
+}
+
+// AblationDGInitial compares Distributed-Greedy under different initial
+// assignments.
+func AblationDGInitial(opts BenchOptions, serverCounts []int) (*FigureResult, error) {
+	return bench.AblationDGInitial(opts, serverCounts)
+}
+
+// AblationBaselines positions the heuristics against the trivial extremes
+// of Section III (single server, random assignment).
+func AblationBaselines(opts BenchOptions, serverCounts []int) (*FigureResult, error) {
+	return bench.AblationBaselines(opts, serverCounts)
+}

@@ -1,0 +1,196 @@
+package diacap_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diacap"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// The quickstart flow from the package documentation, end to end.
+	m := diacap.SyntheticInternet(120, 1)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diacap.Greedy().Assign(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.MaxInteractionPath(a)
+	if d <= 0 {
+		t.Fatalf("D = %v", d)
+	}
+	ni := inst.NormalizedInteractivity(a)
+	if ni < 1 || ni > 3 {
+		t.Fatalf("normalized interactivity = %v, expected near-optimal", ni)
+	}
+	off, err := inst.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.D != d {
+		t.Fatalf("offsets D = %v, want %v", off.D, d)
+	}
+}
+
+func TestPublicAlgorithmsComplete(t *testing.T) {
+	algs := diacap.Algorithms()
+	if len(algs) != 4 {
+		t.Fatalf("expected the paper's four algorithms, got %d", len(algs))
+	}
+	want := map[string]bool{
+		"Nearest-Server": true, "Longest-First-Batch": true,
+		"Greedy": true, "Distributed-Greedy": true,
+	}
+	for _, alg := range algs {
+		if !want[alg.Name()] {
+			t.Fatalf("unexpected algorithm %q", alg.Name())
+		}
+		byName, err := diacap.AlgorithmByName(alg.Name())
+		if err != nil || byName.Name() != alg.Name() {
+			t.Fatalf("AlgorithmByName(%q) broken", alg.Name())
+		}
+	}
+}
+
+func TestPublicDIASimulation(t *testing.T) {
+	m := diacap.SyntheticInternet(40, 2)
+	rng := rand.New(rand.NewSource(1))
+	servers, err := diacap.PlaceServers(diacap.RandomPlacement, m, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diacap.DistributedGreedy().Assign(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := inst.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := diacap.SimulateDIA(diacap.DIAConfig{
+		Instance:   inst,
+		Assignment: a,
+		Delta:      off.D,
+		Offsets:    off,
+		Workload:   diacap.UniformWorkload(inst.NumClients(), 100, 0, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("δ = D run should be clean: %+v", res)
+	}
+	if math.Abs(res.MeanInteraction-off.D) > 1e-6 {
+		t.Fatalf("mean interaction %v, want δ = %v", res.MeanInteraction, off.D)
+	}
+}
+
+func TestPublicProtocolAgainstCentralized(t *testing.T) {
+	m := diacap.SyntheticInternet(60, 3)
+	servers, err := diacap.PlaceServers(diacap.KCenterA, m, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := diacap.NearestServer().Assign(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := diacap.RunDistributedProtocol(inst, nil, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalD > res.InitialD {
+		t.Fatalf("protocol worsened D: %v -> %v", res.InitialD, res.FinalD)
+	}
+	_, trace, err := diacap.DistributedGreedyTrace(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.FinalD() > trace.InitialD {
+		t.Fatal("centralized trace worsened D")
+	}
+}
+
+func TestPublicJitterModel(t *testing.T) {
+	base := diacap.SyntheticInternet(20, 4)
+	jm, err := diacap.NewJitterModel(base, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p90, err := jm.Percentile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p90[0][1] <= base[0][1] {
+		t.Fatal("90th percentile should exceed the median")
+	}
+}
+
+func TestPublicSetCoverReduction(t *testing.T) {
+	src := &diacap.SetCover{NumElements: 3, Subsets: [][]int{{0, 1}, {2}}}
+	r, err := diacap.ReduceSetCover(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.AssignmentFromCover([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Inst.MaxInteractionPath(a); d > 3 {
+		t.Fatalf("reduction assignment D = %v, want ≤ 3", d)
+	}
+}
+
+func TestPublicCapacitated(t *testing.T) {
+	m := diacap.SyntheticInternet(50, 5)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := diacap.UniformCapacities(5, 12)
+	for _, alg := range diacap.Algorithms() {
+		a, err := alg.Assign(inst, caps)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := inst.CheckCapacities(a, caps); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestPublicFigureGenerators(t *testing.T) {
+	opts := diacap.BenchOptions{Matrix: diacap.SyntheticInternet(50, 6), Seed: 1, Runs: 3}
+	if _, err := diacap.Figure7(opts, diacap.RandomPlacement, []int{4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diacap.Figure8(opts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diacap.Figure9(opts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diacap.Figure10(opts, diacap.KCenterB, 4, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+}

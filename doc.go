@@ -1,0 +1,48 @@
+// Package diacap is a library for client-to-server assignment in
+// continuous distributed interactive applications (DIAs) — multiplayer
+// online games, distributed virtual environments, and interactive
+// simulations running on geographically distributed, state-replicating
+// servers.
+//
+// It implements the system of Zhang and Tang, "The Client Assignment
+// Problem for Continuous Distributed Interactive Applications"
+// (ICDCS 2011): given pairwise network latencies between clients and
+// servers, assign every client to a server so that the worst interaction
+// time between any two clients is minimized. Under the paper's combined
+// consistency and fairness criterion — every operation executes on every
+// server at a constant simulation-time lag δ behind its issuance — the
+// minimum achievable interaction time equals the maximum interaction-path
+// length
+//
+//	D = max over client pairs of d(c,s(c)) + d(s(c),s(c')) + d(s(c'),c')
+//
+// and finding the assignment minimizing D is NP-complete. The library
+// provides:
+//
+//   - the four heuristics of the paper (Nearest-Server,
+//     Longest-First-Batch, Greedy, Distributed-Greedy), with capacitated
+//     variants, plus an exact branch-and-bound solver for small instances;
+//   - the super-optimal lower bound used to normalize interactivity;
+//   - simulation-time offsets achieving δ = D, and a discrete-event DIA
+//     runtime that executes the full operation pipeline and audits
+//     consistency, fairness, and interaction times;
+//   - Distributed-Greedy as a message-passing protocol over a simulated
+//     network;
+//   - server placement (random, two K-center algorithms), synthetic
+//     Internet latency matrices, a jitter/percentile model, and the
+//     experiment harness reproducing every figure of the paper.
+//
+// # Quick start
+//
+//	m := diacap.MeridianLike(1)                       // latency data set
+//	servers, _ := diacap.PlaceServers(diacap.KCenterB, m, 80, nil)
+//	inst, _ := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+//	a, _ := diacap.Greedy().Assign(inst, nil)         // assignment
+//	d := inst.MaxInteractionPath(a)                   // minimum feasible δ
+//	ni := inst.NormalizedInteractivity(a)             // vs lower bound
+//	off, _ := inst.ComputeOffsets(a)                  // sim-time offsets
+//	_, _, _ = d, ni, off
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// mapping from the paper's sections to packages.
+package diacap

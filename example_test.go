@@ -1,0 +1,87 @@
+package diacap_test
+
+// Godoc examples: runnable documentation for the public API. Every
+// example is deterministic (fixed seeds) so its Output block is verified
+// by `go test`.
+
+import (
+	"fmt"
+
+	"diacap"
+)
+
+// Example_assign is the core workflow: place servers, assign clients,
+// read off the minimum feasible interaction time.
+func Example_assign() {
+	m := diacap.SyntheticInternet(100, 7)
+	servers, _ := diacap.PlaceServers(diacap.KCenterB, m, 6, nil)
+	inst, _ := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+
+	nearest, _ := diacap.NearestServer().Assign(inst, nil)
+	greedy, _ := diacap.Greedy().Assign(inst, nil)
+
+	fmt.Printf("Nearest-Server D/LB: %.2f\n", inst.NormalizedInteractivity(nearest))
+	fmt.Printf("Greedy         D/LB: %.2f\n", inst.NormalizedInteractivity(greedy))
+	fmt.Println(inst.MaxInteractionPath(greedy) < inst.MaxInteractionPath(nearest))
+	// Output:
+	// Nearest-Server D/LB: 1.35
+	// Greedy         D/LB: 1.26
+	// true
+}
+
+// Example_offsets shows the Section II-C machinery: δ = D is feasible
+// with the computed simulation-time offsets, and the DIA runtime verifies
+// it end to end.
+func Example_offsets() {
+	m := diacap.SyntheticInternet(40, 3)
+	servers, _ := diacap.PlaceServers(diacap.KCenterB, m, 4, nil)
+	inst, _ := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	a, _ := diacap.DistributedGreedy().Assign(inst, nil)
+	off, _ := inst.ComputeOffsets(a)
+
+	res, _ := diacap.SimulateDIA(diacap.DIAConfig{
+		Instance:   inst,
+		Assignment: a,
+		Delta:      off.D,
+		Offsets:    off,
+		Workload:   diacap.UniformWorkload(inst.NumClients(), 50, 0, 2),
+	})
+	fmt.Println("clean:", res.Clean())
+	withinEps := func(a, b float64) bool { d := a - b; return d < 1e-6 && d > -1e-6 }
+	fmt.Println("interaction == delta:",
+		withinEps(res.MaxInteraction, off.D) && withinEps(res.MeanInteraction, off.D))
+	// Output:
+	// clean: true
+	// interaction == delta: true
+}
+
+// Example_setCover demonstrates the NP-completeness reduction of
+// Theorem 1: a set cover of size ≤ K becomes an assignment with D ≤ 3.
+func Example_setCover() {
+	src := &diacap.SetCover{
+		NumElements: 4,
+		Subsets:     [][]int{{0}, {1}, {2, 3}}, // the paper's Fig. 3
+	}
+	r, _ := diacap.ReduceSetCover(src, 3)
+	a, _ := r.AssignmentFromCover([]int{0, 1, 2})
+	fmt.Println("D ≤ 3:", r.Inst.MaxInteractionPath(a) <= 3)
+	cover, _ := r.CoverFromAssignment(a)
+	fmt.Println("cover:", cover)
+	// Output:
+	// D ≤ 3: true
+	// cover: [0 1 2]
+}
+
+// Example_capacitated shows Section IV-E: the same algorithms under
+// per-server capacity limits.
+func Example_capacitated() {
+	m := diacap.SyntheticInternet(60, 2)
+	servers, _ := diacap.PlaceServers(diacap.KCenterA, m, 4, nil)
+	inst, _ := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	caps := diacap.UniformCapacities(inst.NumServers(), 20)
+
+	a, _ := diacap.DistributedGreedy().Assign(inst, caps)
+	fmt.Println("capacities respected:", inst.CheckCapacities(a, caps) == nil)
+	// Output:
+	// capacities respected: true
+}

@@ -1,0 +1,115 @@
+// Gameshard: operating a multiplayer-game shard on distributed servers.
+//
+// The scenario the paper's introduction motivates: a fast-paced online
+// game replicates its world across geographically distributed servers;
+// players connect to one server each, and the game must stay consistent
+// (all players see the same world at the same game time) and fair (moves
+// take effect in the order they were made, with a constant lag).
+//
+// This example:
+//
+//  1. assigns players to servers with Nearest-Server (the intuitive
+//     choice) and with Distributed-Greedy (the paper's best);
+//  2. computes for each the minimum feasible lag δ = D and the
+//     simulation-time offsets of Section II-C;
+//  3. actually runs the game's operation pipeline over a simulated
+//     network with a Poisson stream of player actions, and verifies with
+//     the runtime's auditors that consistency and fairness hold at δ = D
+//     for both — the difference is purely how large δ has to be;
+//  4. shows what happens when the operator gets greedy and runs the
+//     Nearest-Server deployment at the Distributed-Greedy δ: the game
+//     breaks (late executions = rollbacks/artifacts in a real engine).
+//
+// Run with:
+//
+//	go run ./examples/gameshard
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"diacap"
+)
+
+func main() {
+	const (
+		players = 500
+		shards  = 16
+		actions = 2000
+	)
+	m := diacap.SyntheticInternet(players, 7)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, shards, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naive, err := diacap.NearestServer().Assign(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := diacap.DistributedGreedy().Assign(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naiveOff, err := inst.ComputeOffsets(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedOff, err := inst.ComputeOffsets(tuned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("game shard: %d players, %d servers\n", players, shards)
+	fmt.Printf("  Nearest-Server     needs lag δ = %.1f ms\n", naiveOff.D)
+	fmt.Printf("  Distributed-Greedy needs lag δ = %.1f ms (%.0f%% faster interactions)\n\n",
+		tunedOff.D, 100*(1-tunedOff.D/naiveOff.D))
+
+	// Play the same action stream on both deployments at their own δ.
+	rng := rand.New(rand.NewSource(1))
+	workload := diacap.PoissonWorkload(rng, inst.NumClients(), actions, 1.5)
+
+	for _, deploy := range []struct {
+		name string
+		a    diacap.Assignment
+		off  *diacap.Offsets
+	}{
+		{"Nearest-Server @ its own δ", naive, naiveOff},
+		{"Distributed-Greedy @ its own δ", tuned, tunedOff},
+	} {
+		res, err := diacap.SimulateDIA(diacap.DIAConfig{
+			Instance:   inst,
+			Assignment: deploy.a,
+			Delta:      deploy.off.D,
+			Offsets:    deploy.off,
+			Workload:   workload,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s clean=%-5v mean interaction %.1f ms (%d actions, %d updates)\n",
+			deploy.name, res.Clean(), res.MeanInteraction, res.OpsIssued, res.UpdatesDelivered)
+	}
+
+	// The cautionary tale: running the naive assignment at the tuned δ.
+	res, err := diacap.SimulateDIA(diacap.DIAConfig{
+		Instance:   inst,
+		Assignment: naive,
+		Delta:      tunedOff.D, // too small for this assignment
+		Offsets:    naiveOff,
+		Workload:   workload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s clean=%-5v late executions=%d late updates=%d (artifacts!)\n",
+		"Nearest-Server @ tuned δ", res.Clean(), res.ServerLate, res.ClientLate)
+	fmt.Println("\nconclusion: the assignment, not just the server placement, decides how")
+	fmt.Println("responsive the game can be while staying consistent and fair.")
+}

@@ -1,0 +1,112 @@
+// Livecluster: the paper's distributed server architecture over real TCP.
+//
+// Everything else in this repository validates the system inside a
+// discrete-event simulator; this example deploys it for real — one TCP
+// server process-equivalent (goroutine + listener) per game server, one
+// TCP client per launched player, gob-encoded operation/update messages,
+// and per-pair latency injection so localhost behaves like the Internet.
+// The run demonstrates the paper's central claim on actual sockets and
+// clocks: with the Distributed-Greedy assignment and the Section II-C
+// offsets, the deployment sustains the constant lag δ = D with zero
+// deadline misses, consistent replica execution timelines, and every
+// player seeing every action after exactly δ.
+//
+// Run with:
+//
+//	go run ./examples/livecluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"diacap"
+)
+
+func main() {
+	const (
+		nodes   = 40
+		servers = 4
+		players = 12 // TCP clients to actually launch
+		actions = 25
+	)
+	m := diacap.SyntheticInternet(nodes, 5)
+	placed, err := diacap.PlaceServers(diacap.KCenterB, m, servers, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, placed, diacap.AllNodes(m))
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := diacap.DistributedGreedy().Assign(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	off, err := inst.ComputeOffsets(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	launched := make([]int, players)
+	for i := range launched {
+		launched[i] = i * (inst.NumClients() / players)
+	}
+	fmt.Printf("deploying %d TCP servers + %d TCP clients (δ = D = %.1f ms, real time)...\n",
+		servers, players, off.D)
+
+	cluster, err := diacap.StartLiveCluster(diacap.LiveClusterConfig{
+		Instance:          inst,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		Clients:           launched,
+		LatenessTolerance: 25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ops := make([]diacap.Operation, actions)
+	for i := range ops {
+		ops[i] = diacap.Operation{ID: i, Client: launched[i%players], IssueTime: 100 + float64(i)*20}
+	}
+	// Close the measurement loop the paper assumes ("latencies obtained
+	// with ping"): measure each client's RTT to its server in-band.
+	rtts, err := cluster.MeasuredUplinks(3, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worstErr float64
+	for ci, rtt := range rtts {
+		expect := 2 * inst.ClientServerDist(ci, a[ci])
+		if e := math.Abs(rtt - expect); e > worstErr {
+			worstErr = e
+		}
+	}
+	fmt.Printf("in-band ping across %d clients: worst |measured − injected| = %.2f ms\n", len(rtts), worstErr)
+
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noperations issued:      %d\n", res.OpsIssued)
+	fmt.Printf("executions (op×server): %d\n", res.Executions)
+	fmt.Printf("updates (op×client):    %d\n", res.UpdatesDelivered)
+	fmt.Printf("deadline misses:        %d server, %d client\n", res.ServerLate, res.ClientLate)
+	fmt.Printf("exec-time spread:       %.2f ms across replicas\n", res.ExecSpread)
+	fmt.Printf("order inversions:       %d\n", res.OrderInversions)
+	fmt.Printf("interaction time:       mean %.1f ms, max %.1f ms (δ = %.1f ms)\n",
+		res.MeanInteraction, res.MaxInteraction, off.D)
+	if res.ServerLate == 0 && res.ClientLate == 0 && res.OrderInversions == 0 {
+		fmt.Println("\nresult: the real deployment sustains δ = D — consistency and")
+		fmt.Println("fairness hold over actual TCP, exactly as the analysis predicts.")
+	} else {
+		fmt.Println("\nresult: deadline misses occurred (heavily loaded machine?) —")
+		fmt.Println("increase ClusterConfig.LatenessTolerance or Scale.")
+	}
+}

@@ -1,0 +1,81 @@
+package diacap_test
+
+import (
+	"testing"
+
+	"diacap"
+)
+
+func TestPublicExtensions(t *testing.T) {
+	m := diacap.SyntheticInternet(60, 8)
+	servers, err := diacap.PlaceServers(diacap.KCenterB, m, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := diacap.NewInstance(m, servers, diacap.AllNodes(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extras := []diacap.Algorithm{
+		diacap.SingleServer(),
+		diacap.RandomAssignment(1),
+		diacap.TwoPhase(),
+		diacap.LocalSearch(),
+		diacap.GreedyPlainDeltaAblation(),
+	}
+	for _, alg := range extras {
+		a, err := alg.Assign(inst, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := inst.Validate(a); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestPublicTransitStub(t *testing.T) {
+	m, err := diacap.TransitStub(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() < 100 {
+		t.Fatalf("TransitStub returned %d nodes, want ≥ 100", m.Len())
+	}
+	// Metric substrate: Theorem 2's 3-approximation should hold against
+	// the exact optimum on a small slice of it.
+	sub := m.Submatrix(diacap.AllNodes(m)[:12])
+	inst, err := diacap.NewInstance(sub, []int{0, 1, 2}, []int{3, 4, 5, 6, 7, 8, 9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := diacap.NearestServer().Assign(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := diacap.BruteForceOptimal().Assign(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.MaxInteractionPath(ns) > 3*inst.MaxInteractionPath(opt)+1e-9 {
+		t.Fatalf("Theorem 2 violated on metric data: NS %v > 3×opt %v",
+			inst.MaxInteractionPath(ns), 3*inst.MaxInteractionPath(opt))
+	}
+}
+
+func TestPublicAblationFigures(t *testing.T) {
+	opts := diacap.BenchOptions{Matrix: diacap.SyntheticInternet(50, 9), Seed: 2, Runs: 2}
+	for _, gen := range []func(diacap.BenchOptions, []int) (*diacap.FigureResult, error){
+		diacap.AblationGreedyCost,
+		diacap.AblationDGInitial,
+		diacap.AblationBaselines,
+	} {
+		fig, err := gen(opts, []int{4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			t.Fatal("ablation figure has no series")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module diacap
+
+go 1.22

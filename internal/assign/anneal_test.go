@@ -1,0 +1,201 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diacap/internal/core"
+)
+
+func TestAvgInteractionPathMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 30, 2, 5)
+		rng := rand.New(rand.NewSource(seed))
+		a := make(core.Assignment, in.NumClients())
+		for i := range a {
+			a[i] = rng.Intn(in.NumServers())
+			if rng.Intn(8) == 0 {
+				a[i] = core.Unassigned
+			}
+		}
+		fast := in.AvgInteractionPath(a)
+		naive := in.AvgPathNaive(a)
+		return math.Abs(fast-naive) < 1e-6*(1+naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgInteractionPathEmpty(t *testing.T) {
+	in := randomInstance(1, 20, 2, 3)
+	a := core.NewAssignment(in.NumClients())
+	if in.AvgInteractionPath(a) != 0 || in.AvgPathNaive(a) != 0 {
+		t.Fatal("empty assignment should average 0")
+	}
+}
+
+func TestAnnealValidAndAtLeastGreedy(t *testing.T) {
+	// Annealing starts from Greedy and keeps the best state seen, so it
+	// can never return something worse than its start.
+	for _, seed := range []int64{1, 2, 3, 4} {
+		in := randomInstance(seed, 45, 3, 6)
+		g, err := Greedy{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := Anneal{Seed: seed, Steps: 3000}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(an); err != nil {
+			t.Fatal(err)
+		}
+		dg, da := in.MaxInteractionPath(g), in.MaxInteractionPath(an)
+		if da > dg+1e-9 {
+			t.Fatalf("seed %d: anneal %v worse than its Greedy start %v", seed, da, dg)
+		}
+	}
+}
+
+func TestAnnealCapacitated(t *testing.T) {
+	in := randomInstance(5, 40, 4, 4)
+	caps := core.UniformCapacities(4, in.NumClients()/4+3)
+	a, err := Anneal{Seed: 1, Steps: 2000}.Assign(in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckCapacities(a, caps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	in := randomInstance(6, 35, 3, 5)
+	a1, err := Anneal{Seed: 9, Steps: 1500}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Anneal{Seed: 9, Steps: 1500}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed must reproduce the assignment")
+		}
+	}
+}
+
+func TestAnnealSingleServer(t *testing.T) {
+	in := randomInstance(7, 15, 1, 1)
+	a, err := Anneal{Seed: 1}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a {
+		if s != 0 {
+			t.Fatal("single-server instance must stay on server 0")
+		}
+	}
+}
+
+func TestMinAverageImprovesAverage(t *testing.T) {
+	// Min-Average must never worsen the average versus its initial
+	// assignment, and usually improves it.
+	improved := 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		in := randomInstance(int64(40+trial), 50, 3, 6)
+		ns, err := NearestServer{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, err := MinAverage{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(ma); err != nil {
+			t.Fatal(err)
+		}
+		before, after := in.AvgInteractionPath(ns), in.AvgInteractionPath(ma)
+		if after > before+1e-9 {
+			t.Fatalf("trial %d: Min-Average worsened the average: %v -> %v", trial, before, after)
+		}
+		if after < before-1e-9 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("Min-Average never improved over Nearest-Server")
+	}
+}
+
+func TestMinAverageDeltaMatchesOracle(t *testing.T) {
+	// The incremental delta must agree with recomputing the average from
+	// scratch: run the algorithm one round at a time and cross-check.
+	in := randomInstance(11, 30, 3, 4)
+	prev, err := MinAverage{MaxRounds: 1}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rounds := 2; rounds <= 4; rounds++ {
+		cur, err := MinAverage{MaxRounds: rounds}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.AvgPathNaive(cur) > in.AvgPathNaive(prev)+1e-9 {
+			t.Fatalf("round %d increased the naive-evaluated average", rounds)
+		}
+		prev = cur
+	}
+}
+
+func TestObjectiveTradeoff(t *testing.T) {
+	// Max-optimized and average-optimized assignments trade places on
+	// each other's metric: Greedy must win on D, Min-Average on the
+	// average, across a majority of instances.
+	avgWins := 0
+	var sumDG, sumDMA float64
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		in := randomInstance(int64(60+trial), 60, 4, 6)
+		g, err := Greedy{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, err := MinAverage{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := in.LowerBound()
+		sumDG += in.MaxInteractionPath(g) / lb
+		sumDMA += in.MaxInteractionPath(ma) / lb
+		if in.AvgInteractionPath(ma) <= in.AvgInteractionPath(g)+1e-9 {
+			avgWins++
+		}
+	}
+	if sumDG > sumDMA {
+		t.Fatalf("Greedy should win on mean normalized D: %v vs %v", sumDG/trials, sumDMA/trials)
+	}
+	if avgWins < trials*3/4 {
+		t.Fatalf("Min-Average won on the average only %d/%d times", avgWins, trials)
+	}
+}
+
+func TestMinAverageCapacitated(t *testing.T) {
+	in := randomInstance(13, 40, 4, 4)
+	caps := core.UniformCapacities(4, in.NumClients()/4+2)
+	a, err := MinAverage{}.Assign(in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckCapacities(a, caps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnneal(b *testing.B)     { benchAlgorithm(b, Anneal{Seed: 1, Steps: 5000}) }
+func BenchmarkMinAverage(b *testing.B) { benchAlgorithm(b, MinAverage{}) }

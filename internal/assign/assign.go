@@ -1,0 +1,145 @@
+// Package assign implements the client assignment algorithms of the paper
+// (Section IV): Nearest-Server Assignment, Longest-First-Batch Assignment,
+// Greedy Assignment, and Distributed-Greedy Assignment, each in both the
+// uncapacitated and capacitated (Section IV-E) forms, plus an exact
+// branch-and-bound solver used as an optimality oracle on small instances.
+//
+// All algorithms consume only the client-to-server and server-to-server
+// latencies of a core.Instance — exactly the measurements the paper says
+// can be collected with ping or King — and produce a core.Assignment
+// minimizing (heuristically) the maximum interaction-path length D.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"diacap/internal/core"
+)
+
+// eps absorbs floating-point noise in latency comparisons.
+const eps = 1e-9
+
+// ErrInfeasible is returned when a capacitated instance cannot be
+// completed (e.g. total capacity below the client count).
+var ErrInfeasible = errors.New("assign: infeasible instance")
+
+// Algorithm is a client assignment algorithm. Assign must return a
+// complete assignment respecting caps (nil caps means uncapacitated), or
+// an error.
+type Algorithm interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// Assign computes a complete assignment for the instance.
+	Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error)
+}
+
+// All returns the paper's four heuristics in presentation order:
+// Nearest-Server, Longest-First-Batch, Greedy, Distributed-Greedy.
+func All() []Algorithm {
+	return []Algorithm{
+		NearestServer{},
+		LongestFirstBatch{},
+		Greedy{},
+		NewDistributedGreedy(),
+	}
+}
+
+// ByName returns the algorithm with the given Name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("assign: unknown algorithm %q", name)
+}
+
+// validateInputs runs the shared pre-flight checks.
+func validateInputs(in *core.Instance, caps core.Capacities) error {
+	if in == nil {
+		return errors.New("assign: nil instance")
+	}
+	if err := in.ValidateCapacities(caps); err != nil {
+		return fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	return nil
+}
+
+// NearestServer is the paper's Nearest-Server Assignment: every client
+// connects to its lowest-latency server. Under shortest-path routing it is
+// a 3-approximation (Theorem 2), and the ratio is tight (Fig. 4); on real
+// latency data, which violates the triangle inequality, it can be far from
+// optimal. In the capacitated form each client tries its servers in
+// increasing latency order until one has room; clients are processed in
+// index order.
+type NearestServer struct{}
+
+// Name implements Algorithm.
+func (NearestServer) Name() string { return "Nearest-Server" }
+
+// Assign implements Algorithm.
+func (NearestServer) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	if err := validateInputs(in, caps); err != nil {
+		return nil, err
+	}
+	nc, ns := in.NumClients(), in.NumServers()
+	a := core.NewAssignment(nc)
+	if caps == nil {
+		for i := 0; i < nc; i++ {
+			row := in.ClientServerRow(i)
+			best := 0
+			for k := 1; k < ns; k++ {
+				if row[k] < row[best] {
+					best = k
+				}
+			}
+			a[i] = best
+		}
+		return a, nil
+	}
+
+	loads := make([]int, ns)
+	// Per-client server ranking by distance; computed lazily would save
+	// little since most clients fall through only rarely.
+	order := make([]int, ns)
+	for i := 0; i < nc; i++ {
+		row := in.ClientServerRow(i)
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(x, y int) bool {
+			if row[order[x]] != row[order[y]] {
+				return row[order[x]] < row[order[y]]
+			}
+			return order[x] < order[y]
+		})
+		assigned := false
+		for _, k := range order {
+			if loads[k] < caps[k] {
+				a[i] = k
+				loads[k]++
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return nil, fmt.Errorf("%w: no server has capacity for client %d", ErrInfeasible, i)
+		}
+	}
+	return a, nil
+}
+
+// nearestServerOf returns the index of the server closest to client i,
+// breaking ties toward the lower server index.
+func nearestServerOf(in *core.Instance, i int) int {
+	row := in.ClientServerRow(i)
+	best := 0
+	for k := 1; k < len(row); k++ {
+		if row[k] < row[best] {
+			best = k
+		}
+	}
+	return best
+}

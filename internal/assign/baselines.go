@@ -1,0 +1,184 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diacap/internal/core"
+)
+
+// SingleServer assigns every client to the one server minimizing the
+// resulting maximum interaction-path length — the other extreme the paper
+// discusses in Section III: it eliminates inter-server latency from every
+// interaction path but may grossly inflate client-to-server latency. With
+// all clients on server s, D = 2·max_c d(c, s), so the best choice is the
+// 1-center of the clients among the servers. It fails on capacitated
+// instances whose chosen server cannot hold every client.
+type SingleServer struct{}
+
+// Name implements Algorithm.
+func (SingleServer) Name() string { return "Single-Server" }
+
+// Assign implements Algorithm.
+func (SingleServer) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	if err := validateInputs(in, caps); err != nil {
+		return nil, err
+	}
+	nc, ns := in.NumClients(), in.NumServers()
+	best, bestEcc := -1, math.Inf(1)
+	for k := 0; k < ns; k++ {
+		if caps != nil && caps[k] < nc {
+			continue
+		}
+		ecc := 0.0
+		for i := 0; i < nc; i++ {
+			if d := in.ClientServerDist(i, k); d > ecc {
+				ecc = d
+			}
+		}
+		if ecc < bestEcc {
+			best, bestEcc = k, ecc
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("%w: no server can hold all %d clients", ErrInfeasible, nc)
+	}
+	a := make(core.Assignment, nc)
+	for i := range a {
+		a[i] = best
+	}
+	return a, nil
+}
+
+// RandomAssign assigns each client to a uniformly random server
+// (uniformly random unsaturated server in the capacitated form). It is
+// the sanity baseline: every serious algorithm should beat it.
+type RandomAssign struct {
+	// Seed drives the assignment; the zero value is a valid seed.
+	Seed int64
+}
+
+// Name implements Algorithm.
+func (RandomAssign) Name() string { return "Random" }
+
+// Assign implements Algorithm.
+func (r RandomAssign) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	if err := validateInputs(in, caps); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	nc, ns := in.NumClients(), in.NumServers()
+	a := make(core.Assignment, nc)
+	loads := make([]int, ns)
+	for i := 0; i < nc; i++ {
+		if caps == nil {
+			a[i] = rng.Intn(ns)
+			continue
+		}
+		// Choose uniformly among unsaturated servers.
+		open := 0
+		for k := 0; k < ns; k++ {
+			if loads[k] < caps[k] {
+				open++
+			}
+		}
+		if open == 0 {
+			return nil, fmt.Errorf("%w: all servers saturated at client %d", ErrInfeasible, i)
+		}
+		pick := rng.Intn(open)
+		for k := 0; k < ns; k++ {
+			if loads[k] < caps[k] {
+				if pick == 0 {
+					a[i] = k
+					loads[k]++
+					break
+				}
+				pick--
+			}
+		}
+	}
+	return a, nil
+}
+
+// TwoPhase chains Greedy Assignment with Distributed-Greedy refinement:
+// Greedy builds a strong global assignment, and the Distributed-Greedy
+// local moves then shave the remaining critical paths. This is the
+// natural combination the paper's Section IV invites (Distributed-Greedy
+// accepts any initial assignment) and is never worse than Greedy alone.
+type TwoPhase struct{}
+
+// Name implements Algorithm.
+func (TwoPhase) Name() string { return "Two-Phase" }
+
+// Assign implements Algorithm.
+func (TwoPhase) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	return DistributedGreedy{Initial: Greedy{}}.Assign(in, caps)
+}
+
+// LocalSearch is a best-improvement local search over single-client
+// moves, built on the incremental core.Evaluator: in each round it scans
+// every (client, server) move, applies the one yielding the lowest D, and
+// stops when no move improves. Unlike Distributed-Greedy it is not
+// restricted to clients on longest paths, so it can escape some of DG's
+// fixed points at higher cost. MaxRounds bounds the work (0 = |C| rounds).
+type LocalSearch struct {
+	// Initial produces the starting assignment (nil = Nearest-Server).
+	Initial Algorithm
+	// MaxRounds bounds improvement rounds; 0 means |C|.
+	MaxRounds int
+}
+
+// Name implements Algorithm.
+func (LocalSearch) Name() string { return "Local-Search" }
+
+// Assign implements Algorithm.
+func (l LocalSearch) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	if err := validateInputs(in, caps); err != nil {
+		return nil, err
+	}
+	initial := l.Initial
+	if initial == nil {
+		initial = NearestServer{}
+	}
+	a, err := initial.Assign(in, caps)
+	if err != nil {
+		return nil, fmt.Errorf("assign: initial assignment: %w", err)
+	}
+	ev, err := in.NewEvaluator(a)
+	if err != nil {
+		return nil, err
+	}
+	nc, ns := in.NumClients(), in.NumServers()
+	rounds := l.MaxRounds
+	if rounds <= 0 {
+		rounds = nc
+	}
+	d := ev.D()
+	for round := 0; round < rounds; round++ {
+		bestC, bestS, bestD := -1, -1, d
+		for c := 0; c < nc; c++ {
+			cur := ev.ServerOf(c)
+			// Only clients on a longest path can lower D by moving.
+			if ev.MaxPathInvolving(c) < d-eps {
+				continue
+			}
+			for s := 0; s < ns; s++ {
+				if s == cur {
+					continue
+				}
+				if caps != nil && ev.Load(s) >= caps[s] {
+					continue
+				}
+				if nd := ev.PeekMove(c, s); nd < bestD-eps {
+					bestC, bestS, bestD = c, s, nd
+				}
+			}
+		}
+		if bestC == -1 {
+			break
+		}
+		d = ev.Move(bestC, bestS)
+	}
+	return ev.Assignment(), nil
+}

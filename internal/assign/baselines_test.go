@@ -1,0 +1,287 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diacap/internal/core"
+)
+
+// Extended returns every algorithm in the package, the paper's four plus
+// the baselines and ablations, for shared property tests.
+func extendedAlgorithms() []Algorithm {
+	return append(All(),
+		SingleServer{},
+		RandomAssign{Seed: 1},
+		GreedyPlainDelta{},
+		TwoPhase{},
+		LocalSearch{},
+	)
+}
+
+func TestExtendedAlgorithmsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 35, 2, 5)
+		for _, alg := range extendedAlgorithms() {
+			a, err := alg.Assign(in, nil)
+			if err != nil {
+				return false
+			}
+			if in.Validate(a) != nil {
+				return false
+			}
+			if in.MaxInteractionPath(a) < in.LowerBound()-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedCapacitatedValid(t *testing.T) {
+	in := randomInstance(3, 40, 4, 4)
+	nc, ns := in.NumClients(), in.NumServers()
+	caps := core.UniformCapacities(ns, nc/ns+3)
+	for _, alg := range extendedAlgorithms() {
+		if _, ok := alg.(SingleServer); ok {
+			continue // cannot fit all clients on one server by design
+		}
+		a, err := alg.Assign(in, caps)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := in.CheckCapacities(a, caps); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestSingleServerPicksOneCenter(t *testing.T) {
+	in := randomInstance(7, 30, 3, 5)
+	a, err := SingleServer{}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := a[0]
+	for _, s := range a {
+		if s != s0 {
+			t.Fatal("Single-Server must use exactly one server")
+		}
+	}
+	// D = 2·ecc(s0) and no other server gives a smaller ecc.
+	var ecc float64
+	for i := 0; i < in.NumClients(); i++ {
+		if d := in.ClientServerDist(i, s0); d > ecc {
+			ecc = d
+		}
+	}
+	if got := in.MaxInteractionPath(a); got != 2*ecc {
+		t.Fatalf("D = %v, want 2·ecc = %v", got, 2*ecc)
+	}
+	for k := 0; k < in.NumServers(); k++ {
+		var e float64
+		for i := 0; i < in.NumClients(); i++ {
+			if d := in.ClientServerDist(i, k); d > e {
+				e = d
+			}
+		}
+		if e < ecc-1e-9 {
+			t.Fatalf("server %d has smaller eccentricity %v < %v", k, e, ecc)
+		}
+	}
+}
+
+func TestSingleServerCapacitated(t *testing.T) {
+	in := randomInstance(8, 20, 2, 2)
+	nc := in.NumClients()
+	// One server big enough, the other not: must choose the big one.
+	caps := core.Capacities{nc, nc - 1}
+	a, err := SingleServer{}.Assign(in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 {
+		t.Fatalf("expected server 0 (the only feasible), got %d", a[0])
+	}
+	if _, err := (SingleServer{}).Assign(in, core.Capacities{nc - 1, nc - 1}); err == nil {
+		t.Fatal("no feasible single server: should fail")
+	}
+}
+
+func TestRandomAssignSeeded(t *testing.T) {
+	in := randomInstance(9, 30, 3, 5)
+	a1, err := RandomAssign{Seed: 5}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RandomAssign{Seed: 5}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed must reproduce the assignment")
+		}
+	}
+	b, err := RandomAssign{Seed: 6}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ (overwhelmingly)")
+	}
+}
+
+func TestRandomAssignCapacitatedExactFit(t *testing.T) {
+	in := randomInstance(10, 24, 3, 3)
+	nc, ns := in.NumClients(), in.NumServers()
+	base := nc / ns
+	caps := core.UniformCapacities(ns, base)
+	for k := 0; k < nc%ns; k++ {
+		caps[k]++
+	}
+	a, err := RandomAssign{Seed: 2}.Assign(in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckCapacities(a, caps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyBeatsRandomOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	wins := 0
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		in := randomInstance(rng.Int63(), 50, 3, 6)
+		g, err := Greedy{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RandomAssign{Seed: rng.Int63()}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.MaxInteractionPath(g) <= in.MaxInteractionPath(r) {
+			wins++
+		}
+	}
+	if wins < trials*3/4 {
+		t.Fatalf("Greedy beat Random only %d/%d times", wins, trials)
+	}
+}
+
+func TestTwoPhaseNeverWorseThanGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 45, 3, 6)
+		g, err := Greedy{}.Assign(in, nil)
+		if err != nil {
+			return false
+		}
+		tp, err := TwoPhase{}.Assign(in, nil)
+		if err != nil {
+			return false
+		}
+		return in.MaxInteractionPath(tp) <= in.MaxInteractionPath(g)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSearchNeverWorseThanInitial(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 40, 3, 5)
+		initial, err := NearestServer{}.Assign(in, nil)
+		if err != nil {
+			return false
+		}
+		ls, err := LocalSearch{}.Assign(in, nil)
+		if err != nil {
+			return false
+		}
+		return in.MaxInteractionPath(ls) <= in.MaxInteractionPath(initial)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSearchMaxRounds(t *testing.T) {
+	in := randomInstance(13, 40, 3, 5)
+	// One round can apply at most one move: D must still not worsen.
+	initial, err := NearestServer{}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := LocalSearch{MaxRounds: 1}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.MaxInteractionPath(one) > in.MaxInteractionPath(initial)+1e-9 {
+		t.Fatal("one-round local search worsened D")
+	}
+}
+
+func TestGreedyAmortizedVsPlainDeltaAblation(t *testing.T) {
+	// The amortized Δl/Δn cost should win on average — the ablation that
+	// justifies the paper's cost metric.
+	rng := rand.New(rand.NewSource(23))
+	var amortizedBetter, plainBetter int
+	for trial := 0; trial < 16; trial++ {
+		in := randomInstance(rng.Int63(), 60, 3, 8)
+		ga, err := Greedy{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := GreedyPlainDelta{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, dp := in.MaxInteractionPath(ga), in.MaxInteractionPath(gp)
+		switch {
+		case da < dp-1e-9:
+			amortizedBetter++
+		case dp < da-1e-9:
+			plainBetter++
+		}
+	}
+	if amortizedBetter < plainBetter {
+		t.Fatalf("plain Δl won more often (%d vs %d): ablation expectation violated",
+			plainBetter, amortizedBetter)
+	}
+}
+
+func TestSingleServerVsGreedyTradeoff(t *testing.T) {
+	// Section III's observation: Single-Server eliminates inter-server
+	// latency but inflates client-to-server latency; Greedy should beat
+	// it when servers are well spread.
+	in := randomInstance(19, 80, 6, 8)
+	ss, err := SingleServer{}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Greedy{}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.MaxInteractionPath(g) > in.MaxInteractionPath(ss)+1e-9 {
+		t.Fatalf("Greedy (%v) should not lose to Single-Server (%v) on a spread deployment",
+			in.MaxInteractionPath(g), in.MaxInteractionPath(ss))
+	}
+}
+
+func BenchmarkLocalSearch(b *testing.B)      { benchAlgorithm(b, LocalSearch{}) }
+func BenchmarkTwoPhase(b *testing.B)         { benchAlgorithm(b, TwoPhase{}) }
+func BenchmarkGreedyPlainDelta(b *testing.B) { benchAlgorithm(b, GreedyPlainDelta{}) }

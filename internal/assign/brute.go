@@ -1,0 +1,124 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"diacap/internal/core"
+)
+
+// BruteForce computes an exact optimal assignment by depth-first search
+// over all |S|^|C| assignments with branch-and-bound pruning on the
+// partial maximum interaction-path length. The paper notes that a
+// brute-force algorithm is computationally expensive even for small
+// numbers of clients and servers; this solver exists as the optimality
+// oracle for testing the heuristics' approximation quality and the
+// set-cover reduction, and refuses instances beyond MaxStates expected
+// search states.
+type BruteForce struct {
+	// MaxStates bounds |S|^|C| (0 means DefaultMaxStates). Instances whose
+	// unpruned search space exceeds the bound are rejected.
+	MaxStates float64
+}
+
+// DefaultMaxStates is the default search-space bound for BruteForce.
+const DefaultMaxStates = 5e8
+
+// Name implements Algorithm.
+func (BruteForce) Name() string { return "Brute-Force" }
+
+// Assign implements Algorithm.
+func (b BruteForce) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	a, _, err := b.Solve(in, caps)
+	return a, err
+}
+
+// Solve returns an optimal assignment and its maximum interaction-path
+// length D*.
+func (b BruteForce) Solve(in *core.Instance, caps core.Capacities) (core.Assignment, float64, error) {
+	if err := validateInputs(in, caps); err != nil {
+		return nil, 0, err
+	}
+	nc, ns := in.NumClients(), in.NumServers()
+	limit := b.MaxStates
+	if limit == 0 {
+		limit = DefaultMaxStates
+	}
+	if math.Pow(float64(ns), float64(nc)) > limit {
+		return nil, 0, fmt.Errorf("assign: brute force search space %d^%d exceeds bound %g", ns, nc, limit)
+	}
+
+	cur := core.NewAssignment(nc)
+	best := core.Assignment(nil)
+	bestD := math.Inf(1)
+	loads := make([]int, ns)
+	ecc := make([]float64, ns)
+	for k := range ecc {
+		ecc[k] = -1
+	}
+
+	// partialD recomputes D over the servers currently in use; with at
+	// most a handful of servers this is cheap enough per node.
+	partialD := func() float64 {
+		var d float64
+		for k := 0; k < ns; k++ {
+			if ecc[k] < 0 {
+				continue
+			}
+			for l := k; l < ns; l++ {
+				if ecc[l] < 0 {
+					continue
+				}
+				if v := ecc[k] + in.ServerServerDist(k, l) + ecc[l]; v > d {
+					d = v
+				}
+			}
+		}
+		return d
+	}
+
+	var dfs func(i int)
+	dfs = func(i int) {
+		if i == nc {
+			if d := partialD(); d < bestD {
+				bestD = d
+				best = cur.Clone()
+			}
+			return
+		}
+		for k := 0; k < ns; k++ {
+			if caps != nil && loads[k] >= caps[k] {
+				continue
+			}
+			prevEcc := ecc[k]
+			d := in.ClientServerDist(i, k)
+			if d > ecc[k] {
+				ecc[k] = d
+			}
+			if partialD() < bestD {
+				cur[i] = k
+				loads[k]++
+				dfs(i + 1)
+				loads[k]--
+				cur[i] = core.Unassigned
+			}
+			ecc[k] = prevEcc
+		}
+	}
+	dfs(0)
+	if best == nil {
+		return nil, 0, fmt.Errorf("%w: no feasible assignment", ErrInfeasible)
+	}
+	return best, bestD, nil
+}
+
+// DecisionD reports whether an assignment with maximum interaction-path
+// length at most bound exists. Used by the set-cover reduction tests
+// (Theorem 1 works with the decision version of the problem).
+func (b BruteForce) DecisionD(in *core.Instance, caps core.Capacities, bound float64) (bool, error) {
+	_, d, err := b.Solve(in, caps)
+	if err != nil {
+		return false, err
+	}
+	return d <= bound+eps, nil
+}

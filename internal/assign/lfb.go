@@ -1,0 +1,170 @@
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"diacap/internal/core"
+)
+
+// LongestFirstBatch is the paper's Longest-First-Batch Assignment
+// (Section IV-B). It sorts clients by the distance to their nearest
+// server; in each iteration the unassigned client c with the longest such
+// distance is assigned to its nearest server s together with every
+// unassigned client not farther from s than c. A client not assigned to
+// its nearest server can never be the farthest client of its assigned
+// server, so the longest interaction path connects two clients that are
+// both on their nearest servers — hence D(LFB) ≤ D(Nearest-Server) and the
+// 3-approximation carries over (and stays tight, Fig. 4).
+//
+// In the capacitated form (Section IV-E), if the batch would overload s,
+// only the clients nearest to s are assigned, filling s exactly to
+// capacity; the remainder recompute their nearest servers among
+// unsaturated servers and the distance order is rebuilt.
+type LongestFirstBatch struct{}
+
+// Name implements Algorithm.
+func (LongestFirstBatch) Name() string { return "Longest-First-Batch" }
+
+// Assign implements Algorithm.
+func (LongestFirstBatch) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	if err := validateInputs(in, caps); err != nil {
+		return nil, err
+	}
+	if caps == nil {
+		return lfbUncapacitated(in), nil
+	}
+	return lfbCapacitated(in, caps)
+}
+
+func lfbUncapacitated(in *core.Instance) core.Assignment {
+	nc := in.NumClients()
+	a := core.NewAssignment(nc)
+
+	nearest := make([]int, nc)
+	nearestDist := make([]float64, nc)
+	for i := 0; i < nc; i++ {
+		nearest[i] = nearestServerOf(in, i)
+		nearestDist[i] = in.ClientServerDist(i, nearest[i])
+	}
+	// Clients in descending distance-to-nearest-server order.
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if nearestDist[order[x]] != nearestDist[order[y]] {
+			return nearestDist[order[x]] > nearestDist[order[y]]
+		}
+		return order[x] < order[y]
+	})
+
+	for _, c := range order {
+		if a[c] != core.Unassigned {
+			continue
+		}
+		s := nearest[c]
+		limit := nearestDist[c]
+		// Batch-assign every unassigned client not farther from s than c.
+		for j := 0; j < nc; j++ {
+			if a[j] == core.Unassigned && in.ClientServerDist(j, s) <= limit+eps {
+				a[j] = s
+			}
+		}
+		a[c] = s
+	}
+	return a
+}
+
+func lfbCapacitated(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	nc, ns := in.NumClients(), in.NumServers()
+	a := core.NewAssignment(nc)
+	loads := make([]int, ns)
+	remaining := nc
+
+	// nearest unsaturated server per client; recomputed when a server
+	// saturates.
+	nearest := make([]int, nc)
+	nearestDist := make([]float64, nc)
+	recompute := func() error {
+		for i := 0; i < nc; i++ {
+			if a[i] != core.Unassigned {
+				continue
+			}
+			row := in.ClientServerRow(i)
+			best := -1
+			for k := 0; k < ns; k++ {
+				if loads[k] >= caps[k] {
+					continue
+				}
+				if best == -1 || row[k] < row[best] {
+					best = k
+				}
+			}
+			if best == -1 {
+				return fmt.Errorf("%w: all servers saturated with %d clients left", ErrInfeasible, remaining)
+			}
+			nearest[i] = best
+			nearestDist[i] = row[best]
+		}
+		return nil
+	}
+	if err := recompute(); err != nil {
+		return nil, err
+	}
+
+	for remaining > 0 {
+		// Unassigned client with the longest distance to its nearest
+		// unsaturated server.
+		c := -1
+		for i := 0; i < nc; i++ {
+			if a[i] != core.Unassigned {
+				continue
+			}
+			if c == -1 || nearestDist[i] > nearestDist[c] {
+				c = i
+			}
+		}
+		s := nearest[c]
+		limit := nearestDist[c]
+
+		// Candidate batch: unassigned clients not farther from s than c,
+		// nearest first so a truncated batch fills s with its closest
+		// clients.
+		batch := make([]int, 0, remaining)
+		for j := 0; j < nc; j++ {
+			if a[j] == core.Unassigned && in.ClientServerDist(j, s) <= limit+eps {
+				batch = append(batch, j)
+			}
+		}
+		sort.Slice(batch, func(x, y int) bool {
+			dx, dy := in.ClientServerDist(batch[x], s), in.ClientServerDist(batch[y], s)
+			if dx != dy {
+				return dx < dy
+			}
+			return batch[x] < batch[y]
+		})
+		room := caps[s] - loads[s]
+		if room <= 0 {
+			// recompute() guarantees nearest[] points at unsaturated
+			// servers, so this cannot happen; guard for safety.
+			return nil, fmt.Errorf("%w: internal: picked saturated server %d", ErrInfeasible, s)
+		}
+		if len(batch) > room {
+			batch = batch[:room]
+		}
+		for _, j := range batch {
+			a[j] = s
+			loads[s]++
+			remaining--
+		}
+		if loads[s] >= caps[s] && remaining > 0 {
+			// Server saturated: remaining clients re-target unsaturated
+			// servers and the distance order is rebuilt.
+			if err := recompute(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"diacap/internal/assign"
+	"diacap/internal/placement"
+)
+
+// Ablation studies beyond the paper (DESIGN.md §7): they isolate two
+// design choices the paper makes without direct experimental support —
+// the amortized Δl/Δn cost in Greedy Assignment and the Nearest-Server
+// initial assignment in Distributed-Greedy — plus the library's own
+// extensions (Two-Phase, Local-Search) and sanity baselines.
+
+// AblationGreedyCost compares the paper's Greedy (Δl/Δn) against the
+// plain-Δl variant, the Two-Phase combination, and best-improvement
+// Local-Search, under random placement.
+func AblationGreedyCost(opts Options, serverCounts []int) (*Figure, error) {
+	opts.Algorithms = []assign.Algorithm{
+		assign.Greedy{},
+		assign.GreedyPlainDelta{},
+		assign.TwoPhase{},
+		assign.LocalSearch{},
+	}
+	return SweepServers(opts, placement.Random, serverCounts,
+		"A1", "Ablation: Greedy cost rule and refinement variants (random placement)")
+}
+
+// AblationDGInitial compares Distributed-Greedy with its paper-default
+// Nearest-Server initial assignment against random and Greedy initial
+// assignments, under random placement. The initial assignment determines
+// the basin the local moves converge into.
+func AblationDGInitial(opts Options, serverCounts []int) (*Figure, error) {
+	opts.Algorithms = []assign.Algorithm{
+		namedAlg{"DG (Nearest-Server init)", assign.NewDistributedGreedy()},
+		namedAlg{"DG (Random init)", assign.DistributedGreedy{Initial: assign.RandomAssign{Seed: 12345}}},
+		namedAlg{"DG (Greedy init)", assign.DistributedGreedy{Initial: assign.Greedy{}}},
+		namedAlg{"Nearest-Server baseline", assign.NearestServer{}},
+	}
+	return SweepServers(opts, placement.Random, serverCounts,
+		"A2", "Ablation: Distributed-Greedy initial assignment (random placement)")
+}
+
+// AblationBaselines positions the paper's algorithms against the trivial
+// extremes of Section III: all-clients-to-one-server and random
+// assignment.
+func AblationBaselines(opts Options, serverCounts []int) (*Figure, error) {
+	opts.Algorithms = []assign.Algorithm{
+		assign.NearestServer{},
+		assign.SingleServer{},
+		assign.RandomAssign{Seed: 9},
+		assign.Greedy{},
+	}
+	return SweepServers(opts, placement.Random, serverCounts,
+		"A3", "Ablation: heuristics vs trivial extremes (random placement)")
+}
+
+// namedAlg renames an algorithm for display in a figure.
+type namedAlg struct {
+	name string
+	assign.Algorithm
+}
+
+func (n namedAlg) Name() string { return n.name }

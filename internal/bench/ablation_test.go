@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestAblationGreedyCost(t *testing.T) {
+	fig, err := AblationGreedyCost(smallOpts(70, 4), []int{5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "A1" || len(fig.Series) != 4 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s.Y
+	}
+	greedy, ok1 := byName["Greedy"]
+	twoPhase, ok2 := byName["Two-Phase"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing series: %v", byName)
+	}
+	// Two-Phase refines Greedy: per-point average can only be ≤.
+	for i := range greedy {
+		if twoPhase[i] > greedy[i]+1e-9 {
+			t.Fatalf("Two-Phase (%v) worse than Greedy (%v) at point %d", twoPhase[i], greedy[i], i)
+		}
+	}
+}
+
+func TestAblationDGInitial(t *testing.T) {
+	fig, err := AblationDGInitial(smallOpts(60, 4), []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "A2" || len(fig.Series) != 4 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	byName := map[string]float64{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s.Y[0]
+	}
+	// Every DG variant must beat or match plain Nearest-Server (its own
+	// start in the paper-default case; the theorem holds per-run, so it
+	// holds on the average for the NS-init variant).
+	if byName["DG (Nearest-Server init)"] > byName["Nearest-Server baseline"]+1e-9 {
+		t.Fatalf("DG above its initial assignment: %v > %v",
+			byName["DG (Nearest-Server init)"], byName["Nearest-Server baseline"])
+	}
+}
+
+func TestAblationBaselines(t *testing.T) {
+	fig, err := AblationBaselines(smallOpts(80, 4), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s.Y[0]
+	}
+	// Greedy must beat the random baseline on average.
+	if byName["Greedy"] >= byName["Random"] {
+		t.Fatalf("Greedy (%v) should beat Random (%v)", byName["Greedy"], byName["Random"])
+	}
+}

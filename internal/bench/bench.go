@@ -1,0 +1,394 @@
+// Package bench is the experiment harness reproducing the paper's
+// evaluation (Section V): Figures 7–10 over synthetic stand-ins for the
+// Meridian and MIT latency data sets. Each figure has one generator that
+// returns plot-ready series plus text-table and CSV renderers, so the
+// paper's results can be regenerated with one command (cmd/capbench) or as
+// Go benchmarks (bench_test.go at the repository root).
+//
+// Following the paper's setup, a client is located at every node of the
+// latency matrix and servers are placed at selected nodes (random,
+// K-center-A, or K-center-B placement). Interactivity is reported
+// normalized to the super-optimal lower bound.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/latency"
+	"diacap/internal/placement"
+	"diacap/internal/stats"
+)
+
+// Options configures the harness.
+type Options struct {
+	// Matrix is the pairwise latency data set.
+	Matrix latency.Matrix
+	// Seed drives all randomness (placements are derived per run).
+	Seed int64
+	// Runs is the number of random-placement repetitions to average
+	// (the paper uses 1000). K-center placements are deterministic and
+	// ignore it.
+	Runs int
+	// Algorithms to evaluate; nil means the paper's four.
+	Algorithms []assign.Algorithm
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o *Options) validate() error {
+	if o.Matrix.Len() < 2 {
+		return errors.New("bench: matrix too small")
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	if len(o.Algorithms) == 0 {
+		o.Algorithms = assign.All()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Err holds per-point sample standard deviations when the point is an
+	// average over runs (nil otherwise).
+	Err []float64
+}
+
+// Figure is a reproduced figure: metadata plus its series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// instanceFor builds the instance for a server placement: clients at every
+// node, servers at the placed nodes.
+func instanceFor(m latency.Matrix, servers []int) (*core.Instance, error) {
+	clients := make([]int, m.Len())
+	for i := range clients {
+		clients[i] = i
+	}
+	return core.NewInstanceTrusted(m, servers, clients)
+}
+
+// evalNormalized runs every algorithm on one instance and returns the
+// normalized interactivity per algorithm, in Options order.
+func evalNormalized(in *core.Instance, algs []assign.Algorithm, caps core.Capacities) ([]float64, error) {
+	out := make([]float64, len(algs))
+	lb := in.LowerBound()
+	if lb <= 0 {
+		return nil, fmt.Errorf("bench: degenerate lower bound %v", lb)
+	}
+	for i, alg := range algs {
+		a, err := alg.Assign(in, caps)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", alg.Name(), err)
+		}
+		out[i] = in.MaxInteractionPath(a) / lb
+	}
+	return out, nil
+}
+
+// parallelRuns evaluates fn for run indices [0, runs) on a bounded worker
+// pool, collecting per-run slices (one value per algorithm).
+func parallelRuns(runs, workers int, fn func(run int) ([]float64, error)) ([][]float64, error) {
+	results := make([][]float64, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for r := 0; r < runs; r++ {
+		r := r
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[r], errs[r] = fn(r)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// placeFor returns the server placement for a strategy; random placement
+// derives a per-run rng from the base seed.
+func placeFor(strategy placement.Strategy, m latency.Matrix, k int, seed int64, run int) ([]int, error) {
+	if strategy == placement.Random {
+		rng := rand.New(rand.NewSource(seed + int64(run)*7919))
+		return placement.PlaceRandom(m.Len(), k, rng)
+	}
+	return placement.Place(strategy, m, k, nil)
+}
+
+// Figure7 reproduces Fig. 7: average normalized interactivity of the four
+// algorithms versus the number of servers, for one placement strategy
+// ((a) random, (b) K-center-A, (c) K-center-B).
+func Figure7(opts Options, strategy placement.Strategy, serverCounts []int) (*Figure, error) {
+	return SweepServers(opts, strategy, serverCounts,
+		"7"+subID(strategy),
+		fmt.Sprintf("Normalized interactivity vs number of servers (%s placement)", strategy))
+}
+
+// SweepServers runs opts.Algorithms over a sweep of server counts under
+// one placement strategy and reports average normalized interactivity.
+// Figure7 and the ablation figures are instances of this sweep.
+func SweepServers(opts Options, strategy placement.Strategy, serverCounts []int, id, title string) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(serverCounts) == 0 {
+		serverCounts = []int{20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	runs := opts.Runs
+	if strategy != placement.Random {
+		runs = 1
+	}
+
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Number of servers",
+		YLabel: "Average normalized interactivity",
+	}
+	for _, alg := range opts.Algorithms {
+		fig.Series = append(fig.Series, Series{Name: alg.Name()})
+	}
+
+	for _, k := range serverCounts {
+		perRun, err := parallelRuns(runs, opts.Parallelism, func(run int) ([]float64, error) {
+			servers, err := placeFor(strategy, opts.Matrix, k, opts.Seed, run)
+			if err != nil {
+				return nil, err
+			}
+			in, err := instanceFor(opts.Matrix, servers)
+			if err != nil {
+				return nil, err
+			}
+			return evalNormalized(in, opts.Algorithms, nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ai := range opts.Algorithms {
+			vals := make([]float64, runs)
+			for r := 0; r < runs; r++ {
+				vals[r] = perRun[r][ai]
+			}
+			sum, err := stats.Summarize(vals)
+			if err != nil {
+				return nil, err
+			}
+			s := &fig.Series[ai]
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, sum.Mean)
+			s.Err = append(s.Err, sum.StdDev)
+		}
+	}
+	return fig, nil
+}
+
+// Figure8 reproduces Fig. 8: the cumulative distribution of normalized
+// interactivity over random-placement runs with a fixed number of
+// servers (80 in the paper). Each series plots, per algorithm, the number
+// of runs with normalized interactivity ≤ x.
+func Figure8(opts Options, numServers int) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	perRun, err := parallelRuns(opts.Runs, opts.Parallelism, func(run int) ([]float64, error) {
+		servers, err := placeFor(placement.Random, opts.Matrix, numServers, opts.Seed, run)
+		if err != nil {
+			return nil, err
+		}
+		in, err := instanceFor(opts.Matrix, servers)
+		if err != nil {
+			return nil, err
+		}
+		return evalNormalized(in, opts.Algorithms, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "8",
+		Title:  fmt.Sprintf("CDF of normalized interactivity, %d random servers, %d runs", numServers, opts.Runs),
+		XLabel: "Normalized interactivity",
+		YLabel: "Number of simulation runs",
+	}
+	for ai, alg := range opts.Algorithms {
+		vals := make([]float64, opts.Runs)
+		for r := range perRun {
+			vals[r] = perRun[r][ai]
+		}
+		cdf, err := stats.NewCDF(vals)
+		if err != nil {
+			return nil, err
+		}
+		xs, ps := cdf.Points()
+		ys := make([]float64, len(ps))
+		for i, p := range ps {
+			ys[i] = p * float64(opts.Runs)
+		}
+		fig.Series = append(fig.Series, Series{Name: alg.Name(), X: xs, Y: ys})
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces Fig. 9: the normalized interactivity of
+// Distributed-Greedy Assignment after each assignment modification, for a
+// fixed number of servers under each placement strategy. Random placement
+// uses the first seeded placement, as a representative run.
+func Figure9(opts Options, numServers int) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "9",
+		Title:  fmt.Sprintf("Distributed-Greedy convergence, %d servers", numServers),
+		XLabel: "Number of assignment modifications",
+		YLabel: "Normalized interactivity",
+	}
+	for _, strategy := range placement.Strategies {
+		servers, err := placeFor(strategy, opts.Matrix, numServers, opts.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		in, err := instanceFor(opts.Matrix, servers)
+		if err != nil {
+			return nil, err
+		}
+		lb := in.LowerBound()
+		_, trace, err := assign.NewDistributedGreedy().AssignWithTrace(in, nil)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: string(strategy) + " server placement"}
+		s.X = append(s.X, 0)
+		s.Y = append(s.Y, trace.InitialD/lb)
+		for i, d := range trace.DAfter {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, d/lb)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// PaperCapacityFactors converts the paper's absolute capacities
+// {25, 50, 100, 150, 200, 250} — defined for 1796 clients on 80 servers
+// (average load ≈ 22.45) — into load multiples, so the sweep transfers to
+// scaled-down instances.
+var PaperCapacityFactors = []float64{
+	25 / 22.45, 50 / 22.45, 100 / 22.45, 150 / 22.45, 200 / 22.45, 250 / 22.45,
+}
+
+// Figure10 reproduces Fig. 10: average normalized interactivity of the
+// capacitated algorithms versus server capacity, for one placement
+// strategy, at a fixed number of servers. Capacity factors are multiples
+// of the average load |C|/|S|; at the paper's scale the defaults equal
+// the paper's 25..250.
+func Figure10(opts Options, strategy placement.Strategy, numServers int, factors []float64) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(factors) == 0 {
+		factors = PaperCapacityFactors
+	}
+	runs := opts.Runs
+	if strategy != placement.Random {
+		runs = 1
+	}
+	avgLoad := float64(opts.Matrix.Len()) / float64(numServers)
+
+	fig := &Figure{
+		ID:     "10" + subID(strategy),
+		Title:  fmt.Sprintf("Normalized interactivity vs server capacity (%s placement, %d servers)", strategy, numServers),
+		XLabel: "Server capacity",
+		YLabel: "Average normalized interactivity",
+	}
+	for _, alg := range opts.Algorithms {
+		fig.Series = append(fig.Series, Series{Name: alg.Name()})
+	}
+
+	for _, f := range factors {
+		capacity := int(f*avgLoad + 0.5)
+		if capacity < 1 {
+			capacity = 1
+		}
+		// Guarantee feasibility: total capacity must hold all clients.
+		for capacity*numServers < opts.Matrix.Len() {
+			capacity++
+		}
+		perRun, err := parallelRuns(runs, opts.Parallelism, func(run int) ([]float64, error) {
+			servers, err := placeFor(strategy, opts.Matrix, numServers, opts.Seed, run)
+			if err != nil {
+				return nil, err
+			}
+			in, err := instanceFor(opts.Matrix, servers)
+			if err != nil {
+				return nil, err
+			}
+			// K-center placements may return fewer than numServers
+			// centers; size capacities to the actual placement and keep
+			// the sweep feasible for it.
+			effCap := capacity
+			for effCap*in.NumServers() < in.NumClients() {
+				effCap++
+			}
+			caps := core.UniformCapacities(in.NumServers(), effCap)
+			return evalNormalized(in, opts.Algorithms, caps)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ai := range opts.Algorithms {
+			vals := make([]float64, runs)
+			for r := 0; r < runs; r++ {
+				vals[r] = perRun[r][ai]
+			}
+			sum, err := stats.Summarize(vals)
+			if err != nil {
+				return nil, err
+			}
+			s := &fig.Series[ai]
+			s.X = append(s.X, float64(capacity))
+			s.Y = append(s.Y, sum.Mean)
+			s.Err = append(s.Err, sum.StdDev)
+		}
+	}
+	return fig, nil
+}
+
+func subID(strategy placement.Strategy) string {
+	switch strategy {
+	case placement.Random:
+		return "a"
+	case placement.KCenterA:
+		return "b"
+	case placement.KCenterB:
+		return "c"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diacap/internal/latency"
+	"diacap/internal/placement"
+)
+
+// smallOpts returns a harness configuration small enough for unit tests.
+func smallOpts(n int, runs int) Options {
+	return Options{
+		Matrix: latency.ScaledLike(n, 424242),
+		Seed:   1,
+		Runs:   runs,
+	}
+}
+
+func seriesNames(f *Figure) []string {
+	names := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func TestFigure7Random(t *testing.T) {
+	fig, err := Figure7(smallOpts(80, 4), placement.Random, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "7a" {
+		t.Fatalf("ID = %s, want 7a", fig.ID)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %v", seriesNames(fig))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 || len(s.Y) != 2 || len(s.Err) != 2 {
+			t.Fatalf("series %s has %d/%d/%d points", s.Name, len(s.X), len(s.Y), len(s.Err))
+		}
+		for _, y := range s.Y {
+			if y < 1-1e-9 {
+				t.Fatalf("series %s normalized interactivity %v < 1", s.Name, y)
+			}
+		}
+	}
+}
+
+func TestFigure7KCenterSingleRun(t *testing.T) {
+	fig, err := Figure7(smallOpts(60, 10), placement.KCenterA, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "7b" {
+		t.Fatalf("ID = %s, want 7b", fig.ID)
+	}
+	// K-center is deterministic: stddev must be zero.
+	for _, s := range fig.Series {
+		for _, e := range s.Err {
+			if e != 0 {
+				t.Fatalf("series %s stddev %v, want 0 for deterministic placement", s.Name, e)
+			}
+		}
+	}
+}
+
+func TestFigure7ShapeLFBLeqNS(t *testing.T) {
+	// The LFB ≤ NS theorem must show in the averages.
+	fig, err := Figure7(smallOpts(100, 6), placement.Random, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns, lfb float64
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "Nearest-Server":
+			ns = s.Y[0]
+		case "Longest-First-Batch":
+			lfb = s.Y[0]
+		}
+	}
+	if lfb > ns+1e-9 {
+		t.Fatalf("average LFB %v > NS %v", lfb, ns)
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	opts := smallOpts(70, 12)
+	fig, err := Figure8(opts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %v", seriesNames(fig))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		// CDF: X ascending, Y ascending, last Y = number of runs.
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] < s.X[i-1] || s.Y[i] < s.Y[i-1] {
+				t.Fatalf("series %s not monotone", s.Name)
+			}
+		}
+		if s.Y[len(s.Y)-1] != float64(opts.Runs) {
+			t.Fatalf("series %s final count %v, want %d", s.Name, s.Y[len(s.Y)-1], opts.Runs)
+		}
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	fig, err := Figure9(smallOpts(70, 1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %v, want one per placement", seriesNames(fig))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || s.X[0] != 0 {
+			t.Fatalf("series %s should start at modification 0", s.Name)
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Fatalf("series %s not monotone non-increasing: %v", s.Name, s.Y)
+			}
+		}
+		if s.Y[0] < 1-1e-9 {
+			t.Fatalf("series %s starts below 1: %v", s.Name, s.Y[0])
+		}
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	fig, err := Figure10(smallOpts(60, 3), placement.Random, 6, []float64{1.2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "10a" {
+		t.Fatalf("ID = %s, want 10a", fig.ID)
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 2 {
+			t.Fatalf("series %s has %d capacities", s.Name, len(s.X))
+		}
+		if s.X[0] >= s.X[1] {
+			t.Fatalf("capacities should ascend: %v", s.X)
+		}
+		for _, y := range s.Y {
+			if y < 1-1e-9 {
+				t.Fatalf("normalized interactivity %v < 1", y)
+			}
+		}
+	}
+	// Tighter capacity cannot help: compare Distributed-Greedy at the two
+	// capacities (its tight-capacity value should be ≥ the looser one,
+	// modulo noise; assert a loose envelope).
+	for _, s := range fig.Series {
+		if s.Y[0] < s.Y[1]-0.5 {
+			t.Fatalf("series %s improves dramatically under tighter capacity: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestFigure10InfeasibleFactorClamped(t *testing.T) {
+	// A factor below 1 would make total capacity < clients; the harness
+	// must clamp capacity up to feasibility rather than fail.
+	fig, err := Figure10(smallOpts(40, 2), placement.Random, 5, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fig.Series[0].X[0]; got < 8 {
+		t.Fatalf("clamped capacity %v, want ≥ ceil(40/5)", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if _, err := Figure8(Options{}, 5); err == nil {
+		t.Fatal("empty matrix should fail")
+	}
+	opts := smallOpts(30, 0) // Runs 0 → clamped to 1
+	fig, err := Figure7(opts, placement.KCenterB, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("series missing")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	fig, err := Figure7(smallOpts(50, 2), placement.Random, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := fig.Table()
+	if !strings.Contains(table, "Figure 7a") {
+		t.Fatalf("table missing header:\n%s", table)
+	}
+	for _, name := range []string{"Nearest-Server", "Greedy", "Distributed-Greedy", "Longest-First-Batch"} {
+		if !strings.Contains(table, name) {
+			t.Fatalf("table missing series %s:\n%s", name, table)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 4 { // title + header + 2 x-values
+		t.Fatalf("table has %d lines:\n%s", len(lines), table)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	fig, err := Figure9(smallOpts(40, 1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "figure,series,x,y,stddev\n") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "9,random server placement,0,") {
+		t.Fatalf("missing first data row:\n%s", out)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`plain`); got != "plain" {
+		t.Fatalf("csvEscape(plain) = %q", got)
+	}
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Fatalf("csvEscape comma = %q", got)
+	}
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Fatalf("csvEscape quotes = %q", got)
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	// The worker pool must not change results: per-run seeds are fixed.
+	a, err := Figure7(Options{Matrix: latency.ScaledLike(60, 5), Seed: 3, Runs: 6, Parallelism: 1},
+		placement.Random, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure7(Options{Matrix: latency.ScaledLike(60, 5), Seed: 3, Runs: 6, Parallelism: 8},
+		placement.Random, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatal("results differ with parallelism")
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+
+	"diacap/internal/assign"
+	"diacap/internal/coords"
+	"diacap/internal/dia"
+	"diacap/internal/dynamic"
+	"diacap/internal/placement"
+	"diacap/internal/stats"
+)
+
+// Extension experiments (beyond the paper's evaluation): churn, latency
+// estimation, and state-repair cost. Each exercises one of the library's
+// extension substrates end to end and produces a Figure like the paper
+// reproductions.
+
+// ExtChurn compares the online strategies' time-averaged D across churn
+// intensities (mean session length in ms; shorter = harsher churn), at a
+// fixed number of K-center-B servers.
+func ExtChurn(opts Options, numServers int, sessionLengths []float64) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(sessionLengths) == 0 {
+		sessionLengths = []float64{100, 300, 1000, 3000}
+	}
+	servers, err := placement.PlaceKCenterB(opts.Matrix, numServers)
+	if err != nil {
+		return nil, err
+	}
+	in, err := instanceFor(opts.Matrix, servers)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []dynamic.Strategy{
+		dynamic.NewNearestJoin(in),
+		dynamic.NewGreedyJoin(in),
+		dynamic.NewGreedyJoinRepair(in, 2),
+	}
+	fig := &Figure{
+		ID:     "E1",
+		Title:  fmt.Sprintf("Online assignment under churn, %d servers (time-averaged D, ms)", numServers),
+		XLabel: "Mean session length (ms)",
+		YLabel: "Time-averaged max interaction path (ms)",
+	}
+	for _, s := range strategies {
+		fig.Series = append(fig.Series, Series{Name: s.Name()})
+	}
+	// One extra disruption series for the repair strategy.
+	fig.Series = append(fig.Series, Series{Name: "Repair moves per 100 events"})
+
+	for _, session := range sessionLengths {
+		cfg := dynamic.ChurnConfig{
+			NumClients:       in.NumClients(),
+			Horizon:          4000,
+			MeanInterarrival: 8,
+			MeanSession:      session,
+			InitialActive:    in.NumClients() / 4,
+		}
+		events, err := dynamic.GenerateChurn(cfg, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var repairMovesPerEvent float64
+		for si, strat := range strategies {
+			res, err := dynamic.Simulate(in, nil, events, cfg.Horizon, strat)
+			if err != nil {
+				return nil, err
+			}
+			fig.Series[si].X = append(fig.Series[si].X, session)
+			fig.Series[si].Y = append(fig.Series[si].Y, res.TimeAvgD)
+			if si == len(strategies)-1 {
+				total := res.Joins + res.Leaves
+				if total > 0 {
+					repairMovesPerEvent = 100 * float64(res.RepairMoves) / float64(total)
+				}
+			}
+		}
+		last := &fig.Series[len(fig.Series)-1]
+		last.X = append(last.X, session)
+		last.Y = append(last.Y, repairMovesPerEvent)
+	}
+	return fig, nil
+}
+
+// ExtMeasurement quantifies the interactivity cost of running Greedy on
+// Vivaldi-estimated latencies instead of measured ones, as the per-node
+// measurement budget grows. Reported as D on the true matrix, normalized
+// to the true lower bound; the "measured" series is the budget-free
+// reference.
+func ExtMeasurement(opts Options, numServers int, sampleBudgets []int) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(sampleBudgets) == 0 {
+		sampleBudgets = []int{8, 32, 128, 512}
+	}
+	servers, err := placement.PlaceKCenterB(opts.Matrix, numServers)
+	if err != nil {
+		return nil, err
+	}
+	trueIn, err := instanceFor(opts.Matrix, servers)
+	if err != nil {
+		return nil, err
+	}
+	lb := trueIn.LowerBound()
+	aTrue, err := assign.Greedy{}.Assign(trueIn, nil)
+	if err != nil {
+		return nil, err
+	}
+	ref := trueIn.MaxInteractionPath(aTrue) / lb
+
+	fig := &Figure{
+		ID:     "E2",
+		Title:  fmt.Sprintf("Greedy on Vivaldi-estimated latencies, %d servers", numServers),
+		XLabel: "Measurements per node",
+		YLabel: "Normalized interactivity (on true latencies)",
+		Series: []Series{
+			{Name: "Greedy on estimates"},
+			{Name: "Greedy on measurements (reference)"},
+			{Name: "Median relative estimation error"},
+		},
+	}
+	for _, budget := range sampleBudgets {
+		sys, err := coords.New(coords.DefaultConfig(), opts.Matrix.Len(), opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// budget measurements per node, in rounds of 4 samples.
+		rounds := budget / 4
+		if rounds < 1 {
+			rounds = 1
+		}
+		if err := sys.Fit(opts.Matrix, rounds, 4); err != nil {
+			return nil, err
+		}
+		est := sys.EstimatedMatrix()
+		estIn, err := instanceFor(est, servers)
+		if err != nil {
+			return nil, err
+		}
+		aEst, err := assign.Greedy{}.Assign(estIn, nil)
+		if err != nil {
+			return nil, err
+		}
+		dEst := trueIn.MaxInteractionPath(aEst) / lb
+
+		relErrs, err := coords.RelativeErrors(est, opts.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := stats.Summarize(relErrs)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(budget)
+		fig.Series[0].X = append(fig.Series[0].X, x)
+		fig.Series[0].Y = append(fig.Series[0].Y, dEst)
+		fig.Series[1].X = append(fig.Series[1].X, x)
+		fig.Series[1].Y = append(fig.Series[1].Y, ref)
+		fig.Series[2].X = append(fig.Series[2].X, x)
+		fig.Series[2].Y = append(fig.Series[2].Y, sum.Median)
+	}
+	return fig, nil
+}
+
+// ExtObjective contrasts the paper's max-interaction objective with the
+// relaxed-fairness average objective: for each algorithm it reports both
+// the normalized maximum (D / lower bound) and the average interaction
+// path (ms), on one K-center-B deployment. Annealing serves as the
+// upper-reference for how much D the fast heuristics leave on the table.
+func ExtObjective(opts Options, numServers int) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	servers, err := placement.PlaceKCenterB(opts.Matrix, numServers)
+	if err != nil {
+		return nil, err
+	}
+	in, err := instanceFor(opts.Matrix, servers)
+	if err != nil {
+		return nil, err
+	}
+	lb := in.LowerBound()
+	algs := []assign.Algorithm{
+		assign.NearestServer{},
+		assign.Greedy{},
+		assign.NewDistributedGreedy(),
+		assign.Anneal{Seed: opts.Seed, Steps: 50 * in.NumClients()},
+		assign.MinAverage{},
+	}
+	fig := &Figure{
+		ID:     "E4",
+		Title:  fmt.Sprintf("Max vs average objective, %d servers (x=1: D/LB, x=2: avg ms)", numServers),
+		XLabel: "Metric (1 = normalized max, 2 = average path ms)",
+		YLabel: "Value",
+	}
+	for _, alg := range algs {
+		a, err := alg.Assign(in, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", alg.Name(), err)
+		}
+		fig.Series = append(fig.Series, Series{
+			Name: alg.Name(),
+			X:    []float64{1, 2},
+			Y:    []float64{in.MaxInteractionPath(a) / lb, in.AvgInteractionPath(a)},
+		})
+	}
+	return fig, nil
+}
+
+// ExtTimewarp sweeps the execution lag δ below and above the minimum D
+// and reports the repair cost of running there with timewarp: rollbacks
+// per issued operation and client artifacts per delivered update. It is
+// the quantified version of the paper's Section II-E remark that repairs
+// "may create artifacts that disturb the user behavior".
+func ExtTimewarp(opts Options, numServers int, deltaFactors []float64) (*Figure, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(deltaFactors) == 0 {
+		deltaFactors = []float64{0.6, 0.8, 0.9, 1.0, 1.2}
+	}
+	servers, err := placement.PlaceKCenterB(opts.Matrix, numServers)
+	if err != nil {
+		return nil, err
+	}
+	in, err := instanceFor(opts.Matrix, servers)
+	if err != nil {
+		return nil, err
+	}
+	a, err := assign.Greedy{}.Assign(in, nil)
+	if err != nil {
+		return nil, err
+	}
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		return nil, err
+	}
+	wl := dia.UniformWorkload(in.NumClients(), 4*in.NumClients(), 0, 3)
+
+	fig := &Figure{
+		ID:     "E3",
+		Title:  fmt.Sprintf("Timewarp repair cost vs execution lag, %d servers (D = %.1f ms)", numServers, off.D),
+		XLabel: "δ as a fraction of D",
+		YLabel: "Repair events per operation / update",
+		Series: []Series{
+			{Name: "Rollbacks per op"},
+			{Name: "Artifacts per update"},
+			{Name: "Mean interaction time / D"},
+		},
+	}
+	for _, f := range deltaFactors {
+		res, err := dia.Run(dia.Config{
+			Instance:   in,
+			Assignment: a,
+			Delta:      off.D * f,
+			Offsets:    off,
+			Workload:   wl,
+			Repair:     dia.RepairTimewarp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series[0].X = append(fig.Series[0].X, f)
+		fig.Series[0].Y = append(fig.Series[0].Y, float64(res.Rollbacks)/float64(res.OpsIssued))
+		fig.Series[1].X = append(fig.Series[1].X, f)
+		fig.Series[1].Y = append(fig.Series[1].Y, float64(res.ClientArtifacts)/float64(res.UpdatesDelivered))
+		fig.Series[2].X = append(fig.Series[2].X, f)
+		fig.Series[2].Y = append(fig.Series[2].Y, res.MeanInteraction/off.D)
+	}
+	return fig, nil
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestExtChurn(t *testing.T) {
+	fig, err := ExtChurn(smallOpts(60, 1), 5, []float64{100, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "E1" {
+		t.Fatalf("ID = %s", fig.ID)
+	}
+	if len(fig.Series) != 4 { // 3 strategies + disruption series
+		t.Fatalf("series count = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series[:3] {
+		if len(s.X) != 2 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.X))
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %s has non-positive time-avg D %v", s.Name, y)
+			}
+		}
+	}
+	// Repair strategy must do at least as well as plain Greedy-Join.
+	var gj, rep []float64
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "Greedy-Join":
+			gj = s.Y
+		case "Greedy-Join+Repair(2)":
+			rep = s.Y
+		}
+	}
+	for i := range gj {
+		if rep[i] > gj[i]*1.05 {
+			t.Fatalf("repair strategy notably worse than plain at point %d: %v vs %v", i, rep[i], gj[i])
+		}
+	}
+}
+
+func TestExtMeasurement(t *testing.T) {
+	fig, err := ExtMeasurement(smallOpts(60, 1), 5, []int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "E2" || len(fig.Series) != 3 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	est := fig.Series[0].Y
+	ref := fig.Series[1].Y
+	errs := fig.Series[2].Y
+	for i := range est {
+		if est[i] < 1-1e-9 || ref[i] < 1-1e-9 {
+			t.Fatalf("normalized interactivity below 1 at point %d", i)
+		}
+	}
+	// More measurements → better (or equal) estimation error.
+	if errs[1] > errs[0]+1e-9 {
+		t.Fatalf("estimation error should not grow with budget: %v", errs)
+	}
+}
+
+func TestExtTimewarp(t *testing.T) {
+	fig, err := ExtTimewarp(smallOpts(50, 1), 4, []float64{0.7, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "E3" || len(fig.Series) != 3 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	rollbacks := fig.Series[0].Y
+	artifacts := fig.Series[1].Y
+	if rollbacks[0] <= 0 {
+		t.Fatal("δ = 0.7·D should trigger rollbacks")
+	}
+	if rollbacks[1] != 0 || artifacts[1] != 0 {
+		t.Fatalf("δ = D should be repair-free, got %v / %v", rollbacks[1], artifacts[1])
+	}
+	// Repair cost decreases as δ grows.
+	if rollbacks[1] > rollbacks[0] {
+		t.Fatal("rollbacks should fall with larger δ")
+	}
+}
+
+func TestExtObjective(t *testing.T) {
+	fig, err := ExtObjective(smallOpts(60, 1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "E4" || len(fig.Series) != 5 {
+		t.Fatalf("fig = %s with %d series", fig.ID, len(fig.Series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %s has %d values", s.Name, len(s.Y))
+		}
+		byName[s.Name] = s.Y
+	}
+	// Anneal must not lose to Greedy on D (it refines a Greedy start).
+	if byName["Anneal"][0] > byName["Greedy"][0]+1e-9 {
+		t.Fatalf("Anneal D %v worse than Greedy %v", byName["Anneal"][0], byName["Greedy"][0])
+	}
+	// Min-Average must win the average metric against Greedy.
+	if byName["Min-Average"][1] > byName["Greedy"][1]+1e-9 {
+		t.Fatalf("Min-Average avg %v worse than Greedy %v", byName["Min-Average"][1], byName["Greedy"][1])
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table renders the figure as an aligned text table: one row per distinct
+// X value, one column per series. Series with different X supports (e.g.
+// CDF curves) are merged on the union of X values; missing points render
+// blank.
+func (f *Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s: %s\n", f.ID, f.Title)
+
+	// Union of X values, ordered.
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	// Per-series lookup X → Y.
+	lookups := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		lookups[i] = make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
+			lookups[i][x] = s.Y[j]
+		}
+	}
+
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, trimFloat(x))
+		for i := range f.Series {
+			if y, ok := lookups[i][x]; ok {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WriteCSV writes the figure in long form:
+// figure,series,x,y,stddev (stddev blank when absent).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,series,x,y,stddev"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			errStr := ""
+			if s.Err != nil {
+				errStr = fmt.Sprintf("%.6g", s.Err[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%.6g,%.6g,%s\n",
+				f.ID, csvEscape(s.Name), s.X[i], s.Y[i], errStr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CDFThresholdCounts summarizes a CDF figure the way the paper narrates
+// Fig. 8 ("the normalized interactivity produced by Nearest-Server
+// exceeds 2 in over 100 simulation runs"): for each series, the number of
+// runs whose value exceeds each threshold. The series' final Y value is
+// the total run count; a series' count above a threshold is total minus
+// the cumulative count at the threshold.
+func CDFThresholdCounts(f *Figure, thresholds []float64) map[string][]int {
+	out := make(map[string][]int, len(f.Series))
+	for _, s := range f.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		total := s.Y[len(s.Y)-1]
+		counts := make([]int, len(thresholds))
+		for ti, th := range thresholds {
+			cum := 0.0
+			for i, x := range s.X {
+				if x <= th {
+					cum = s.Y[i]
+				}
+			}
+			counts[ti] = int(total - cum + 0.5)
+		}
+		out[s.Name] = counts
+	}
+	return out
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

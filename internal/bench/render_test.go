@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+func TestCDFThresholdCounts(t *testing.T) {
+	// A CDF series over 10 runs: values 1.2 ×4, 1.8 ×3, 2.2 ×2, 3.5 ×1.
+	fig := &Figure{Series: []Series{{
+		Name: "alg",
+		X:    []float64{1.2, 1.8, 2.2, 3.5},
+		Y:    []float64{4, 7, 9, 10},
+	}}}
+	counts := CDFThresholdCounts(fig, []float64{1.5, 2, 3})
+	got := counts["alg"]
+	want := []int{6, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCDFThresholdCountsEmptySeries(t *testing.T) {
+	fig := &Figure{Series: []Series{{Name: "empty"}}}
+	if counts := CDFThresholdCounts(fig, []float64{1}); len(counts) != 0 {
+		t.Fatalf("counts = %v, want empty", counts)
+	}
+}

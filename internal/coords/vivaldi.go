@@ -1,0 +1,244 @@
+// Package coords implements Vivaldi network coordinates (Dabek et al.,
+// SIGCOMM 2004) with the height-vector model.
+//
+// The paper's assignment algorithms consume pairwise latencies "which can
+// be obtained with existing tools like ping and King". At scale, probing
+// all |C|·|S| pairs is expensive; decentralized coordinate systems like
+// Vivaldi estimate any pairwise latency from a few measurements per node.
+// This package provides the estimation substrate and lets the experiment
+// harness quantify how assignment quality degrades when the algorithms
+// run on estimated instead of measured latencies.
+package coords
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diacap/internal/latency"
+)
+
+// Config parameterizes the Vivaldi system.
+type Config struct {
+	// Dim is the Euclidean dimension of the coordinate space.
+	Dim int
+	// CE dampens error updates (the paper's c_e, typically 0.25).
+	CE float64
+	// CC dampens coordinate movement (the paper's c_c, typically 0.25).
+	CC float64
+	// Height enables the height-vector model, which absorbs access-link
+	// delay that a pure Euclidean embedding cannot express.
+	Height bool
+	// MinLatency floors estimates (ms) to keep them positive.
+	MinLatency float64
+}
+
+// DefaultConfig returns the standard Vivaldi parameters: 3 dimensions
+// plus height, c_e = c_c = 0.25.
+func DefaultConfig() Config {
+	return Config{Dim: 3, CE: 0.25, CC: 0.25, Height: true, MinLatency: 0.1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Dim <= 0:
+		return fmt.Errorf("coords: Dim = %d, want > 0", c.Dim)
+	case c.CE <= 0 || c.CE > 1 || c.CC <= 0 || c.CC > 1:
+		return fmt.Errorf("coords: CE/CC = %v/%v, want in (0, 1]", c.CE, c.CC)
+	case c.MinLatency <= 0:
+		return fmt.Errorf("coords: MinLatency = %v, want > 0", c.MinLatency)
+	}
+	return nil
+}
+
+// node is one participant's coordinate.
+type node struct {
+	vec    []float64
+	height float64
+	err    float64 // local error estimate in (0, 1]
+}
+
+// System is a set of Vivaldi coordinates, one per node.
+type System struct {
+	cfg   Config
+	nodes []node
+	rng   *rand.Rand
+}
+
+// New creates a system of n nodes at random small coordinates.
+func New(cfg Config, n int, seed int64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("coords: need at least one node")
+	}
+	s := &System{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	s.nodes = make([]node, n)
+	for i := range s.nodes {
+		vec := make([]float64, cfg.Dim)
+		for d := range vec {
+			vec[d] = s.rng.Float64() * 0.1 // tiny random start breaks symmetry
+		}
+		h := 0.0
+		if cfg.Height {
+			h = s.rng.Float64() * 0.1
+		}
+		s.nodes[i] = node{vec: vec, height: h, err: 1}
+	}
+	return s, nil
+}
+
+// Len returns the number of nodes.
+func (s *System) Len() int { return len(s.nodes) }
+
+// Estimate returns the estimated latency between nodes i and j.
+func (s *System) Estimate(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	d := s.distance(i, j)
+	if d < s.cfg.MinLatency {
+		return s.cfg.MinLatency
+	}
+	return d
+}
+
+// ErrorEstimate returns node i's local error estimate.
+func (s *System) ErrorEstimate(i int) float64 { return s.nodes[i].err }
+
+func (s *System) distance(i, j int) float64 {
+	ni, nj := &s.nodes[i], &s.nodes[j]
+	var ss float64
+	for d := range ni.vec {
+		diff := ni.vec[d] - nj.vec[d]
+		ss += diff * diff
+	}
+	dist := math.Sqrt(ss)
+	if s.cfg.Height {
+		dist += ni.height + nj.height
+	}
+	return dist
+}
+
+// Update applies one latency measurement between nodes i and j (both
+// coordinates move, as when each end runs the update on its own sample).
+func (s *System) Update(i, j int, rtt float64) error {
+	if i < 0 || i >= len(s.nodes) || j < 0 || j >= len(s.nodes) || i == j {
+		return fmt.Errorf("coords: bad node pair (%d, %d)", i, j)
+	}
+	if rtt <= 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return fmt.Errorf("coords: bad rtt %v", rtt)
+	}
+	s.updateOne(i, j, rtt)
+	s.updateOne(j, i, rtt)
+	return nil
+}
+
+// updateOne moves node i toward/away from node j per the Vivaldi rule.
+func (s *System) updateOne(i, j int, rtt float64) {
+	ni, nj := &s.nodes[i], &s.nodes[j]
+	dist := s.distance(i, j)
+
+	// Sample weight balances the two nodes' confidence.
+	w := ni.err / (ni.err + nj.err)
+	// Relative error of this sample.
+	es := math.Abs(dist-rtt) / rtt
+	// Update the local error moving average.
+	ni.err = es*s.cfg.CE*w + ni.err*(1-s.cfg.CE*w)
+	if ni.err < 1e-3 {
+		ni.err = 1e-3
+	}
+	if ni.err > 1 {
+		ni.err = 1
+	}
+
+	// Move along the error gradient.
+	delta := s.cfg.CC * w * (rtt - dist)
+	// Unit vector from j to i; random direction when coincident.
+	var norm float64
+	dir := make([]float64, len(ni.vec))
+	for d := range dir {
+		dir[d] = ni.vec[d] - nj.vec[d]
+		norm += dir[d] * dir[d]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		for d := range dir {
+			dir[d] = s.rng.NormFloat64()
+			norm += dir[d] * dir[d]
+		}
+		norm = math.Sqrt(norm)
+	}
+	for d := range dir {
+		ni.vec[d] += delta * dir[d] / norm
+	}
+	if s.cfg.Height {
+		// The height component moves with the same force; heights stay
+		// non-negative.
+		ni.height += delta * ni.height / math.Max(dist, 1e-9)
+		if ni.height < 0 {
+			ni.height = 0
+		}
+	}
+}
+
+// Fit runs rounds of random measurements against a ground-truth matrix:
+// every round, each node samples samplesPerNode random peers.
+func (s *System) Fit(m latency.Matrix, rounds, samplesPerNode int) error {
+	if m.Len() != len(s.nodes) {
+		return fmt.Errorf("coords: matrix has %d nodes, system has %d", m.Len(), len(s.nodes))
+	}
+	if rounds <= 0 || samplesPerNode <= 0 {
+		return errors.New("coords: rounds and samplesPerNode must be positive")
+	}
+	n := len(s.nodes)
+	if n < 2 {
+		return nil
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < samplesPerNode; k++ {
+				j := s.rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				if err := s.Update(i, j, m[i][j]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EstimatedMatrix materializes all pairwise estimates as a latency matrix.
+func (s *System) EstimatedMatrix() latency.Matrix {
+	n := len(s.nodes)
+	out := latency.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := s.Estimate(i, j)
+			out[i][j], out[j][i] = v, v
+		}
+	}
+	return out
+}
+
+// RelativeErrors returns |est − true| / true for every node pair, a
+// standard accuracy metric for coordinate systems.
+func RelativeErrors(est, truth latency.Matrix) ([]float64, error) {
+	if est.Len() != truth.Len() {
+		return nil, fmt.Errorf("coords: size mismatch %d vs %d", est.Len(), truth.Len())
+	}
+	n := truth.Len()
+	out := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, math.Abs(est[i][j]-truth[i][j])/truth[i][j])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package coords
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/latency"
+	"diacap/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero dim", func(c *Config) { c.Dim = 0 }},
+		{"zero ce", func(c *Config) { c.CE = 0 }},
+		{"big cc", func(c *Config) { c.CC = 1.5 }},
+		{"zero floor", func(c *Config) { c.MinLatency = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if _, err := New(cfg, 10, 1); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+	if _, err := New(DefaultConfig(), 0, 1); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s, err := New(DefaultConfig(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		i, j int
+		rtt  float64
+	}{
+		{0, 0, 5}, {-1, 1, 5}, {0, 9, 5}, {0, 1, 0}, {0, 1, -2}, {0, 1, math.NaN()},
+	} {
+		if err := s.Update(tc.i, tc.j, tc.rtt); err == nil {
+			t.Fatalf("Update(%d, %d, %v) should fail", tc.i, tc.j, tc.rtt)
+		}
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	s, err := New(DefaultConfig(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Estimate(1, 1) != 0 {
+		t.Fatal("self estimate should be 0")
+	}
+	if s.Estimate(0, 1) < DefaultConfig().MinLatency {
+		t.Fatal("estimates are floored")
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// euclideanMatrix builds a ground truth that a coordinate system can
+// embed perfectly: points on a plane, distance = Euclidean + per-node
+// height (access delay).
+func euclideanMatrix(n int, seed int64, withHeight bool) latency.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	hs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		if withHeight {
+			hs[i] = rng.Float64() * 10
+		}
+	}
+	m := latency.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			v := math.Sqrt(dx*dx+dy*dy) + hs[i] + hs[j]
+			if v < 0.5 {
+				v = 0.5
+			}
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	return m
+}
+
+func TestFitConvergesOnEmbeddableData(t *testing.T) {
+	truth := euclideanMatrix(60, 3, true)
+	s, err := New(DefaultConfig(), 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(truth, 60, 8); err != nil {
+		t.Fatal(err)
+	}
+	errs, err := RelativeErrors(s.EstimatedMatrix(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(errs)
+	median := stats.Quantile(errs, 0.5)
+	if median > 0.15 {
+		t.Fatalf("median relative error %v, want ≤ 0.15 on embeddable data", median)
+	}
+	// Error estimates should have dropped well below the initial 1.
+	for i := 0; i < s.Len(); i++ {
+		if s.ErrorEstimate(i) > 0.8 {
+			t.Fatalf("node %d error estimate %v still near 1 after fitting", i, s.ErrorEstimate(i))
+		}
+	}
+}
+
+func TestFitReducesErrorOnInternetData(t *testing.T) {
+	// Real(istic) matrices with TIVs cannot embed perfectly, but fitting
+	// must still beat the unfitted random start by a wide margin.
+	truth := latency.ScaledLike(60, 5)
+	cfg := DefaultConfig()
+	s, err := New(cfg, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := RelativeErrors(s.EstimatedMatrix(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(truth, 60, 8); err != nil {
+		t.Fatal(err)
+	}
+	after, err := RelativeErrors(s.EstimatedMatrix(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(after) > 0.5*stats.Mean(before) {
+		t.Fatalf("fitting should at least halve the mean error: %v -> %v",
+			stats.Mean(before), stats.Mean(after))
+	}
+}
+
+func TestEstimatedMatrixValid(t *testing.T) {
+	truth := latency.ScaledLike(30, 7)
+	s, err := New(DefaultConfig(), 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(truth, 30, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EstimatedMatrix().Validate(); err != nil {
+		t.Fatalf("estimated matrix invalid: %v", err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	truth := latency.ScaledLike(10, 1)
+	s, err := New(DefaultConfig(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(truth, 10, 2); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+	s2, _ := New(DefaultConfig(), 10, 1)
+	if err := s2.Fit(truth, 0, 2); err == nil {
+		t.Fatal("zero rounds should fail")
+	}
+}
+
+func TestRelativeErrorsMismatch(t *testing.T) {
+	if _, err := RelativeErrors(latency.NewMatrix(3), latency.NewMatrix(4)); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+}
+
+func TestAssignmentOnEstimatedLatencies(t *testing.T) {
+	// The end-to-end question: how much interactivity is lost by running
+	// the assignment algorithms on Vivaldi estimates instead of true
+	// measurements? Evaluate the estimated-data assignment on the TRUE
+	// matrix and compare with the true-data assignment.
+	truth := latency.ScaledLike(80, 9)
+	s, err := New(DefaultConfig(), 80, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fit(truth, 80, 8); err != nil {
+		t.Fatal(err)
+	}
+	est := s.EstimatedMatrix()
+
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(80)
+	servers, clients := perm[:6], perm[6:]
+	trueIn, err := core.NewInstanceTrusted(truth, servers, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estIn, err := core.NewInstanceTrusted(est, servers, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aTrue, err := assign.Greedy{}.Assign(trueIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aEst, err := assign.Greedy{}.Assign(estIn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTrue := trueIn.MaxInteractionPath(aTrue)
+	dEst := trueIn.MaxInteractionPath(aEst) // evaluated on the truth
+	// Greedy is a heuristic, so the estimated-data assignment can land
+	// slightly better or worse than the true-data one; it must stay in
+	// the same ballpark rather than collapse to Nearest-Server-like
+	// quality.
+	if dEst > 2.5*dTrue {
+		t.Fatalf("estimation penalty too large: %v vs %v", dEst, dTrue)
+	}
+	if dEst < trueIn.LowerBound()-1e-9 {
+		t.Fatalf("impossible: D %v below the lower bound", dEst)
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	truth := latency.ScaledLike(100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(DefaultConfig(), 100, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Fit(truth, 20, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

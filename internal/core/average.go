@@ -1,0 +1,77 @@
+package core
+
+// The paper optimizes the worst pairwise interaction time D (the fairness
+// and consistency analysis forces the constant lag to cover the maximum).
+// Deployments that relax strict fairness — or discrete DIAs, as in the
+// authors' companion INFOCOM 2011 work — also care about the *average*
+// interaction path, which this file provides, with the same
+// ordered-pair convention as D (self-pairs included).
+//
+// The average decomposes by server loads: with n_s clients on server s,
+//
+//	Σ_{i,j} path(i,j) = 2·|C|·Σ_i d(c_i, sA(c_i)) + Σ_{s,t} n_s·n_t·d(s,t)
+//
+// so it evaluates in O(|C| + |S|²) rather than O(|C|²).
+
+// SumClientServerDist returns Σ_i d(c_i, sA(c_i)) over assigned clients.
+func (in *Instance) SumClientServerDist(a Assignment) float64 {
+	var sum float64
+	for i, s := range a {
+		if s != Unassigned {
+			sum += in.cs[i][s]
+		}
+	}
+	return sum
+}
+
+// AvgInteractionPath returns the mean interaction-path length over all
+// ordered client pairs (self-pairs included), or 0 when no client is
+// assigned. Unassigned clients are excluded from the pair universe.
+func (in *Instance) AvgInteractionPath(a Assignment) float64 {
+	loads := in.Loads(a)
+	var n float64
+	for _, l := range loads {
+		n += float64(l)
+	}
+	if n == 0 {
+		return 0
+	}
+	// 2·n·Σ d(c, sA(c)) covers the two client legs of every ordered pair.
+	total := 2 * n * in.SumClientServerDist(a)
+	for s, ls := range loads {
+		if ls == 0 {
+			continue
+		}
+		row := in.ss[s]
+		for t, lt := range loads {
+			if lt == 0 {
+				continue
+			}
+			total += float64(ls) * float64(lt) * row[t]
+		}
+	}
+	return total / (n * n)
+}
+
+// AvgPathNaive computes the same average by direct enumeration; it is the
+// O(|C|²) test oracle for AvgInteractionPath.
+func (in *Instance) AvgPathNaive(a Assignment) float64 {
+	var total float64
+	var n float64
+	for i := range a {
+		if a[i] == Unassigned {
+			continue
+		}
+		n++
+		for j := range a {
+			if a[j] == Unassigned {
+				continue
+			}
+			total += in.InteractionPath(a, i, j)
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / (n * n)
+}

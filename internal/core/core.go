@@ -1,0 +1,418 @@
+// Package core defines the client assignment problem of Zhang & Tang
+// (ICDCS 2011): problem instances, client-to-server assignments, the
+// interaction-path objective, the super-optimal lower bound used for
+// normalization in the paper's evaluation, and the simulation-time offsets
+// that achieve the minimum interaction time δ = D (Section II-C).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"diacap/internal/latency"
+)
+
+// Unassigned marks a client without an assigned server inside a partial
+// Assignment.
+const Unassigned = -1
+
+// ErrInvalidInstance reports a malformed problem instance.
+var ErrInvalidInstance = errors.New("core: invalid instance")
+
+// ErrInvalidAssignment reports a malformed or incomplete assignment.
+var ErrInvalidAssignment = errors.New("core: invalid assignment")
+
+// Instance is one client assignment problem: a network latency matrix plus
+// the subsets of nodes acting as servers and clients.
+//
+// Servers and Clients hold node indices into the matrix. A node may appear
+// in both sets (a machine can host a server and a participant). Instances
+// are immutable after construction; the per-instance client-to-server and
+// server-to-server distance tables are precomputed for the hot loops of
+// the assignment algorithms.
+type Instance struct {
+	m       latency.Matrix
+	servers []int
+	clients []int
+
+	// cs[i][k] = d(client i, server k); ss[k][l] = d(server k, server l).
+	cs [][]float64
+	ss [][]float64
+
+	lbOnce     sync.Once // guards the lazily computed lower bound
+	lowerBound float64
+}
+
+// NewInstance validates the inputs and builds an instance. The latency
+// matrix must be valid per latency.Matrix.Validate semantics; callers that
+// construct matrices through this module's generators can rely on that and
+// skip revalidation by passing trusted = true in NewInstanceTrusted.
+func NewInstance(m latency.Matrix, servers, clients []int) (*Instance, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInstance, err)
+	}
+	return NewInstanceTrusted(m, servers, clients)
+}
+
+// NewInstanceTrusted is NewInstance without re-validating the latency
+// matrix. The server and client index sets are still checked.
+func NewInstanceTrusted(m latency.Matrix, servers, clients []int) (*Instance, error) {
+	n := m.Len()
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("%w: no servers", ErrInvalidInstance)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("%w: no clients", ErrInvalidInstance)
+	}
+	seenS := make(map[int]bool, len(servers))
+	for _, s := range servers {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("%w: server node %d out of range [0,%d)", ErrInvalidInstance, s, n)
+		}
+		if seenS[s] {
+			return nil, fmt.Errorf("%w: duplicate server node %d", ErrInvalidInstance, s)
+		}
+		seenS[s] = true
+	}
+	seenC := make(map[int]bool, len(clients))
+	for _, c := range clients {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("%w: client node %d out of range [0,%d)", ErrInvalidInstance, c, n)
+		}
+		if seenC[c] {
+			return nil, fmt.Errorf("%w: duplicate client node %d", ErrInvalidInstance, c)
+		}
+		seenC[c] = true
+	}
+
+	inst := &Instance{
+		m:       m,
+		servers: append([]int(nil), servers...),
+		clients: append([]int(nil), clients...),
+	}
+	inst.cs = make([][]float64, len(clients))
+	csBacking := make([]float64, len(clients)*len(servers))
+	for i, c := range inst.clients {
+		row := csBacking[i*len(servers) : (i+1)*len(servers) : (i+1)*len(servers)]
+		for k, s := range inst.servers {
+			row[k] = m[c][s]
+		}
+		inst.cs[i] = row
+	}
+	inst.ss = make([][]float64, len(servers))
+	ssBacking := make([]float64, len(servers)*len(servers))
+	for k, s := range inst.servers {
+		row := ssBacking[k*len(servers) : (k+1)*len(servers) : (k+1)*len(servers)]
+		for l, s2 := range inst.servers {
+			row[l] = m[s][s2]
+		}
+		inst.ss[k] = row
+	}
+	return inst, nil
+}
+
+// NumServers returns |S|.
+func (in *Instance) NumServers() int { return len(in.servers) }
+
+// NumClients returns |C|.
+func (in *Instance) NumClients() int { return len(in.clients) }
+
+// ServerNode returns the matrix node index of server k.
+func (in *Instance) ServerNode(k int) int { return in.servers[k] }
+
+// ClientNode returns the matrix node index of client i.
+func (in *Instance) ClientNode(i int) int { return in.clients[i] }
+
+// Matrix returns the underlying latency matrix. Callers must not mutate it.
+func (in *Instance) Matrix() latency.Matrix { return in.m }
+
+// ClientServerDist returns d(client i, server k) using instance-local
+// indices.
+func (in *Instance) ClientServerDist(i, k int) float64 { return in.cs[i][k] }
+
+// ServerServerDist returns d(server k, server l) using instance-local
+// indices.
+func (in *Instance) ServerServerDist(k, l int) float64 { return in.ss[k][l] }
+
+// ClientServerRow returns the distances from client i to every server.
+// The returned slice is shared; callers must not mutate it.
+func (in *Instance) ClientServerRow(i int) []float64 { return in.cs[i] }
+
+// ServerServerRow returns the distances from server k to every server.
+// The returned slice is shared; callers must not mutate it.
+func (in *Instance) ServerServerRow(k int) []float64 { return in.ss[k] }
+
+// Assignment maps each client (by instance-local index) to a server
+// (instance-local index), or Unassigned. The paper's sA(c).
+type Assignment []int
+
+// NewAssignment returns an all-Unassigned assignment for n clients.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = Unassigned
+	}
+	return a
+}
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	return append(Assignment(nil), a...)
+}
+
+// Complete reports whether every client is assigned.
+func (a Assignment) Complete() bool {
+	for _, s := range a {
+		if s == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the assignment is complete and refers only to
+// servers of the instance.
+func (in *Instance) Validate(a Assignment) error {
+	if len(a) != len(in.clients) {
+		return fmt.Errorf("%w: length %d, want %d", ErrInvalidAssignment, len(a), len(in.clients))
+	}
+	for i, s := range a {
+		if s == Unassigned {
+			return fmt.Errorf("%w: client %d unassigned", ErrInvalidAssignment, i)
+		}
+		if s < 0 || s >= len(in.servers) {
+			return fmt.Errorf("%w: client %d assigned to server %d out of range [0,%d)", ErrInvalidAssignment, i, s, len(in.servers))
+		}
+	}
+	return nil
+}
+
+// Loads returns the number of clients assigned to each server.
+// Unassigned clients are ignored.
+func (in *Instance) Loads(a Assignment) []int {
+	loads := make([]int, len(in.servers))
+	for _, s := range a {
+		if s != Unassigned {
+			loads[s]++
+		}
+	}
+	return loads
+}
+
+// UsedServers returns the instance-local indices of servers with at least
+// one client, in ascending order.
+func (in *Instance) UsedServers(a Assignment) []int {
+	used := make([]bool, len(in.servers))
+	for _, s := range a {
+		if s != Unassigned {
+			used[s] = true
+		}
+	}
+	out := make([]int, 0, len(in.servers))
+	for k, u := range used {
+		if u {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// InteractionPath returns the length of the interaction path between
+// clients i and j under assignment a:
+//
+//	d(ci, sA(ci)) + d(sA(ci), sA(cj)) + d(sA(cj), cj)
+//
+// For i == j this is the client's round-trip to its server. It panics if
+// either client is unassigned.
+func (in *Instance) InteractionPath(a Assignment, i, j int) float64 {
+	si, sj := a[i], a[j]
+	if si == Unassigned || sj == Unassigned {
+		panic(fmt.Sprintf("core: InteractionPath(%d, %d) on unassigned client", i, j))
+	}
+	return in.cs[i][si] + in.ss[si][sj] + in.cs[j][sj]
+}
+
+// Eccentricities returns, for each server, the maximum distance to a
+// client assigned to it, or -1 for servers with no clients.
+func (in *Instance) Eccentricities(a Assignment) []float64 {
+	ecc := make([]float64, len(in.servers))
+	for k := range ecc {
+		ecc[k] = -1
+	}
+	for i, s := range a {
+		if s == Unassigned {
+			continue
+		}
+		if d := in.cs[i][s]; d > ecc[s] {
+			ecc[s] = d
+		}
+	}
+	return ecc
+}
+
+// MaxInteractionPath returns D, the maximum interaction-path length over
+// all client pairs (including a client with itself), which by the paper's
+// Section II-C analysis is the minimum achievable interaction time.
+//
+// It runs in O(|C| + U²) for U used servers using per-server
+// eccentricities: for clients assigned to servers s and t,
+// d(ci,s) + d(s,t) + d(t,cj) is maximized at ecc(s) + d(s,t) + ecc(t),
+// and the s = t diagonal covers same-server pairs and self-interaction.
+//
+// Partial assignments are allowed: unassigned clients are ignored, and the
+// result is the maximum over assigned pairs (0 when none).
+func (in *Instance) MaxInteractionPath(a Assignment) float64 {
+	ecc := in.Eccentricities(a)
+	used := in.UsedServers(a)
+	var max float64
+	for ai, k := range used {
+		ek := ecc[k]
+		row := in.ss[k]
+		for _, l := range used[ai:] {
+			if v := ek + row[l] + ecc[l]; v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// MaxPathNaive computes D by direct enumeration of all client pairs in
+// O(|C|²). It exists as an oracle for testing MaxInteractionPath.
+func (in *Instance) MaxPathNaive(a Assignment) float64 {
+	var max float64
+	for i := range a {
+		if a[i] == Unassigned {
+			continue
+		}
+		for j := i; j < len(a); j++ {
+			if a[j] == Unassigned {
+				continue
+			}
+			if v := in.InteractionPath(a, i, j); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// LowerBound returns the paper's theoretical lower bound on D over all
+// assignments:
+//
+//	max over client pairs (c, c') of min over server pairs (s, s') of
+//	d(c,s) + d(s,s') + d(s',c')
+//
+// This is a super-optimum: in the bound a client may use different servers
+// for different partners, so it may be unachievable by any single
+// assignment. The paper normalizes every algorithm's D by this bound
+// ("normalized interactivity"). The result is cached on the instance;
+// the method is safe for concurrent use.
+func (in *Instance) LowerBound() float64 {
+	in.lbOnce.Do(in.computeLowerBound)
+	return in.lowerBound
+}
+
+func (in *Instance) computeLowerBound() {
+	nc, ns := len(in.clients), len(in.servers)
+	// B[i][l] = min over s of d(ci, s) + d(s, sl).
+	b := make([][]float64, nc)
+	bBacking := make([]float64, nc*ns)
+	for i := 0; i < nc; i++ {
+		row := bBacking[i*ns : (i+1)*ns : (i+1)*ns]
+		csRow := in.cs[i]
+		for l := 0; l < ns; l++ {
+			best := math.Inf(1)
+			for k := 0; k < ns; k++ {
+				if v := csRow[k] + in.ss[k][l]; v < best {
+					best = v
+				}
+			}
+			row[l] = best
+		}
+		b[i] = row
+	}
+	var lb float64
+	for i := 0; i < nc; i++ {
+		bi := b[i]
+		for j := i; j < nc; j++ {
+			cj := in.cs[j]
+			best := math.Inf(1)
+			for l := 0; l < ns; l++ {
+				if v := bi[l] + cj[l]; v < best {
+					best = v
+				}
+			}
+			if best > lb {
+				lb = best
+			}
+		}
+	}
+	in.lowerBound = lb
+}
+
+// NormalizedInteractivity returns D(a) divided by the lower bound — the
+// metric plotted throughout the paper's Section V. Values close to 1 are
+// close to (super-)optimal.
+func (in *Instance) NormalizedInteractivity(a Assignment) float64 {
+	lb := in.LowerBound()
+	if lb == 0 {
+		return math.NaN()
+	}
+	return in.MaxInteractionPath(a) / lb
+}
+
+// Capacities holds the maximum number of clients each server can accept.
+// A nil Capacities means uncapacitated.
+type Capacities []int
+
+// UniformCapacities returns the same capacity for every one of n servers.
+func UniformCapacities(n, capacity int) Capacities {
+	caps := make(Capacities, n)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	return caps
+}
+
+// ValidateCapacities checks that capacities match the instance and that
+// total capacity can hold all clients.
+func (in *Instance) ValidateCapacities(caps Capacities) error {
+	if caps == nil {
+		return nil
+	}
+	if len(caps) != len(in.servers) {
+		return fmt.Errorf("%w: %d capacities for %d servers", ErrInvalidInstance, len(caps), len(in.servers))
+	}
+	total := 0
+	for k, c := range caps {
+		if c < 0 {
+			return fmt.Errorf("%w: negative capacity %d at server %d", ErrInvalidInstance, c, k)
+		}
+		total += c
+	}
+	if total < len(in.clients) {
+		return fmt.Errorf("%w: total capacity %d < %d clients", ErrInvalidInstance, total, len(in.clients))
+	}
+	return nil
+}
+
+// CheckCapacities verifies that assignment a respects caps. Nil caps
+// always passes.
+func (in *Instance) CheckCapacities(a Assignment, caps Capacities) error {
+	if caps == nil {
+		return nil
+	}
+	if len(caps) != len(in.servers) {
+		return fmt.Errorf("%w: %d capacities for %d servers", ErrInvalidInstance, len(caps), len(in.servers))
+	}
+	loads := in.Loads(a)
+	for k, load := range loads {
+		if load > caps[k] {
+			return fmt.Errorf("%w: server %d has %d clients, capacity %d", ErrInvalidAssignment, k, load, caps[k])
+		}
+	}
+	return nil
+}

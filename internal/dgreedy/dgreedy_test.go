@@ -1,0 +1,301 @@
+package dgreedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/graph"
+	"diacap/internal/latency"
+)
+
+func randomInstance(t testing.TB, seed int64, n, ns int) *core.Instance {
+	t.Helper()
+	m := latency.ScaledLike(n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	in, err := core.NewInstanceTrusted(m, perm[:ns], perm[ns:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func nsInitial(t testing.TB, in *core.Instance, caps core.Capacities) core.Assignment {
+	t.Helper()
+	a, err := assign.NearestServer{}.Assign(in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// fig4Instance reproduces the Fig. 4 network (see package assign's tests).
+func fig4Instance(t testing.TB) *core.Instance {
+	t.Helper()
+	g := graph.New(5)
+	g.MustAddEdge(0, 2, 10)
+	g.MustAddEdge(1, 2, 10)
+	g.MustAddEdge(0, 3, 9)
+	g.MustAddEdge(1, 4, 9)
+	ap := g.AllPairs()
+	m := latency.NewMatrix(5)
+	for i := range ap {
+		copy(m[i], ap[i])
+	}
+	in, err := core.NewInstanceTrusted(m, []int{2, 3, 4}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestProtocolFig4ReachesOptimum(t *testing.T) {
+	in := fig4Instance(t)
+	res, err := Run(in, nil, nsInitial(t, in, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialD != 56 {
+		t.Fatalf("initial D = %v, want 56", res.InitialD)
+	}
+	if res.FinalD != 20 {
+		t.Fatalf("final D = %v, want 20", res.FinalD)
+	}
+	if res.Modifications == 0 || res.Messages == 0 {
+		t.Fatalf("expected protocol activity, got %+v", res)
+	}
+	if res.ConvergenceTime <= 0 {
+		t.Fatal("convergence time should be positive")
+	}
+}
+
+func TestProtocolValidAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(25)
+		ns := 2 + rng.Intn(4)
+		in := randomInstance(t, seed, n, ns)
+		initial, err := assign.NearestServer{}.Assign(in, nil)
+		if err != nil {
+			return false
+		}
+		res, err := Run(in, nil, initial)
+		if err != nil {
+			return false
+		}
+		if in.Validate(res.Assignment) != nil {
+			return false
+		}
+		prev := res.InitialD
+		for _, d := range res.Trace {
+			if d > prev+1e-9 {
+				return false
+			}
+			prev = d
+		}
+		return res.FinalD <= res.InitialD+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolTerminatesAtLocalOptimum(t *testing.T) {
+	// At termination no client on a longest path has an improving move —
+	// checked with the centralized evaluator against the final state.
+	in := randomInstance(t, 5, 30, 4)
+	res, err := Run(in, nil, nsInitial(t, in, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignment
+	d := in.MaxInteractionPath(a)
+	ecc := in.Eccentricities(a)
+	used := in.UsedServers(a)
+	ns := in.NumServers()
+	for c := 0; c < in.NumClients(); c++ {
+		cur := a[c]
+		far := math.Inf(-1)
+		for _, t2 := range used {
+			if v := in.ServerServerDist(cur, t2) + ecc[t2]; v > far {
+				far = v
+			}
+		}
+		if in.ClientServerDist(c, cur)+far < d-1e-9 {
+			continue // not on a longest path
+		}
+		// l values excluding c.
+		lexcl := append([]float64(nil), ecc...)
+		lexcl[cur] = -1
+		for j := 0; j < in.NumClients(); j++ {
+			if j != c && a[j] == cur {
+				if v := in.ClientServerDist(j, cur); v > lexcl[cur] {
+					lexcl[cur] = v
+				}
+			}
+		}
+		for sp := 0; sp < ns; sp++ {
+			if sp == cur {
+				continue
+			}
+			dcs := in.ClientServerDist(c, sp)
+			l := 2 * dcs
+			for spp := 0; spp < ns; spp++ {
+				if lexcl[spp] < 0 {
+					continue
+				}
+				if v := dcs + in.ServerServerDist(sp, spp) + lexcl[spp]; v > l {
+					l = v
+				}
+			}
+			if l < d-1e-6 {
+				t.Fatalf("client %d still has an improving move to server %d (L = %v < D = %v)", c, sp, l, d)
+			}
+		}
+	}
+}
+
+func TestProtocolMatchesCentralizedOnFig4(t *testing.T) {
+	in := fig4Instance(t)
+	centralized, err := assign.NewDistributedGreedy().Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, nil, nsInitial(t, in, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.MaxInteractionPath(centralized) != in.MaxInteractionPath(res.Assignment) {
+		t.Fatalf("protocol D = %v, centralized D = %v",
+			in.MaxInteractionPath(res.Assignment), in.MaxInteractionPath(centralized))
+	}
+}
+
+func TestProtocolNeverWorseThanCentralizedStart(t *testing.T) {
+	// Both start from Nearest-Server; both must end at or below its D.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(20)
+		in := randomInstance(t, seed+100, n, 3+rng.Intn(3))
+		initial, err := assign.NearestServer{}.Assign(in, nil)
+		if err != nil {
+			return false
+		}
+		initD := in.MaxInteractionPath(initial)
+		res, err := Run(in, nil, initial)
+		if err != nil {
+			return false
+		}
+		return res.FinalD <= initD+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolCapacitated(t *testing.T) {
+	in := randomInstance(t, 8, 30, 3)
+	nc, ns := in.NumClients(), in.NumServers()
+	caps := core.UniformCapacities(ns, nc/ns+2)
+	initial := nsInitial(t, in, caps)
+	res, err := Run(in, caps, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckCapacities(res.Assignment, caps); err != nil {
+		t.Fatalf("final assignment violates capacities: %v", err)
+	}
+	if res.FinalD > res.InitialD+1e-9 {
+		t.Fatal("capacitated protocol should not worsen D")
+	}
+}
+
+func TestProtocolSingleServer(t *testing.T) {
+	in := randomInstance(t, 9, 10, 1)
+	initial := nsInitial(t, in, nil)
+	res, err := Run(in, nil, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modifications != 0 {
+		t.Fatal("single server: nothing to modify")
+	}
+	if res.FinalD != res.InitialD {
+		t.Fatal("single server: D unchanged")
+	}
+}
+
+func TestProtocolRejectsBadInputs(t *testing.T) {
+	in := randomInstance(t, 10, 12, 2)
+	if _, err := Run(nil, nil, nil); err == nil {
+		t.Fatal("nil instance should fail")
+	}
+	if _, err := Run(in, nil, core.NewAssignment(in.NumClients())); err == nil {
+		t.Fatal("incomplete initial assignment should fail")
+	}
+	over := nsInitial(t, in, nil)
+	caps := core.UniformCapacities(in.NumServers(), in.NumClients())
+	caps[over[0]] = 0
+	if _, err := Run(in, caps, over); err == nil {
+		t.Fatal("initial assignment violating caps should fail")
+	}
+}
+
+func TestProtocolDeterministic(t *testing.T) {
+	in := randomInstance(t, 11, 25, 3)
+	initial := nsInitial(t, in, nil)
+	r1, err := Run(in, nil, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(in, nil, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FinalD != r2.FinalD || r1.Modifications != r2.Modifications || r1.Messages != r2.Messages {
+		t.Fatalf("nondeterministic protocol: %+v vs %+v", r1, r2)
+	}
+	for i := range r1.Assignment {
+		if r1.Assignment[i] != r2.Assignment[i] {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+}
+
+func TestProtocolDoesNotMutateInitial(t *testing.T) {
+	in := randomInstance(t, 12, 20, 3)
+	initial := nsInitial(t, in, nil)
+	snapshot := initial.Clone()
+	if _, err := Run(in, nil, initial); err != nil {
+		t.Fatal(err)
+	}
+	for i := range initial {
+		if initial[i] != snapshot[i] {
+			t.Fatal("Run mutated the caller's initial assignment")
+		}
+	}
+}
+
+func BenchmarkProtocol(b *testing.B) {
+	m := latency.ScaledLike(120, 1)
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(120)
+	in, err := core.NewInstanceTrusted(m, perm[:10], perm[10:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	initial, err := assign.NearestServer{}.Assign(in, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(in, nil, initial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

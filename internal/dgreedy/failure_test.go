@@ -1,0 +1,170 @@
+package dgreedy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"diacap/internal/sim"
+)
+
+// dropNth drops the n-th message matching the predicate (1-based).
+func dropNth(n int, match func(msg sim.Message) bool) func(msg sim.Message) bool {
+	count := 0
+	return func(msg sim.Message) bool {
+		if !match(msg) {
+			return false
+		}
+		count++
+		return count == n
+	}
+}
+
+func TestProtocolSurvivesDroppedProbe(t *testing.T) {
+	in := randomInstance(t, 41, 25, 4)
+	initial := nsInitial(t, in, nil)
+	clean, err := Run(in, nil, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := RunWithOptions(in, nil, initial, Options{
+		Drop: dropNth(1, func(msg sim.Message) bool {
+			_, ok := msg.Payload.(probe)
+			return ok
+		}),
+	})
+	if err != nil {
+		t.Fatalf("protocol should survive one dropped probe: %v", err)
+	}
+	if in.Validate(lossy.Assignment) != nil {
+		t.Fatal("lossy run produced invalid assignment")
+	}
+	// Retransmission recovers the same decisions: final D matches the
+	// clean run (the retransmitted probe carries identical state).
+	if lossy.FinalD != clean.FinalD {
+		t.Fatalf("lossy final D %v != clean %v", lossy.FinalD, clean.FinalD)
+	}
+	// The timeout wait shows up as a longer (virtual) convergence time.
+	if lossy.ConvergenceTime <= clean.ConvergenceTime {
+		t.Fatalf("retransmission should delay convergence: %v vs %v",
+			lossy.ConvergenceTime, clean.ConvergenceTime)
+	}
+}
+
+func TestProtocolSurvivesDroppedProbeReply(t *testing.T) {
+	in := randomInstance(t, 42, 25, 4)
+	initial := nsInitial(t, in, nil)
+	res, err := RunWithOptions(in, nil, initial, Options{
+		Drop: dropNth(2, func(msg sim.Message) bool {
+			_, ok := msg.Payload.(probeReply)
+			return ok
+		}),
+	})
+	if err != nil {
+		t.Fatalf("protocol should survive a dropped reply: %v", err)
+	}
+	if res.FinalD > res.InitialD+1e-9 {
+		t.Fatal("protocol must stay monotone under loss")
+	}
+}
+
+func TestProtocolSurvivesDroppedReassign(t *testing.T) {
+	in := randomInstance(t, 43, 25, 4)
+	initial := nsInitial(t, in, nil)
+	res, err := RunWithOptions(in, nil, initial, Options{
+		Drop: dropNth(1, func(msg sim.Message) bool {
+			_, ok := msg.Payload.(reassign)
+			return ok
+		}),
+	})
+	if err != nil {
+		t.Fatalf("protocol should survive a dropped reassign: %v", err)
+	}
+	if in.Validate(res.Assignment) != nil {
+		t.Fatal("invalid assignment after reassign retransmission")
+	}
+}
+
+func TestProtocolSurvivesDroppedAck(t *testing.T) {
+	in := randomInstance(t, 44, 25, 4)
+	initial := nsInitial(t, in, nil)
+	res, err := RunWithOptions(in, nil, initial, Options{
+		Drop: dropNth(1, func(msg sim.Message) bool {
+			_, ok := msg.Payload.(reassignAck)
+			return ok
+		}),
+	})
+	if err != nil {
+		t.Fatalf("protocol should survive a dropped ack: %v", err)
+	}
+	// The duplicate adoption must not have been double-counted: every
+	// trace entry corresponds to one real modification.
+	if res.Modifications != len(res.Trace) {
+		t.Fatalf("modifications %d != trace length %d", res.Modifications, len(res.Trace))
+	}
+	if in.Validate(res.Assignment) != nil {
+		t.Fatal("invalid assignment after ack retransmission")
+	}
+}
+
+func TestProtocolPersistentReassignLossFailsLoudly(t *testing.T) {
+	in := randomInstance(t, 45, 25, 4)
+	initial := nsInitial(t, in, nil)
+	_, err := RunWithOptions(in, nil, initial, Options{
+		MaxRetries: 2,
+		Drop: func(msg sim.Message) bool {
+			_, ok := msg.Payload.(reassign)
+			return ok // every reassign lost, forever
+		},
+	})
+	if err == nil {
+		t.Fatal("permanent reassign loss must surface an error")
+	}
+	if !strings.Contains(err.Error(), "unacknowledged") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestProtocolDroppedTokenDetected(t *testing.T) {
+	in := randomInstance(t, 46, 25, 4)
+	initial := nsInitial(t, in, nil)
+	_, err := RunWithOptions(in, nil, initial, Options{
+		Drop: dropNth(1, func(msg sim.Message) bool {
+			_, ok := msg.Payload.(token)
+			return ok
+		}),
+	})
+	if err == nil {
+		t.Fatal("a lost token is not recovered and must surface an error")
+	}
+}
+
+func TestProtocolRandomLossConvergesOrFailsLoudly(t *testing.T) {
+	// Under light random loss of retryable messages the protocol must
+	// either converge to a valid assignment or report an explicit error —
+	// never hang (the engine would run out of events) or corrupt state.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(t, int64(100+trial), 20, 3)
+		initial := nsInitial(t, in, nil)
+		res, err := RunWithOptions(in, nil, initial, Options{
+			Drop: func(msg sim.Message) bool {
+				switch msg.Payload.(type) {
+				case probe, probeReply, reassign, reassignAck:
+					return rng.Float64() < 0.05
+				default:
+					return false
+				}
+			},
+		})
+		if err != nil {
+			continue // loud failure is acceptable
+		}
+		if in.Validate(res.Assignment) != nil {
+			t.Fatalf("trial %d: invalid assignment under loss", trial)
+		}
+		if res.FinalD > res.InitialD+1e-9 {
+			t.Fatalf("trial %d: D worsened under loss: %v -> %v", trial, res.InitialD, res.FinalD)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package dia
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// The world model makes the consistency requirement concrete. A continuous
+// DIA's state changes both with user operations and with the passing of
+// time (Section II-B); here the state is one entity per client moving on a
+// line: position integrates velocity over simulation time, and executing
+// an operation sets the issuing client's velocity to a deterministic
+// value derived from the operation. Two replicas have the same view of
+// the application state at simulation time T if and only if they executed
+// the same operations at the same simulation times — which is exactly
+// what the digest comparison below checks, bit for bit.
+
+// world is one replica's application state.
+type world struct {
+	pos []float64
+	vel []float64
+	t   float64
+}
+
+func newWorld(numClients int) *world {
+	return &world{pos: make([]float64, numClients), vel: make([]float64, numClients)}
+}
+
+// advanceTo integrates positions up to simulation time t.
+func (w *world) advanceTo(t float64) {
+	if t <= w.t {
+		return
+	}
+	dt := t - w.t
+	for i, v := range w.vel {
+		if v != 0 {
+			w.pos[i] += v * dt
+		}
+	}
+	w.t = t
+}
+
+// applyOp advances to the operation's effective simulation time and sets
+// the issuing client's velocity.
+func (w *world) applyOp(op Operation, effectiveSim float64) {
+	w.advanceTo(effectiveSim)
+	w.vel[op.Client] = velocityOf(op)
+}
+
+// velocityOf derives a deterministic velocity in roughly [-1, 1] from the
+// operation identity.
+func velocityOf(op Operation) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	putUint64(buf[:8], uint64(op.ID))
+	putUint64(buf[8:], uint64(op.Client))
+	_, _ = h.Write(buf[:])
+	// Map the hash to [-1, 1) with 2^-52 resolution.
+	return float64(int64(h.Sum64()))/float64(math.MaxInt64)*0.5 + 0.25
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// digest captures the full state (positions, velocities, clock) in one
+// hash. Bitwise: replicas that executed identical op sequences at
+// identical simulation times produce identical digests.
+func (w *world) digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(buf[:], math.Float64bits(w.t))
+	_, _ = h.Write(buf[:])
+	for i := range w.pos {
+		putUint64(buf[:], math.Float64bits(w.pos[i]))
+		_, _ = h.Write(buf[:])
+		putUint64(buf[:], math.Float64bits(w.vel[i]))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// timedOp is one (operation, effective simulation time) event of a
+// replica's history.
+type timedOp struct {
+	op  Operation
+	sim float64
+}
+
+// digestsAt replays a history through a fresh world and returns the state
+// digest at each checkpoint simulation time. Checkpoints must be
+// ascending. Simultaneous operations apply in (IssueTime, ID) order — the
+// deterministic tiebreak a real DIA would impose to keep replicas
+// convergent.
+func digestsAt(numClients int, history []timedOp, checkpoints []float64) []uint64 {
+	ordered := append([]timedOp(nil), history...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].sim != ordered[j].sim {
+			return ordered[i].sim < ordered[j].sim
+		}
+		if ordered[i].op.IssueTime != ordered[j].op.IssueTime {
+			return ordered[i].op.IssueTime < ordered[j].op.IssueTime
+		}
+		return ordered[i].op.ID < ordered[j].op.ID
+	})
+	w := newWorld(numClients)
+	out := make([]uint64, 0, len(checkpoints))
+	idx := 0
+	for _, cp := range checkpoints {
+		for idx < len(ordered) && ordered[idx].sim <= cp {
+			w.applyOp(ordered[idx].op, ordered[idx].sim)
+			idx++
+		}
+		w.advanceTo(cp)
+		out = append(out, w.digest())
+	}
+	return out
+}
+
+// auditState compares world-state digests across all server replicas and
+// all client replicas at the configured checkpoints, filling the
+// Result's state-mismatch counters. Server replicas replay their
+// execution logs; client replicas replay their applied updates at
+// presentation time (so a late update — the Section II-C constraint (ii)
+// failure — shows up as state divergence, the on-screen artifact).
+func (r *runtime) auditState(checkpoints []float64) {
+	if len(checkpoints) == 0 {
+		return
+	}
+	nc := r.cfg.Instance.NumClients()
+
+	// Reference digests: the first server's history.
+	var ref []uint64
+	for _, sv := range r.servers {
+		history := make([]timedOp, len(sv.log))
+		for i, rec := range sv.log {
+			history[i] = timedOp{op: rec.op, sim: rec.execSimTime}
+		}
+		digests := digestsAt(nc, history, checkpoints)
+		if ref == nil {
+			ref = digests
+			continue
+		}
+		for i := range digests {
+			if digests[i] != ref[i] {
+				r.res.ServerStateMismatches++
+			}
+		}
+	}
+	for _, cl := range r.clients {
+		history := make([]timedOp, len(cl.applied))
+		for i, rec := range cl.applied {
+			history[i] = timedOp{op: rec.op, sim: rec.presentationSim}
+		}
+		digests := digestsAt(nc, history, checkpoints)
+		for i := range digests {
+			if digests[i] != ref[i] {
+				r.res.ClientStateMismatches++
+			}
+		}
+	}
+}

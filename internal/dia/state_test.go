@@ -1,0 +1,172 @@
+package dia
+
+import (
+	"math/rand"
+	"testing"
+
+	"diacap/internal/sim"
+)
+
+func TestWorldAdvanceIntegratesVelocity(t *testing.T) {
+	w := newWorld(2)
+	w.vel[0] = 2
+	w.vel[1] = -1
+	w.advanceTo(3)
+	if w.pos[0] != 6 || w.pos[1] != -3 {
+		t.Fatalf("pos = %v", w.pos)
+	}
+	// Advancing backwards is a no-op.
+	w.advanceTo(1)
+	if w.t != 3 {
+		t.Fatalf("t = %v, want 3", w.t)
+	}
+}
+
+func TestVelocityOfDeterministicAndBounded(t *testing.T) {
+	seen := map[float64]bool{}
+	for id := 0; id < 100; id++ {
+		op := Operation{ID: id, Client: id % 7}
+		v1 := velocityOf(op)
+		v2 := velocityOf(op)
+		if v1 != v2 {
+			t.Fatal("velocityOf must be deterministic")
+		}
+		if v1 < -1 || v1 > 1 {
+			t.Fatalf("velocity %v out of [-1, 1]", v1)
+		}
+		seen[v1] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("velocities too clustered: %d distinct of 100", len(seen))
+	}
+}
+
+func TestDigestsEqualForEqualHistories(t *testing.T) {
+	ops := []timedOp{
+		{op: Operation{ID: 0, Client: 0, IssueTime: 0}, sim: 10},
+		{op: Operation{ID: 1, Client: 1, IssueTime: 2}, sim: 12},
+		{op: Operation{ID: 2, Client: 0, IssueTime: 4}, sim: 14},
+	}
+	cps := []float64{11, 13, 20}
+	a := digestsAt(3, ops, cps)
+	// Same history, shuffled input order: digests must match (replay
+	// sorts by effective time).
+	shuffled := []timedOp{ops[2], ops[0], ops[1]}
+	b := digestsAt(3, shuffled, cps)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("checkpoint %d: digest differs for reordered identical history", i)
+		}
+	}
+}
+
+func TestDigestsDifferForShiftedExecution(t *testing.T) {
+	ops := []timedOp{{op: Operation{ID: 0, Client: 0}, sim: 10}}
+	late := []timedOp{{op: Operation{ID: 0, Client: 0}, sim: 11}}
+	cps := []float64{20}
+	if digestsAt(2, ops, cps)[0] == digestsAt(2, late, cps)[0] {
+		t.Fatal("executing the same op at a different sim time must change the state")
+	}
+}
+
+func TestDigestsDifferForMissingOp(t *testing.T) {
+	full := []timedOp{
+		{op: Operation{ID: 0, Client: 0}, sim: 5},
+		{op: Operation{ID: 1, Client: 1}, sim: 6},
+	}
+	partial := full[:1]
+	cps := []float64{10}
+	if digestsAt(2, full, cps)[0] == digestsAt(2, partial, cps)[0] {
+		t.Fatal("a missing op must change the state digest")
+	}
+}
+
+func TestSimultaneousOpsTiebreakDeterministic(t *testing.T) {
+	// Two ops on the same client at the same sim time: replay order is
+	// (IssueTime, ID), independent of input order.
+	a := []timedOp{
+		{op: Operation{ID: 5, Client: 0, IssueTime: 1}, sim: 10},
+		{op: Operation{ID: 3, Client: 0, IssueTime: 1}, sim: 10},
+	}
+	b := []timedOp{a[1], a[0]}
+	cps := []float64{15}
+	if digestsAt(1, a, cps)[0] != digestsAt(1, b, cps)[0] {
+		t.Fatal("simultaneous ops must replay in a canonical order")
+	}
+}
+
+func TestStateAuditCleanAtDelta(t *testing.T) {
+	in, a := testInstance(t, 21, 25, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := UniformWorkload(in.NumClients(), 2*in.NumClients(), 0, 3)
+	res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D, Offsets: off, Workload: wl,
+		Checkpoints: []float64{50, 100, 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerStateMismatches != 0 || res.ClientStateMismatches != 0 {
+		t.Fatalf("state mismatches at δ = D: %d / %d",
+			res.ServerStateMismatches, res.ClientStateMismatches)
+	}
+}
+
+func TestStateAuditDetectsLateness(t *testing.T) {
+	in, a := testInstance(t, 22, 25, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := UniformWorkload(in.NumClients(), in.NumClients(), 0, 3)
+	res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D * 0.8, Offsets: off, Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerStateMismatches == 0 && res.ClientStateMismatches == 0 {
+		t.Fatal("δ = 0.8·D should diverge some replica state")
+	}
+}
+
+func TestStateAuditDetectsDroppedForward(t *testing.T) {
+	in, a := testInstance(t, 23, 20, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := UniformWorkload(in.NumClients(), 6, 0, 10)
+	res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D, Offsets: off, Workload: wl,
+		Drop: func(msg sim.Message) bool {
+			m, ok := msg.Payload.(opMsg)
+			return ok && !m.fromClient && m.op.ID == 2
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerStateMismatches == 0 {
+		t.Fatal("servers missing an op must diverge in state")
+	}
+}
+
+func TestStateAuditJitterProperty(t *testing.T) {
+	// Under jitter, lateness and state divergence move together: if no
+	// message was late, the state must be consistent.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		in, a := testInstance(t, int64(40+trial), 20, 3)
+		off, err := in.ComputeOffsets(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := PoissonWorkload(rng, in.NumClients(), 30, 4)
+		res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D * 1.1, Offsets: off, Workload: wl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ServerLate+res.ClientLate == 0 &&
+			(res.ServerStateMismatches != 0 || res.ClientStateMismatches != 0) {
+			t.Fatal("state divergence without any late message")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package dia
+
+import (
+	"testing"
+)
+
+func TestTSSOptimisticInteractionBelowDelta(t *testing.T) {
+	// TSS's leading state gives clients the effect after pure network
+	// latency: mean interaction must be well below δ = D, unlike the
+	// pessimistic pipeline where it is exactly δ.
+	in, a := testInstance(t, 61, 25, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := UniformWorkload(in.NumClients(), 2*in.NumClients(), 0, 4)
+	res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D, Offsets: off,
+		Workload: wl, Repair: RepairTSS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanInteraction >= off.D {
+		t.Fatalf("optimistic mean interaction %v should be below δ = %v", res.MeanInteraction, off.D)
+	}
+	// The max optimistic interaction is the longest interaction path ≤ D.
+	if res.MaxInteraction > off.D+timeEps {
+		t.Fatalf("max interaction %v exceeds D = %v", res.MaxInteraction, off.D)
+	}
+	// No genuine lateness at δ = D.
+	if res.ServerLate != 0 || res.ClientLate != 0 {
+		t.Fatalf("lateness at δ = D: %d / %d", res.ServerLate, res.ClientLate)
+	}
+	// The trailing (authoritative) timeline stays consistent and fair.
+	if res.ConsistencyViolations != 0 || res.FairnessViolations != 0 {
+		t.Fatalf("trailing timeline violations: %d / %d",
+			res.ConsistencyViolations, res.FairnessViolations)
+	}
+	if res.ServerStateMismatches != 0 || res.ClientStateMismatches != 0 {
+		t.Fatalf("state mismatches: %d / %d", res.ServerStateMismatches, res.ClientStateMismatches)
+	}
+}
+
+func TestTSSPaysWithRepairs(t *testing.T) {
+	// The price of optimism: with a dense workload, some operations reach
+	// servers out of issuance order, forcing leading-state repairs; some
+	// clients see reorderings.
+	in, a := testInstance(t, 62, 25, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many clients issuing near-simultaneously from different distances.
+	wl := UniformWorkload(in.NumClients(), 4*in.NumClients(), 0, 0.5)
+	res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D, Offsets: off,
+		Workload: wl, Repair: RepairTSS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollbacks == 0 {
+		t.Fatal("dense workload should force leading-state repairs")
+	}
+	if res.ClientArtifacts == 0 {
+		t.Fatal("dense workload should produce client-visible reorderings")
+	}
+	// And yet the authoritative state converges.
+	if res.ServerStateMismatches != 0 {
+		t.Fatalf("trailing state diverged: %d", res.ServerStateMismatches)
+	}
+}
+
+func TestTSSVsPessimisticTradeoff(t *testing.T) {
+	// Same workload, three policies: pessimistic constant lag (paper's
+	// model), timewarp at δ = D (identical interaction, no repairs needed
+	// at D), TSS (faster interaction, repairs instead). This is the
+	// optimistic-vs-pessimistic synchronization trade-off of the paper's
+	// related-work discussion, measured.
+	in, a := testInstance(t, 63, 25, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := UniformWorkload(in.NumClients(), 3*in.NumClients(), 0, 1)
+	run := func(mode RepairMode) *Result {
+		res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D, Offsets: off,
+			Workload: wl, Repair: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pess := run(RepairNone)
+	tss := run(RepairTSS)
+
+	if tss.MeanInteraction >= pess.MeanInteraction {
+		t.Fatalf("TSS interaction %v should beat pessimistic %v",
+			tss.MeanInteraction, pess.MeanInteraction)
+	}
+	if pess.Rollbacks != 0 || pess.ClientArtifacts != 0 {
+		t.Fatal("pessimistic mode has no repairs at δ = D")
+	}
+	if tss.Rollbacks+tss.ClientArtifacts == 0 {
+		t.Fatal("TSS should pay for its speed with repairs on a dense workload")
+	}
+}
+
+func TestTSSLateOpsStillCounted(t *testing.T) {
+	// δ far below D: even the trailing state misses deadlines — TSS does
+	// not hide genuine lateness.
+	in, a := testInstance(t, 64, 20, 3)
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := UniformWorkload(in.NumClients(), in.NumClients(), 0, 3)
+	res, err := Run(Config{Instance: in, Assignment: a, Delta: off.D * 0.3, Offsets: off,
+		Workload: wl, Repair: RepairTSS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerLate == 0 {
+		t.Fatal("δ = 0.3·D should miss trailing deadlines")
+	}
+}

@@ -1,0 +1,456 @@
+// Package dynamic studies client assignment under churn: clients join and
+// leave over time, and the system must keep the maximum interaction-path
+// length D low *online*, without re-solving from scratch on every event.
+//
+// The paper motivates exactly this setting in its related-work discussion:
+// "since client assignment deals with only software connections between
+// clients and servers, it can be adjusted promptly to adapt to system
+// dynamics" — in contrast to server placement, which is planned long-term.
+// This package provides a churn workload generator, several online
+// strategies built on core.Evaluator's O(|S|) incremental moves, and a
+// simulator that scores strategies by time-averaged D, worst-case D, and
+// disruption (how many already-connected clients get reassigned, since
+// every reassignment means a reconnect for a live participant).
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+)
+
+const eps = 1e-9
+
+// EventKind distinguishes joins from leaves.
+type EventKind int
+
+// Event kinds.
+const (
+	Join EventKind = iota
+	Leave
+)
+
+func (k EventKind) String() string {
+	if k == Join {
+		return "join"
+	}
+	return "leave"
+}
+
+// Event is one churn event: client (instance-local index) joins or leaves
+// at a simulation time.
+type Event struct {
+	Time   float64
+	Kind   EventKind
+	Client int
+}
+
+// ChurnConfig parameterizes the churn workload.
+type ChurnConfig struct {
+	// NumClients is the size of the client pool (instance-local indices).
+	NumClients int
+	// Horizon is the simulated duration (ms).
+	Horizon float64
+	// MeanInterarrival is the mean time between joins (ms).
+	MeanInterarrival float64
+	// MeanSession is the mean session length (ms), exponential.
+	MeanSession float64
+	// InitialActive clients are joined at time 0.
+	InitialActive int
+}
+
+// Validate reports whether the configuration is usable.
+func (c ChurnConfig) Validate() error {
+	switch {
+	case c.NumClients <= 0:
+		return errors.New("dynamic: NumClients must be positive")
+	case c.Horizon <= 0:
+		return errors.New("dynamic: Horizon must be positive")
+	case c.MeanInterarrival <= 0 || c.MeanSession <= 0:
+		return errors.New("dynamic: mean interarrival and session must be positive")
+	case c.InitialActive < 0 || c.InitialActive > c.NumClients:
+		return fmt.Errorf("dynamic: InitialActive %d outside [0, %d]", c.InitialActive, c.NumClients)
+	}
+	return nil
+}
+
+// GenerateChurn produces a time-sorted event trace: InitialActive joins at
+// time 0, then Poisson joins of idle clients with exponential session
+// lengths, truncated at the horizon (sessions outlasting the horizon
+// simply never leave).
+func GenerateChurn(cfg ChurnConfig, seed int64) ([]Event, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []Event
+	idle := make([]int, cfg.NumClients)
+	for i := range idle {
+		idle[i] = i
+	}
+	// pickIdle removes and returns a random idle client (-1 when none).
+	pickIdle := func() int {
+		if len(idle) == 0 {
+			return -1
+		}
+		i := rng.Intn(len(idle))
+		c := idle[i]
+		idle[i] = idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+		return c
+	}
+
+	var departures []Event
+	join := func(c int, at float64) {
+		events = append(events, Event{Time: at, Kind: Join, Client: c})
+		end := at + rng.ExpFloat64()*cfg.MeanSession
+		if end < cfg.Horizon {
+			departures = append(departures, Event{Time: end, Kind: Leave, Client: c})
+		}
+	}
+	for i := 0; i < cfg.InitialActive; i++ {
+		if c := pickIdle(); c >= 0 {
+			join(c, 0)
+		}
+	}
+	for t := rng.ExpFloat64() * cfg.MeanInterarrival; t < cfg.Horizon; t += rng.ExpFloat64() * cfg.MeanInterarrival {
+		// A client can rejoin only after leaving; move departures ≤ t
+		// into the event trace and back into the idle pool first.
+		sort.Slice(departures, func(i, j int) bool { return departures[i].Time < departures[j].Time })
+		for len(departures) > 0 && departures[0].Time <= t {
+			events = append(events, departures[0])
+			idle = append(idle, departures[0].Client)
+			departures = departures[1:]
+		}
+		if c := pickIdle(); c >= 0 {
+			join(c, t)
+		}
+	}
+	events = append(events, departures...)
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		// Leaves before joins at equal times frees capacity first.
+		return events[i].Kind == Leave && events[j].Kind == Join
+	})
+	return events, nil
+}
+
+// Strategy is an online assignment policy.
+type Strategy interface {
+	// Name identifies the strategy in results.
+	Name() string
+	// PlaceJoin picks the server for a joining client, given the live
+	// evaluator state (read-only use). Returning a saturated server or
+	// -1 is an error.
+	PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int
+	// Repair may reassign already-active clients after an event; it
+	// returns the client moves it performed (for disruption accounting).
+	// It is called after every event with the live evaluator and the
+	// event's simulation time.
+	Repair(ev *core.Evaluator, caps core.Capacities, now float64) int
+}
+
+// NearestJoin joins each client to its nearest unsaturated server and
+// never reassigns anyone — the zero-disruption baseline.
+type NearestJoin struct{ in *core.Instance }
+
+// NewNearestJoin builds the baseline for an instance.
+func NewNearestJoin(in *core.Instance) *NearestJoin { return &NearestJoin{in: in} }
+
+// Name implements Strategy.
+func (*NearestJoin) Name() string { return "Nearest-Join" }
+
+// PlaceJoin implements Strategy.
+func (s *NearestJoin) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
+	row := s.in.ClientServerRow(client)
+	best := -1
+	for k := range row {
+		if caps != nil && ev.Load(k) >= caps[k] {
+			continue
+		}
+		if best == -1 || row[k] < row[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// Repair implements Strategy.
+func (*NearestJoin) Repair(*core.Evaluator, core.Capacities, float64) int { return 0 }
+
+// GreedyJoin places each joining client on the unsaturated server that
+// minimizes the resulting D (one PeekMove per server); no reassignments.
+type GreedyJoin struct{ in *core.Instance }
+
+// NewGreedyJoin builds the strategy for an instance.
+func NewGreedyJoin(in *core.Instance) *GreedyJoin { return &GreedyJoin{in: in} }
+
+// Name implements Strategy.
+func (*GreedyJoin) Name() string { return "Greedy-Join" }
+
+// PlaceJoin implements Strategy.
+func (s *GreedyJoin) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
+	best, bestD := -1, math.Inf(1)
+	for k := 0; k < s.in.NumServers(); k++ {
+		if caps != nil && ev.Load(k) >= caps[k] {
+			continue
+		}
+		if d := ev.PeekMove(client, k); d < bestD-eps {
+			best, bestD = k, d
+		}
+	}
+	return best
+}
+
+// Repair implements Strategy.
+func (*GreedyJoin) Repair(*core.Evaluator, core.Capacities, float64) int { return 0 }
+
+// GreedyJoinRepair is GreedyJoin plus bounded Distributed-Greedy-style
+// repair: after each event it moves clients on longest paths to better
+// servers, up to MovesPerEvent reassignments, whenever that strictly
+// reduces D.
+type GreedyJoinRepair struct {
+	join *GreedyJoin
+	// MovesPerEvent bounds repair reassignments per event (default 2).
+	MovesPerEvent int
+}
+
+// NewGreedyJoinRepair builds the strategy for an instance.
+func NewGreedyJoinRepair(in *core.Instance, movesPerEvent int) *GreedyJoinRepair {
+	if movesPerEvent <= 0 {
+		movesPerEvent = 2
+	}
+	return &GreedyJoinRepair{join: NewGreedyJoin(in), MovesPerEvent: movesPerEvent}
+}
+
+// Name implements Strategy.
+func (s *GreedyJoinRepair) Name() string {
+	return fmt.Sprintf("Greedy-Join+Repair(%d)", s.MovesPerEvent)
+}
+
+// PlaceJoin implements Strategy.
+func (s *GreedyJoinRepair) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
+	return s.join.PlaceJoin(ev, caps, client)
+}
+
+// Repair implements Strategy.
+func (s *GreedyJoinRepair) Repair(ev *core.Evaluator, caps core.Capacities, _ float64) int {
+	in := s.join.in
+	moves := 0
+	for moves < s.MovesPerEvent {
+		d := ev.D()
+		bestC, bestS, bestD := -1, -1, d
+		for c := 0; c < in.NumClients(); c++ {
+			cur := ev.ServerOf(c)
+			if cur == core.Unassigned {
+				continue
+			}
+			if ev.MaxPathInvolving(c) < d-eps {
+				continue // not on a longest path
+			}
+			for k := 0; k < in.NumServers(); k++ {
+				if k == cur {
+					continue
+				}
+				if caps != nil && ev.Load(k) >= caps[k] {
+					continue
+				}
+				if nd := ev.PeekMove(c, k); nd < bestD-eps {
+					bestC, bestS, bestD = c, k, nd
+				}
+			}
+		}
+		if bestC == -1 {
+			break
+		}
+		ev.Move(bestC, bestS)
+		moves++
+	}
+	return moves
+}
+
+// PeriodicReoptimize is the heavyweight end of the online spectrum: joins
+// are placed greedily, and every Period milliseconds the entire active
+// population is re-assigned from scratch with the configured algorithm
+// (default Greedy). Every client whose server changes in a re-optimization
+// counts as disruption — the cost that the incremental strategies avoid.
+type PeriodicReoptimize struct {
+	in   *core.Instance
+	join *GreedyJoin
+	// Period between full re-optimizations (virtual ms).
+	Period float64
+	// Algorithm used for the periodic solve (nil = Greedy).
+	Algorithm assign.Algorithm
+	lastRun   float64
+}
+
+// NewPeriodicReoptimize builds the strategy. The simulator drives its
+// clock via the event times it passes to Repair (see Simulate).
+func NewPeriodicReoptimize(in *core.Instance, period float64) *PeriodicReoptimize {
+	if period <= 0 {
+		period = 500
+	}
+	return &PeriodicReoptimize{in: in, join: NewGreedyJoin(in), Period: period}
+}
+
+// Name implements Strategy.
+func (s *PeriodicReoptimize) Name() string {
+	return fmt.Sprintf("Periodic-Reoptimize(%.0fms)", s.Period)
+}
+
+// PlaceJoin implements Strategy.
+func (s *PeriodicReoptimize) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
+	return s.join.PlaceJoin(ev, caps, client)
+}
+
+// Repair implements Strategy: when a period has elapsed, re-solve the
+// active sub-instance from scratch and apply the new assignment.
+func (s *PeriodicReoptimize) Repair(ev *core.Evaluator, caps core.Capacities, now float64) int {
+	if now-s.lastRun < s.Period {
+		return 0
+	}
+	s.lastRun = now
+
+	// Build the active sub-instance: active clients only, in instance
+	// order, mapped back after solving.
+	var active []int
+	for c := 0; c < s.in.NumClients(); c++ {
+		if ev.ServerOf(c) != core.Unassigned {
+			active = append(active, c)
+		}
+	}
+	if len(active) == 0 {
+		return 0
+	}
+	activeNodes := make([]int, len(active))
+	for i, c := range active {
+		activeNodes[i] = s.in.ClientNode(c)
+	}
+	serverNodes := make([]int, s.in.NumServers())
+	for k := range serverNodes {
+		serverNodes[k] = s.in.ServerNode(k)
+	}
+	sub, err := core.NewInstanceTrusted(s.in.Matrix(), serverNodes, activeNodes)
+	if err != nil {
+		return 0 // keep the current assignment on any internal error
+	}
+	alg := s.Algorithm
+	if alg == nil {
+		alg = assign.Greedy{}
+	}
+	fresh, err := alg.Assign(sub, caps)
+	if err != nil {
+		return 0
+	}
+	moves := 0
+	for i, c := range active {
+		if ev.ServerOf(c) != fresh[i] {
+			ev.Move(c, fresh[i])
+			moves++
+		}
+	}
+	return moves
+}
+
+// Result scores one strategy over one churn trace.
+type Result struct {
+	Strategy string
+	// TimeAvgD is D integrated over time divided by the horizon,
+	// counting only periods with at least two active clients.
+	TimeAvgD float64
+	// MaxD is the largest D observed at any instant.
+	MaxD float64
+	// FinalD is D at the horizon.
+	FinalD float64
+	// Joins and Leaves are the processed event counts.
+	Joins, Leaves int
+	// RepairMoves counts reassignments of already-active clients — the
+	// disruption cost of the strategy.
+	RepairMoves int
+	// Timeline holds (event time, D after the event) pairs.
+	Timeline []TimelinePoint
+}
+
+// TimelinePoint is one sample of the D trajectory.
+type TimelinePoint struct {
+	Time float64
+	D    float64
+}
+
+// Simulate replays a churn trace against a strategy. The instance's
+// client set is the churn pool; capacities are optional.
+func Simulate(in *core.Instance, caps core.Capacities, events []Event, horizon float64, strat Strategy) (*Result, error) {
+	if in == nil || strat == nil {
+		return nil, errors.New("dynamic: nil instance or strategy")
+	}
+	if horizon <= 0 {
+		return nil, errors.New("dynamic: horizon must be positive")
+	}
+	if caps != nil && len(caps) != in.NumServers() {
+		return nil, fmt.Errorf("dynamic: %d capacities for %d servers", len(caps), in.NumServers())
+	}
+	ev, err := in.NewEvaluator(core.NewAssignment(in.NumClients()))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Strategy: strat.Name()}
+	prevT, prevD := 0.0, 0.0
+	var integral float64
+	record := func(t, d float64) {
+		integral += prevD * (t - prevT)
+		prevT, prevD = t, d
+		if d > res.MaxD {
+			res.MaxD = d
+		}
+		res.Timeline = append(res.Timeline, TimelinePoint{Time: t, D: d})
+	}
+
+	for i, e := range events {
+		if i > 0 && e.Time < events[i-1].Time {
+			return nil, fmt.Errorf("dynamic: events not sorted at index %d", i)
+		}
+		if e.Time > horizon {
+			break
+		}
+		if e.Client < 0 || e.Client >= in.NumClients() {
+			return nil, fmt.Errorf("dynamic: event client %d out of range", e.Client)
+		}
+		switch e.Kind {
+		case Join:
+			if ev.ServerOf(e.Client) != core.Unassigned {
+				return nil, fmt.Errorf("dynamic: client %d joined twice", e.Client)
+			}
+			s := strat.PlaceJoin(ev, caps, e.Client)
+			if s < 0 || s >= in.NumServers() {
+				return nil, fmt.Errorf("dynamic: %s returned server %d for join", strat.Name(), s)
+			}
+			if caps != nil && ev.Load(s) >= caps[s] {
+				return nil, fmt.Errorf("dynamic: %s placed a join on saturated server %d", strat.Name(), s)
+			}
+			ev.Move(e.Client, s)
+			res.Joins++
+		case Leave:
+			if ev.ServerOf(e.Client) == core.Unassigned {
+				return nil, fmt.Errorf("dynamic: client %d left while inactive", e.Client)
+			}
+			ev.Move(e.Client, core.Unassigned)
+			res.Leaves++
+		default:
+			return nil, fmt.Errorf("dynamic: unknown event kind %d", e.Kind)
+		}
+		res.RepairMoves += strat.Repair(ev, caps, e.Time)
+		record(e.Time, ev.D())
+	}
+	// Close the integral at the horizon.
+	integral += prevD * (horizon - prevT)
+	res.TimeAvgD = integral / horizon
+	res.FinalD = ev.D()
+	return res, nil
+}

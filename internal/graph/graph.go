@@ -1,0 +1,316 @@
+// Package graph provides weighted undirected graphs and shortest-path
+// algorithms used to derive network distance matrices.
+//
+// The client assignment problem is defined on a network G = (V, E) with a
+// positive length d(u, v) on every link. The paper extends d to all node
+// pairs as the length of the routing path between them; this package
+// implements that extension under shortest-path routing with Dijkstra's
+// algorithm (per source) and the Floyd–Warshall algorithm (all pairs), so
+// that sparse topologies — such as the instances produced by the set-cover
+// reduction of Theorem 1 and the worked examples of Figures 4 and 5 — can be
+// turned into the complete distance matrices consumed by the assignment
+// algorithms.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the distance reported between disconnected nodes.
+const Inf = math.MaxFloat64
+
+// ErrNegativeWeight is returned when an edge with a non-positive length is
+// added. The paper requires d(u, v) > 0 for every link.
+var ErrNegativeWeight = errors.New("graph: edge length must be positive")
+
+// ErrBadVertex is returned when an edge references a vertex outside [0, n).
+var ErrBadVertex = errors.New("graph: vertex out of range")
+
+// edge is one directed half of an undirected link.
+type edge struct {
+	to int
+	w  float64
+}
+
+// Graph is a weighted undirected graph on vertices 0..n-1.
+//
+// The zero value is not usable; construct with New.
+type Graph struct {
+	n   int
+	adj [][]edge
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]edge, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddEdge adds an undirected link of length w between u and v.
+// It returns an error if the endpoints are out of range, equal, or if the
+// length is not strictly positive.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: (%d, %d) on %d vertices", ErrBadVertex, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("%w: got %v", ErrNegativeWeight, w)
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, w: w})
+	g.adj[v] = append(g.adj[v], edge{to: u, w: w})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error. It is intended for
+// constructing fixed test topologies.
+func (g *Graph) MustAddEdge(u, v int, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// Neighbors calls fn for every neighbor of u with the link length.
+func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
+	for _, e := range g.adj[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pqItem is an entry in the Dijkstra priority queue.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+// minHeap is a binary heap of pqItems keyed on dist. A hand-rolled heap is
+// used instead of container/heap to avoid interface boxing on the hot path;
+// shortest paths are recomputed for every synthetic topology in tests.
+type minHeap struct {
+	items []pqItem
+}
+
+func (h *minHeap) push(it pqItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() pqItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].dist < h.items[smallest].dist {
+			smallest = l
+		}
+		if r < last && h.items[r].dist < h.items[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *minHeap) empty() bool { return len(h.items) == 0 }
+
+// Dijkstra returns the shortest-path distances from src to every vertex.
+// Unreachable vertices report Inf.
+func (g *Graph) Dijkstra(src int) []float64 {
+	if src < 0 || src >= g.n {
+		panic(fmt.Sprintf("graph: Dijkstra source %d out of range [0,%d)", src, g.n))
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	done := make([]bool, g.n)
+	h := &minHeap{items: make([]pqItem, 0, g.n)}
+	h.push(pqItem{v: src, dist: 0})
+	for !h.empty() {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		for _, e := range g.adj[it.v] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.push(pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraPath returns the shortest path from src to dst as a vertex
+// sequence (inclusive of both endpoints) and its length. It returns
+// (nil, Inf) when dst is unreachable.
+func (g *Graph) DijkstraPath(src, dst int) ([]int, float64) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		panic(fmt.Sprintf("graph: path endpoints (%d, %d) out of range [0,%d)", src, dst, g.n))
+	}
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	done := make([]bool, g.n)
+	h := &minHeap{items: make([]pqItem, 0, g.n)}
+	h.push(pqItem{v: src, dist: 0})
+	for !h.empty() {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		if it.v == dst {
+			break
+		}
+		done[it.v] = true
+		for _, e := range g.adj[it.v] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.v
+				h.push(pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	if dist[dst] == Inf {
+		return nil, Inf
+	}
+	var path []int
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst]
+}
+
+// AllPairs returns the full shortest-path distance matrix by running
+// Dijkstra from every source. The result is symmetric for undirected graphs
+// and has zeros on the diagonal.
+func (g *Graph) AllPairs() [][]float64 {
+	out := make([][]float64, g.n)
+	for v := 0; v < g.n; v++ {
+		out[v] = g.Dijkstra(v)
+	}
+	return out
+}
+
+// FloydWarshall returns the full shortest-path distance matrix using the
+// Floyd–Warshall dynamic program. It is O(n³) and exists mainly as an
+// independent oracle against which AllPairs is cross-checked in tests.
+func (g *Graph) FloydWarshall() [][]float64 {
+	d := make([][]float64, g.n)
+	for i := range d {
+		d[i] = make([]float64, g.n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = Inf
+			}
+		}
+	}
+	for u, edges := range g.adj {
+		for _, e := range edges {
+			if e.w < d[u][e.to] {
+				d[u][e.to] = e.w
+			}
+		}
+	}
+	for k := 0; k < g.n; k++ {
+		dk := d[k]
+		for i := 0; i < g.n; i++ {
+			dik := d[i][k]
+			if dik == Inf {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < g.n; j++ {
+				if dk[j] == Inf {
+					continue
+				}
+				if nd := dik + dk[j]; nd < di[j] {
+					di[j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected (every vertex reachable
+// from vertex 0). The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return count == g.n
+}

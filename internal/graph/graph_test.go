@@ -1,0 +1,317 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", g.Len())
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should be connected")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		name    string
+		u, v    int
+		w       float64
+		wantErr bool
+	}{
+		{"valid", 0, 1, 1.5, false},
+		{"zero weight", 0, 1, 0, true},
+		{"negative weight", 0, 1, -2, true},
+		{"NaN weight", 0, 1, math.NaN(), true},
+		{"Inf weight", 0, 1, math.Inf(1), true},
+		{"self loop", 1, 1, 1, true},
+		{"u out of range", -1, 1, 1, true},
+		{"v out of range", 0, 3, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := g.AddEdge(tc.u, tc.v, tc.w)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("AddEdge(%d, %d, %v) error = %v, wantErr = %v", tc.u, tc.v, tc.w, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge with bad weight should panic")
+		}
+	}()
+	New(2).MustAddEdge(0, 1, -1)
+}
+
+func TestNumEdges(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	if got := g.NumEdges(); got != 3 {
+		t.Fatalf("NumEdges() = %d, want 3", got)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) should exist in both directions")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("edge (0,2) should not exist")
+	}
+	if g.HasEdge(-1, 5) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(0, 3, 3)
+	sum := 0.0
+	count := 0
+	g.Neighbors(0, func(v int, w float64) {
+		sum += w
+		count++
+	})
+	if count != 3 || sum != 6 {
+		t.Fatalf("Neighbors visited %d edges with total weight %v, want 3 and 6", count, sum)
+	}
+}
+
+// lineGraph builds 0-1-2-...-(n-1) with unit weights.
+func lineGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(5)
+	dist := g.Dijkstra(0)
+	for i, want := range []float64{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], want)
+		}
+	}
+}
+
+func TestDijkstraDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	// vertices 2, 3 isolated from 0
+	g.MustAddEdge(2, 3, 1)
+	dist := g.Dijkstra(0)
+	if dist[2] != Inf || dist[3] != Inf {
+		t.Fatalf("unreachable vertices should be Inf, got %v, %v", dist[2], dist[3])
+	}
+	if g.Connected() {
+		t.Fatal("graph should not be connected")
+	}
+}
+
+func TestDijkstraPrefersShorterMultiEdge(t *testing.T) {
+	// Two parallel edges between 0 and 1; shortest must win.
+	g := New(2)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(0, 1, 2)
+	if d := g.Dijkstra(0)[1]; d != 2 {
+		t.Fatalf("dist = %v, want 2", d)
+	}
+}
+
+func TestDijkstraTriangleShortcut(t *testing.T) {
+	// Direct edge 0-2 is longer than the two-hop path 0-1-2.
+	g := New(3)
+	g.MustAddEdge(0, 2, 10)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 3)
+	if d := g.Dijkstra(0)[2]; d != 6 {
+		t.Fatalf("dist(0,2) = %v, want 6 via shortcut", d)
+	}
+}
+
+func TestDijkstraOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dijkstra(-1) should panic")
+		}
+	}()
+	lineGraph(3).Dijkstra(-1)
+}
+
+func TestDijkstraPath(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(0, 3, 10)
+	path, d := g.DijkstraPath(0, 3)
+	if d != 3 {
+		t.Fatalf("path length = %v, want 3", d)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestDijkstraPathSameVertex(t *testing.T) {
+	g := lineGraph(3)
+	path, d := g.DijkstraPath(1, 1)
+	if d != 0 || len(path) != 1 || path[0] != 1 {
+		t.Fatalf("self path = %v (len %v), want [1] with length 0", path, d)
+	}
+}
+
+func TestDijkstraPathUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	path, d := g.DijkstraPath(0, 2)
+	if path != nil || d != Inf {
+		t.Fatalf("unreachable path = %v, %v; want nil, Inf", path, d)
+	}
+}
+
+func TestDijkstraPathOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DijkstraPath out of range should panic")
+		}
+	}()
+	lineGraph(3).DijkstraPath(0, 7)
+}
+
+// randomConnectedGraph builds a connected random graph: a random spanning
+// tree plus extra random edges.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		g.MustAddEdge(u, v, 1+rng.Float64()*99)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 1+rng.Float64()*99)
+		}
+	}
+	return g
+}
+
+func TestAllPairsMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomConnectedGraph(rng, n, rng.Intn(2*n))
+		ap := g.AllPairs()
+		fw := g.FloydWarshall()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(ap[i][j]-fw[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: AllPairs[%d][%d] = %v, FloydWarshall = %v", trial, i, j, ap[i][j], fw[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestShortestPathMetricProperties(t *testing.T) {
+	// The shortest-path closure of any positive-weight graph is a metric:
+	// symmetric, zero diagonal, and satisfies the triangle inequality.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomConnectedGraph(rng, n, rng.Intn(n))
+		d := g.AllPairs()
+		for i := 0; i < n; i++ {
+			if d[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if math.Abs(d[i][j]-d[j][i]) > 1e-9 {
+					return false
+				}
+				if i != j && d[i][j] <= 0 {
+					return false
+				}
+				for k := 0; k < n; k++ {
+					if d[i][j] > d[i][k]+d[k][j]+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloydWarshallDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 2)
+	d := g.FloydWarshall()
+	if d[0][2] != Inf || d[1][3] != Inf {
+		t.Fatal("cross-component distances should be Inf")
+	}
+	if d[0][1] != 1 || d[2][3] != 2 {
+		t.Fatal("intra-component distances wrong")
+	}
+}
+
+func TestConnectedSingleVertex(t *testing.T) {
+	if !New(1).Connected() {
+		t.Fatal("single-vertex graph should be connected")
+	}
+}
+
+func BenchmarkDijkstra1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 1000, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i % 1000)
+	}
+}
+
+func BenchmarkAllPairs200(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 200, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairs()
+	}
+}

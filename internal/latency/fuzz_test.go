@@ -1,0 +1,56 @@
+package latency
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the matrix parser: arbitrary input must never panic,
+// and any successfully parsed, valid matrix must round-trip through
+// WriteTo/Read.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := ScaledLike(4, 1).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("2\n0 1\n1 0\n")
+	f.Add("0\n")
+	f.Add("3\n0 1 2\n1 0 3\n2 3 0")
+	f.Add("abc\n")
+	f.Add("2\n0 x\n1 0\n")
+	f.Add("-1\n")
+	f.Add("1000000000\n")
+	f.Add("2\n0 1e308\n1e308 0\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if m.Validate() != nil {
+			return // parsed but semantically invalid: fine
+		}
+		var out bytes.Buffer
+		if _, err := m.WriteTo(&out); err != nil {
+			t.Fatalf("WriteTo after successful Read: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-Read failed: %v", err)
+		}
+		if back.Len() != m.Len() {
+			t.Fatalf("round trip changed size: %d -> %d", m.Len(), back.Len())
+		}
+		for i := range m {
+			for j := range m[i] {
+				a, b := m[i][j], back[i][j]
+				if a != b && math.Abs(a-b) > 1e-6*math.Abs(a) {
+					t.Fatalf("round trip changed [%d][%d]: %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

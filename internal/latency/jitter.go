@@ -1,0 +1,124 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// JitterModel attaches latency variability to a base matrix.
+//
+// Section II-E of the paper observes that in the presence of jitter, the
+// link length d(u, v) can be set to any percentile of the network latency
+// to cater for variability to a required extent: modeling the maximum
+// guarantees consistency and fairness but hurts interactivity; a high
+// percentile (e.g. the 90th) is the practical trade-off.
+//
+// The model treats the latency of each pair (u, v) as a lognormal random
+// variable whose median is the base matrix entry:
+//
+//	L(u,v) = base(u,v) · exp(σ·Z),  Z ~ N(0,1)
+//
+// with a single σ (Sigma) for the whole network. Percentile materializes
+// the matrix of p-th percentiles; Sample draws one realization.
+type JitterModel struct {
+	Base  Matrix
+	Sigma float64 // lognormal sigma; 0 means no jitter
+}
+
+// NewJitterModel validates inputs and returns a model.
+func NewJitterModel(base Matrix, sigma float64) (*JitterModel, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("latency: jitter sigma = %v, want finite >= 0", sigma)
+	}
+	return &JitterModel{Base: base, Sigma: sigma}, nil
+}
+
+// Percentile returns the matrix whose (u, v) entry is the p-th percentile
+// (0 < p < 1) of the modeled latency distribution for that pair.
+// Percentile(0.5) equals the base matrix.
+func (jm *JitterModel) Percentile(p float64) (Matrix, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("latency: percentile p = %v, want in (0,1)", p)
+	}
+	// p-th percentile of exp(sigma·Z) is exp(sigma·z_p).
+	factor := math.Exp(jm.Sigma * normQuantile(p))
+	n := jm.Base.Len()
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out[i][j] = jm.Base[i][j] * factor
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sample draws one latency realization for every pair, deterministically
+// for a given rng. The result is symmetric: one draw per unordered pair.
+func (jm *JitterModel) Sample(rng *rand.Rand) Matrix {
+	n := jm.Base.Len()
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := jm.Base[i][j] * math.Exp(jm.Sigma*rng.NormFloat64())
+			out[i][j], out[j][i] = v, v
+		}
+	}
+	return out
+}
+
+// ExceedProbability returns the probability that a single sampled pair
+// latency exceeds its p-th percentile value — by construction 1-p. It is
+// exposed for use in violation-rate accounting.
+func (jm *JitterModel) ExceedProbability(p float64) float64 { return 1 - p }
+
+// normQuantile computes the standard normal quantile function (inverse
+// CDF) using the Acklam rational approximation, accurate to ~1.15e-9 over
+// (0, 1). The standard library does not provide an inverse normal CDF.
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	// Coefficients for the Acklam approximation.
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const pLow = 0.02425
+	const pHigh = 1 - pLow
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,177 @@
+package latency
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNoUsableNodes is returned when King-triple input yields no complete
+// submatrix.
+var ErrNoUsableNodes = errors.New("latency: no nodes with complete measurements")
+
+// KingOptions controls ReadKingTriples.
+type KingOptions struct {
+	// Unit is the multiplier converting input values to milliseconds
+	// (e.g. 1e-3 for microsecond RTTs as in the published King files;
+	// default 1 = already milliseconds).
+	Unit float64
+	// HalveRTT divides values by two to convert round-trip measurements
+	// to the one-way latencies the model uses.
+	HalveRTT bool
+	// MaxNodes caps the node universe (guards against hostile input;
+	// default MaxReadNodes).
+	MaxNodes int
+}
+
+// ReadKingTriples parses measurement triples in the format of the
+// published King data sets — one "src dst value" per line, ids arbitrary
+// integers, '#'-prefixed comments ignored — and performs the paper's data
+// preparation (Section V): pairs measured in both directions are
+// averaged, and nodes involved in any unavailable measurement are
+// discarded until the remaining nodes form a complete pairwise matrix.
+// It returns the matrix together with the surviving original node ids (in
+// matrix order).
+//
+// The reduction is greedy: nodes with the most missing pairs are dropped
+// first, which is how a 2500-node Meridian measurement collapses to a
+// complete ~1796-node matrix as in the paper.
+func ReadKingTriples(r io.Reader, opts KingOptions) (Matrix, []int, error) {
+	if opts.Unit == 0 {
+		opts.Unit = 1
+	}
+	if opts.Unit < 0 {
+		return nil, nil, fmt.Errorf("%w: negative unit", ErrBadMatrix)
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = MaxReadNodes
+	}
+
+	type pair struct{ a, b int }
+	sums := make(map[pair]float64)
+	counts := make(map[pair]int)
+	ids := make(map[int]bool)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, nil, fmt.Errorf("%w: line %d: %q", ErrBadMatrix, lineNo, line)
+		}
+		src, err1 := strconv.Atoi(fields[0])
+		dst, err2 := strconv.Atoi(fields[1])
+		val, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, nil, fmt.Errorf("%w: line %d: %q", ErrBadMatrix, lineNo, line)
+		}
+		if src == dst || val <= 0 {
+			continue // self-measurements and failed probes are unusable
+		}
+		v := val * opts.Unit
+		if opts.HalveRTT {
+			v /= 2
+		}
+		if !ids[src] {
+			ids[src] = true
+		}
+		if !ids[dst] {
+			ids[dst] = true
+		}
+		if len(ids) > opts.MaxNodes {
+			return nil, nil, fmt.Errorf("%w: more than %d node ids", ErrBadMatrix, opts.MaxNodes)
+		}
+		p := pair{src, dst}
+		if src > dst {
+			p = pair{dst, src}
+		}
+		sums[p] += v
+		counts[p]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(ids) < 2 {
+		return nil, nil, ErrNoUsableNodes
+	}
+
+	// Candidate universe, ordered for determinism.
+	universe := make([]int, 0, len(ids))
+	for id := range ids {
+		universe = append(universe, id)
+	}
+	sort.Ints(universe)
+
+	has := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return counts[pair{a, b}] > 0
+	}
+	// Greedy reduction: repeatedly drop the node missing the most pairs.
+	alive := make(map[int]bool, len(universe))
+	for _, id := range universe {
+		alive[id] = true
+	}
+	for {
+		worst, worstMissing := -1, 0
+		for _, a := range universe {
+			if !alive[a] {
+				continue
+			}
+			missing := 0
+			for _, b := range universe {
+				if a == b || !alive[b] {
+					continue
+				}
+				if !has(a, b) {
+					missing++
+				}
+			}
+			if missing > worstMissing || (missing == worstMissing && missing > 0 && (worst == -1 || a < worst)) {
+				worst, worstMissing = a, missing
+			}
+		}
+		if worstMissing == 0 {
+			break
+		}
+		delete(alive, worst)
+	}
+
+	survivors := make([]int, 0, len(alive))
+	for _, id := range universe {
+		if alive[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	if len(survivors) < 2 {
+		return nil, nil, ErrNoUsableNodes
+	}
+
+	m := NewMatrix(len(survivors))
+	for i, a := range survivors {
+		for j := i + 1; j < len(survivors); j++ {
+			b := survivors[j]
+			p := pair{a, b}
+			if a > b {
+				p = pair{b, a}
+			}
+			v := sums[p] / float64(counts[p])
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("latency: king data produced invalid matrix: %w", err)
+	}
+	return m, survivors, nil
+}

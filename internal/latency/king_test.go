@@ -1,0 +1,133 @@
+package latency
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadKingTriplesComplete(t *testing.T) {
+	input := `
+# comment line
+10 20 4000
+20 10 6000
+10 30 8000
+30 20 2000
+`
+	m, ids, err := ReadKingTriples(strings.NewReader(input), KingOptions{Unit: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// 10↔20 measured twice: average (4+6)/2 = 5ms.
+	if m[0][1] != 5 {
+		t.Fatalf("d(10,20) = %v, want 5", m[0][1])
+	}
+	if m[0][2] != 8 || m[1][2] != 2 {
+		t.Fatalf("matrix = %v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadKingTriplesHalveRTT(t *testing.T) {
+	input := "1 2 10\n1 3 20\n2 3 30\n"
+	m, _, err := ReadKingTriples(strings.NewReader(input), KingOptions{HalveRTT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][1] != 5 || m[0][2] != 10 || m[1][2] != 15 {
+		t.Fatalf("matrix = %v", m)
+	}
+}
+
+func TestReadKingTriplesDiscardsIncompleteNodes(t *testing.T) {
+	// Node 4 has only one measurement; the paper's prep drops it and
+	// keeps the complete 3-node core.
+	input := `
+1 2 10
+1 3 12
+2 3 14
+1 4 99
+`
+	m, ids, err := ReadKingTriples(strings.NewReader(input), KingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v, want the complete core {1,2,3}", ids)
+	}
+	for _, id := range ids {
+		if id == 4 {
+			t.Fatal("node 4 should have been discarded")
+		}
+	}
+	if m.Len() != 3 {
+		t.Fatalf("matrix size = %d", m.Len())
+	}
+}
+
+func TestReadKingTriplesGreedyReduction(t *testing.T) {
+	// A random measurement graph with holes: the reduction must produce a
+	// complete submatrix (validated) and keep a reasonable core.
+	rng := rand.New(rand.NewSource(5))
+	var sb strings.Builder
+	const n = 25
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.9 { // 10% of pairs unmeasured
+				fmt.Fprintf(&sb, "%d %d %v\n", i, j, 1+rng.Float64()*100)
+			}
+		}
+	}
+	m, ids, err := ReadKingTriples(strings.NewReader(sb.String()), KingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < n/2 {
+		t.Fatalf("reduction too aggressive: kept %d of %d", len(ids), n)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadKingTriplesErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+		opts        KingOptions
+	}{
+		{"garbage", "a b c\n", KingOptions{}},
+		{"short line", "1 2\n", KingOptions{}},
+		{"no usable nodes", "1 1 10\n", KingOptions{}},
+		{"empty", "", KingOptions{}},
+		{"negative unit", "1 2 3\n", KingOptions{Unit: -1}},
+		{"too many nodes", "1 2 3\n3 4 5\n5 6 7\n", KingOptions{MaxNodes: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadKingTriples(strings.NewReader(tc.input), tc.opts); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestReadKingTriplesIgnoresFailedProbes(t *testing.T) {
+	// Non-positive values mark failed measurements in the published data.
+	input := "1 2 10\n1 3 -1\n1 3 14\n2 3 0\n2 3 16\n"
+	m, ids, err := ReadKingTriples(strings.NewReader(input), KingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if m[0][2] != 14 || m[1][2] != 16 {
+		t.Fatalf("matrix = %v", m)
+	}
+}

@@ -1,0 +1,301 @@
+// Package latency provides pairwise network latency matrices, a synthetic
+// Internet latency model, and a jitter model.
+//
+// The paper evaluates the client assignment heuristics on two real data
+// sets: the Meridian data set (complete pairwise latency matrix for 1796
+// nodes after discarding incomplete measurements) and the MIT King data set
+// (1024 nodes). Those data sets are not redistributable here, so this
+// package additionally implements a synthetic Internet model
+// (SyntheticInternet) that reproduces the structural properties the
+// assignment algorithms are sensitive to: geographic clustering of nodes,
+// heavy-tailed latency distribution, and triangle-inequality violations
+// (the paper's footnote 2 notes real Internet latencies violate the
+// triangle inequality). MeridianLike and MITLike are presets at the same
+// scale as the originals.
+package latency
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrBadMatrix reports a structurally invalid latency matrix.
+var ErrBadMatrix = errors.New("latency: invalid matrix")
+
+// Matrix is a complete pairwise latency matrix in milliseconds.
+// Matrix[i][j] is the one-way network latency between node i and node j.
+// Valid matrices are square, have zero diagonals, non-negative entries, and
+// are symmetric (the King technique measures round-trip times; the paper
+// treats d as symmetric).
+type Matrix [][]float64
+
+// NewMatrix allocates an n×n zero matrix backed by one contiguous slice.
+func NewMatrix(n int) Matrix {
+	backing := make([]float64, n*n)
+	m := make(Matrix, n)
+	for i := range m {
+		m[i], backing = backing[:n:n], backing[n:]
+	}
+	return m
+}
+
+// Len returns the number of nodes.
+func (m Matrix) Len() int { return len(m) }
+
+// Clone returns a deep copy of the matrix.
+func (m Matrix) Clone() Matrix {
+	out := NewMatrix(len(m))
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// Validate checks that the matrix is square, symmetric, has a zero
+// diagonal, and strictly positive off-diagonal entries.
+func (m Matrix) Validate() error {
+	n := len(m)
+	for i, row := range m {
+		if len(row) != n {
+			return fmt.Errorf("%w: row %d has %d entries, want %d", ErrBadMatrix, i, len(row), n)
+		}
+		if row[i] != 0 {
+			return fmt.Errorf("%w: diagonal entry [%d][%d] = %v, want 0", ErrBadMatrix, i, i, row[i])
+		}
+		for j, v := range row {
+			if i == j {
+				continue
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("%w: entry [%d][%d] = %v, want positive finite", ErrBadMatrix, i, j, v)
+			}
+			if v != m[j][i] {
+				return fmt.Errorf("%w: asymmetric at [%d][%d]: %v vs %v", ErrBadMatrix, i, j, v, m[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// Symmetrize replaces each pair of entries with their average and zeroes
+// the diagonal, in place.
+func (m Matrix) Symmetrize() {
+	n := len(m)
+	for i := 0; i < n; i++ {
+		m[i][i] = 0
+		for j := i + 1; j < n; j++ {
+			avg := (m[i][j] + m[j][i]) / 2
+			m[i][j], m[j][i] = avg, avg
+		}
+	}
+}
+
+// Submatrix returns the matrix restricted to the given node indices, in
+// the given order.
+func (m Matrix) Submatrix(nodes []int) Matrix {
+	out := NewMatrix(len(nodes))
+	for a, i := range nodes {
+		for b, j := range nodes {
+			out[a][b] = m[i][j]
+		}
+	}
+	return out
+}
+
+// Stats summarizes the off-diagonal latency distribution of a matrix.
+type Stats struct {
+	N            int     // number of nodes
+	Min          float64 // minimum off-diagonal latency (ms)
+	Max          float64 // maximum off-diagonal latency (ms)
+	Mean         float64 // mean off-diagonal latency (ms)
+	Median       float64 // median off-diagonal latency (ms)
+	P90          float64 // 90th percentile (ms)
+	TIVRatio     float64 // fraction of triples violating the triangle inequality
+	TIVSampled   bool    // whether TIVRatio was estimated from a sample
+	TriplesTried int     // number of triples examined for TIVRatio
+}
+
+// MeasureStats computes distribution statistics for the matrix. For
+// matrices with more than maxExactTIV nodes the triangle-inequality
+// violation ratio is estimated on a deterministic sample of triples.
+func (m Matrix) MeasureStats() Stats {
+	n := len(m)
+	st := Stats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	if n < 2 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	vals := make([]float64, 0, n*(n-1)/2)
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m[i][j]
+			vals = append(vals, v)
+			sum += v
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+		}
+	}
+	sort.Float64s(vals)
+	st.Mean = sum / float64(len(vals))
+	st.Median = quantileSorted(vals, 0.5)
+	st.P90 = quantileSorted(vals, 0.9)
+
+	const maxExactTIV = 220 // n³ triples stays under ~10M
+	violated, tried := 0, 0
+	if n <= maxExactTIV {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if k == i || k == j {
+						continue
+					}
+					tried++
+					if m[i][j] > m[i][k]+m[k][j]+1e-9 {
+						violated++
+					}
+				}
+			}
+		}
+	} else {
+		st.TIVSampled = true
+		// Deterministic stride-based sample of triples.
+		stride := n/97 + 1
+		for i := 0; i < n; i += stride {
+			for j := i + 1; j < n; j += stride {
+				for k := 0; k < n; k += stride {
+					if k == i || k == j {
+						continue
+					}
+					tried++
+					if m[i][j] > m[i][k]+m[k][j]+1e-9 {
+						violated++
+					}
+				}
+			}
+		}
+	}
+	st.TriplesTried = tried
+	if tried > 0 {
+		st.TIVRatio = float64(violated) / float64(tried)
+	}
+	return st
+}
+
+// quantileSorted returns the q-th quantile (0 ≤ q ≤ 1) of an ascending
+// slice using linear interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WriteTo serializes the matrix in a simple text format: the first line is
+// the node count, followed by one row per line with space-separated
+// millisecond values.
+func (m Matrix) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "%d\n", len(m))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, row := range m {
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return total, err
+				}
+				total++
+			}
+			s := strconv.FormatFloat(v, 'g', 9, 64)
+			n, err := bw.WriteString(s)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return total, err
+		}
+		total++
+	}
+	return total, bw.Flush()
+}
+
+// MaxReadNodes bounds the node count Read accepts: a 16384-node matrix
+// already needs 2 GiB; anything claiming more is a corrupt or hostile
+// header, not a data set.
+const MaxReadNodes = 16384
+
+// Read parses a matrix in the format produced by WriteTo.
+func Read(r io.Reader) (Matrix, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("latency: reading header: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad node count %q", ErrBadMatrix, header)
+	}
+	if n > MaxReadNodes {
+		return nil, fmt.Errorf("%w: node count %d exceeds limit %d", ErrBadMatrix, n, MaxReadNodes)
+	}
+	// Rows are allocated as they parse, so a hostile header cannot force
+	// an n² allocation before the body backs it up.
+	m := make(Matrix, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("latency: reading row %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadMatrix, i, len(fields), n)
+		}
+		row := make([]float64, n)
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d field %d: %v", ErrBadMatrix, i, j, err)
+			}
+			row[j] = v
+		}
+		m = append(m, row)
+	}
+	return m, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return line, nil
+	}
+	return line, err
+}

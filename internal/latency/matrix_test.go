@@ -1,0 +1,475 @@
+package latency
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(3)
+	if m.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", m.Len())
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 0 {
+				t.Fatalf("entry [%d][%d] = %v, want 0", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestNewMatrixRowsIsolated(t *testing.T) {
+	// Rows are capacity-limited slices of one backing array; appending to a
+	// row must not clobber the next row.
+	m := NewMatrix(2)
+	row := append(m[0], 99)
+	_ = row
+	if m[1][0] != 0 {
+		t.Fatal("appending to row 0 leaked into row 1")
+	}
+}
+
+// validTestMatrix builds a small valid symmetric matrix.
+func validTestMatrix() Matrix {
+	m := NewMatrix(3)
+	m[0][1], m[1][0] = 5, 5
+	m[0][2], m[2][0] = 7, 7
+	m[1][2], m[2][1] = 3, 3
+	return m
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validTestMatrix().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(Matrix)
+	}{
+		{"nonzero diagonal", func(m Matrix) { m[1][1] = 2 }},
+		{"asymmetric", func(m Matrix) { m[0][1] = 6 }},
+		{"zero off-diagonal", func(m Matrix) { m[0][1], m[1][0] = 0, 0 }},
+		{"negative", func(m Matrix) { m[0][2], m[2][0] = -1, -1 }},
+		{"NaN", func(m Matrix) { m[1][2], m[2][1] = math.NaN(), math.NaN() }},
+		{"Inf", func(m Matrix) { m[1][2], m[2][1] = math.Inf(1), math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := validTestMatrix()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestValidateRagged(t *testing.T) {
+	m := validTestMatrix()
+	m[2] = m[2][:2]
+	if err := m.Validate(); err == nil {
+		t.Fatal("ragged matrix should fail validation")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := validTestMatrix()
+	c := m.Clone()
+	c[0][1] = 99
+	if m[0][1] != 5 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMatrix(2)
+	m[0][1], m[1][0] = 4, 6
+	m[0][0] = 3
+	m.Symmetrize()
+	if m[0][1] != 5 || m[1][0] != 5 {
+		t.Fatalf("Symmetrize: got %v / %v, want 5 / 5", m[0][1], m[1][0])
+	}
+	if m[0][0] != 0 {
+		t.Fatal("Symmetrize should zero the diagonal")
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := validTestMatrix()
+	sub := m.Submatrix([]int{2, 0})
+	if sub.Len() != 2 {
+		t.Fatalf("Submatrix Len = %d, want 2", sub.Len())
+	}
+	if sub[0][1] != m[2][0] || sub[1][0] != m[0][2] {
+		t.Fatalf("Submatrix entries wrong: %v", sub)
+	}
+}
+
+func TestMeasureStatsSmall(t *testing.T) {
+	m := validTestMatrix()
+	st := m.MeasureStats()
+	if st.N != 3 {
+		t.Fatalf("N = %d, want 3", st.N)
+	}
+	if st.Min != 3 || st.Max != 7 {
+		t.Fatalf("Min/Max = %v/%v, want 3/7", st.Min, st.Max)
+	}
+	if math.Abs(st.Mean-5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 5", st.Mean)
+	}
+	// 7 > 5 + 3? No. 5 > 7 + 3? No. 3 > ... no. No violations in a metric.
+	if st.TIVRatio != 0 {
+		t.Fatalf("TIVRatio = %v, want 0", st.TIVRatio)
+	}
+}
+
+func TestMeasureStatsDetectsTIV(t *testing.T) {
+	m := NewMatrix(3)
+	// 0-1 direct is 10; via 2 it is 2+2=4: the direct edge violates.
+	m[0][1], m[1][0] = 10, 10
+	m[0][2], m[2][0] = 2, 2
+	m[1][2], m[2][1] = 2, 2
+	st := m.MeasureStats()
+	if st.TIVRatio <= 0 {
+		t.Fatalf("TIVRatio = %v, want > 0", st.TIVRatio)
+	}
+}
+
+func TestMeasureStatsDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		st := NewMatrix(n).MeasureStats()
+		if st.N != n {
+			t.Fatalf("N = %d, want %d", st.N, n)
+		}
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := quantileSorted(vals, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("quantileSorted(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(quantileSorted(nil, 0.5)) {
+		t.Error("quantileSorted(nil) should be NaN")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := ScaledLike(20, 5)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != m.Len() {
+		t.Fatalf("round trip Len = %d, want %d", got.Len(), m.Len())
+	}
+	for i := range m {
+		for j := range m[i] {
+			if math.Abs(got[i][j]-m[i][j]) > 1e-6*m[i][j] {
+				t.Fatalf("entry [%d][%d] = %v, want %v", i, j, got[i][j], m[i][j])
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"bad header", "abc\n"},
+		{"negative count", "-3\n"},
+		{"missing rows", "2\n0 1\n"},
+		{"short row", "2\n0 1\n0\n"},
+		{"bad number", "2\n0 x\n1 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.input)); err == nil {
+				t.Fatal("Read should fail")
+			}
+		})
+	}
+}
+
+func TestReadNoTrailingNewline(t *testing.T) {
+	m, err := Read(strings.NewReader("2\n0 3\n3 0"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if m[0][1] != 3 {
+		t.Fatalf("entry = %v, want 3", m[0][1])
+	}
+}
+
+func TestSyntheticValidates(t *testing.T) {
+	m := ScaledLike(50, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("synthetic matrix invalid: %v", err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := ScaledLike(30, 77)
+	b := ScaledLike(30, 77)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed produced different matrices at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	a := ScaledLike(30, 1)
+	b := ScaledLike(30, 2)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestSyntheticHasTIVs(t *testing.T) {
+	// The stand-in must exhibit triangle-inequality violations: the paper
+	// relies on real data violating the triangle inequality (footnote 2).
+	m := ScaledLike(120, 3)
+	st := m.MeasureStats()
+	if st.TIVRatio <= 0 {
+		t.Fatal("synthetic Internet model should violate the triangle inequality somewhere")
+	}
+	if st.TIVRatio > 0.5 {
+		t.Fatalf("TIVRatio = %v: unrealistically high", st.TIVRatio)
+	}
+}
+
+func TestSyntheticClusteredShape(t *testing.T) {
+	// With clustering, the latency distribution should be broad: the 90th
+	// percentile should be several times the minimum.
+	st := ScaledLike(200, 9).MeasureStats()
+	if st.P90 < 3*st.Min {
+		t.Fatalf("distribution too flat: min %v p90 %v", st.Min, st.P90)
+	}
+	if st.Median <= 0 {
+		t.Fatal("median should be positive")
+	}
+}
+
+func TestSyntheticConfigValidate(t *testing.T) {
+	base := DefaultConfig(10)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*SyntheticConfig)
+	}{
+		{"zero nodes", func(c *SyntheticConfig) { c.Nodes = 0 }},
+		{"zero clusters", func(c *SyntheticConfig) { c.Clusters = 0 }},
+		{"zero plane", func(c *SyntheticConfig) { c.PlaneSize = 0 }},
+		{"negative stddev", func(c *SyntheticConfig) { c.ClusterStddev = -1 }},
+		{"negative noise", func(c *SyntheticConfig) { c.NoiseSigma = -0.1 }},
+		{"bad detour fraction", func(c *SyntheticConfig) { c.DetourFraction = 1.5 }},
+		{"bad detour factor", func(c *SyntheticConfig) { c.DetourFactor = 0.5 }},
+		{"zero min latency", func(c *SyntheticConfig) { c.MinLatency = 0 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("Validate should fail")
+			}
+			if _, err := SyntheticInternet(cfg, 1); err == nil {
+				t.Fatal("SyntheticInternet should refuse invalid config")
+			}
+		})
+	}
+}
+
+func TestPresetSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size presets are slow in -short mode")
+	}
+	if n := MITLike(1).Len(); n != MITNodes {
+		t.Fatalf("MITLike size = %d, want %d", n, MITNodes)
+	}
+}
+
+func TestSyntheticPropertyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%40)
+		m := ScaledLike(n, seed)
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterPercentileMonotone(t *testing.T) {
+	base := ScaledLike(15, 4)
+	jm, err := NewJitterModel(base, 0.3)
+	if err != nil {
+		t.Fatalf("NewJitterModel: %v", err)
+	}
+	p50, err := jm.Percentile(0.5)
+	if err != nil {
+		t.Fatalf("Percentile(0.5): %v", err)
+	}
+	p90, err := jm.Percentile(0.9)
+	if err != nil {
+		t.Fatalf("Percentile(0.9): %v", err)
+	}
+	p99, err := jm.Percentile(0.99)
+	if err != nil {
+		t.Fatalf("Percentile(0.99): %v", err)
+	}
+	for i := range base {
+		for j := range base[i] {
+			if i == j {
+				continue
+			}
+			if math.Abs(p50[i][j]-base[i][j]) > 1e-9*base[i][j] {
+				t.Fatalf("P50 should equal base: %v vs %v", p50[i][j], base[i][j])
+			}
+			if !(p90[i][j] > p50[i][j] && p99[i][j] > p90[i][j]) {
+				t.Fatalf("percentiles not monotone at [%d][%d]: %v %v %v", i, j, p50[i][j], p90[i][j], p99[i][j])
+			}
+		}
+	}
+}
+
+func TestJitterPercentileBounds(t *testing.T) {
+	jm, _ := NewJitterModel(validTestMatrix(), 0.2)
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := jm.Percentile(p); err == nil {
+			t.Fatalf("Percentile(%v) should fail", p)
+		}
+	}
+}
+
+func TestJitterModelValidation(t *testing.T) {
+	bad := validTestMatrix()
+	bad[0][1] = -1
+	if _, err := NewJitterModel(bad, 0.1); err == nil {
+		t.Fatal("NewJitterModel should reject invalid base")
+	}
+	if _, err := NewJitterModel(validTestMatrix(), -0.1); err == nil {
+		t.Fatal("NewJitterModel should reject negative sigma")
+	}
+	if _, err := NewJitterModel(validTestMatrix(), math.NaN()); err == nil {
+		t.Fatal("NewJitterModel should reject NaN sigma")
+	}
+}
+
+func TestJitterSampleSymmetricPositive(t *testing.T) {
+	jm, _ := NewJitterModel(ScaledLike(12, 8), 0.4)
+	s := jm.Sample(rand.New(rand.NewSource(1)))
+	if err := s.Validate(); err != nil {
+		t.Fatalf("sample invalid: %v", err)
+	}
+}
+
+func TestJitterZeroSigmaSampleEqualsBase(t *testing.T) {
+	base := validTestMatrix()
+	jm, _ := NewJitterModel(base, 0)
+	s := jm.Sample(rand.New(rand.NewSource(1)))
+	for i := range base {
+		for j := range base[i] {
+			if s[i][j] != base[i][j] {
+				t.Fatalf("zero-sigma sample differs at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestJitterSampleExceedsP90AboutTenPercent(t *testing.T) {
+	base := ScaledLike(30, 6)
+	jm, _ := NewJitterModel(base, 0.5)
+	p90, _ := jm.Percentile(0.9)
+	rng := rand.New(rand.NewSource(2))
+	exceed, total := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		s := jm.Sample(rng)
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				total++
+				if s[i][j] > p90[i][j] {
+					exceed++
+				}
+			}
+		}
+	}
+	rate := float64(exceed) / float64(total)
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("exceed rate vs P90 = %v, want ≈ 0.10", rate)
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.9, 1.2815515655446004},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.99, 2.3263478740408408},
+	}
+	for _, tc := range cases {
+		if got := normQuantile(tc.p); math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("normQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(normQuantile(0)) || !math.IsNaN(normQuantile(1)) {
+		t.Error("normQuantile at bounds should be NaN")
+	}
+}
+
+func TestExceedProbability(t *testing.T) {
+	jm, _ := NewJitterModel(validTestMatrix(), 0.1)
+	if got := jm.ExceedProbability(0.9); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("ExceedProbability(0.9) = %v, want 0.1", got)
+	}
+}
+
+func BenchmarkSynthetic400(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ScaledLike(400, int64(i))
+	}
+}
+
+func BenchmarkMeasureStats200(b *testing.B) {
+	m := ScaledLike(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MeasureStats()
+	}
+}

@@ -1,0 +1,191 @@
+package latency
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diacap/internal/graph"
+)
+
+// TransitStubConfig parameterizes a classic transit-stub Internet
+// topology (in the spirit of GT-ITM): a core of transit domains whose
+// routers interconnect with long-haul links, and stub domains (campus /
+// ISP access networks) hanging off the transit routers. Unlike the
+// flat-measurement SyntheticInternet model, latencies here emerge from
+// shortest-path routing over an explicit link topology, so this generator
+// produces matrices that satisfy the triangle inequality by construction
+// — the regime where the paper's 3-approximation guarantee for
+// Nearest-Server Assignment actually holds. Both substrates are used in
+// tests to separate metric from non-metric behaviour.
+type TransitStubConfig struct {
+	TransitDomains        int // number of transit (core) domains
+	TransitNodesPerDomain int // routers per transit domain
+	StubsPerTransitNode   int // stub domains attached to each transit router
+	StubNodesPerDomain    int // hosts per stub domain
+
+	// Link latency ranges in milliseconds: [Min, Min+Spread).
+	InterTransitMin, InterTransitSpread float64 // links between transit domains
+	IntraTransitMin, IntraTransitSpread float64 // links inside a transit domain
+	TransitStubMin, TransitStubSpread   float64 // gateway links
+	IntraStubMin, IntraStubSpread       float64 // links inside a stub domain
+
+	// ExtraEdgeFraction adds chords inside domains: the fraction of ring
+	// size added as random intra-domain links.
+	ExtraEdgeFraction float64
+}
+
+// DefaultTransitStub returns a configuration sized to roughly n nodes.
+func DefaultTransitStub(n int) TransitStubConfig {
+	cfg := TransitStubConfig{
+		TransitDomains:        4,
+		TransitNodesPerDomain: 4,
+		StubsPerTransitNode:   2,
+		StubNodesPerDomain:    4,
+		InterTransitMin:       25, InterTransitSpread: 35,
+		IntraTransitMin: 4, IntraTransitSpread: 10,
+		TransitStubMin: 2, TransitStubSpread: 6,
+		IntraStubMin: 0.5, IntraStubSpread: 2.5,
+		ExtraEdgeFraction: 0.3,
+	}
+	// Scale the stub population toward the requested node count.
+	for cfg.Nodes() < n {
+		cfg.StubNodesPerDomain++
+		if cfg.Nodes() >= n {
+			break
+		}
+		if cfg.StubNodesPerDomain > 12 {
+			cfg.StubsPerTransitNode++
+			cfg.StubNodesPerDomain = 4
+		}
+	}
+	return cfg
+}
+
+// Nodes returns the total node count the configuration produces.
+func (c TransitStubConfig) Nodes() int {
+	transit := c.TransitDomains * c.TransitNodesPerDomain
+	return transit + transit*c.StubsPerTransitNode*c.StubNodesPerDomain
+}
+
+// Validate reports whether the configuration is usable.
+func (c TransitStubConfig) Validate() error {
+	switch {
+	case c.TransitDomains <= 0 || c.TransitNodesPerDomain <= 0:
+		return fmt.Errorf("latency: transit-stub needs positive transit sizes")
+	case c.StubsPerTransitNode < 0 || c.StubNodesPerDomain < 0:
+		return fmt.Errorf("latency: negative stub sizes")
+	case c.StubsPerTransitNode > 0 && c.StubNodesPerDomain == 0:
+		return fmt.Errorf("latency: stub domains need at least one node")
+	case c.InterTransitMin <= 0 || c.IntraTransitMin <= 0 || c.TransitStubMin <= 0 || c.IntraStubMin <= 0:
+		return fmt.Errorf("latency: link latency minimums must be positive")
+	case c.InterTransitSpread < 0 || c.IntraTransitSpread < 0 || c.TransitStubSpread < 0 || c.IntraStubSpread < 0:
+		return fmt.Errorf("latency: link latency spreads must be non-negative")
+	case c.ExtraEdgeFraction < 0 || c.ExtraEdgeFraction > 1:
+		return fmt.Errorf("latency: ExtraEdgeFraction %v outside [0,1]", c.ExtraEdgeFraction)
+	}
+	return nil
+}
+
+// TransitStubRoles labels each node of a generated topology.
+type TransitStubRoles struct {
+	// Transit[i] reports whether node i is a transit router.
+	Transit []bool
+	// Domain[i] is the stub domain id of node i (-1 for transit routers).
+	Domain []int
+}
+
+// TransitStub generates the topology, derives the full distance matrix by
+// shortest-path routing, and returns it with the node roles.
+func TransitStub(cfg TransitStubConfig, seed int64) (Matrix, *TransitStubRoles, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := cfg.Nodes()
+	g := graph.New(total)
+	roles := &TransitStubRoles{Transit: make([]bool, total), Domain: make([]int, total)}
+	for i := range roles.Domain {
+		roles.Domain[i] = -1
+	}
+
+	lat := func(min, spread float64) float64 {
+		if spread == 0 {
+			return min
+		}
+		return min + rng.Float64()*spread
+	}
+
+	// connectDomain wires nodes as a ring plus random chords.
+	connectDomain := func(nodes []int, min, spread float64) {
+		n := len(nodes)
+		if n == 1 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(nodes[i], nodes[(i+1)%n], lat(min, spread))
+			if n == 2 {
+				break // a 2-ring would duplicate the edge
+			}
+		}
+		extra := int(cfg.ExtraEdgeFraction * float64(n))
+		for e := 0; e < extra; e++ {
+			u, v := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, lat(min, spread))
+			}
+		}
+	}
+
+	// Transit routers come first in the node numbering.
+	numTransit := cfg.TransitDomains * cfg.TransitNodesPerDomain
+	transitOf := func(domain, idx int) int { return domain*cfg.TransitNodesPerDomain + idx }
+	for d := 0; d < cfg.TransitDomains; d++ {
+		nodes := make([]int, cfg.TransitNodesPerDomain)
+		for i := range nodes {
+			nodes[i] = transitOf(d, i)
+			roles.Transit[nodes[i]] = true
+		}
+		connectDomain(nodes, cfg.IntraTransitMin, cfg.IntraTransitSpread)
+	}
+	// Inter-transit links: connect every domain pair through one random
+	// router pair (plus a second parallel link for larger cores).
+	for d1 := 0; d1 < cfg.TransitDomains; d1++ {
+		for d2 := d1 + 1; d2 < cfg.TransitDomains; d2++ {
+			u := transitOf(d1, rng.Intn(cfg.TransitNodesPerDomain))
+			v := transitOf(d2, rng.Intn(cfg.TransitNodesPerDomain))
+			g.MustAddEdge(u, v, lat(cfg.InterTransitMin, cfg.InterTransitSpread))
+		}
+	}
+
+	// Stub domains.
+	next := numTransit
+	domainID := 0
+	for t := 0; t < numTransit; t++ {
+		for s := 0; s < cfg.StubsPerTransitNode; s++ {
+			nodes := make([]int, cfg.StubNodesPerDomain)
+			for i := range nodes {
+				nodes[i] = next
+				roles.Domain[next] = domainID
+				next++
+			}
+			connectDomain(nodes, cfg.IntraStubMin, cfg.IntraStubSpread)
+			// Gateway link from a random stub node to the transit router.
+			gw := nodes[rng.Intn(len(nodes))]
+			g.MustAddEdge(gw, t, lat(cfg.TransitStubMin, cfg.TransitStubSpread))
+			domainID++
+		}
+	}
+
+	if !g.Connected() {
+		return nil, nil, fmt.Errorf("latency: transit-stub topology disconnected (bug)")
+	}
+	ap := g.AllPairs()
+	m := NewMatrix(total)
+	for i := range ap {
+		copy(m[i], ap[i])
+	}
+	// Per-source Dijkstra accumulates path sums in different orders, so
+	// d(u,v) and d(v,u) can differ in the last ulp; average them away.
+	m.Symmetrize()
+	return m, roles, nil
+}

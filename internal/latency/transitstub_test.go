@@ -1,0 +1,171 @@
+package latency
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransitStubValid(t *testing.T) {
+	cfg := DefaultTransitStub(150)
+	m, roles, err := TransitStub(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != cfg.Nodes() {
+		t.Fatalf("matrix size %d, want %d", m.Len(), cfg.Nodes())
+	}
+	if m.Len() < 150 {
+		t.Fatalf("requested ≥150 nodes, got %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("matrix invalid: %v", err)
+	}
+	numTransit := cfg.TransitDomains * cfg.TransitNodesPerDomain
+	for i := 0; i < m.Len(); i++ {
+		isTransit := i < numTransit
+		if roles.Transit[i] != isTransit {
+			t.Fatalf("node %d transit role = %v, want %v", i, roles.Transit[i], isTransit)
+		}
+		if isTransit != (roles.Domain[i] == -1) {
+			t.Fatalf("node %d domain = %d inconsistent with transit role", i, roles.Domain[i])
+		}
+	}
+}
+
+func TestTransitStubSatisfiesTriangleInequality(t *testing.T) {
+	// Latencies are shortest-path lengths over a link graph, so the
+	// matrix must be a metric — unlike the SyntheticInternet model.
+	cfg := DefaultTransitStub(100)
+	m, _, err := TransitStub(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.MeasureStats()
+	if st.TIVRatio != 0 {
+		t.Fatalf("TIV ratio = %v, want 0 for shortest-path metric", st.TIVRatio)
+	}
+}
+
+func TestTransitStubDeterministic(t *testing.T) {
+	cfg := DefaultTransitStub(80)
+	a, _, err := TransitStub(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := TransitStub(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed should reproduce the matrix")
+			}
+		}
+	}
+}
+
+func TestTransitStubLocalityStructure(t *testing.T) {
+	// Nodes in the same stub domain should typically be closer to each
+	// other than to nodes in stub domains of other transit cores.
+	cfg := DefaultTransitStub(120)
+	m, roles, err := TransitStub(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < m.Len(); i++ {
+		if roles.Domain[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < m.Len(); j++ {
+			if roles.Domain[j] < 0 {
+				continue
+			}
+			if roles.Domain[i] == roles.Domain[j] {
+				intra += m[i][j]
+				nIntra++
+			} else {
+				inter += m[i][j]
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("expected both intra- and inter-domain pairs")
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Fatalf("no locality: intra mean %v ≥ inter mean %v",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestTransitStubConfigValidation(t *testing.T) {
+	base := DefaultTransitStub(50)
+	mutations := []struct {
+		name   string
+		mutate func(*TransitStubConfig)
+	}{
+		{"zero transit domains", func(c *TransitStubConfig) { c.TransitDomains = 0 }},
+		{"zero transit nodes", func(c *TransitStubConfig) { c.TransitNodesPerDomain = 0 }},
+		{"negative stubs", func(c *TransitStubConfig) { c.StubsPerTransitNode = -1 }},
+		{"stub without nodes", func(c *TransitStubConfig) { c.StubNodesPerDomain = 0 }},
+		{"zero latency", func(c *TransitStubConfig) { c.IntraStubMin = 0 }},
+		{"negative spread", func(c *TransitStubConfig) { c.InterTransitSpread = -1 }},
+		{"bad chord fraction", func(c *TransitStubConfig) { c.ExtraEdgeFraction = 2 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, _, err := TransitStub(cfg, 1); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTransitStubNoStubs(t *testing.T) {
+	// A pure transit core is a legal (if odd) configuration.
+	cfg := DefaultTransitStub(50)
+	cfg.StubsPerTransitNode = 0
+	cfg.StubNodesPerDomain = 0
+	m, roles, err := TransitStub(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != cfg.TransitDomains*cfg.TransitNodesPerDomain {
+		t.Fatalf("size %d", m.Len())
+	}
+	for i := range roles.Transit {
+		if !roles.Transit[i] {
+			t.Fatal("all nodes should be transit")
+		}
+	}
+}
+
+func TestTransitStubProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 40 + int(uint64(seed)%100)
+		cfg := DefaultTransitStub(n)
+		m, _, err := TransitStub(cfg, seed)
+		if err != nil {
+			return false
+		}
+		return m.Validate() == nil && m.Len() >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransitStub(b *testing.B) {
+	cfg := DefaultTransitStub(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TransitStub(cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

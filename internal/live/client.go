@@ -1,0 +1,158 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Delivery is one state update as observed by a client.
+type Delivery struct {
+	Op OpMsg
+	// ExecSim is the execution simulation time the server reported.
+	ExecSim float64
+	// ArrivalSim is the client's simulation time at arrival.
+	ArrivalSim float64
+	// Late reports a constraint (ii) miss: arrival after issue + δ.
+	Late bool
+	// InteractionTime is presentation − issue: δ when on time, more when
+	// late.
+	InteractionTime float64
+}
+
+// ClientConfig configures one live DIA client.
+type ClientConfig struct {
+	// ID is the instance-local client index.
+	ID int
+	// Clock is the shared cluster clock (client simulation time equals
+	// virtual wall time).
+	Clock Clock
+	// Delta is the execution lag δ (virtual ms).
+	Delta float64
+	// UplinkDelay is the injected one-way latency to the assigned server
+	// (virtual ms). The downlink delay is injected by the server side.
+	UplinkDelay float64
+	// LatenessTolerance absorbs scheduling noise (virtual ms).
+	LatenessTolerance float64
+}
+
+// Client is one live DIA participant.
+type Client struct {
+	cfg  ClientConfig
+	conn *encoderConn
+	up   *delayLink
+
+	mu         sync.Mutex
+	deliveries []Delivery
+	closed     bool
+	done       chan struct{}
+	// Ping state (see ping.go): the channel closed when the pong for
+	// pongNonce arrives.
+	pongCh    chan struct{}
+	pongNonce int64
+}
+
+// Dial connects a client to its assigned server.
+func Dial(cfg ClientConfig, serverAddr string) (*Client, error) {
+	if err := validateClock(cfg.Clock); err != nil {
+		return nil, err
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("live: client %d delta %v, want > 0", cfg.ID, cfg.Delta)
+	}
+	conn, err := net.Dial("tcp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: client %d dial: %w", cfg.ID, err)
+	}
+	ec := newEncoderConn(conn)
+	if err := ec.send(Msg{Hello: &HelloMsg{Kind: "client", ID: cfg.ID}}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		cfg:  cfg,
+		conn: ec,
+		done: make(chan struct{}),
+	}
+	c.up = newDelayLink(ec, time.Duration(cfg.UplinkDelay*float64(cfg.Clock.Scale)), nil)
+	go c.readLoop()
+	return c, nil
+}
+
+// Issue sends an operation at the client's current simulation time.
+func (c *Client) Issue(opID int) {
+	c.up.send(Msg{Op: &OpMsg{OpID: opID, ClientID: c.cfg.ID, IssueSim: c.cfg.Clock.NowVirtual()}})
+}
+
+// IssueAt blocks until virtual time t, then issues.
+func (c *Client) IssueAt(opID int, t float64) {
+	c.cfg.Clock.SleepUntilVirtual(t)
+	c.Issue(opID)
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		var m Msg
+		if err := c.conn.recv(&m); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		if m.Pong != nil {
+			c.mu.Lock()
+			if c.pongCh != nil && m.Pong.Nonce == c.pongNonce {
+				close(c.pongCh)
+				c.pongCh = nil
+			}
+			c.mu.Unlock()
+			continue
+		}
+		if m.Update == nil {
+			continue
+		}
+		u := *m.Update
+		arrival := c.cfg.Clock.NowVirtual()
+		deadline := u.Op.IssueSim + c.cfg.Delta
+		late := arrival > deadline+c.cfg.LatenessTolerance
+		presentation := deadline
+		if late {
+			presentation = arrival
+		}
+		c.mu.Lock()
+		c.deliveries = append(c.deliveries, Delivery{
+			Op:              u.Op,
+			ExecSim:         u.ExecSim,
+			ArrivalSim:      arrival,
+			Late:            late,
+			InteractionTime: presentation - u.Op.IssueSim,
+		})
+		c.mu.Unlock()
+	}
+}
+
+// Deliveries returns a copy of everything received so far.
+func (c *Client) Deliveries() []Delivery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Delivery(nil), c.deliveries...)
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.up.close()
+	err := c.conn.close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,280 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"diacap/internal/core"
+	"diacap/internal/dia"
+)
+
+// ClusterConfig configures a full localhost deployment of the paper's
+// architecture: one TCP server per instance server, one client per
+// instance client (or a subset), per-pair latency injection from the
+// instance's matrix, and the Section II-C simulation-time offsets.
+type ClusterConfig struct {
+	Instance   *core.Instance
+	Assignment core.Assignment
+	// Delta is the execution lag δ (virtual ms); Offsets the server
+	// offsets (nil computes them from the assignment).
+	Delta   float64
+	Offsets *core.Offsets
+	// Clients optionally restricts which instance clients to launch
+	// (nil = all). Launching hundreds of TCP clients is fine but slows
+	// tests; experiments usually sample.
+	Clients []int
+	// Scale is the wall duration of one virtual millisecond. The default
+	// is 1 ms (real time): latencies then dwarf scheduler and codec
+	// noise even on a single-core machine. Faster scales work on
+	// multi-core hosts at the cost of a larger LatenessTolerance.
+	Scale time.Duration
+	// LatenessTolerance absorbs scheduling noise (virtual ms, default 15).
+	LatenessTolerance float64
+}
+
+// Cluster is a running live deployment.
+type Cluster struct {
+	cfg     ClusterConfig
+	clock   Clock
+	servers []*Server
+	clients map[int]*Client
+}
+
+// ClusterResult aggregates a finished run.
+type ClusterResult struct {
+	// OpsIssued counts operations sent by clients.
+	OpsIssued int
+	// Executions counts (op, server) executions across all servers.
+	Executions int
+	// ServerLate / ClientLate count deadline misses beyond tolerance.
+	ServerLate int
+	ClientLate int
+	// UpdatesDelivered counts (op, client) deliveries.
+	UpdatesDelivered int
+	// MeanInteraction / MaxInteraction summarize client-observed
+	// interaction times (virtual ms).
+	MeanInteraction float64
+	MaxInteraction  float64
+	// ExecSpread is the largest cross-server difference in execution
+	// simulation time for the same operation — the direct consistency
+	// measure (0 when every replica executed at the same sim time).
+	ExecSpread float64
+	// OrderInversions counts per-server executions out of issuance order
+	// (on the simulation-time execution timeline) — the fairness measure.
+	OrderInversions int
+}
+
+// StartCluster boots servers, interconnects them, and dials clients.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	in := cfg.Instance
+	if in == nil {
+		return nil, errors.New("live: nil instance")
+	}
+	if err := in.Validate(cfg.Assignment); err != nil {
+		return nil, err
+	}
+	if cfg.Offsets == nil {
+		off, err := in.ComputeOffsets(cfg.Assignment)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Offsets = off
+	}
+	if cfg.Delta <= 0 {
+		return nil, errors.New("live: delta must be positive")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = time.Millisecond
+	}
+	if cfg.LatenessTolerance <= 0 {
+		cfg.LatenessTolerance = 15
+	}
+	clientIDs := cfg.Clients
+	if clientIDs == nil {
+		clientIDs = make([]int, in.NumClients())
+		for i := range clientIDs {
+			clientIDs[i] = i
+		}
+	}
+	for _, c := range clientIDs {
+		if c < 0 || c >= in.NumClients() {
+			return nil, fmt.Errorf("live: client %d out of range", c)
+		}
+	}
+
+	// The epoch sits slightly in the future so that startup (listen,
+	// dial, handshake) happens "before time zero".
+	clock := Clock{Epoch: time.Now().Add(50 * time.Millisecond), Scale: cfg.Scale}
+	cl := &Cluster{cfg: cfg, clock: clock, clients: make(map[int]*Client, len(clientIDs))}
+
+	// Servers.
+	for k := 0; k < in.NumServers(); k++ {
+		k := k
+		srv, err := StartServer(ServerConfig{
+			ID:    k,
+			Clock: clock,
+			Delta: cfg.Delta,
+			Ahead: cfg.Offsets.ServerAhead[k],
+			PeerDelay: func(peer int) float64 {
+				return in.ServerServerDist(k, peer)
+			},
+			ClientDelay: func(client int) float64 {
+				return in.ClientServerDist(client, k)
+			},
+			LatenessTolerance: cfg.LatenessTolerance,
+		}, "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.servers = append(cl.servers, srv)
+	}
+	// Full mesh.
+	for i, s := range cl.servers {
+		for j, t := range cl.servers {
+			if i == j {
+				continue
+			}
+			if err := s.ConnectPeer(j, t.Addr()); err != nil {
+				cl.Close()
+				return nil, err
+			}
+		}
+	}
+	// Clients.
+	for _, ci := range clientIDs {
+		target := cfg.Assignment[ci]
+		c, err := Dial(ClientConfig{
+			ID:                ci,
+			Clock:             clock,
+			Delta:             cfg.Delta,
+			UplinkDelay:       in.ClientServerDist(ci, target),
+			LatenessTolerance: cfg.LatenessTolerance,
+		}, cl.servers[target].Addr())
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.clients[ci] = c
+	}
+	return cl, nil
+}
+
+// Clock returns the shared cluster clock.
+func (cl *Cluster) Clock() Clock { return cl.clock }
+
+// Client returns a launched client by instance index (nil if absent).
+func (cl *Cluster) Client(id int) *Client { return cl.clients[id] }
+
+// RunWorkload issues the operations (their Client field must refer to
+// launched clients), waits for the pipeline to drain, and gathers the
+// result. Ops must be sorted by IssueTime.
+func (cl *Cluster) RunWorkload(ops []dia.Operation) (*ClusterResult, error) {
+	var wg sync.WaitGroup
+	for _, op := range ops {
+		c, ok := cl.clients[op.Client]
+		if !ok {
+			return nil, fmt.Errorf("live: operation %d from unlaunched client %d", op.ID, op.Client)
+		}
+		wg.Add(1)
+		go func(c *Client, id int, at float64) {
+			defer wg.Done()
+			c.IssueAt(id, at)
+		}(c, op.ID, op.IssueTime)
+	}
+	wg.Wait()
+
+	// Drain: the last effect lands no later than max issue + δ + the
+	// worst client downlink + tolerance; wait that out plus slack.
+	lastIssue := 0.0
+	for _, op := range ops {
+		if op.IssueTime > lastIssue {
+			lastIssue = op.IssueTime
+		}
+	}
+	maxDown := 0.0
+	in := cl.cfg.Instance
+	for ci := range cl.clients {
+		if d := in.ClientServerDist(ci, cl.cfg.Assignment[ci]); d > maxDown {
+			maxDown = d
+		}
+	}
+	drainUntil := lastIssue + cl.cfg.Delta + maxDown + 4*cl.cfg.LatenessTolerance + 50
+	cl.clock.SleepUntilVirtual(drainUntil)
+
+	res := &ClusterResult{OpsIssued: len(ops)}
+	// Server-side statistics and consistency/fairness audit.
+	execTimes := make(map[int][]float64)
+	for _, s := range cl.servers {
+		execs, late, _ := s.Stats()
+		res.Executions += execs
+		res.ServerLate += late
+		slog := s.Log()
+		for _, rec := range slog {
+			execTimes[rec.Op.OpID] = append(execTimes[rec.Op.OpID], rec.ExecSim)
+		}
+		// Fairness: sort the log by execution sim time and look for
+		// issuance-order inversions.
+		ordered := append([]ExecRecord(nil), slog...)
+		for i := 1; i < len(ordered); i++ {
+			for j := i; j > 0 && ordered[j].ExecSim < ordered[j-1].ExecSim; j-- {
+				ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+			}
+		}
+		for i := 1; i < len(ordered); i++ {
+			// Executions within the tolerance of each other are
+			// effectively simultaneous — ordering between them is
+			// scheduler noise, not unfairness.
+			if ordered[i].ExecSim-ordered[i-1].ExecSim <= cl.cfg.LatenessTolerance {
+				continue
+			}
+			if ordered[i].Op.IssueSim < ordered[i-1].Op.IssueSim-cl.cfg.LatenessTolerance {
+				res.OrderInversions++
+			}
+		}
+	}
+	for _, times := range execTimes {
+		min, max := times[0], times[0]
+		for _, t := range times {
+			if t < min {
+				min = t
+			}
+			if t > max {
+				max = t
+			}
+		}
+		if spread := max - min; spread > res.ExecSpread {
+			res.ExecSpread = spread
+		}
+	}
+	// Client-side statistics.
+	var sum float64
+	for _, c := range cl.clients {
+		for _, d := range c.Deliveries() {
+			res.UpdatesDelivered++
+			if d.Late {
+				res.ClientLate++
+			}
+			sum += d.InteractionTime
+			if d.InteractionTime > res.MaxInteraction {
+				res.MaxInteraction = d.InteractionTime
+			}
+		}
+	}
+	if res.UpdatesDelivered > 0 {
+		res.MeanInteraction = sum / float64(res.UpdatesDelivered)
+	}
+	return res, nil
+}
+
+// Close tears the whole cluster down.
+func (cl *Cluster) Close() {
+	for _, c := range cl.clients {
+		_ = c.Close()
+	}
+	for _, s := range cl.servers {
+		_ = s.Close()
+	}
+}

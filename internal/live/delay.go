@@ -1,0 +1,82 @@
+package live
+
+import (
+	"sync"
+	"time"
+)
+
+// delayLink injects a fixed one-way latency on an outgoing message stream
+// while preserving FIFO order: messages are released to the underlying
+// sender no earlier than enqueue time + delay. It stands in for the
+// geographic network latency that a localhost test cluster lacks.
+type delayLink struct {
+	delay time.Duration
+	out   *encoderConn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delayedMsg
+	closed bool
+	errOne sync.Once
+	onErr  func(error)
+}
+
+type delayedMsg struct {
+	msg     Msg
+	release time.Time
+}
+
+// newDelayLink starts the sender goroutine. onErr (may be nil) is invoked
+// once on the first send error.
+func newDelayLink(out *encoderConn, delay time.Duration, onErr func(error)) *delayLink {
+	l := &delayLink{delay: delay, out: out, onErr: onErr}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+// send enqueues a message for delayed delivery. It never blocks on the
+// network.
+func (l *delayLink) send(m Msg) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.queue = append(l.queue, delayedMsg{msg: m, release: time.Now().Add(l.delay)})
+	l.cond.Signal()
+}
+
+// close stops the sender after the queue drains.
+func (l *delayLink) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+func (l *delayLink) run() {
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		head := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		if d := time.Until(head.release); d > 0 {
+			time.Sleep(d)
+		}
+		if err := l.out.send(head.msg); err != nil {
+			if l.onErr != nil {
+				l.errOne.Do(func() { l.onErr(err) })
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package live
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/dia"
+	"diacap/internal/latency"
+)
+
+func netListen() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func netDial(addr string) (*encoderConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newEncoderConn(conn), nil
+}
+
+// liveInstance builds a small instance whose latencies (tens of virtual
+// ms) dominate scheduler noise at the default scale.
+func liveInstance(t testing.TB, seed int64, n, ns int) (*core.Instance, core.Assignment, *core.Offsets) {
+	t.Helper()
+	m := latency.ScaledLike(n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	in, err := core.NewInstanceTrusted(m, perm[:ns], perm[ns:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := assign.Greedy{}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, a, off
+}
+
+func TestClockConversions(t *testing.T) {
+	c := Clock{Epoch: time.Now(), Scale: time.Millisecond}
+	w := c.WallAt(250)
+	if d := w.Sub(c.Epoch); d != 250*time.Millisecond {
+		t.Fatalf("WallAt(250) offset = %v", d)
+	}
+	if err := validateClock(Clock{}); err == nil {
+		t.Fatal("zero clock should fail validation")
+	}
+	if err := validateClock(Clock{Epoch: time.Now(), Scale: -1}); err == nil {
+		t.Fatal("negative scale should fail validation")
+	}
+}
+
+func TestDelayLinkOrderingAndTiming(t *testing.T) {
+	// A delayLink must deliver FIFO with at least the configured delay.
+	serverLn, clientConn := testPipe(t)
+	defer serverLn.close()
+	defer clientConn.close()
+
+	const delay = 30 * time.Millisecond
+	link := newDelayLink(clientConn, delay, nil)
+	defer link.close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		link.send(Msg{Op: &OpMsg{OpID: i}})
+	}
+	var got []int
+	var arrival []time.Duration
+	for i := 0; i < 5; i++ {
+		var m Msg
+		if err := serverLn.recv(&m); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.Op.OpID)
+		arrival = append(arrival, time.Since(start))
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if arrival[0] < delay {
+		t.Fatalf("first delivery after %v, want ≥ %v", arrival[0], delay)
+	}
+}
+
+// testPipe builds a connected (server, client) encoderConn pair over a
+// real localhost TCP socket.
+func testPipe(t testing.TB) (server, client *encoderConn) {
+	t.Helper()
+	ln, err := netListen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *encoderConn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- newEncoderConn(conn)
+	}()
+	cc, err := netDial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := <-done
+	if sc == nil {
+		t.Fatal("accept failed")
+	}
+	ln.Close()
+	return sc, cc
+}
+
+func TestClusterCleanAtDeltaD(t *testing.T) {
+	// The paper's architecture over real TCP: at δ = D with the
+	// Section II-C offsets, no server or client misses a deadline, all
+	// replicas execute every op at (nearly) the same simulation time in
+	// issuance order, and interaction times sit at δ.
+	in, a, off := liveInstance(t, 1, 18, 3)
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		LatenessTolerance: 35, // headroom for loaded single-core machines
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ops := dia.UniformWorkload(in.NumClients(), 20, 100, 25)
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executions != len(ops)*in.NumServers() {
+		t.Fatalf("executions = %d, want %d", res.Executions, len(ops)*in.NumServers())
+	}
+	if res.UpdatesDelivered != len(ops)*in.NumClients() {
+		t.Fatalf("updates = %d, want %d", res.UpdatesDelivered, len(ops)*in.NumClients())
+	}
+	if res.ServerLate != 0 || res.ClientLate != 0 {
+		t.Fatalf("deadline misses at δ = D: %d server, %d client", res.ServerLate, res.ClientLate)
+	}
+	if res.OrderInversions != 0 {
+		t.Fatalf("fairness inversions: %d", res.OrderInversions)
+	}
+	tol := cluster.cfg.LatenessTolerance
+	if res.ExecSpread > 2*tol {
+		t.Fatalf("execution spread %v beyond tolerance", res.ExecSpread)
+	}
+	if math.Abs(res.MeanInteraction-off.D) > tol {
+		t.Fatalf("mean interaction %v, want ≈ δ = %v", res.MeanInteraction, off.D)
+	}
+}
+
+func TestClusterLateBelowD(t *testing.T) {
+	// Far below D, deadlines are missed over real sockets too.
+	in, a, off := liveInstance(t, 2, 16, 3)
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D * 0.5,
+		Offsets:           off,
+		LatenessTolerance: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ops := dia.UniformWorkload(in.NumClients(), in.NumClients(), 100, 10)
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerLate+res.ClientLate == 0 {
+		t.Fatal("δ = 0.5·D should miss deadlines")
+	}
+	if res.MaxInteraction <= res.MeanInteraction-1e-9 {
+		t.Fatal("max interaction below mean")
+	}
+}
+
+func TestClusterSubsetOfClients(t *testing.T) {
+	in, a, off := liveInstance(t, 3, 20, 3)
+	launched := []int{0, 3, 5}
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:   in,
+		Assignment: a,
+		Delta:      off.D,
+		Offsets:    off,
+		Clients:    launched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ops := []dia.Operation{
+		{ID: 0, Client: 0, IssueTime: 80},
+		{ID: 1, Client: 3, IssueTime: 90},
+		{ID: 2, Client: 5, IssueTime: 100},
+	}
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdatesDelivered != len(ops)*len(launched) {
+		t.Fatalf("updates = %d, want %d", res.UpdatesDelivered, len(ops)*len(launched))
+	}
+	// Issuing from an unlaunched client is an error.
+	if _, err := cluster.RunWorkload([]dia.Operation{{ID: 9, Client: 1, IssueTime: 500}}); err == nil {
+		t.Fatal("unlaunched client should fail")
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	in, a, off := liveInstance(t, 4, 12, 2)
+	cases := []struct {
+		name string
+		cfg  ClusterConfig
+	}{
+		{"nil instance", ClusterConfig{Assignment: a, Delta: 1}},
+		{"bad assignment", ClusterConfig{Instance: in, Assignment: a[:1], Delta: 1}},
+		{"zero delta", ClusterConfig{Instance: in, Assignment: a, Delta: 0, Offsets: off}},
+		{"bad client subset", ClusterConfig{Instance: in, Assignment: a, Delta: off.D, Offsets: off, Clients: []int{999}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if c, err := StartCluster(tc.cfg); err == nil {
+				c.Close()
+				t.Fatal("StartCluster should fail")
+			}
+		})
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	clock := Clock{Epoch: time.Now(), Scale: time.Millisecond}
+	if _, err := StartServer(ServerConfig{ID: 0, Clock: clock, Delta: 0}, "127.0.0.1:0"); err == nil {
+		t.Fatal("zero delta should fail")
+	}
+	if _, err := StartServer(ServerConfig{ID: 0, Clock: clock, Delta: 1}, "127.0.0.1:0"); err == nil {
+		t.Fatal("missing delay functions should fail")
+	}
+	if _, err := Dial(ClientConfig{ID: 0, Clock: clock, Delta: 0}, "127.0.0.1:1"); err == nil {
+		t.Fatal("zero client delta should fail")
+	}
+}
+
+func TestClusterDoubleCloseSafe(t *testing.T) {
+	in, a, off := liveInstance(t, 5, 12, 2)
+	cluster, err := StartCluster(ClusterConfig{Instance: in, Assignment: a, Delta: off.D, Offsets: off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Close()
+	cluster.Close() // must not panic or deadlock
+}
+
+func TestPingMeasuresInjectedLatency(t *testing.T) {
+	// The in-band ping must observe the injected uplink+downlink latency:
+	// RTT ≈ 2·d(client, server) in virtual ms, within tolerance.
+	in, a, off := liveInstance(t, 6, 16, 3)
+	launched := []int{0, 2, 4}
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:   in,
+		Assignment: a,
+		Delta:      off.D,
+		Offsets:    off,
+		Clients:    launched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	rtts, err := cluster.MeasuredUplinks(3, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := cluster.cfg.LatenessTolerance
+	for _, ci := range launched {
+		want := 2 * in.ClientServerDist(ci, a[ci])
+		got, ok := rtts[ci]
+		if !ok {
+			t.Fatalf("client %d missing from measurements", ci)
+		}
+		if got < want-tol || got > want+2*tol {
+			t.Fatalf("client %d RTT = %.2f, want ≈ %.2f (±%v)", ci, got, want, tol)
+		}
+	}
+}
+
+func TestPingValidation(t *testing.T) {
+	in, a, off := liveInstance(t, 7, 12, 2)
+	cluster, err := StartCluster(ClusterConfig{
+		Instance: in, Assignment: a, Delta: off.D, Offsets: off, Clients: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.Client(0).MeasureRTT(0, time.Second); err == nil {
+		t.Fatal("zero ping count should fail")
+	}
+}

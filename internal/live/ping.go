@@ -1,0 +1,115 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// In-band latency measurement: the paper assumes client-to-server
+// latencies "can be obtained with existing tools like ping"; the live
+// layer provides exactly that primitive, so a deployment can measure its
+// own latency picture from inside the running cluster, re-run the
+// assignment on the measured matrix, and migrate — the full
+// measure → assign → deploy loop.
+
+// PingMsg is an echo request; PongMsg the reply carrying the same nonce.
+type PingMsg struct {
+	Nonce int64
+	// From identifies the pinging client so the echo can be routed back
+	// through its (latency-injecting) downlink.
+	From int
+}
+
+// PongMsg answers a PingMsg.
+type PongMsg struct {
+	Nonce int64
+}
+
+// MeasureRTT sends count pings to the client's assigned server and
+// returns the median round-trip time in virtual milliseconds. It is
+// synchronous and must not run concurrently with other measurements on
+// the same client.
+func (c *Client) MeasureRTT(count int, timeout time.Duration) (float64, error) {
+	if count <= 0 {
+		return 0, fmt.Errorf("live: ping count %d, want > 0", count)
+	}
+	rtts := make([]float64, 0, count)
+	for i := 0; i < count; i++ {
+		nonce := int64(i + 1)
+		ch := make(chan struct{})
+		c.mu.Lock()
+		c.pongCh = ch
+		c.pongNonce = nonce
+		c.mu.Unlock()
+
+		start := c.cfg.Clock.NowVirtual()
+		c.up.send(Msg{Ping: &PingMsg{Nonce: nonce, From: c.cfg.ID}})
+		select {
+		case <-ch:
+			rtts = append(rtts, c.cfg.Clock.NowVirtual()-start)
+		case <-time.After(timeout):
+			return 0, fmt.Errorf("live: ping %d timed out after %v", nonce, timeout)
+		case <-c.done:
+			return 0, fmt.Errorf("live: connection closed during ping")
+		}
+	}
+	return median(rtts), nil
+}
+
+func median(v []float64) float64 {
+	// Insertion sort: ping counts are tiny.
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// handlePing echoes a ping through the client's registered downlink so
+// the reply experiences the injected server→client latency.
+func (s *Server) handlePing(p PingMsg) {
+	s.mu.Lock()
+	link, ok := s.clients[p.From]
+	s.mu.Unlock()
+	if !ok {
+		s.logf("ping from unregistered client %d", p.From)
+		return
+	}
+	link.send(Msg{Pong: &PongMsg{Nonce: p.Nonce}})
+}
+
+// MeasuredUplinks measures, for every launched client of a cluster, the
+// RTT to its assigned server, returning a map client → RTT (virtual ms).
+// With the cluster's injected latencies, the expected value is twice the
+// instance's client-to-server distance plus wire overhead.
+func (cl *Cluster) MeasuredUplinks(pings int, timeout time.Duration) (map[int]float64, error) {
+	out := make(map[int]float64, len(cl.clients))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(cl.clients))
+	for id, c := range cl.clients {
+		id, c := id, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rtt, err := c.MeasureRTT(pings, timeout)
+			if err != nil {
+				errCh <- fmt.Errorf("client %d: %w", id, err)
+				return
+			}
+			mu.Lock()
+			out[id] = rtt
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+// Package live is a real networked implementation of the paper's
+// distributed server architecture: DIA servers and clients as goroutines
+// speaking a gob-encoded protocol over TCP, with per-pair latency
+// injection so a localhost cluster behaves like a geo-distributed
+// deployment. It implements the same pipeline as the discrete-event
+// runtime (package dia) — client → assigned server → peer forward →
+// constant-lag execution → state update — but against the operating
+// system's real clock, concurrency, and sockets, which is the form a
+// production deployment of the paper's system would take.
+//
+// Simulation time follows Section II-C: all clients share a simulation
+// clock equal to elapsed wall time since the cluster epoch (scaled), and
+// each server runs ahead of it by its core.Offsets value.
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Msg is the wire envelope. Exactly one field is non-nil.
+type Msg struct {
+	Hello   *HelloMsg
+	Op      *OpMsg
+	Forward *ForwardMsg
+	Update  *UpdateMsg
+	Ping    *PingMsg
+	Pong    *PongMsg
+}
+
+// HelloMsg introduces a connecting peer.
+type HelloMsg struct {
+	// Kind is "client" or "server".
+	Kind string
+	// ID is the instance-local client or server index.
+	ID int
+}
+
+// OpMsg carries a user operation from a client to its assigned server.
+type OpMsg struct {
+	OpID     int
+	ClientID int
+	// IssueSim is the client's simulation time of issuance (virtual ms).
+	IssueSim float64
+}
+
+// ForwardMsg relays an operation between servers.
+type ForwardMsg struct {
+	Op OpMsg
+}
+
+// UpdateMsg delivers the state update for one executed operation.
+type UpdateMsg struct {
+	Op OpMsg
+	// ExecSim is the simulation time of execution (virtual ms).
+	ExecSim float64
+}
+
+func init() {
+	gob.Register(Msg{})
+}
+
+// encoderConn pairs a connection with its gob codec.
+type encoderConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func newEncoderConn(conn net.Conn) *encoderConn {
+	return &encoderConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (c *encoderConn) send(m Msg) error  { return c.enc.Encode(m) }
+func (c *encoderConn) recv(m *Msg) error { return c.dec.Decode(m) }
+func (c *encoderConn) close() error      { return c.conn.Close() }
+
+// Clock converts between wall time and virtual simulation milliseconds.
+// Scale is the wall duration of one virtual millisecond; e.g. with
+// Scale = 200·time.Microsecond the cluster runs 5× faster than real time
+// while keeping latencies far above OS scheduling noise.
+type Clock struct {
+	Epoch time.Time
+	Scale time.Duration
+}
+
+// NowVirtual returns the current virtual time in milliseconds.
+func (c Clock) NowVirtual() float64 {
+	return float64(time.Since(c.Epoch)) / float64(c.Scale)
+}
+
+// WallAt returns the wall-clock time at which virtual time t occurs.
+func (c Clock) WallAt(t float64) time.Time {
+	return c.Epoch.Add(time.Duration(t * float64(c.Scale)))
+}
+
+// SleepUntilVirtual blocks until virtual time t (returns immediately if
+// past).
+func (c Clock) SleepUntilVirtual(t float64) {
+	if d := time.Until(c.WallAt(t)); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// validateClock rejects unusable clock configurations.
+func validateClock(c Clock) error {
+	if c.Epoch.IsZero() {
+		return fmt.Errorf("live: clock epoch not set")
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("live: clock scale %v, want > 0", c.Scale)
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ExecRecord is one executed operation at a server.
+type ExecRecord struct {
+	Op      OpMsg
+	ExecSim float64
+}
+
+// ServerConfig configures one live DIA server.
+type ServerConfig struct {
+	// ID is the instance-local server index.
+	ID int
+	// Clock is the shared cluster clock.
+	Clock Clock
+	// Delta is the execution lag δ (virtual ms).
+	Delta float64
+	// Ahead is this server's simulation-time offset Δ(s, c).
+	Ahead float64
+	// PeerDelay returns the injected one-way latency (virtual ms) to a
+	// peer server by ID.
+	PeerDelay func(peer int) float64
+	// ClientDelay returns the injected one-way latency (virtual ms) to a
+	// client by ID.
+	ClientDelay func(client int) float64
+	// LatenessTolerance absorbs OS scheduling noise when classifying an
+	// arrival as late (virtual ms).
+	LatenessTolerance float64
+	// Logf, if non-nil, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// Server is one live DIA server: it accepts client and peer connections,
+// forwards client operations to all peers, executes every operation when
+// its simulation time reaches issue + δ, and pushes state updates to its
+// clients.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu       sync.Mutex
+	peers    map[int]*delayLink // outgoing links to peer servers
+	clients  map[int]*delayLink // outgoing links to connected clients
+	conns    []net.Conn         // every connection owned by this server
+	seen     map[int]bool       // executed/scheduled op IDs
+	log      []ExecRecord
+	late     int
+	maxLate  float64
+	closed   bool
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+	timers   []*time.Timer
+}
+
+// trackConn registers a connection for teardown; it returns false (and
+// closes the conn) when the server is already closed.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	s.conns = append(s.conns, conn)
+	return true
+}
+
+// StartServer begins listening on addr ("127.0.0.1:0" for an ephemeral
+// port).
+func StartServer(cfg ServerConfig, addr string) (*Server, error) {
+	if err := validateClock(cfg.Clock); err != nil {
+		return nil, err
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("live: server %d delta %v, want > 0", cfg.ID, cfg.Delta)
+	}
+	if cfg.PeerDelay == nil || cfg.ClientDelay == nil {
+		return nil, errors.New("live: server needs PeerDelay and ClientDelay")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: server %d listen: %w", cfg.ID, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		peers:    make(map[int]*delayLink),
+		clients:  make(map[int]*delayLink),
+		seen:     make(map[int]bool),
+		shutdown: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// ConnectPeer dials a peer server and registers the outgoing link.
+func (s *Server) ConnectPeer(peerID int, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("live: server %d dial peer %d: %w", s.cfg.ID, peerID, err)
+	}
+	if !s.trackConn(conn) {
+		return errors.New("live: server closed")
+	}
+	ec := newEncoderConn(conn)
+	if err := ec.send(Msg{Hello: &HelloMsg{Kind: "server", ID: s.cfg.ID}}); err != nil {
+		conn.Close()
+		return err
+	}
+	delay := time.Duration(s.cfg.PeerDelay(peerID) * float64(s.cfg.Clock.Scale))
+	link := newDelayLink(ec, delay, func(err error) { s.logf("peer %d link: %v", peerID, err) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		link.close()
+		conn.Close()
+		return errors.New("live: server closed")
+	}
+	s.peers[peerID] = link
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	if !s.trackConn(conn) {
+		return
+	}
+	ec := newEncoderConn(conn)
+	var hello Msg
+	if err := ec.recv(&hello); err != nil || hello.Hello == nil {
+		conn.Close()
+		return
+	}
+	h := *hello.Hello
+	if h.Kind == "client" {
+		delay := time.Duration(s.cfg.ClientDelay(h.ID) * float64(s.cfg.Clock.Scale))
+		link := newDelayLink(ec, delay, func(err error) { s.logf("client %d link: %v", h.ID, err) })
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			link.close()
+			conn.Close()
+			return
+		}
+		s.clients[h.ID] = link
+		s.mu.Unlock()
+	}
+	// Read loop (both client ops and peer forwards arrive here).
+	for {
+		var m Msg
+		if err := ec.recv(&m); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("conn %s read: %v", h.Kind, err)
+			}
+			return
+		}
+		switch {
+		case m.Op != nil:
+			s.handleOp(*m.Op, true)
+		case m.Forward != nil:
+			s.handleOp(m.Forward.Op, false)
+		case m.Ping != nil:
+			s.handlePing(*m.Ping)
+		default:
+			s.logf("unexpected message from %s %d", h.Kind, h.ID)
+		}
+	}
+}
+
+// handleOp processes an operation; fromClient marks the first hop, which
+// triggers forwarding to every peer.
+func (s *Server) handleOp(op OpMsg, fromClient bool) {
+	s.mu.Lock()
+	if s.closed || s.seen[op.OpID] {
+		s.mu.Unlock()
+		return
+	}
+	s.seen[op.OpID] = true
+	if fromClient {
+		for _, link := range s.peers {
+			link.send(Msg{Forward: &ForwardMsg{Op: op}})
+		}
+	}
+	s.mu.Unlock()
+
+	// Execute when this server's simulation time reaches issue + δ, i.e.
+	// at virtual wall position issue + δ − ahead.
+	execVirtual := op.IssueSim + s.cfg.Delta - s.cfg.Ahead
+	nowVirtual := s.cfg.Clock.NowVirtual()
+	if nowVirtual > execVirtual+s.cfg.LatenessTolerance {
+		s.mu.Lock()
+		s.late++
+		if l := nowVirtual - execVirtual; l > s.maxLate {
+			s.maxLate = l
+		}
+		s.mu.Unlock()
+		s.execute(op)
+		return
+	}
+	t := time.AfterFunc(time.Until(s.cfg.Clock.WallAt(execVirtual)), func() { s.execute(op) })
+	s.mu.Lock()
+	s.timers = append(s.timers, t)
+	s.mu.Unlock()
+}
+
+// execute applies the operation at the server's current simulation time
+// and pushes updates to connected clients.
+func (s *Server) execute(op OpMsg) {
+	execSim := s.cfg.Clock.NowVirtual() + s.cfg.Ahead
+	// Snap on-time executions to the ideal simulation time: scheduling
+	// noise within the tolerance is measurement error, not lateness.
+	if ideal := op.IssueSim + s.cfg.Delta; execSim < ideal+s.cfg.LatenessTolerance && execSim > ideal-s.cfg.LatenessTolerance {
+		execSim = ideal
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.log = append(s.log, ExecRecord{Op: op, ExecSim: execSim})
+	update := Msg{Update: &UpdateMsg{Op: op, ExecSim: execSim}}
+	for _, link := range s.clients {
+		link.send(update)
+	}
+	s.mu.Unlock()
+}
+
+// Stats reports the server's observations so far.
+func (s *Server) Stats() (executions, late int, maxLateness float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log), s.late, s.maxLate
+}
+
+// Log returns a copy of the execution log.
+func (s *Server) Log() []ExecRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ExecRecord(nil), s.log...)
+}
+
+// Close shuts the server down: stops accepting, cancels pending
+// executions, and closes all links.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, t := range s.timers {
+		t.Stop()
+	}
+	for _, link := range s.peers {
+		link.close()
+	}
+	for _, link := range s.clients {
+		link.close()
+	}
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, conn := range conns {
+		conn.Close() // unblocks handleConn readers
+	}
+	close(s.shutdown)
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("server %d: "+format, append([]any{s.cfg.ID}, args...)...)
+	}
+}

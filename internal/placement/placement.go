@@ -1,0 +1,273 @@
+// Package placement implements the server placement strategies used in the
+// paper's experimental setup (Section V): uniformly random placement and
+// two minimum K-center algorithms — a 2-approximation (K-center-A, after
+// Hochbaum–Shmoys via the square-graph technique described in Vazirani's
+// book) and a greedy heuristic (K-center-B, after Jamin et al.,
+// INFOCOM'01). The minimum K-center problem places K centers so as to
+// minimize the maximum distance from any node to its closest center, and
+// is the standard model for latency-driven server placement on the
+// Internet.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"diacap/internal/latency"
+)
+
+// ErrBadArgs reports invalid placement parameters.
+var ErrBadArgs = errors.New("placement: invalid arguments")
+
+// Strategy names a placement algorithm, matching the paper's terminology.
+type Strategy string
+
+// Available strategies.
+const (
+	Random   Strategy = "random"
+	KCenterA Strategy = "k-center-a"
+	KCenterB Strategy = "k-center-b"
+)
+
+// Strategies lists all placement strategies in the order the paper
+// presents them.
+var Strategies = []Strategy{Random, KCenterA, KCenterB}
+
+// Place selects k server nodes from the n nodes of the matrix using the
+// given strategy. The rng is used only by Random (the K-center algorithms
+// are deterministic); it must be non-nil for Random.
+func Place(strategy Strategy, m latency.Matrix, k int, rng *rand.Rand) ([]int, error) {
+	switch strategy {
+	case Random:
+		if rng == nil {
+			return nil, fmt.Errorf("%w: Random placement needs an rng", ErrBadArgs)
+		}
+		return PlaceRandom(m.Len(), k, rng)
+	case KCenterA:
+		return PlaceKCenterA(m, k)
+	case KCenterB:
+		return PlaceKCenterB(m, k)
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %q", ErrBadArgs, strategy)
+	}
+}
+
+func checkK(n, k int) error {
+	if k <= 0 || k > n {
+		return fmt.Errorf("%w: k = %d with %d nodes", ErrBadArgs, k, n)
+	}
+	return nil
+}
+
+// PlaceRandom picks k distinct nodes uniformly at random.
+func PlaceRandom(n, k int, rng *rand.Rand) ([]int, error) {
+	if err := checkK(n, k); err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(n)
+	out := append([]int(nil), perm[:k]...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// CoverRadius returns the K-center objective for a set of centers: the
+// maximum over nodes of the distance to the closest center.
+func CoverRadius(m latency.Matrix, centers []int) float64 {
+	var radius float64
+	for v := 0; v < m.Len(); v++ {
+		best := -1.0
+		for _, c := range centers {
+			if d := m[v][c]; best < 0 || d < best {
+				best = d
+			}
+		}
+		if best > radius {
+			radius = best
+		}
+	}
+	return radius
+}
+
+// PlaceKCenterA is the paper's K-center-A: a 2-approximate minimum
+// K-center algorithm. It follows the classic square-graph scheme
+// (Vazirani, Approximation Algorithms, ch. 5): sort the pairwise
+// distances; for each candidate radius r (in increasing order) greedily
+// build a maximal independent set of the "square" of the bottleneck graph
+// by repeatedly picking an uncovered node as a center and covering
+// everything within 2r of it; the first radius whose maximal independent
+// set has at most k centers yields a placement with cover radius at most
+// 2·OPT. A binary search over the sorted distances finds that radius.
+func PlaceKCenterA(m latency.Matrix, k int) ([]int, error) {
+	n := m.Len()
+	if err := checkK(n, k); err != nil {
+		return nil, err
+	}
+	if k == n {
+		return identity(n), nil
+	}
+
+	// Candidate radii: all distinct pairwise distances.
+	dists := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dists = append(dists, m[i][j])
+		}
+	}
+	sort.Float64s(dists)
+	dists = dedupFloats(dists)
+
+	// build greedily selects centers so that every node is within 2r of a
+	// center, returning at most k+1 centers (stops early when exceeded).
+	build := func(r float64) []int {
+		covered := make([]bool, n)
+		var centers []int
+		for v := 0; v < n; v++ {
+			if covered[v] {
+				continue
+			}
+			centers = append(centers, v)
+			if len(centers) > k {
+				return centers
+			}
+			covered[v] = true
+			for u := 0; u < n; u++ {
+				if !covered[u] && m[v][u] <= 2*r {
+					covered[u] = true
+				}
+			}
+		}
+		return centers
+	}
+
+	// Binary search the smallest radius whose greedy cover needs ≤ k
+	// centers. Feasible at the largest distance (one center covers all).
+	lo, hi := 0, len(dists)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if len(build(dists[mid])) <= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	centers := build(dists[lo])
+	sort.Ints(centers)
+	return centers, nil
+}
+
+// PlaceKCenterB is the paper's K-center-B: the greedy K-center heuristic
+// of Jamin et al. — iteratively add the node that most reduces the current
+// cover radius, starting from the 1-center optimum.
+func PlaceKCenterB(m latency.Matrix, k int) ([]int, error) {
+	n := m.Len()
+	if err := checkK(n, k); err != nil {
+		return nil, err
+	}
+
+	// nearest[v] = distance from v to the closest chosen center.
+	nearest := make([]float64, n)
+	chosen := make([]bool, n)
+	centers := make([]int, 0, k)
+
+	// First center: the node minimizing the maximum distance to all
+	// others (the exact 1-center).
+	best, bestRadius := -1, 0.0
+	for c := 0; c < n; c++ {
+		radius := 0.0
+		for v := 0; v < n; v++ {
+			if m[c][v] > radius {
+				radius = m[c][v]
+			}
+		}
+		if best == -1 || radius < bestRadius {
+			best, bestRadius = c, radius
+		}
+	}
+	centers = append(centers, best)
+	chosen[best] = true
+	for v := 0; v < n; v++ {
+		nearest[v] = m[best][v]
+	}
+
+	for len(centers) < k {
+		bestC, bestRadius := -1, -1.0
+		for c := 0; c < n; c++ {
+			if chosen[c] {
+				continue
+			}
+			// Radius if c is added.
+			radius := 0.0
+			for v := 0; v < n; v++ {
+				d := nearest[v]
+				if m[c][v] < d {
+					d = m[c][v]
+				}
+				if d > radius {
+					radius = d
+				}
+			}
+			if bestC == -1 || radius < bestRadius {
+				bestC, bestRadius = c, radius
+			}
+		}
+		centers = append(centers, bestC)
+		chosen[bestC] = true
+		for v := 0; v < n; v++ {
+			if m[bestC][v] < nearest[v] {
+				nearest[v] = m[bestC][v]
+			}
+		}
+	}
+	sort.Ints(centers)
+	return centers, nil
+}
+
+// OptimalKCenter solves the minimum K-center problem exactly by
+// enumerating center subsets. Exponential; only for cross-checking the
+// approximation quality on small inputs.
+func OptimalKCenter(m latency.Matrix, k int) ([]int, float64, error) {
+	n := m.Len()
+	if err := checkK(n, k); err != nil {
+		return nil, 0, err
+	}
+	var bestSet []int
+	bestRadius := -1.0
+	subset := make([]int, k)
+	var recurse func(start, depth int)
+	recurse = func(start, depth int) {
+		if depth == k {
+			r := CoverRadius(m, subset)
+			if bestRadius < 0 || r < bestRadius {
+				bestRadius = r
+				bestSet = append(bestSet[:0], subset...)
+			}
+			return
+		}
+		for v := start; v <= n-(k-depth); v++ {
+			subset[depth] = v
+			recurse(v+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	return bestSet, bestRadius, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func dedupFloats(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package placement
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"diacap/internal/latency"
+)
+
+func distinct(nodes []int) bool {
+	seen := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func inRange(nodes []int, n int) bool {
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlaceRandomBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nodes, err := PlaceRandom(50, 10, rng)
+	if err != nil {
+		t.Fatalf("PlaceRandom: %v", err)
+	}
+	if len(nodes) != 10 || !distinct(nodes) || !inRange(nodes, 50) {
+		t.Fatalf("bad placement: %v", nodes)
+	}
+	if !sort.IntsAreSorted(nodes) {
+		t.Fatal("placement should be sorted")
+	}
+}
+
+func TestPlaceRandomBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, -1, 51} {
+		if _, err := PlaceRandom(50, k, rng); err == nil {
+			t.Fatalf("k = %d should fail", k)
+		}
+	}
+}
+
+func TestPlaceRandomDeterministicPerSeed(t *testing.T) {
+	a, _ := PlaceRandom(100, 20, rand.New(rand.NewSource(7)))
+	b, _ := PlaceRandom(100, 20, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same placement")
+		}
+	}
+}
+
+func TestCoverRadius(t *testing.T) {
+	m := latency.NewMatrix(3)
+	m[0][1], m[1][0] = 2, 2
+	m[0][2], m[2][0] = 5, 5
+	m[1][2], m[2][1] = 4, 4
+	if r := CoverRadius(m, []int{0}); r != 5 {
+		t.Fatalf("CoverRadius({0}) = %v, want 5", r)
+	}
+	if r := CoverRadius(m, []int{0, 2}); r != 2 {
+		t.Fatalf("CoverRadius({0,2}) = %v, want 2", r)
+	}
+	if r := CoverRadius(m, []int{0, 1, 2}); r != 0 {
+		t.Fatalf("CoverRadius(all) = %v, want 0", r)
+	}
+}
+
+func TestKCenterAValid(t *testing.T) {
+	m := latency.ScaledLike(60, 3)
+	for _, k := range []int{1, 3, 10, 60} {
+		centers, err := PlaceKCenterA(m, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(centers) > k || len(centers) == 0 {
+			t.Fatalf("k=%d: got %d centers", k, len(centers))
+		}
+		if !distinct(centers) || !inRange(centers, 60) {
+			t.Fatalf("k=%d: bad centers %v", k, centers)
+		}
+	}
+}
+
+func TestKCenterBValid(t *testing.T) {
+	m := latency.ScaledLike(60, 4)
+	for _, k := range []int{1, 3, 10} {
+		centers, err := PlaceKCenterB(m, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(centers) != k || !distinct(centers) || !inRange(centers, 60) {
+			t.Fatalf("k=%d: bad centers %v", k, centers)
+		}
+	}
+}
+
+func TestKCenterBadK(t *testing.T) {
+	m := latency.ScaledLike(10, 1)
+	for _, k := range []int{0, 11, -2} {
+		if _, err := PlaceKCenterA(m, k); err == nil {
+			t.Fatalf("KCenterA k=%d should fail", k)
+		}
+		if _, err := PlaceKCenterB(m, k); err == nil {
+			t.Fatalf("KCenterB k=%d should fail", k)
+		}
+	}
+}
+
+func TestKCenterARespectsTwoApprox(t *testing.T) {
+	// On metric instances, K-center-A must be within 2× of the exact
+	// optimum. Use metric matrices (no TIV injection) since the guarantee
+	// assumes the triangle inequality.
+	cfg := latency.DefaultConfig(12)
+	cfg.DetourFraction = 0
+	cfg.NoiseSigma = 0
+	for seed := int64(0); seed < 8; seed++ {
+		m, err := latency.SyntheticInternet(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3} {
+			centers, err := PlaceKCenterA(m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := CoverRadius(m, centers)
+			_, opt, err := OptimalKCenter(m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > 2*opt+1e-9 {
+				t.Fatalf("seed %d k %d: K-center-A radius %v > 2×opt %v", seed, k, got, opt)
+			}
+		}
+	}
+}
+
+func TestKCenterBNearOptimalSmall(t *testing.T) {
+	// The greedy heuristic has no worst-case bound, but should stay within
+	// a loose factor on small benign instances.
+	cfg := latency.DefaultConfig(12)
+	cfg.DetourFraction = 0
+	for seed := int64(0); seed < 5; seed++ {
+		m, err := latency.SyntheticInternet(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers, err := PlaceKCenterB(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CoverRadius(m, centers)
+		_, opt, err := OptimalKCenter(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > 3*opt+1e-9 {
+			t.Fatalf("seed %d: greedy radius %v way above opt %v", seed, got, opt)
+		}
+	}
+}
+
+func TestKCenterRadiusDecreasesWithK(t *testing.T) {
+	m := latency.ScaledLike(50, 8)
+	prevA, prevB := -1.0, -1.0
+	for _, k := range []int{1, 5, 10, 20} {
+		ca, err := PlaceKCenterA(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := PlaceKCenterB(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, rb := CoverRadius(m, ca), CoverRadius(m, cb)
+		if prevA >= 0 && ra > prevA+1e-9 {
+			t.Fatalf("K-center-A radius increased with k: %v -> %v", prevA, ra)
+		}
+		if prevB >= 0 && rb > prevB+1e-9 {
+			t.Fatalf("K-center-B radius increased with k: %v -> %v", prevB, rb)
+		}
+		prevA, prevB = ra, rb
+	}
+}
+
+func TestPlaceDispatch(t *testing.T) {
+	m := latency.ScaledLike(30, 2)
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range Strategies {
+		nodes, err := Place(s, m, 5, rng)
+		if err != nil {
+			t.Fatalf("Place(%s): %v", s, err)
+		}
+		if len(nodes) == 0 || len(nodes) > 5 {
+			t.Fatalf("Place(%s) returned %d nodes", s, len(nodes))
+		}
+	}
+	if _, err := Place(Random, m, 5, nil); err == nil {
+		t.Fatal("Random with nil rng should fail")
+	}
+	if _, err := Place(Strategy("bogus"), m, 5, rng); err == nil {
+		t.Fatal("unknown strategy should fail")
+	}
+}
+
+func TestOptimalKCenterBasics(t *testing.T) {
+	m := latency.NewMatrix(4)
+	set := func(i, j int, v float64) { m[i][j], m[j][i] = v, v }
+	set(0, 1, 1)
+	set(0, 2, 10)
+	set(0, 3, 11)
+	set(1, 2, 10)
+	set(1, 3, 11)
+	set(2, 3, 1)
+	// Two tight clusters {0,1} and {2,3}: 2-center optimum radius 1.
+	centers, radius, err := OptimalKCenter(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radius != 1 {
+		t.Fatalf("optimal radius = %v, want 1", radius)
+	}
+	left := centers[0] == 0 || centers[0] == 1
+	right := centers[1] == 2 || centers[1] == 3
+	if !left || !right {
+		t.Fatalf("optimal centers = %v, want one per cluster", centers)
+	}
+	if _, _, err := OptimalKCenter(m, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestKCenterDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(uint64(seed)%30)
+		m := latency.ScaledLike(n, seed)
+		a1, err1 := PlaceKCenterA(m, 4)
+		a2, err2 := PlaceKCenterA(m, 4)
+		if err1 != nil || err2 != nil || len(a1) != len(a2) {
+			return false
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				return false
+			}
+		}
+		b1, err1 := PlaceKCenterB(m, 4)
+		b2, err2 := PlaceKCenterB(m, 4)
+		if err1 != nil || err2 != nil || len(b1) != len(b2) {
+			return false
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKCenterA(b *testing.B) {
+	m := latency.ScaledLike(300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlaceKCenterA(m, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKCenterB(b *testing.B) {
+	m := latency.ScaledLike(300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlaceKCenterB(m, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package service exposes the client assignment system as an HTTP/JSON
+// API — the operational form in which a game or DVE deployment would
+// consume this library: a matchmaker or connection broker POSTs the
+// current latency picture and receives the assignment, the minimum
+// feasible lag δ = D, and the simulation-time offsets to configure the
+// servers with.
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness probe
+//	GET  /v1/algorithms  list assignment algorithms
+//	POST /v1/assign      compute an assignment (see AssignRequest)
+//	POST /v1/placement   choose server nodes (see PlacementRequest)
+//
+// All errors are JSON: {"error": "..."} with a 4xx/5xx status.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/latency"
+	"diacap/internal/placement"
+)
+
+// Options bounds the service.
+type Options struct {
+	// MaxNodes rejects matrices larger than this (default 2048): the
+	// lower-bound computation is O(n²·|S|).
+	MaxNodes int
+	// MaxBodyBytes bounds request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (o *Options) fill() {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 2048
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+}
+
+// Server is the HTTP handler.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New builds the service.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("/v1/assign", s.handleAssign)
+	s.mux.HandleFunc("/v1/placement", s.handlePlacement)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError is an error with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func unprocessable(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	status := http.StatusInternalServerError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		return &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid JSON: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// AlgorithmInfo describes one algorithm in the listing.
+type AlgorithmInfo struct {
+	Name        string `json:"name"`
+	Capacitated bool   `json:"capacitated"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"})
+		return
+	}
+	out := make([]AlgorithmInfo, 0, 4)
+	for _, alg := range assign.All() {
+		out = append(out, AlgorithmInfo{Name: alg.Name(), Capacitated: true})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
+// AssignRequest asks for a client assignment.
+type AssignRequest struct {
+	// Matrix is the complete pairwise latency matrix in milliseconds.
+	Matrix [][]float64 `json:"matrix"`
+	// Servers are node indices hosting servers.
+	Servers []int `json:"servers"`
+	// Clients are node indices hosting clients; empty means every node.
+	Clients []int `json:"clients,omitempty"`
+	// Algorithm names the algorithm (default "Distributed-Greedy").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Capacities optionally limits clients per server (aligned with
+	// Servers).
+	Capacities []int `json:"capacities,omitempty"`
+	// IncludeOffsets adds the Section II-C simulation-time offsets to the
+	// response.
+	IncludeOffsets bool `json:"includeOffsets,omitempty"`
+	// IncludeLowerBound adds the theoretical lower bound and normalized
+	// interactivity (cost: O(|C|²·|S|)).
+	IncludeLowerBound bool `json:"includeLowerBound,omitempty"`
+}
+
+// AssignResponse is the result.
+type AssignResponse struct {
+	Algorithm string `json:"algorithm"`
+	// Assignment[i] is the index into Servers for Clients[i].
+	Assignment []int `json:"assignment"`
+	// D is the maximum interaction-path length = minimum feasible δ (ms).
+	D float64 `json:"d"`
+	// LowerBound and Normalized are present when requested.
+	LowerBound float64 `json:"lowerBound,omitempty"`
+	Normalized float64 `json:"normalized,omitempty"`
+	// Loads[k] is the number of clients on Servers[k].
+	Loads []int `json:"loads"`
+	// ServerAhead are the Δ(s, c) offsets (ms), present when requested.
+	ServerAhead []float64 `json:"serverAhead,omitempty"`
+	// ElapsedMs is the computation time.
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req AssignRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.doAssign(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) doAssign(req *AssignRequest) (*AssignResponse, error) {
+	if len(req.Matrix) == 0 {
+		return nil, badRequest("matrix is required")
+	}
+	if len(req.Matrix) > s.opts.MaxNodes {
+		return nil, badRequest("matrix has %d nodes, limit %d", len(req.Matrix), s.opts.MaxNodes)
+	}
+	m := latency.Matrix(req.Matrix)
+	if err := m.Validate(); err != nil {
+		return nil, badRequest("invalid matrix: %v", err)
+	}
+	clients := req.Clients
+	if len(clients) == 0 {
+		clients = make([]int, m.Len())
+		for i := range clients {
+			clients[i] = i
+		}
+	}
+	in, err := core.NewInstanceTrusted(m, req.Servers, clients)
+	if err != nil {
+		return nil, badRequest("invalid instance: %v", err)
+	}
+	name := req.Algorithm
+	if name == "" {
+		name = "Distributed-Greedy"
+	}
+	alg, err := assign.ByName(name)
+	if err != nil {
+		return nil, badRequest("unknown algorithm %q", name)
+	}
+	var caps core.Capacities
+	if req.Capacities != nil {
+		caps = core.Capacities(req.Capacities)
+		if err := in.ValidateCapacities(caps); err != nil {
+			return nil, unprocessable("capacities: %v", err)
+		}
+	}
+
+	start := time.Now()
+	a, err := alg.Assign(in, caps)
+	if err != nil {
+		return nil, unprocessable("assignment failed: %v", err)
+	}
+	resp := &AssignResponse{
+		Algorithm:  alg.Name(),
+		Assignment: a,
+		D:          in.MaxInteractionPath(a),
+		Loads:      in.Loads(a),
+	}
+	if req.IncludeLowerBound {
+		resp.LowerBound = in.LowerBound()
+		if resp.LowerBound > 0 {
+			resp.Normalized = resp.D / resp.LowerBound
+		}
+	}
+	if req.IncludeOffsets {
+		off, err := in.ComputeOffsets(a)
+		if err != nil {
+			return nil, fmt.Errorf("computing offsets: %w", err)
+		}
+		resp.ServerAhead = off.ServerAhead
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// PlacementRequest asks for server placement.
+type PlacementRequest struct {
+	Matrix [][]float64 `json:"matrix"`
+	// K is the number of servers to place.
+	K int `json:"k"`
+	// Strategy is "random", "k-center-a", or "k-center-b" (default).
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives random placement.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// PlacementResponse is the result.
+type PlacementResponse struct {
+	Servers []int `json:"servers"`
+	// CoverRadius is the K-center objective of the placement (ms).
+	CoverRadius float64 `json:"coverRadius"`
+	ElapsedMs   float64 `json:"elapsedMs"`
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	var req PlacementRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Matrix) == 0 {
+		writeError(w, badRequest("matrix is required"))
+		return
+	}
+	if len(req.Matrix) > s.opts.MaxNodes {
+		writeError(w, badRequest("matrix has %d nodes, limit %d", len(req.Matrix), s.opts.MaxNodes))
+		return
+	}
+	m := latency.Matrix(req.Matrix)
+	if err := m.Validate(); err != nil {
+		writeError(w, badRequest("invalid matrix: %v", err))
+		return
+	}
+	strategy := placement.Strategy(req.Strategy)
+	if req.Strategy == "" {
+		strategy = placement.KCenterB
+	}
+	start := time.Now()
+	servers, err := placement.Place(strategy, m, req.K, rand.New(rand.NewSource(req.Seed)))
+	if err != nil {
+		writeError(w, badRequest("placement: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, PlacementResponse{
+		Servers:     servers,
+		CoverRadius: placement.CoverRadius(m, servers),
+		ElapsedMs:   float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}

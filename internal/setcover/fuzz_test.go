@@ -1,0 +1,60 @@
+package setcover
+
+import (
+	"testing"
+)
+
+// FuzzSolvers drives both set cover solvers with fuzz-shaped instances:
+// the exact solver's cover must never be larger than the greedy one, and
+// both must actually cover.
+func FuzzSolvers(f *testing.F) {
+	f.Add(uint8(4), uint8(3), []byte{0b0001, 0b0010, 0b1100})
+	f.Add(uint8(3), uint8(2), []byte{0b111, 0b001})
+	f.Add(uint8(1), uint8(1), []byte{0b1})
+	f.Add(uint8(6), uint8(4), []byte{0b000111, 0b111000, 0b010101, 0b101010})
+
+	f.Fuzz(func(t *testing.T, nElem, nSub uint8, masks []byte) {
+		n := int(nElem%10) + 1
+		m := int(nSub%6) + 1
+		in := &Instance{NumElements: n}
+		for j := 0; j < m; j++ {
+			var subset []int
+			var mask byte
+			if j < len(masks) {
+				mask = masks[j]
+			}
+			for e := 0; e < n && e < 8; e++ {
+				if mask&(1<<uint(e)) != 0 {
+					subset = append(subset, e)
+				}
+			}
+			in.Subsets = append(in.Subsets, subset)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("constructed instance invalid: %v", err)
+		}
+		if !in.Coverable() {
+			if _, err := in.SolveExact(); err == nil {
+				t.Fatal("uncoverable instance solved exactly")
+			}
+			if _, err := in.SolveGreedy(); err == nil {
+				t.Fatal("uncoverable instance solved greedily")
+			}
+			return
+		}
+		exact, err := in.SolveExact()
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		greedy, err := in.SolveGreedy()
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		if !in.IsCover(exact) || !in.IsCover(greedy) {
+			t.Fatal("solver returned a non-cover")
+		}
+		if len(exact) > len(greedy) {
+			t.Fatalf("exact cover (%d) larger than greedy (%d)", len(exact), len(greedy))
+		}
+	})
+}

@@ -1,0 +1,484 @@
+// Package setcover implements the minimum set cover problem and the
+// polynomial reduction of Theorem 1 (Section III), which proves the client
+// assignment problem NP-complete: an instance R of minimum set cover has a
+// cover of size at most K if and only if the client assignment instance
+// T = Reduce(R, K) admits an assignment whose maximum interaction-path
+// length is at most 3.
+//
+// The package provides exact and greedy set cover solvers, the forward
+// construction (set cover instance → client assignment network), and both
+// directions of the solution mapping (cover → assignment with D ≤ 3,
+// assignment with D ≤ 3 → cover), each of which is verified against the
+// other in tests — a machine-checked version of the paper's proof.
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"diacap/internal/core"
+	"diacap/internal/graph"
+	"diacap/internal/latency"
+)
+
+// ErrBadInstance reports a malformed set cover instance.
+var ErrBadInstance = errors.New("setcover: invalid instance")
+
+// ErrNoCover is returned when no cover exists (some element belongs to no
+// subset).
+var ErrNoCover = errors.New("setcover: no cover exists")
+
+// Instance is a minimum set cover instance: a ground set P of NumElements
+// elements {0, ..., n-1} and a collection Q of subsets.
+type Instance struct {
+	NumElements int
+	Subsets     [][]int
+}
+
+// Validate checks element ranges and that subsets are duplicate-free.
+func (in *Instance) Validate() error {
+	if in.NumElements <= 0 {
+		return fmt.Errorf("%w: %d elements", ErrBadInstance, in.NumElements)
+	}
+	if len(in.Subsets) == 0 {
+		return fmt.Errorf("%w: no subsets", ErrBadInstance)
+	}
+	for j, q := range in.Subsets {
+		seen := make(map[int]bool, len(q))
+		for _, p := range q {
+			if p < 0 || p >= in.NumElements {
+				return fmt.Errorf("%w: subset %d has element %d out of range [0,%d)", ErrBadInstance, j, p, in.NumElements)
+			}
+			if seen[p] {
+				return fmt.Errorf("%w: subset %d repeats element %d", ErrBadInstance, j, p)
+			}
+			seen[p] = true
+		}
+	}
+	return nil
+}
+
+// Coverable reports whether every element appears in at least one subset.
+func (in *Instance) Coverable() bool {
+	covered := make([]bool, in.NumElements)
+	for _, q := range in.Subsets {
+		for _, p := range q {
+			covered[p] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCover reports whether the given subset indices cover all elements.
+func (in *Instance) IsCover(pick []int) bool {
+	covered := make([]bool, in.NumElements)
+	for _, j := range pick {
+		if j < 0 || j >= len(in.Subsets) {
+			return false
+		}
+		for _, p := range in.Subsets[j] {
+			covered[p] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// masks returns each subset as a bitmask; only valid for ≤ 64 elements.
+func (in *Instance) masks() ([]uint64, error) {
+	if in.NumElements > 64 {
+		return nil, fmt.Errorf("%w: exact solver limited to 64 elements, got %d", ErrBadInstance, in.NumElements)
+	}
+	out := make([]uint64, len(in.Subsets))
+	for j, q := range in.Subsets {
+		for _, p := range q {
+			out[j] |= 1 << uint(p)
+		}
+	}
+	return out, nil
+}
+
+// SolveExact returns a minimum set cover by branch and bound over subset
+// bitmasks (≤ 64 elements). It returns ErrNoCover when some element is
+// uncoverable.
+func (in *Instance) SolveExact() ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !in.Coverable() {
+		return nil, ErrNoCover
+	}
+	qm, err := in.masks()
+	if err != nil {
+		return nil, err
+	}
+	full := uint64(0)
+	if in.NumElements == 64 {
+		full = ^uint64(0)
+	} else {
+		full = (1 << uint(in.NumElements)) - 1
+	}
+
+	// Greedy solution as the initial upper bound.
+	greedy, err := in.SolveGreedy()
+	if err != nil {
+		return nil, err
+	}
+	best := append([]int(nil), greedy...)
+
+	// element → subsets containing it, for branching on the lowest
+	// uncovered element.
+	containing := make([][]int, in.NumElements)
+	for j, q := range in.Subsets {
+		for _, p := range q {
+			containing[p] = append(containing[p], j)
+		}
+	}
+
+	var cur []int
+	var dfs func(covered uint64)
+	dfs = func(covered uint64) {
+		if covered == full {
+			if len(cur) < len(best) {
+				best = append(best[:0:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= len(best) {
+			// Any completion adds at least one more subset, reaching size
+			// ≥ len(best): no strict improvement possible down this branch.
+			return
+		}
+		uncovered := full &^ covered
+		p := bits.TrailingZeros64(uncovered)
+		for _, j := range containing[p] {
+			cur = append(cur, j)
+			dfs(covered | qm[j])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0)
+	return best, nil
+}
+
+// SolveGreedy returns a cover via the classic ln(n)-approximate greedy
+// rule: repeatedly pick the subset covering the most uncovered elements
+// (ties toward the lower index).
+func (in *Instance) SolveGreedy() ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !in.Coverable() {
+		return nil, ErrNoCover
+	}
+	covered := make([]bool, in.NumElements)
+	remaining := in.NumElements
+	var pick []int
+	for remaining > 0 {
+		bestJ, bestGain := -1, 0
+		for j, q := range in.Subsets {
+			gain := 0
+			for _, p := range q {
+				if !covered[p] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestJ, bestGain = j, gain
+			}
+		}
+		if bestJ == -1 {
+			return nil, ErrNoCover
+		}
+		pick = append(pick, bestJ)
+		for _, p := range in.Subsets[bestJ] {
+			if !covered[p] {
+				covered[p] = true
+				remaining--
+			}
+		}
+	}
+	return pick, nil
+}
+
+// MinCoverSize returns the size of a minimum cover.
+func (in *Instance) MinCoverSize() (int, error) {
+	cover, err := in.SolveExact()
+	if err != nil {
+		return 0, err
+	}
+	return len(cover), nil
+}
+
+// Random generates a random coverable instance with n elements and m
+// subsets: each subset independently includes each element with
+// probability p, then uncovered elements are patched into random subsets.
+func Random(rng *rand.Rand, n, m int, p float64) *Instance {
+	in := &Instance{NumElements: n, Subsets: make([][]int, m)}
+	for j := 0; j < m; j++ {
+		for e := 0; e < n; e++ {
+			if rng.Float64() < p {
+				in.Subsets[j] = append(in.Subsets[j], e)
+			}
+		}
+	}
+	covered := make([]bool, n)
+	for _, q := range in.Subsets {
+		for _, e := range q {
+			covered[e] = true
+		}
+	}
+	for e, c := range covered {
+		if !c {
+			j := rng.Intn(m)
+			in.Subsets[j] = append(in.Subsets[j], e)
+		}
+	}
+	return in
+}
+
+// Reduction is the Theorem 1 construction: a client assignment instance T
+// built from a set cover instance R with budget K.
+//
+// The network has n clients (one per element) and m·K servers, arranged in
+// K groups of m servers; server (l, j) — group l, position j — corresponds
+// to subset Q_j. Client i links to server (l, j), for every group l, iff
+// element i belongs to Q_j; servers in different groups are fully
+// interlinked. Every link has length 1 and routing is shortest-path. R has
+// a cover of size ≤ K iff T has an assignment with D ≤ 3 (Bound).
+type Reduction struct {
+	Source *Instance
+	K      int
+	// Inst is the resulting client assignment instance. Client i of the
+	// instance corresponds to element i; server index l·m + j corresponds
+	// to group l, subset j.
+	Inst *core.Instance
+	// Bound is the decision threshold: 3.
+	Bound float64
+}
+
+// ServerIndex returns the instance-local server index of group l, subset j.
+func (r *Reduction) ServerIndex(l, j int) int { return l*len(r.Source.Subsets) + j }
+
+// SubsetOfServer returns the subset index a server corresponds to.
+func (r *Reduction) SubsetOfServer(server int) int { return server % len(r.Source.Subsets) }
+
+// GroupOfServer returns the group index of a server.
+func (r *Reduction) GroupOfServer(server int) int { return server / len(r.Source.Subsets) }
+
+// Reduce builds the Theorem 1 network for instance R and budget K.
+// It requires 1 ≤ K ≤ |Q| and that every element is coverable (otherwise
+// neither side of the equivalence can hold and the network would be
+// disconnected).
+func Reduce(src *Instance, k int) (*Reduction, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if !src.Coverable() {
+		return nil, ErrNoCover
+	}
+	m := len(src.Subsets)
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("%w: K = %d, want 1 ≤ K ≤ %d", ErrBadInstance, k, m)
+	}
+	n := src.NumElements
+	total := n + m*k
+	g := graph.New(total)
+	// Nodes: clients 0..n-1; server (l, j) at node n + l·m + j.
+	serverNode := func(l, j int) int { return n + l*m + j }
+	for j, q := range src.Subsets {
+		for _, p := range q {
+			for l := 0; l < k; l++ {
+				g.MustAddEdge(p, serverNode(l, j), 1)
+			}
+		}
+	}
+	for l1 := 0; l1 < k; l1++ {
+		for l2 := l1 + 1; l2 < k; l2++ {
+			for j1 := 0; j1 < m; j1++ {
+				for j2 := 0; j2 < m; j2++ {
+					g.MustAddEdge(serverNode(l1, j1), serverNode(l2, j2), 1)
+				}
+			}
+		}
+	}
+	if !g.Connected() {
+		// Happens only for K = 1 with disjoint subsets whose clients do
+		// not bridge server nodes; such instances cannot have D ≤ 3 with
+		// one group anyway, but the distance matrix needs finite entries.
+		return nil, fmt.Errorf("%w: reduction network disconnected (K = %d)", ErrBadInstance, k)
+	}
+	ap := g.AllPairs()
+	mat := latency.NewMatrix(total)
+	for i := range ap {
+		copy(mat[i], ap[i])
+	}
+	servers := make([]int, m*k)
+	for i := range servers {
+		servers[i] = n + i
+	}
+	clients := make([]int, n)
+	for i := range clients {
+		clients[i] = i
+	}
+	inst, err := core.NewInstanceTrusted(mat, servers, clients)
+	if err != nil {
+		return nil, fmt.Errorf("setcover: building instance: %w", err)
+	}
+	return &Reduction{Source: src, K: k, Inst: inst, Bound: 3}, nil
+}
+
+// AssignmentFromCover constructs, per the forward direction of the proof,
+// an assignment with maximum interaction-path length ≤ 3 from a cover of
+// size ≤ K: the clients of each cover subset Q_j go to server (l, j) of a
+// fresh group l.
+func (r *Reduction) AssignmentFromCover(cover []int) (core.Assignment, error) {
+	if len(cover) > r.K {
+		return nil, fmt.Errorf("%w: cover size %d > K = %d", ErrBadInstance, len(cover), r.K)
+	}
+	if !r.Source.IsCover(cover) {
+		return nil, fmt.Errorf("%w: not a cover", ErrBadInstance)
+	}
+	a := core.NewAssignment(r.Source.NumElements)
+	group := 0
+	for _, j := range cover {
+		target := r.ServerIndex(group, j)
+		assignedAny := false
+		for _, p := range r.Source.Subsets[j] {
+			if a[p] == core.Unassigned {
+				a[p] = target
+				assignedAny = true
+			}
+		}
+		if assignedAny {
+			group++ // groups are consumed only when actually used
+		}
+	}
+	if !a.Complete() {
+		return nil, fmt.Errorf("%w: cover left clients unassigned", ErrBadInstance)
+	}
+	return a, nil
+}
+
+// CoverFromAssignment extracts, per the reverse direction of the proof, a
+// set cover of size ≤ K from an assignment with maximum interaction-path
+// length ≤ 3: pick subset Q_j iff some server (·, j) has clients. It
+// errors if the assignment's D exceeds the bound or the extracted pick is
+// not a cover of size ≤ K (which the proof rules out).
+func (r *Reduction) CoverFromAssignment(a core.Assignment) ([]int, error) {
+	if err := r.Inst.Validate(a); err != nil {
+		return nil, err
+	}
+	if d := r.Inst.MaxInteractionPath(a); d > r.Bound+1e-9 {
+		return nil, fmt.Errorf("%w: assignment has D = %v > %v", ErrBadInstance, d, r.Bound)
+	}
+	picked := make(map[int]bool)
+	for _, s := range a {
+		picked[r.SubsetOfServer(s)] = true
+	}
+	cover := make([]int, 0, len(picked))
+	for j := range picked {
+		cover = append(cover, j)
+	}
+	sortInts(cover)
+	if len(cover) > r.K {
+		return nil, fmt.Errorf("%w: extracted %d subsets > K = %d", ErrBadInstance, len(cover), r.K)
+	}
+	if !r.Source.IsCover(cover) {
+		return nil, fmt.Errorf("%w: extracted pick does not cover", ErrBadInstance)
+	}
+	return cover, nil
+}
+
+// DecisionEquivalent checks both directions of Theorem 1 on this
+// reduction using exact solvers, returning the two decision answers
+// (cover of size ≤ K exists; assignment with D ≤ 3 exists). The theorem
+// asserts they are always equal.
+func (r *Reduction) DecisionEquivalent() (coverYes, assignYes bool, err error) {
+	minCover, err := r.Source.MinCoverSize()
+	if err != nil {
+		return false, false, err
+	}
+	coverYes = minCover <= r.K
+	bf := assignBruteForce{}
+	assignYes, err = bf.decision(r.Inst, r.Bound)
+	if err != nil {
+		return false, false, err
+	}
+	return coverYes, assignYes, nil
+}
+
+// assignBruteForce is a tiny local exact solver for the decision version,
+// avoiding an import cycle with package assign (which tests against this
+// package). It mirrors assign.BruteForce's branch and bound.
+type assignBruteForce struct{}
+
+func (assignBruteForce) decision(in *core.Instance, bound float64) (bool, error) {
+	nc, ns := in.NumClients(), in.NumServers()
+	if math.Pow(float64(ns), float64(nc)) > 2e8 {
+		return false, fmt.Errorf("setcover: decision search space %d^%d too large", ns, nc)
+	}
+	ecc := make([]float64, ns)
+	for k := range ecc {
+		ecc[k] = -1
+	}
+	ok := false
+	within := func() bool {
+		for k := 0; k < ns; k++ {
+			if ecc[k] < 0 {
+				continue
+			}
+			for l := k; l < ns; l++ {
+				if ecc[l] < 0 {
+					continue
+				}
+				if ecc[k]+in.ServerServerDist(k, l)+ecc[l] > bound+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var dfs func(i int)
+	dfs = func(i int) {
+		if ok {
+			return
+		}
+		if i == nc {
+			ok = true
+			return
+		}
+		for k := 0; k < ns && !ok; k++ {
+			prev := ecc[k]
+			if d := in.ClientServerDist(i, k); d > ecc[k] {
+				ecc[k] = d
+			}
+			if within() {
+				dfs(i + 1)
+			}
+			ecc[k] = prev
+		}
+	}
+	dfs(0)
+	return ok, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package setcover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diacap/internal/core"
+)
+
+// fig3Instance is the paper's Fig. 3 example: P = {p1..p4},
+// Q1 = {p1}, Q2 = {p2}, Q3 = {p3, p4}, K = 3.
+func fig3Instance() *Instance {
+	return &Instance{
+		NumElements: 4,
+		Subsets:     [][]int{{0}, {1}, {2, 3}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      *Instance
+		wantErr bool
+	}{
+		{"ok", fig3Instance(), false},
+		{"no elements", &Instance{NumElements: 0, Subsets: [][]int{{0}}}, true},
+		{"no subsets", &Instance{NumElements: 2}, true},
+		{"out of range", &Instance{NumElements: 2, Subsets: [][]int{{2}}}, true},
+		{"negative", &Instance{NumElements: 2, Subsets: [][]int{{-1}}}, true},
+		{"duplicate in subset", &Instance{NumElements: 2, Subsets: [][]int{{0, 0}}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.in.Validate(); (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCoverable(t *testing.T) {
+	if !fig3Instance().Coverable() {
+		t.Fatal("Fig. 3 instance should be coverable")
+	}
+	bad := &Instance{NumElements: 3, Subsets: [][]int{{0}, {1}}}
+	if bad.Coverable() {
+		t.Fatal("element 2 uncovered")
+	}
+}
+
+func TestIsCover(t *testing.T) {
+	in := fig3Instance()
+	if !in.IsCover([]int{0, 1, 2}) {
+		t.Fatal("all subsets form a cover")
+	}
+	if in.IsCover([]int{0, 1}) {
+		t.Fatal("missing p3, p4")
+	}
+	if in.IsCover([]int{0, 1, 7}) {
+		t.Fatal("out-of-range pick should not cover")
+	}
+}
+
+func TestSolveGreedy(t *testing.T) {
+	in := fig3Instance()
+	cover, err := in.SolveGreedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(cover) {
+		t.Fatalf("greedy pick %v is not a cover", cover)
+	}
+	if len(cover) != 3 {
+		t.Fatalf("greedy cover size = %d, want 3 (all subsets needed)", len(cover))
+	}
+}
+
+func TestSolveGreedyNoCover(t *testing.T) {
+	in := &Instance{NumElements: 2, Subsets: [][]int{{0}}}
+	if _, err := in.SolveGreedy(); err == nil {
+		t.Fatal("uncoverable instance should fail")
+	}
+	if _, err := in.SolveExact(); err == nil {
+		t.Fatal("uncoverable instance should fail exactly too")
+	}
+}
+
+func TestSolveExactOptimal(t *testing.T) {
+	// A cover where greedy is suboptimal: the classic trap — one big set
+	// overlaps two that exactly tile.
+	in := &Instance{
+		NumElements: 4,
+		Subsets: [][]int{
+			{0, 1, 2}, // greedy grabs this first
+			{0, 1},
+			{2, 3},
+		},
+	}
+	exact, err := in.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(exact) {
+		t.Fatalf("exact pick %v is not a cover", exact)
+	}
+	if len(exact) != 2 {
+		t.Fatalf("exact cover size = %d, want 2 ({0,1},{2,3})", len(exact))
+	}
+}
+
+func TestSolveExactMatchesBruteOnRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(5)
+		in := Random(rng, n, m, 0.3)
+		exact, err := in.SolveExact()
+		if err != nil {
+			return false
+		}
+		if !in.IsCover(exact) {
+			return false
+		}
+		// Brute force over all 2^m subset picks.
+		best := m + 1
+		for mask := 1; mask < 1<<m; mask++ {
+			var pick []int
+			for j := 0; j < m; j++ {
+				if mask&(1<<j) != 0 {
+					pick = append(pick, j)
+				}
+			}
+			if in.IsCover(pick) && len(pick) < best {
+				best = len(pick)
+			}
+		}
+		return len(exact) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveExactRejectsHugeUniverse(t *testing.T) {
+	in := &Instance{NumElements: 65, Subsets: [][]int{{0}}}
+	if _, err := in.masks(); err == nil {
+		t.Fatal("65 elements should exceed the bitmask solver")
+	}
+}
+
+func TestReduceFig3Structure(t *testing.T) {
+	src := fig3Instance()
+	r, err := Reduce(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := r.Inst
+	if inst.NumClients() != 4 {
+		t.Fatalf("clients = %d, want 4", inst.NumClients())
+	}
+	if inst.NumServers() != 9 { // m·K = 3·3
+		t.Fatalf("servers = %d, want 9", inst.NumServers())
+	}
+	// Client p1 (element 0) is adjacent to the subset-1 server of every
+	// group: distance 1; to other servers: ≥ 2.
+	for l := 0; l < 3; l++ {
+		if d := inst.ClientServerDist(0, r.ServerIndex(l, 0)); d != 1 {
+			t.Fatalf("d(p1, s^%d_1) = %v, want 1", l+1, d)
+		}
+		if d := inst.ClientServerDist(0, r.ServerIndex(l, 1)); d < 2 {
+			t.Fatalf("d(p1, s^%d_2) = %v, want ≥ 2", l+1, d)
+		}
+	}
+	// Same-group servers are at distance 2; cross-group at distance 1.
+	if d := inst.ServerServerDist(r.ServerIndex(0, 0), r.ServerIndex(0, 1)); d != 2 {
+		t.Fatalf("same-group server distance = %v, want 2", d)
+	}
+	if d := inst.ServerServerDist(r.ServerIndex(0, 0), r.ServerIndex(1, 2)); d != 1 {
+		t.Fatalf("cross-group server distance = %v, want 1", d)
+	}
+	// Index helpers round-trip.
+	s := r.ServerIndex(2, 1)
+	if r.GroupOfServer(s) != 2 || r.SubsetOfServer(s) != 1 {
+		t.Fatalf("server index helpers broken for %d", s)
+	}
+}
+
+func TestReduceFig3ForwardDirection(t *testing.T) {
+	src := fig3Instance()
+	r, err := Reduce(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cover {Q1, Q2, Q3} (size 3 = K) must give an assignment with
+	// D ≤ 3; the proof's construction uses servers s^1_1, s^2_2, s^3_3.
+	a, err := r.AssignmentFromCover([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Inst.MaxInteractionPath(a); d > 3 {
+		t.Fatalf("D = %v, want ≤ 3", d)
+	}
+	if a[0] != r.ServerIndex(0, 0) {
+		t.Fatalf("p1 on server %d, want s^1_1 = %d", a[0], r.ServerIndex(0, 0))
+	}
+	if a[1] != r.ServerIndex(1, 1) {
+		t.Fatalf("p2 on server %d, want s^2_2 = %d", a[1], r.ServerIndex(1, 1))
+	}
+	if a[2] != r.ServerIndex(2, 2) || a[3] != r.ServerIndex(2, 2) {
+		t.Fatalf("p3, p4 on servers %d, %d, want s^3_3 = %d", a[2], a[3], r.ServerIndex(2, 2))
+	}
+}
+
+func TestReduceFig3ReverseDirection(t *testing.T) {
+	src := fig3Instance()
+	r, err := Reduce(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.AssignmentFromCover([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := r.CoverFromAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.IsCover(cover) || len(cover) > 3 {
+		t.Fatalf("extracted cover %v invalid", cover)
+	}
+}
+
+func TestCoverFromAssignmentRejectsLongPaths(t *testing.T) {
+	src := fig3Instance()
+	r, err := Reduce(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assign p1 to a server it has no link to: its self-path is ≥ 4.
+	a := core.NewAssignment(4)
+	a[0] = r.ServerIndex(0, 1) // p1 not in Q2
+	a[1] = r.ServerIndex(0, 1)
+	a[2] = r.ServerIndex(0, 2)
+	a[3] = r.ServerIndex(0, 2)
+	if _, err := r.CoverFromAssignment(a); err == nil {
+		t.Fatal("assignment with D > 3 should be rejected")
+	}
+}
+
+func TestAssignmentFromCoverErrors(t *testing.T) {
+	src := fig3Instance()
+	r, err := Reduce(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AssignmentFromCover([]int{0, 1}); err == nil {
+		t.Fatal("non-cover should be rejected")
+	}
+	if _, err := r.AssignmentFromCover([]int{0, 1, 2, 2}); err == nil {
+		t.Fatal("oversized pick should be rejected")
+	}
+}
+
+func TestReduceValidatesK(t *testing.T) {
+	src := fig3Instance()
+	for _, k := range []int{0, -1, 4} {
+		if _, err := Reduce(src, k); err == nil {
+			t.Fatalf("K = %d should fail", k)
+		}
+	}
+}
+
+func TestReduceUncoverable(t *testing.T) {
+	in := &Instance{NumElements: 3, Subsets: [][]int{{0}, {1}}}
+	if _, err := Reduce(in, 2); err == nil {
+		t.Fatal("uncoverable instance should fail to reduce")
+	}
+}
+
+func TestTheorem1EquivalenceRandom(t *testing.T) {
+	// The heart of the NP-completeness proof, machine-checked: for random
+	// set cover instances and every K, the exact set cover decision and
+	// the exact client assignment decision (D ≤ 3) agree.
+	rng := rand.New(rand.NewSource(99))
+	trials := 0
+	for trials < 12 {
+		n := 2 + rng.Intn(4) // keep |C| small: brute force is (mK)^n
+		m := 2 + rng.Intn(3)
+		src := Random(rng, n, m, 0.4)
+		for k := 1; k <= m && k <= 2; k++ {
+			r, err := Reduce(src, k)
+			if err != nil {
+				continue // disconnected K=1 networks are legitimately skipped
+			}
+			coverYes, assignYes, err := r.DecisionEquivalent()
+			if err != nil {
+				t.Fatalf("DecisionEquivalent: %v", err)
+			}
+			if coverYes != assignYes {
+				t.Fatalf("Theorem 1 violated: n=%d m=%d K=%d subsets=%v: cover=%v assign=%v",
+					n, m, k, src.Subsets, coverYes, assignYes)
+			}
+			trials++
+		}
+	}
+}
+
+func TestTheorem1BothDirectionsConstructive(t *testing.T) {
+	// When a cover of size ≤ K exists, the constructed assignment has
+	// D ≤ 3 and maps back to a valid cover of size ≤ K.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		m := 2 + rng.Intn(4)
+		src := Random(rng, n, m, 0.5)
+		cover, err := src.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(cover)
+		if k > m {
+			continue
+		}
+		r, err := Reduce(src, k)
+		if err != nil {
+			continue
+		}
+		a, err := r.AssignmentFromCover(cover)
+		if err != nil {
+			t.Fatalf("trial %d: AssignmentFromCover: %v", trial, err)
+		}
+		if d := r.Inst.MaxInteractionPath(a); d > 3 {
+			t.Fatalf("trial %d: D = %v > 3 from a size-%d cover", trial, d, k)
+		}
+		back, err := r.CoverFromAssignment(a)
+		if err != nil {
+			t.Fatalf("trial %d: CoverFromAssignment: %v", trial, err)
+		}
+		if !src.IsCover(back) || len(back) > k {
+			t.Fatalf("trial %d: round-trip cover %v invalid", trial, back)
+		}
+	}
+}
+
+func TestRandomInstanceCoverable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Random(rng, 2+rng.Intn(20), 1+rng.Intn(6), 0.2)
+		return in.Validate() == nil && in.Coverable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCoverSize(t *testing.T) {
+	size, err := fig3Instance().MinCoverSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 {
+		t.Fatalf("MinCoverSize = %d, want 3", size)
+	}
+}
+
+func BenchmarkSolveExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := Random(rng, 20, 12, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SolveExact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := Random(rng, 12, 6, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reduce(in, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

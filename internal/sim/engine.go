@@ -1,0 +1,144 @@
+// Package sim is a deterministic discrete-event simulation engine with a
+// latency-delayed message-passing network layer. It is the substrate for
+// the continuous-DIA runtime (package dia), which validates the paper's
+// Section II analysis end-to-end, and for the message-passing
+// Distributed-Greedy protocol (package dgreedy).
+//
+// Virtual time is a float64 in milliseconds, matching the latency
+// matrices. Events at equal times fire in scheduling order, so runs are
+// fully deterministic.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadTime is returned for NaN, negative-delay, or past scheduling.
+var ErrBadTime = errors.New("sim: invalid event time")
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+// eventHeap is a binary min-heap ordered by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < last && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use at
+// virtual time 0.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// Now returns the current virtual time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay milliseconds of virtual time. Events with
+// equal firing times run in scheduling order.
+func (e *Engine) Schedule(delay float64, fn func()) error {
+	if math.IsNaN(delay) || delay < 0 {
+		return fmt.Errorf("%w: delay %v", ErrBadTime, delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t (must not be in the past).
+func (e *Engine) At(t float64, fn func()) error {
+	if math.IsNaN(t) || t < e.now {
+		return fmt.Errorf("%w: t = %v with now = %v", ErrBadTime, t, e.now)
+	}
+	if fn == nil {
+		return errors.New("sim: nil event function")
+	}
+	e.events.push(event{time: t, seq: e.seq, fn: fn})
+	e.seq++
+	return nil
+}
+
+// Run executes events until none remain or Stop is called, returning the
+// number of events fired.
+func (e *Engine) Run() int {
+	return e.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with firing time ≤ deadline, returning the
+// number fired. Virtual time advances to the last fired event (or to the
+// deadline if no event reaches it and events remain beyond).
+func (e *Engine) RunUntil(deadline float64) int {
+	e.stopped = false
+	fired := 0
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].time > deadline {
+			if deadline > e.now && !math.IsInf(deadline, 1) {
+				e.now = deadline
+			}
+			return fired
+		}
+		ev := e.events.pop()
+		e.now = ev.time
+		ev.fn()
+		fired++
+	}
+	if !e.stopped && !math.IsInf(deadline, 1) && deadline > e.now {
+		e.now = deadline
+	}
+	return fired
+}
+
+// Stop halts Run/RunUntil after the current event completes. Remaining
+// events stay queued.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diacap/internal/latency"
+)
+
+// LatencyFunc returns the one-way network latency in milliseconds for a
+// message from node u to node v.
+type LatencyFunc func(u, v int) float64
+
+// MatrixLatency adapts a latency matrix to a LatencyFunc.
+func MatrixLatency(m latency.Matrix) LatencyFunc {
+	return func(u, v int) float64 { return m[u][v] }
+}
+
+// JitteredLatency samples an independent lognormal-jittered latency for
+// every message from the base matrix: base·exp(sigma·Z). Determinism comes
+// from the caller-supplied rng and the engine's total event order.
+func JitteredLatency(m latency.Matrix, sigma float64, rng *rand.Rand) LatencyFunc {
+	return func(u, v int) float64 {
+		if u == v {
+			return 0
+		}
+		f := 1.0
+		if sigma > 0 {
+			f = math.Exp(sigma * rng.NormFloat64())
+		}
+		return m[u][v] * f
+	}
+}
+
+// Message is one network message between nodes.
+type Message struct {
+	From, To int
+	Payload  any
+	// SentAt and DeliverAt are virtual times.
+	SentAt    float64
+	DeliverAt float64
+}
+
+// Handler consumes delivered messages.
+type Handler interface {
+	HandleMessage(net *Network, msg Message)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(net *Network, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(net *Network, msg Message) { f(net, msg) }
+
+// Network delivers messages between registered nodes with per-pair
+// latency over an Engine.
+type Network struct {
+	eng      *Engine
+	lat      LatencyFunc
+	handlers map[int]Handler
+	sent     int
+	dropped  int
+	// DropFunc, if set, is consulted per message; returning true drops it
+	// (for failure-injection tests).
+	DropFunc func(msg Message) bool
+}
+
+// NewNetwork creates a network over the engine with the given latency
+// function.
+func NewNetwork(eng *Engine, lat LatencyFunc) (*Network, error) {
+	if eng == nil || lat == nil {
+		return nil, errors.New("sim: nil engine or latency function")
+	}
+	return &Network{eng: eng, lat: lat, handlers: make(map[int]Handler)}, nil
+}
+
+// Engine returns the underlying engine.
+func (n *Network) Engine() *Engine { return n.eng }
+
+// Register attaches a handler to a node id. Registering twice replaces
+// the handler.
+func (n *Network) Register(node int, h Handler) {
+	n.handlers[node] = h
+}
+
+// Sent returns the number of messages sent so far.
+func (n *Network) Sent() int { return n.sent }
+
+// Dropped returns the number of messages dropped by DropFunc.
+func (n *Network) Dropped() int { return n.dropped }
+
+// Send schedules delivery of payload from one node to another after the
+// pair's network latency. Sending to an unregistered node fails; sending
+// to self delivers after the (zero or matrix-specified) self latency.
+func (n *Network) Send(from, to int, payload any) error {
+	h, ok := n.handlers[to]
+	if !ok {
+		return fmt.Errorf("sim: no handler registered for node %d", to)
+	}
+	d := n.lat(from, to)
+	if d < 0 {
+		return fmt.Errorf("sim: negative latency %v between %d and %d", d, from, to)
+	}
+	msg := Message{From: from, To: to, Payload: payload, SentAt: n.eng.Now(), DeliverAt: n.eng.Now() + d}
+	if n.DropFunc != nil && n.DropFunc(msg) {
+		n.dropped++
+		return nil
+	}
+	n.sent++
+	return n.eng.Schedule(d, func() { h.HandleMessage(n, msg) })
+}
+
+// Broadcast sends payload from one node to every listed target (skipping
+// the sender itself).
+func (n *Network) Broadcast(from int, targets []int, payload any) error {
+	for _, to := range targets {
+		if to == from {
+			continue
+		}
+		if err := n.Send(from, to, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diacap/internal/latency"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(e.Schedule(30, func() { order = append(order, 3) }))
+	must(e.Schedule(10, func() { order = append(order, 1) }))
+	must(e.Schedule(20, func() { order = append(order, 2) }))
+	if fired := e.Run(); fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := e.Schedule(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	if err := e.Schedule(1, func() {
+		times = append(times, e.Now())
+		if err := e.Schedule(2, func() { times = append(times, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestEngineBadTimes(t *testing.T) {
+	var e Engine
+	if err := e.Schedule(-1, func() {}); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+	if err := e.Schedule(math.NaN(), func() {}); err == nil {
+		t.Fatal("NaN delay should fail")
+	}
+	if err := e.At(5, nil); err == nil {
+		t.Fatal("nil function should fail")
+	}
+	if err := e.Schedule(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.At(5, func() {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		if err := e.Schedule(d, func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired := e.RunUntil(3); fired != 3 {
+		t.Fatalf("fired %d, want 3", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	if fired := e.RunUntil(10); fired != 2 {
+		t.Fatalf("second run fired %d, want 2", fired)
+	}
+	// Deadline past the last event advances the clock to the deadline.
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 5; i++ {
+		if err := e.Schedule(float64(i+1), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired := e.Run(); fired != 2 {
+		t.Fatalf("fired %d, want 2 after Stop", fired)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+	// A subsequent Run resumes.
+	if fired := e.Run(); fired != 3 {
+		t.Fatalf("resume fired %d, want 3", fired)
+	}
+}
+
+func TestEngineDeterministicUnderLoad(t *testing.T) {
+	run := func() []float64 {
+		var e Engine
+		rng := rand.New(rand.NewSource(42))
+		var log []float64
+		for i := 0; i < 500; i++ {
+			if err := e.Schedule(rng.Float64()*100, func() { log = append(log, e.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine runs are not deterministic")
+		}
+	}
+}
+
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var fired []float64
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			if err := e.Schedule(rng.Float64()*1000, func() { fired = append(fired, e.Now()) }); err != nil {
+				return false
+			}
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testMatrix() latency.Matrix {
+	m := latency.NewMatrix(3)
+	set := func(i, j int, v float64) { m[i][j], m[j][i] = v, v }
+	set(0, 1, 10)
+	set(0, 2, 20)
+	set(1, 2, 15)
+	return m
+}
+
+func TestNetworkDeliveryTiming(t *testing.T) {
+	var e Engine
+	net, err := NewNetwork(&e, MatrixLatency(testMatrix()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Message
+	net.Register(1, HandlerFunc(func(_ *Network, msg Message) { got = append(got, msg) }))
+	net.Register(2, HandlerFunc(func(_ *Network, msg Message) { got = append(got, msg) }))
+	if err := net.Send(0, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(got))
+	}
+	if got[0].Payload != "a" || got[0].DeliverAt != 10 || got[0].SentAt != 0 {
+		t.Fatalf("first delivery = %+v", got[0])
+	}
+	if got[1].Payload != "b" || got[1].DeliverAt != 20 {
+		t.Fatalf("second delivery = %+v", got[1])
+	}
+	if net.Sent() != 2 {
+		t.Fatalf("Sent() = %d, want 2", net.Sent())
+	}
+}
+
+func TestNetworkUnregisteredTarget(t *testing.T) {
+	var e Engine
+	net, err := NewNetwork(&e, MatrixLatency(testMatrix()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "x"); err == nil {
+		t.Fatal("send to unregistered node should fail")
+	}
+}
+
+func TestNetworkBroadcastSkipsSelf(t *testing.T) {
+	var e Engine
+	net, err := NewNetwork(&e, MatrixLatency(testMatrix()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, id := range []int{0, 1, 2} {
+		id := id
+		net.Register(id, HandlerFunc(func(_ *Network, _ Message) { counts[id]++ }))
+	}
+	if err := net.Broadcast(0, []int{0, 1, 2}, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if counts[0] != 0 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v, want self skipped", counts)
+	}
+}
+
+func TestNetworkReplyChain(t *testing.T) {
+	// Node 0 pings node 1, node 1 replies; total round trip = 2·d(0,1).
+	var e Engine
+	net, err := NewNetwork(&e, MatrixLatency(testMatrix()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rttEnd float64
+	net.Register(1, HandlerFunc(func(n *Network, msg Message) {
+		if err := n.Send(1, 0, "pong"); err != nil {
+			t.Error(err)
+		}
+	}))
+	net.Register(0, HandlerFunc(func(_ *Network, msg Message) { rttEnd = e.Now() }))
+	if err := net.Send(0, 1, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if rttEnd != 20 {
+		t.Fatalf("round trip completed at %v, want 20", rttEnd)
+	}
+}
+
+func TestNetworkDropFunc(t *testing.T) {
+	var e Engine
+	net, err := NewNetwork(&e, MatrixLatency(testMatrix()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	net.Register(1, HandlerFunc(func(_ *Network, _ Message) { delivered++ }))
+	net.DropFunc = func(msg Message) bool { return msg.Payload == "drop-me" }
+	if err := net.Send(0, 1, "drop-me"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "keep"); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if net.Dropped() != 1 || net.Sent() != 1 {
+		t.Fatalf("Dropped/Sent = %d/%d, want 1/1", net.Dropped(), net.Sent())
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, MatrixLatency(testMatrix())); err == nil {
+		t.Fatal("nil engine should fail")
+	}
+	var e Engine
+	if _, err := NewNetwork(&e, nil); err == nil {
+		t.Fatal("nil latency function should fail")
+	}
+}
+
+func TestJitteredLatencyVariance(t *testing.T) {
+	m := testMatrix()
+	rng := rand.New(rand.NewSource(1))
+	lf := JitteredLatency(m, 0.5, rng)
+	if lf(0, 0) != 0 {
+		t.Fatal("self latency should be zero")
+	}
+	a, b := lf(0, 1), lf(0, 1)
+	if a == b {
+		t.Fatal("jittered latency should vary across calls")
+	}
+	if a <= 0 || b <= 0 {
+		t.Fatal("jittered latency must be positive")
+	}
+	// Zero sigma degrades to the base matrix.
+	lf0 := JitteredLatency(m, 0, rng)
+	if lf0(0, 1) != 10 {
+		t.Fatalf("zero-sigma latency = %v, want 10", lf0(0, 1))
+	}
+}
+
+func TestNetworkNegativeLatencyRejected(t *testing.T) {
+	var e Engine
+	net, err := NewNetwork(&e, func(u, v int) float64 { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register(1, HandlerFunc(func(_ *Network, _ Message) {}))
+	if err := net.Send(0, 1, "x"); err == nil {
+		t.Fatal("negative latency should fail")
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		rng := rand.New(rand.NewSource(1))
+		for j := 0; j < 10000; j++ {
+			_ = e.Schedule(rng.Float64()*1000, func() {})
+		}
+		e.Run()
+	}
+}

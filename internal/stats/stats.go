@@ -1,0 +1,181 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, quantiles, and empirical CDFs
+// (Fig. 8 of the paper plots the cumulative distribution of normalized
+// interactivity over simulation runs).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned for operations that need at least one sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	sd := 0.0
+	if len(sorted) > 1 {
+		sd = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		StdDev: sd,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P90:    Quantile(sorted, 0.9),
+		P99:    Quantile(sorted, 0.99),
+	}, nil
+}
+
+// Quantile returns the q-th quantile (clamped to [0,1]) of an ascending
+// sorted slice with linear interpolation. NaN for empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) (*CDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x): the fraction of samples ≤ x.
+func (c *CDF) At(x float64) float64 {
+	// First index with value > x.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// CountAbove returns the number of samples strictly greater than x —
+// the paper's Fig. 8 commentary is phrased this way ("exceeds 2 in over
+// 100 simulation runs").
+func (c *CDF) CountAbove(x float64) int {
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return len(c.sorted) - idx
+}
+
+// Inverse returns the smallest sample value v with P(X ≤ v) ≥ p.
+func (c *CDF) Inverse(p float64) float64 {
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	// The small epsilon keeps ceil from overshooting when p·n is an
+	// integer that floating point rounds just above itself (e.g. when p
+	// came from At()).
+	idx := int(math.Ceil(p*float64(len(c.sorted))-1e-9)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Points returns (x, P(X ≤ x)) pairs at every distinct sample value,
+// suitable for plotting a step CDF.
+func (c *CDF) Points() (xs, ps []float64) {
+	for i, v := range c.sorted {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == v {
+			continue // emit only the last of equal values
+		}
+		xs = append(xs, v)
+		ps = append(ps, float64(i+1)/float64(len(c.sorted)))
+	}
+	return xs, ps
+}
+
+// Histogram counts samples into nbins equal-width bins over [min, max].
+// Samples outside the range clamp to the edge bins.
+func Histogram(samples []float64, min, max float64, nbins int) []int {
+	if nbins <= 0 || max <= min {
+		return nil
+	}
+	bins := make([]int, nbins)
+	width := (max - min) / float64(nbins)
+	for _, v := range samples {
+		idx := int((v - min) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		bins[idx]++
+	}
+	return bins
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{4, 2, 1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std dev of 1..5 is sqrt(2.5).
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StdDev != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Summarize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {-1, 10}, {2, 40},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.CountAbove(2); got != 1 {
+		t.Fatalf("CountAbove(2) = %d, want 1", got)
+	}
+	if got := c.CountAbove(0); got != 4 {
+		t.Fatalf("CountAbove(0) = %d, want 4", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Fatal("empty CDF should fail")
+	}
+}
+
+func TestCDFInverse(t *testing.T) {
+	c, _ := NewCDF([]float64{10, 20, 30, 40})
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, tc := range cases {
+		if got := c.Inverse(tc.p); got != tc.want {
+			t.Errorf("Inverse(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 2, 2, 3})
+	xs, ps := c.Points()
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{0.25, 0.75, 1}
+	if len(xs) != 3 {
+		t.Fatalf("points = %v / %v", xs, ps)
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || ps[i] != wantP[i] {
+			t.Fatalf("points = %v / %v", xs, ps)
+		}
+	}
+}
+
+func TestCDFInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 10
+		}
+		c, err := NewCDF(samples)
+		if err != nil {
+			return false
+		}
+		// For every sample v: At(v) ≥ fraction and Inverse(At(v)) ≤ v.
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		for _, v := range sorted {
+			p := c.At(v)
+			if p <= 0 || p > 1 {
+				return false
+			}
+			if c.Inverse(p) > v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0.5, 1.5, 1.7, 2.5, -1, 10}, 0, 3, 3)
+	// [-1, 0.5] → bin 0 (two entries), 1.5 & 1.7 → bin 1, 2.5 & 10 → bin 2.
+	if bins[0] != 2 || bins[1] != 2 || bins[2] != 2 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if Histogram(nil, 0, 1, 0) != nil {
+		t.Fatal("zero bins should return nil")
+	}
+	if Histogram(nil, 1, 1, 5) != nil {
+		t.Fatal("empty range should return nil")
+	}
+}
+
+func TestSummarizeMatchesQuantiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64() * 100
+		}
+		s, err := Summarize(samples)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		return s.Median == Quantile(sorted, 0.5) &&
+			s.P90 == Quantile(sorted, 0.9) &&
+			s.Min == sorted[0] && s.Max == sorted[n-1] &&
+			s.Min <= s.Median && s.Median <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
