@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"diacap/internal/service"
@@ -28,14 +29,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		maxNodes = flag.Int("max-nodes", 2048, "largest accepted matrix")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxNodes   = flag.Int("max-nodes", 2048, "largest accepted matrix")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0 = unlimited)")
 	)
 	flag.Parse()
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.New(service.Options{MaxNodes: *maxNodes}),
+		Addr: *addr,
+		Handler: service.New(service.Options{
+			MaxNodes:       *maxNodes,
+			RequestTimeout: *reqTimeout,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -44,7 +49,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "capserver: listening on %s\n", *addr)
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	// SIGTERM is what init systems and container runtimes send; treating
+	// only ^C as graceful would make every orchestrated stop abrupt.
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "capserver:", err)

@@ -14,6 +14,13 @@
 //	diasim -preset 200 -servers 8 -alg Distributed-Greedy
 //	diasim -preset 200 -servers 8 -delta-factor 0.9
 //	diasim -preset 200 -servers 8 -jitter 0.3
+//
+// With -chaos the instance is instead deployed as a live localhost TCP
+// cluster (package live); one server is killed mid-run and the cluster
+// fails over, reporting the degraded guarantees:
+//
+//	diasim -preset 30 -servers 3 -ops 60 -interval 10 -delta-factor 1.3 -chaos
+//	diasim -preset 30 -servers 3 -ops 60 -chaos -kill 2 -drop 0.05
 package main
 
 import (
@@ -79,6 +86,13 @@ func main() {
 		fatal(err)
 	}
 	delta := off.D * *deltaFactor
+
+	if *chaosMode {
+		if err := runChaos(in, a, off, delta, *seed, *ops, *interval); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := dia.Config{
 		Instance:   in,

@@ -52,6 +52,58 @@ func (in *Instance) ComputeOffsets(a Assignment) (*Offsets, error) {
 	return out, nil
 }
 
+// ComputeOffsetsForServers derives the Section II-C offsets when only a
+// subset of the instance's servers remains in the replication set — the
+// situation after one or more servers fail and their clients are
+// reassigned to survivors. The assignment must map every client onto an
+// alive server. The returned D is the maximum interaction-path length of
+// the assignment over the surviving set: the degraded minimum feasible
+// lag δ. ServerAhead entries of servers outside alive are NaN; dead
+// servers no longer execute operations, so no offset is defined for them.
+func (in *Instance) ComputeOffsetsForServers(a Assignment, alive []int) (*Offsets, error) {
+	if err := in.Validate(a); err != nil {
+		return nil, err
+	}
+	ns := len(in.servers)
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("%w: no alive servers", ErrInvalidInstance)
+	}
+	aliveSet := make(map[int]bool, len(alive))
+	for _, k := range alive {
+		if k < 0 || k >= ns {
+			return nil, fmt.Errorf("%w: alive server %d out of range [0,%d)", ErrInvalidInstance, k, ns)
+		}
+		if aliveSet[k] {
+			return nil, fmt.Errorf("%w: duplicate alive server %d", ErrInvalidInstance, k)
+		}
+		aliveSet[k] = true
+	}
+	for i, s := range a {
+		if !aliveSet[s] {
+			return nil, fmt.Errorf("%w: client %d assigned to dead server %d", ErrInvalidAssignment, i, s)
+		}
+	}
+
+	d := in.MaxInteractionPath(a)
+	ecc := in.Eccentricities(a)
+	used := in.UsedServers(a)
+	out := &Offsets{D: d, ServerAhead: make([]float64, ns)}
+	for l := 0; l < ns; l++ {
+		if !aliveSet[l] {
+			out.ServerAhead[l] = math.NaN()
+			continue
+		}
+		reach := math.Inf(-1)
+		for _, t := range used {
+			if v := ecc[t] + in.ss[t][l]; v > reach {
+				reach = v
+			}
+		}
+		out.ServerAhead[l] = d - reach
+	}
+	return out, nil
+}
+
 // FeasibilityViolation describes one violated feasibility constraint.
 type FeasibilityViolation struct {
 	// Constraint is 1 for constraint (i) — an operation from Client would

@@ -3,7 +3,6 @@ package live
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -37,18 +36,47 @@ type ClientConfig struct {
 	UplinkDelay float64
 	// LatenessTolerance absorbs scheduling noise (virtual ms).
 	LatenessTolerance float64
+	// ReconnectAttempts bounds dial attempts inside Reconnect
+	// (default 5).
+	ReconnectAttempts int
+	// ReconnectBackoff is the wall-clock wait before the second dial
+	// attempt, doubling on every further attempt (default 10 ms).
+	ReconnectBackoff time.Duration
+	// HandshakeTimeout bounds the wait for the server's Welcome after a
+	// dial succeeds (default 2 s). A server that accepts the TCP
+	// connection but never acknowledges counts as a failed attempt.
+	HandshakeTimeout time.Duration
+	// Faults, if non-nil, supplies fault injection for the uplink.
+	Faults *Injectors
+}
+
+func (cfg *ClientConfig) fillReconnectDefaults() {
+	if cfg.ReconnectAttempts <= 0 {
+		cfg.ReconnectAttempts = 5
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 10 * time.Millisecond
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 2 * time.Second
+	}
 }
 
 // Client is one live DIA participant.
 type Client struct {
-	cfg  ClientConfig
-	conn *encoderConn
-	up   *delayLink
+	cfg ClientConfig
 
-	mu         sync.Mutex
-	deliveries []Delivery
-	closed     bool
-	done       chan struct{}
+	mu           sync.Mutex
+	conn         *encoderConn
+	up           *delayLink
+	gen          int  // connection generation; bumps on every reconnect
+	disconnected bool // the current connection's read side failed
+	droppedOps   int  // ops issued while disconnected
+	oldLinks     []*delayLink
+	deliveries   []Delivery
+	closed       bool
+	done         chan struct{} // closed by Close
+	wg           sync.WaitGroup
 	// Ping state (see ping.go): the channel closed when the pong for
 	// pongNonce arrives.
 	pongCh    chan struct{}
@@ -63,28 +91,140 @@ func Dial(cfg ClientConfig, serverAddr string) (*Client, error) {
 	if cfg.Delta <= 0 {
 		return nil, fmt.Errorf("live: client %d delta %v, want > 0", cfg.ID, cfg.Delta)
 	}
-	conn, err := net.Dial("tcp", serverAddr)
+	cfg.fillReconnectDefaults()
+	c := &Client{
+		cfg:  cfg,
+		done: make(chan struct{}),
+	}
+	ec, serverID, err := c.handshake(serverAddr)
 	if err != nil {
 		return nil, fmt.Errorf("live: client %d dial: %w", cfg.ID, err)
 	}
-	ec := newEncoderConn(conn)
-	if err := ec.send(Msg{Hello: &HelloMsg{Kind: "client", ID: cfg.ID}}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c := &Client{
-		cfg:  cfg,
-		conn: ec,
-		done: make(chan struct{}),
-	}
-	c.up = newDelayLink(ec, time.Duration(cfg.UplinkDelay*float64(cfg.Clock.Scale)), nil)
-	go c.readLoop()
+	c.install(ec, cfg.UplinkDelay, serverID)
 	return c, nil
+}
+
+// handshake dials, introduces the client, and waits for the server's
+// Welcome within the handshake timeout. It returns the accepting
+// server's ID from the Welcome.
+func (c *Client) handshake(serverAddr string) (*encoderConn, int, error) {
+	conn, err := net.Dial("tcp", serverAddr)
+	if err != nil {
+		return nil, 0, err
+	}
+	ec := newEncoderConn(conn)
+	if err := ec.send(Msg{Hello: &HelloMsg{Kind: "client", ID: c.cfg.ID}}); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
+	var m Msg
+	if err := ec.recv(&m); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("waiting for welcome: %w", err)
+	}
+	if m.Welcome == nil {
+		conn.Close()
+		return nil, 0, errors.New("server sent no welcome")
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return ec, m.Welcome.ServerID, nil
+}
+
+// install makes ec the client's active connection and starts its read
+// loop. The caller must not hold c.mu. A connection installed after the
+// client closed is discarded.
+func (c *Client) install(ec *encoderConn, uplinkDelay float64, serverID int) {
+	inj := c.cfg.Faults.link(LinkID{FromKind: "client", From: c.cfg.ID, ToKind: "server", To: serverID})
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = ec.close()
+		return
+	}
+	up := newDelayLink(ec, time.Duration(uplinkDelay*float64(c.cfg.Clock.Scale)), inj, func(error) {
+		c.mu.Lock()
+		c.disconnected = true
+		c.mu.Unlock()
+	})
+	if c.up != nil {
+		c.up.close()
+		c.oldLinks = append(c.oldLinks, c.up)
+	}
+	oldConn := c.conn
+	c.conn = ec
+	c.up = up
+	c.gen++
+	gen := c.gen
+	c.disconnected = false
+	c.wg.Add(1)
+	c.mu.Unlock()
+	if oldConn != nil {
+		_ = oldConn.close()
+	}
+	go c.readLoop(ec, gen)
+}
+
+// Reconnect dials a (possibly different) server with bounded retry and
+// exponential backoff, replacing the client's uplink and downlink. The
+// uplink delay is the injected one-way latency to the new server
+// (virtual ms). It is the recovery path after the assigned server dies:
+// the cluster failover routine reassigns the client and calls Reconnect
+// with the survivor's address.
+func (c *Client) Reconnect(serverAddr string, uplinkDelay float64) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("live: client %d closed", c.cfg.ID)
+	}
+	c.mu.Unlock()
+
+	var (
+		ec       *encoderConn
+		serverID int
+		err      error
+		backoff  = c.cfg.ReconnectBackoff
+	)
+	for attempt := 0; attempt < c.cfg.ReconnectAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-c.done:
+				return fmt.Errorf("live: client %d closed during reconnect", c.cfg.ID)
+			}
+			backoff *= 2
+		}
+		ec, serverID, err = c.handshake(serverAddr)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("live: client %d reconnect to %s: %d attempts failed: %w",
+			c.cfg.ID, serverAddr, c.cfg.ReconnectAttempts, err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = ec.close()
+		return fmt.Errorf("live: client %d closed", c.cfg.ID)
+	}
+	c.mu.Unlock()
+	c.install(ec, uplinkDelay, serverID)
+	return nil
 }
 
 // Issue sends an operation at the client's current simulation time.
 func (c *Client) Issue(opID int) {
-	c.up.send(Msg{Op: &OpMsg{OpID: opID, ClientID: c.cfg.ID, IssueSim: c.cfg.Clock.NowVirtual()}})
+	c.mu.Lock()
+	if c.disconnected || c.closed {
+		c.droppedOps++
+		c.mu.Unlock()
+		return
+	}
+	up := c.up
+	c.mu.Unlock()
+	up.send(Msg{Op: &OpMsg{OpID: opID, ClientID: c.cfg.ID, IssueSim: c.cfg.Clock.NowVirtual()}})
 }
 
 // IssueAt blocks until virtual time t, then issues.
@@ -93,15 +233,43 @@ func (c *Client) IssueAt(opID int, t float64) {
 	c.Issue(opID)
 }
 
-func (c *Client) readLoop() {
-	defer close(c.done)
+// DroppedOps reports operations that never reached a server: issued
+// while disconnected, or accepted by an uplink whose connection then
+// failed before delivery.
+func (c *Client) DroppedOps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.droppedOps
+	for _, l := range c.oldLinks {
+		n += l.lostCount()
+	}
+	if c.up != nil {
+		n += c.up.lostCount()
+	}
+	return n
+}
+
+// Disconnected reports whether the current connection has failed (and no
+// reconnect has succeeded since).
+func (c *Client) Disconnected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disconnected
+}
+
+func (c *Client) readLoop(ec *encoderConn, gen int) {
+	defer c.wg.Done()
 	for {
 		var m Msg
-		if err := c.conn.recv(&m); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				return
+		if err := ec.recv(&m); err != nil {
+			c.mu.Lock()
+			if !c.closed && c.gen == gen {
+				// The server side went away; ops issued from now on are
+				// lost until Reconnect succeeds.
+				c.disconnected = true
 			}
-			return
+			c.mu.Unlock()
+			return // EOF, closed, or reset — all mean the same here
 		}
 		if m.Pong != nil {
 			c.mu.Lock()
@@ -124,6 +292,11 @@ func (c *Client) readLoop() {
 			presentation = arrival
 		}
 		c.mu.Lock()
+		if c.gen != gen {
+			// A reconnect superseded this connection mid-delivery.
+			c.mu.Unlock()
+			return
+		}
 		c.deliveries = append(c.deliveries, Delivery{
 			Op:              u.Op,
 			ExecSim:         u.ExecSim,
@@ -150,9 +323,20 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	up, conn := c.up, c.conn
+	old := c.oldLinks
 	c.mu.Unlock()
-	c.up.close()
-	err := c.conn.close()
-	<-c.done
+	close(c.done)
+	for _, l := range old {
+		l.close()
+	}
+	var err error
+	if up != nil {
+		up.close()
+	}
+	if conn != nil {
+		err = conn.close()
+	}
+	c.wg.Wait()
 	return err
 }

@@ -8,15 +8,20 @@ import (
 // delayLink injects a fixed one-way latency on an outgoing message stream
 // while preserving FIFO order: messages are released to the underlying
 // sender no earlier than enqueue time + delay. It stands in for the
-// geographic network latency that a localhost test cluster lacks.
+// geographic network latency that a localhost test cluster lacks. An
+// optional linkInjector adds configured faults (drop, duplication,
+// jitter, partitions) before a message is queued.
 type delayLink struct {
-	delay time.Duration
-	out   *encoderConn
+	delay  time.Duration
+	out    *encoderConn
+	faults *linkInjector
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []delayedMsg
 	closed bool
+	dead   bool // the underlying conn failed; sends are lost
+	lost   int  // messages discarded because the link died
 	errOne sync.Once
 	onErr  func(error)
 }
@@ -26,10 +31,11 @@ type delayedMsg struct {
 	release time.Time
 }
 
-// newDelayLink starts the sender goroutine. onErr (may be nil) is invoked
-// once on the first send error.
-func newDelayLink(out *encoderConn, delay time.Duration, onErr func(error)) *delayLink {
-	l := &delayLink{delay: delay, out: out, onErr: onErr}
+// newDelayLink starts the sender goroutine. faults (may be nil) applies
+// per-link fault injection; onErr (may be nil) is invoked once on the
+// first send error.
+func newDelayLink(out *encoderConn, delay time.Duration, faults *linkInjector, onErr func(error)) *delayLink {
+	l := &delayLink{delay: delay, out: out, faults: faults, onErr: onErr}
 	l.cond = sync.NewCond(&l.mu)
 	go l.run()
 	return l
@@ -38,12 +44,23 @@ func newDelayLink(out *encoderConn, delay time.Duration, onErr func(error)) *del
 // send enqueues a message for delayed delivery. It never blocks on the
 // network.
 func (l *delayLink) send(m Msg) {
+	copies, extra := l.faults.apply(m)
+	if copies == 0 {
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
-	l.queue = append(l.queue, delayedMsg{msg: m, release: time.Now().Add(l.delay)})
+	if l.dead {
+		l.lost += copies
+		return
+	}
+	release := time.Now().Add(l.delay + extra)
+	for i := 0; i < copies; i++ {
+		l.queue = append(l.queue, delayedMsg{msg: m, release: release})
+	}
 	l.cond.Signal()
 }
 
@@ -53,6 +70,14 @@ func (l *delayLink) close() {
 	defer l.mu.Unlock()
 	l.closed = true
 	l.cond.Broadcast()
+}
+
+// lostCount reports messages accepted by send but never delivered
+// because the underlying connection failed.
+func (l *delayLink) lostCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lost
 }
 
 func (l *delayLink) run() {
@@ -73,6 +98,11 @@ func (l *delayLink) run() {
 			time.Sleep(d)
 		}
 		if err := l.out.send(head.msg); err != nil {
+			l.mu.Lock()
+			l.dead = true
+			l.lost += 1 + len(l.queue) // the failed message and the remnants
+			l.queue = nil
+			l.mu.Unlock()
 			if l.onErr != nil {
 				l.errOne.Do(func() { l.onErr(err) })
 			}

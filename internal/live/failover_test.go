@@ -1,0 +1,296 @@
+package live
+
+import (
+	"math"
+	"testing"
+
+	"diacap/internal/dia"
+)
+
+// victimServer picks the used server with the fewest clients — a real
+// failure target whose death orphans a small, known client set.
+func victimServer(loads []int) int {
+	victim, best := -1, int(^uint(0)>>1)
+	for k, l := range loads {
+		if l > 0 && l < best {
+			victim, best = k, l
+		}
+	}
+	return victim
+}
+
+func TestKillMidRunFailover(t *testing.T) {
+	// The acceptance scenario: a server dies between two operation
+	// waves, the orphaned clients fail over to surviving servers, the
+	// offsets are recomputed for the shrunken set, and the run finishes
+	// with the consistency property intact on the survivors — every
+	// issued op executed exactly once per survivor, zero execution
+	// spread, and the reported degraded D matching the recomputed
+	// survivor assignment.
+	in, a, off := liveInstance(t, 5, 14, 3)
+	victim := victimServer(in.Loads(a))
+	if victim < 0 {
+		t.Fatal("no victim server")
+	}
+	// δ with headroom above both the pre-failure D and the (empirically
+	// larger) post-failover D, so the whole run can stay deadline-clean.
+	const delta = 260
+	if off.D >= delta {
+		t.Fatalf("seed produced D = %v ≥ δ = %v; pick another seed", off.D, delta)
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             delta,
+		Offsets:           off,
+		LatenessTolerance: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Two waves with a quiet window around the kill: no op is in flight
+	// while the failover swaps offsets, which is what lets us assert an
+	// exact zero execution spread afterwards.
+	nc := in.NumClients()
+	var ops []dia.Operation
+	for i := 0; i < nc; i++ {
+		ops = append(ops, dia.Operation{ID: i, Client: i, IssueTime: 80 + float64(i)*3})
+	}
+	for i := 0; i < nc; i++ {
+		ops = append(ops, dia.Operation{ID: 100 + i, Client: i, IssueTime: 950 + float64(i)*3})
+	}
+
+	const killAt = 640 // wave 1 fully drained, wave 2 not yet issued
+	type killResult struct {
+		rep *FailoverReport
+		err error
+	}
+	killCh := make(chan killResult, 1)
+	go func() {
+		cluster.Clock().SleepUntilVirtual(killAt)
+		if err := cluster.Kill(victim); err != nil {
+			killCh <- killResult{nil, err}
+			return
+		}
+		rep, err := cluster.Failover()
+		killCh <- killResult{rep, err}
+	}()
+
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := <-killCh
+	if kr.err != nil {
+		t.Fatalf("kill/failover: %v", kr.err)
+	}
+	rep := kr.rep
+
+	// The failover report: degraded D equals the evaluator's D of the
+	// recomputed survivor assignment, and the dead server is gone from it.
+	ev, err := in.NewEvaluator(rep.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.PostD-ev.D()) > 1e-9 {
+		t.Fatalf("PostD = %v, want evaluator D %v", rep.PostD, ev.D())
+	}
+	if rep.PostD >= delta {
+		t.Fatalf("post-failover D %v ≥ δ %v; scenario cannot stay clean — pick another seed", rep.PostD, delta)
+	}
+	if math.Abs(rep.PreD-off.D) > 1e-9 {
+		t.Fatalf("PreD = %v, want %v", rep.PreD, off.D)
+	}
+	for ci, s := range rep.Assignment {
+		if s == victim {
+			t.Fatalf("client %d still on dead server %d", ci, victim)
+		}
+	}
+	wantOrphans := 0
+	for _, s := range a {
+		if s == victim {
+			wantOrphans++
+		}
+	}
+	if len(rep.Orphans) != wantOrphans {
+		t.Fatalf("orphans = %v, want %d clients", rep.Orphans, wantOrphans)
+	}
+	for _, ci := range rep.Orphans {
+		if cluster.Client(ci).Disconnected() {
+			t.Fatalf("orphan %d still disconnected after failover", ci)
+		}
+	}
+
+	// Consistency across the crash: every issued op executed exactly
+	// once on every surviving server, no spread, no unfairness, nothing
+	// lost or duplicated.
+	for k, s := range cluster.servers {
+		if k == victim {
+			continue
+		}
+		seen := make(map[int]int)
+		for _, rec := range s.Log() {
+			seen[rec.Op.OpID]++
+		}
+		if len(seen) != len(ops) {
+			t.Fatalf("survivor %d executed %d distinct ops, want %d", k, len(seen), len(ops))
+		}
+		for _, op := range ops {
+			if seen[op.ID] != 1 {
+				t.Fatalf("survivor %d executed op %d %d times", k, op.ID, seen[op.ID])
+			}
+		}
+	}
+	if res.OpsLost != 0 {
+		t.Fatalf("OpsLost = %d, want 0", res.OpsLost)
+	}
+	if res.DuplicatesSuppressed != 0 {
+		t.Fatalf("DuplicatesSuppressed = %d, want 0", res.DuplicatesSuppressed)
+	}
+	if res.ExecSpread != 0 {
+		t.Fatalf("survivor ExecSpread = %v, want 0", res.ExecSpread)
+	}
+	if res.PostFailoverExecSpread != 0 || res.PostFailoverOrderInversions != 0 {
+		t.Fatalf("post-failover spread/inversions = %v/%d, want 0/0",
+			res.PostFailoverExecSpread, res.PostFailoverOrderInversions)
+	}
+	if res.OrderInversions != 0 {
+		t.Fatalf("OrderInversions = %d, want 0", res.OrderInversions)
+	}
+	if res.ServerLate != 0 || res.ClientLate != 0 {
+		t.Fatalf("deadline misses: %d server, %d client", res.ServerLate, res.ClientLate)
+	}
+	if want := len(ops) * nc; res.UpdatesDelivered != want {
+		t.Fatalf("updates = %d, want %d", res.UpdatesDelivered, want)
+	}
+	if len(res.Failovers) != 1 {
+		t.Fatalf("failovers recorded = %d, want 1", len(res.Failovers))
+	}
+	if rep.WallDuration <= 0 || rep.VirtualEnd < rep.VirtualStart {
+		t.Fatalf("implausible failover timing: %+v", rep)
+	}
+}
+
+func TestFailoverCapacitatedSpillsToSecondNearest(t *testing.T) {
+	// With capacities set, failover must respect them: orphans take the
+	// nearest surviving server with room, spilling to farther ones once
+	// it saturates.
+	in, a, off := liveInstance(t, 5, 14, 3)
+	loads := in.Loads(a)
+	heaviest := 0
+	for k, l := range loads {
+		if l > loads[heaviest] {
+			heaviest = k
+		}
+	}
+	// Headroom sized so the heaviest server's orphans cannot all fit on
+	// any single survivor but exactly fit across all of them together.
+	room := loads[heaviest] / (in.NumServers() - 1)
+	if loads[heaviest]%(in.NumServers()-1) != 0 {
+		room++
+	}
+	caps := make([]int, len(loads))
+	for k, l := range loads {
+		caps[k] = l + room
+	}
+	if room >= loads[heaviest] {
+		t.Fatalf("seed gives loads %v; the heaviest server's orphans fit on one survivor — pick another seed", loads)
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		Capacities:        caps,
+		LatenessTolerance: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if err := cluster.Kill(heaviest); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cluster.Failover()
+	if err != nil {
+		t.Fatalf("capacitated failover: %v", err)
+	}
+	if err := in.CheckCapacities(rep.Assignment, caps); err != nil {
+		t.Fatalf("failover violated capacities: %v", err)
+	}
+	newLoads := in.Loads(rep.Assignment)
+	if newLoads[heaviest] != 0 {
+		t.Fatalf("dead server still has %d clients", newLoads[heaviest])
+	}
+	// The orphans exceeded any single survivor's headroom, so both
+	// survivors must have absorbed some.
+	absorbed := 0
+	for k, l := range newLoads {
+		if k != heaviest && l > loads[k] {
+			absorbed++
+		}
+	}
+	if absorbed < 2 {
+		t.Fatalf("expected orphans spread over ≥ 2 survivors, got %d (loads %v → %v)", absorbed, loads, newLoads)
+	}
+}
+
+func TestFailoverInsufficientCapacityFailsLoudly(t *testing.T) {
+	in, a, off := liveInstance(t, 5, 14, 3)
+	loads := in.Loads(a)
+	// Exact-fit capacities: legal while every server lives, but no
+	// survivor has room for a single orphan.
+	caps := append([]int(nil), loads...)
+	victim := victimServer(loads)
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		Capacities:        caps,
+		LatenessTolerance: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if err := cluster.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Failover(); err == nil {
+		t.Fatal("failover with saturated survivors must fail loudly")
+	}
+}
+
+func TestKillValidation(t *testing.T) {
+	in, a, off := liveInstance(t, 4, 12, 2)
+	cluster, err := StartCluster(ClusterConfig{
+		Instance: in, Assignment: a, Delta: off.D, Offsets: off, Clients: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Kill(99); err == nil {
+		t.Fatal("out-of-range kill must fail")
+	}
+	if _, err := cluster.Failover(); err == nil {
+		t.Fatal("failover without a dead server must fail")
+	}
+	if err := cluster.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Kill(0); err == nil {
+		t.Fatal("double kill must fail")
+	}
+	if err := cluster.Kill(1); err == nil {
+		t.Fatal("killing the last live server must be refused")
+	}
+	if got := cluster.DeadServers(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("dead servers = %v", got)
+	}
+}

@@ -1,0 +1,219 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection for the live cluster. The simulated Distributed-Greedy
+// protocol (internal/dgreedy) has a message-level Drop hook; FaultPlan is
+// the same idea for the real-TCP layer, extended with the failure modes a
+// geo-distributed deployment actually sees: probabilistic loss,
+// duplication, delay jitter, and transient network partitions. Faults are
+// applied per directed link inside delayLink, before any bytes hit the
+// socket, so a chaos run exercises exactly the production code paths.
+
+// LinkID identifies one directed message link in a live cluster.
+type LinkID struct {
+	// FromKind and ToKind are "server" or "client".
+	FromKind, ToKind string
+	// From and To are the instance-local indices of the endpoints.
+	From, To int
+}
+
+// LinkFaults is the probabilistic fault profile of one directed link.
+type LinkFaults struct {
+	// DropProb is the probability a message is silently dropped.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice. The
+	// receiver's idempotent execution (the seen-op set) must suppress the
+	// copy; ClusterResult.DuplicatesSuppressed counts how often it did.
+	DupProb float64
+	// JitterMs adds a uniform extra one-way delay in [0, JitterMs]
+	// virtual milliseconds. FIFO order per link is preserved (jitter
+	// models queueing, not reordering).
+	JitterMs float64
+}
+
+// Partition cuts server-to-server connectivity during a virtual-time
+// window: messages on links between a server in A and a server in B
+// (either direction) are dropped while virtual time is in [From, Until).
+// The window is one-shot — once virtual time passes Until the partition
+// heals and never reopens.
+type Partition struct {
+	A, B        []int
+	From, Until float64
+}
+
+// FaultPlan configures fault injection for a whole cluster. The zero
+// value injects nothing.
+type FaultPlan struct {
+	// Seed makes the probabilistic faults reproducible: each link derives
+	// an independent deterministic stream from Seed and its LinkID, so
+	// outcomes do not depend on goroutine interleaving.
+	Seed int64
+	// Default applies to every link without an entry in Links.
+	Default LinkFaults
+	// Links overrides the fault profile per directed link.
+	Links map[LinkID]LinkFaults
+	// Partitions are transient server-to-server connectivity cuts.
+	Partitions []Partition
+	// Drop, if non-nil, is consulted for every message in addition to the
+	// probabilistic faults; returning true drops it. This mirrors
+	// dgreedy.Options.Drop and enables deterministic chaos tests.
+	Drop func(link LinkID, m Msg) bool
+}
+
+// FaultStats aggregates what a plan's injectors actually did.
+type FaultStats struct {
+	// MessagesDropped counts drops from DropProb, Partitions, and Drop.
+	MessagesDropped int
+	// MessagesDuplicated counts extra copies enqueued by DupProb.
+	MessagesDuplicated int
+}
+
+// Injectors shares one FaultPlan's state across the links of a cluster.
+// A nil *Injectors is valid and injects nothing.
+type Injectors struct {
+	plan       *FaultPlan
+	clock      Clock
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+}
+
+// NewInjectors prepares a plan for use by a cluster's links. A nil plan
+// yields a nil Injectors, which is safe to pass everywhere.
+func NewInjectors(plan *FaultPlan, clock Clock) *Injectors {
+	if plan == nil {
+		return nil
+	}
+	return &Injectors{plan: plan, clock: clock}
+}
+
+// Stats returns what the injectors have done so far.
+func (fi *Injectors) Stats() FaultStats {
+	if fi == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		MessagesDropped:    int(fi.dropped.Load()),
+		MessagesDuplicated: int(fi.duplicated.Load()),
+	}
+}
+
+// link builds the per-link injector consulted by delayLink.send. Nil when
+// no plan is configured.
+func (fi *Injectors) link(id LinkID) *linkInjector {
+	if fi == nil {
+		return nil
+	}
+	lf := fi.plan.Default
+	if over, ok := fi.plan.Links[id]; ok {
+		lf = over
+	}
+	inj := &linkInjector{owner: fi, id: id, faults: lf}
+	inj.rng = rand.New(rand.NewSource(fi.plan.Seed ^ linkSeed(id)))
+	return inj
+}
+
+// linkSeed derives a per-link seed so each link gets an independent,
+// interleaving-insensitive random stream.
+func linkSeed(id LinkID) int64 {
+	h := int64(1469598103934665603) // FNV offset basis
+	mix := func(v int64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	if id.FromKind == "server" {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(int64(id.From) + 3)
+	if id.ToKind == "server" {
+		mix(5)
+	} else {
+		mix(7)
+	}
+	mix(int64(id.To) + 11)
+	return h
+}
+
+// linkInjector applies one link's faults. Its methods are called under
+// the owning delayLink's mutex, so rng needs no extra locking; partition
+// state is read-only plan data plus the shared clock.
+type linkInjector struct {
+	owner  *Injectors
+	id     LinkID
+	faults LinkFaults
+	mu     sync.Mutex
+	rng    *rand.Rand
+}
+
+// apply decides a message's fate: copies is 0 (dropped), 1, or 2
+// (duplicated); extra is additional one-way delay from jitter.
+func (li *linkInjector) apply(m Msg) (copies int, extra time.Duration) {
+	if li == nil {
+		return 1, 0
+	}
+	plan := li.owner.plan
+	if plan.Drop != nil && plan.Drop(li.id, m) {
+		li.owner.dropped.Add(1)
+		return 0, 0
+	}
+	if li.partitioned() {
+		li.owner.dropped.Add(1)
+		return 0, 0
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if li.faults.DropProb > 0 && li.rng.Float64() < li.faults.DropProb {
+		li.owner.dropped.Add(1)
+		return 0, 0
+	}
+	copies = 1
+	if li.faults.DupProb > 0 && li.rng.Float64() < li.faults.DupProb {
+		copies = 2
+		li.owner.duplicated.Add(1)
+	}
+	if li.faults.JitterMs > 0 {
+		extra = time.Duration(li.rng.Float64() * li.faults.JitterMs * float64(li.owner.clock.Scale))
+	}
+	return copies, extra
+}
+
+// partitioned reports whether the link currently crosses an active
+// partition window. Only server-to-server links are affected.
+func (li *linkInjector) partitioned() bool {
+	plan := li.owner.plan
+	if len(plan.Partitions) == 0 || li.id.FromKind != "server" || li.id.ToKind != "server" {
+		return false
+	}
+	now := li.owner.clock.NowVirtual()
+	for _, p := range plan.Partitions {
+		if now < p.From || now >= p.Until {
+			continue
+		}
+		if crossesPartition(p, li.id.From, li.id.To) {
+			return true
+		}
+	}
+	return false
+}
+
+func crossesPartition(p Partition, from, to int) bool {
+	inA := func(id int) bool { return containsInt(p.A, id) }
+	inB := func(id int) bool { return containsInt(p.B, id) }
+	return (inA(from) && inB(to)) || (inB(from) && inA(to))
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"diacap/internal/dia"
+)
+
+func TestLinkInjectorDeterministicAndCounted(t *testing.T) {
+	clock := Clock{Epoch: time.Now(), Scale: time.Millisecond}
+	plan := &FaultPlan{Seed: 7, Default: LinkFaults{DropProb: 0.5, DupProb: 0.25, JitterMs: 10}}
+	id := LinkID{FromKind: "server", From: 0, ToKind: "server", To: 1}
+
+	outcome := func() (drops, dups int, jitter []time.Duration) {
+		li := NewInjectors(plan, clock).link(id)
+		for i := 0; i < 200; i++ {
+			copies, extra := li.apply(Msg{})
+			switch copies {
+			case 0:
+				drops++
+			case 2:
+				dups++
+			}
+			jitter = append(jitter, extra)
+		}
+		return
+	}
+	d1, u1, j1 := outcome()
+	d2, u2, j2 := outcome()
+	if d1 != d2 || u1 != u2 {
+		t.Fatalf("same seed must reproduce the same faults: %d/%d vs %d/%d", d1, u1, d2, u2)
+	}
+	for i := range j1 {
+		if j1[i] != j2[i] {
+			t.Fatalf("jitter stream diverged at %d: %v vs %v", i, j1[i], j2[i])
+		}
+	}
+	if d1 == 0 || u1 == 0 {
+		t.Fatalf("with p=0.5/0.25 over 200 messages, drops (%d) and dups (%d) must both occur", d1, u1)
+	}
+	// Different links draw from independent streams.
+	other := NewInjectors(plan, clock).link(LinkID{FromKind: "server", From: 1, ToKind: "server", To: 0})
+	same := true
+	li := NewInjectors(plan, clock).link(id)
+	for i := 0; i < 50; i++ {
+		c1, e1 := li.apply(Msg{})
+		c2, e2 := other.apply(Msg{})
+		if c1 != c2 || e1 != e2 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct links should not share a fault stream")
+	}
+}
+
+func TestPartitionWindowDropsServerLinks(t *testing.T) {
+	// A one-shot partition drops server-server messages only inside its
+	// virtual-time window, and never touches client links.
+	clock := Clock{Epoch: time.Now().Add(-100 * time.Millisecond), Scale: time.Millisecond}
+	// Virtual "now" is ≈100; the window [50, 1e6) is active.
+	plan := &FaultPlan{Partitions: []Partition{{A: []int{0}, B: []int{1, 2}, From: 50, Until: 1e6}}}
+	inj := NewInjectors(plan, clock)
+
+	cut := inj.link(LinkID{FromKind: "server", From: 0, ToKind: "server", To: 2})
+	if copies, _ := cut.apply(Msg{}); copies != 0 {
+		t.Fatal("message across the partition must drop")
+	}
+	reverse := inj.link(LinkID{FromKind: "server", From: 1, ToKind: "server", To: 0})
+	if copies, _ := reverse.apply(Msg{}); copies != 0 {
+		t.Fatal("partition must cut both directions")
+	}
+	sameSide := inj.link(LinkID{FromKind: "server", From: 1, ToKind: "server", To: 2})
+	if copies, _ := sameSide.apply(Msg{}); copies != 1 {
+		t.Fatal("links within one side must pass")
+	}
+	clientLink := inj.link(LinkID{FromKind: "client", From: 0, ToKind: "server", To: 1})
+	if copies, _ := clientLink.apply(Msg{}); copies != 1 {
+		t.Fatal("client links are not subject to server partitions")
+	}
+	if got := inj.Stats().MessagesDropped; got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+
+	// Before the window the same link passes.
+	early := Clock{Epoch: time.Now().Add(-10 * time.Millisecond), Scale: time.Millisecond}
+	cutEarly := NewInjectors(plan, early).link(LinkID{FromKind: "server", From: 0, ToKind: "server", To: 1})
+	if copies, _ := cutEarly.apply(Msg{}); copies != 1 {
+		t.Fatal("message before the window must pass")
+	}
+}
+
+func TestClusterDropHookStarvesOneReplica(t *testing.T) {
+	// Dropping every Forward into one server leaves it executing only its
+	// own clients' operations, exactly like dgreedy's Drop hook lets the
+	// simulated protocol be starved. All other replicas stay complete.
+	in, a, off := liveInstance(t, 1, 14, 3)
+	const starved = 1
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		LatenessTolerance: 35,
+		Faults: &FaultPlan{
+			Drop: func(link LinkID, m Msg) bool {
+				return link.ToKind == "server" && link.To == starved && m.Forward != nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ops := dia.UniformWorkload(in.NumClients(), in.NumClients(), 100, 20)
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownOps := 0
+	for _, op := range ops {
+		if a[op.Client] == starved {
+			ownOps++
+		}
+	}
+	wantExecs := len(ops)*(in.NumServers()-1) + ownOps
+	if res.Executions != wantExecs {
+		t.Fatalf("executions = %d, want %d (starved replica misses foreign ops)", res.Executions, wantExecs)
+	}
+	if res.Faults.MessagesDropped != len(ops)-ownOps {
+		t.Fatalf("dropped = %d, want %d", res.Faults.MessagesDropped, len(ops)-ownOps)
+	}
+	if res.OpsLost != 0 {
+		t.Fatalf("no op vanished entirely, OpsLost = %d", res.OpsLost)
+	}
+}
+
+func TestClusterDuplicationSuppressed(t *testing.T) {
+	// Duplicating every client uplink message must not duplicate any
+	// execution: the servers' seen-op set absorbs the copies, and the
+	// result reports how often it did.
+	in, a, off := liveInstance(t, 6, 14, 3)
+	links := make(map[LinkID]LinkFaults)
+	for ci := 0; ci < in.NumClients(); ci++ {
+		links[LinkID{FromKind: "client", From: ci, ToKind: "server", To: a[ci]}] =
+			LinkFaults{DupProb: 1, JitterMs: 5}
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		LatenessTolerance: 35,
+		Faults:            &FaultPlan{Seed: 3, Links: links},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ops := dia.UniformWorkload(in.NumClients(), in.NumClients(), 100, 20)
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executions != len(ops)*in.NumServers() {
+		t.Fatalf("executions = %d, want %d (duplicates must not execute twice)",
+			res.Executions, len(ops)*in.NumServers())
+	}
+	if res.DuplicatesSuppressed != len(ops) {
+		t.Fatalf("suppressed = %d, want %d (one copy per duplicated op)",
+			res.DuplicatesSuppressed, len(ops))
+	}
+	if res.Faults.MessagesDuplicated != len(ops) {
+		t.Fatalf("injector duplicated = %d, want %d", res.Faults.MessagesDuplicated, len(ops))
+	}
+}

@@ -66,7 +66,7 @@ func TestDelayLinkOrderingAndTiming(t *testing.T) {
 	defer clientConn.close()
 
 	const delay = 30 * time.Millisecond
-	link := newDelayLink(clientConn, delay, nil)
+	link := newDelayLink(clientConn, delay, nil, nil)
 	defer link.close()
 	start := time.Now()
 	for i := 0; i < 5; i++ {

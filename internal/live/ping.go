@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +27,12 @@ type PongMsg struct {
 	Nonce int64
 }
 
+// pingNonces issues process-wide unique ping nonces. A per-call counter
+// restarting at 1 would let a stale pong from a previous timed-out
+// measurement satisfy the next one; a monotonic counter makes stale
+// pongs mismatch, and the read loop discards mismatched nonces.
+var pingNonces atomic.Int64
+
 // MeasureRTT sends count pings to the client's assigned server and
 // returns the median round-trip time in virtual milliseconds. It is
 // synchronous and must not run concurrently with other measurements on
@@ -36,15 +43,16 @@ func (c *Client) MeasureRTT(count int, timeout time.Duration) (float64, error) {
 	}
 	rtts := make([]float64, 0, count)
 	for i := 0; i < count; i++ {
-		nonce := int64(i + 1)
+		nonce := pingNonces.Add(1)
 		ch := make(chan struct{})
 		c.mu.Lock()
 		c.pongCh = ch
 		c.pongNonce = nonce
+		up := c.up
 		c.mu.Unlock()
 
 		start := c.cfg.Clock.NowVirtual()
-		c.up.send(Msg{Ping: &PingMsg{Nonce: nonce, From: c.cfg.ID}})
+		up.send(Msg{Ping: &PingMsg{Nonce: nonce, From: c.cfg.ID}})
 		select {
 		case <-ch:
 			rtts = append(rtts, c.cfg.Clock.NowVirtual()-start)

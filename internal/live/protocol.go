@@ -23,6 +23,7 @@ import (
 // Msg is the wire envelope. Exactly one field is non-nil.
 type Msg struct {
 	Hello   *HelloMsg
+	Welcome *WelcomeMsg
 	Op      *OpMsg
 	Forward *ForwardMsg
 	Update  *UpdateMsg
@@ -36,6 +37,15 @@ type HelloMsg struct {
 	Kind string
 	// ID is the instance-local client or server index.
 	ID int
+}
+
+// WelcomeMsg acknowledges a client HelloMsg. Clients treat a connection
+// as established only after receiving it, so a server that accepts the
+// TCP handshake but dies (or drops the connection) before registering
+// the client is detected and retried rather than silently half-open.
+type WelcomeMsg struct {
+	// ServerID is the accepting server's instance-local index.
+	ServerID int
 }
 
 // OpMsg carries a user operation from a client to its assigned server.

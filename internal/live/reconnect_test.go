@@ -1,0 +1,180 @@
+package live
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyProxy fronts a real server address but closes its first dropN
+// accepted connections immediately — a server that is reachable at the
+// TCP level yet not actually serving, the failure mode the Welcome
+// handshake exists to detect.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	dropN  atomic.Int32
+}
+
+func newFlakyProxy(t *testing.T, target string, drop int) *flakyProxy {
+	t.Helper()
+	ln, err := netListen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: target}
+	p.dropN.Store(int32(drop))
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if p.dropN.Add(-1) >= 0 {
+				conn.Close()
+				continue
+			}
+			back, err := net.Dial("tcp", p.target)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { _, _ = io.Copy(back, conn); back.Close() }()
+			go func() { _, _ = io.Copy(conn, back); conn.Close() }()
+		}
+	}()
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func TestClientReconnectBackoffAgainstFlakyServer(t *testing.T) {
+	clock := Clock{Epoch: time.Now(), Scale: time.Millisecond}
+	srv, err := StartServer(ServerConfig{
+		ID:          0,
+		Clock:       clock,
+		Delta:       50,
+		PeerDelay:   func(int) float64 { return 1 },
+		ClientDelay: func(int) float64 { return 1 },
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const backoff = 20 * time.Millisecond
+	c, err := Dial(ClientConfig{
+		ID:                0,
+		Clock:             clock,
+		Delta:             50,
+		UplinkDelay:       1,
+		ReconnectAttempts: 5,
+		ReconnectBackoff:  backoff,
+	}, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The proxy kills the first three connections; attempt 4 gets through.
+	// Backoff doubles between attempts, so success cannot arrive before
+	// 20 + 40 + 80 ms of accumulated waiting.
+	flaky := newFlakyProxy(t, srv.Addr(), 3)
+	start := time.Now()
+	if err := c.Reconnect(flaky.addr(), 1); err != nil {
+		t.Fatalf("reconnect through flaky proxy: %v", err)
+	}
+	if elapsed, min := time.Since(start), 7*backoff; elapsed < min {
+		t.Fatalf("reconnect succeeded after %v; exponential backoff requires ≥ %v", elapsed, min)
+	}
+	if c.Disconnected() {
+		t.Fatal("client still marked disconnected after successful reconnect")
+	}
+	// The reconnected path is live end to end.
+	if _, err := c.MeasureRTT(1, 5*time.Second); err != nil {
+		t.Fatalf("ping over reconnected path: %v", err)
+	}
+
+	// A server that never serves exhausts the bounded retries and fails
+	// loudly instead of hanging.
+	dead := newFlakyProxy(t, srv.Addr(), 1<<30)
+	start = time.Now()
+	if err := c.Reconnect(dead.addr(), 1); err == nil {
+		t.Fatal("reconnect to a dead server must fail after bounded attempts")
+	}
+	// 5 attempts → 4 waits: 20+40+80+160 ms, then give up.
+	if elapsed, max := time.Since(start), 2*time.Second; elapsed > max {
+		t.Fatalf("bounded retry took %v, expected well under %v", elapsed, max)
+	}
+	// The failed reconnect left the previous (working) connection alone.
+	if _, err := c.MeasureRTT(1, 5*time.Second); err != nil {
+		t.Fatalf("previous connection must survive a failed reconnect: %v", err)
+	}
+}
+
+func TestMeasureRTTIgnoresStalePong(t *testing.T) {
+	// A pong whose nonce does not match the outstanding ping — e.g. the
+	// late reply to a previous, timed-out measurement — must not satisfy
+	// the current one. The fake server answers first with a stale nonce,
+	// then with the real one after a delay; the measured RTT must reflect
+	// the real reply.
+	ln, err := netListen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const lag = 60 * time.Millisecond
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ec := newEncoderConn(conn)
+		var hello Msg
+		if err := ec.recv(&hello); err != nil {
+			return
+		}
+		_ = ec.send(Msg{Welcome: &WelcomeMsg{ServerID: 0}})
+		for {
+			var m Msg
+			if err := ec.recv(&m); err != nil {
+				return
+			}
+			if m.Ping == nil {
+				continue
+			}
+			_ = ec.send(Msg{Pong: &PongMsg{Nonce: m.Ping.Nonce - 1}}) // stale
+			time.Sleep(lag)
+			_ = ec.send(Msg{Pong: &PongMsg{Nonce: m.Ping.Nonce}})
+		}
+	}()
+
+	clock := Clock{Epoch: time.Now(), Scale: time.Millisecond}
+	c, err := Dial(ClientConfig{ID: 0, Clock: clock, Delta: 50}, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rtt, err := c.MeasureRTT(1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With Scale = 1 ms, the genuine pong arrives ≥ 60 virtual ms after
+	// the ping; the stale one arrives almost immediately.
+	if rtt < float64(lag/time.Millisecond)*0.8 {
+		t.Fatalf("RTT = %.2f ms — a stale pong satisfied the measurement", rtt)
+	}
+}
+
+func TestPingNoncesUniqueAcrossClients(t *testing.T) {
+	// Nonces are process-wide unique, never restarting per client or per
+	// call — the property that makes stale pongs detectable at all.
+	a := pingNonces.Add(1)
+	b := pingNonces.Add(1)
+	if b <= a {
+		t.Fatalf("nonces must increase: %d then %d", a, b)
+	}
+}

@@ -23,7 +23,9 @@ type ServerConfig struct {
 	Clock Clock
 	// Delta is the execution lag δ (virtual ms).
 	Delta float64
-	// Ahead is this server's simulation-time offset Δ(s, c).
+	// Ahead is this server's simulation-time offset Δ(s, c). It can be
+	// adjusted at runtime with SetAhead after a failover recomputes the
+	// offsets for the surviving server set.
 	Ahead float64
 	// PeerDelay returns the injected one-way latency (virtual ms) to a
 	// peer server by ID.
@@ -34,6 +36,8 @@ type ServerConfig struct {
 	// LatenessTolerance absorbs OS scheduling noise when classifying an
 	// arrival as late (virtual ms).
 	LatenessTolerance float64
+	// Faults, if non-nil, supplies fault injection for outgoing links.
+	Faults *Injectors
 	// Logf, if non-nil, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +51,7 @@ type Server struct {
 	listener net.Listener
 
 	mu       sync.Mutex
+	ahead    float64            // current Δ(s, c); starts at cfg.Ahead
 	peers    map[int]*delayLink // outgoing links to peer servers
 	clients  map[int]*delayLink // outgoing links to connected clients
 	conns    []net.Conn         // every connection owned by this server
@@ -54,6 +59,7 @@ type Server struct {
 	log      []ExecRecord
 	late     int
 	maxLate  float64
+	dups     int // duplicate op arrivals suppressed by the seen set
 	closed   bool
 	shutdown chan struct{}
 	wg       sync.WaitGroup
@@ -92,6 +98,7 @@ func StartServer(cfg ServerConfig, addr string) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
+		ahead:    cfg.Ahead,
 		peers:    make(map[int]*delayLink),
 		clients:  make(map[int]*delayLink),
 		seen:     make(map[int]bool),
@@ -104,6 +111,23 @@ func StartServer(cfg ServerConfig, addr string) (*Server, error) {
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Ahead returns the server's current simulation-time offset Δ(s, c).
+func (s *Server) Ahead() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ahead
+}
+
+// SetAhead adjusts the server's simulation-time offset at runtime — used
+// after a failover recomputes the Section II-C offsets for the surviving
+// server set. Operations already scheduled keep their old execution slot;
+// only subsequent arrivals use the new offset.
+func (s *Server) SetAhead(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ahead = v
+}
 
 // ConnectPeer dials a peer server and registers the outgoing link.
 func (s *Server) ConnectPeer(peerID int, addr string) error {
@@ -120,7 +144,8 @@ func (s *Server) ConnectPeer(peerID int, addr string) error {
 		return err
 	}
 	delay := time.Duration(s.cfg.PeerDelay(peerID) * float64(s.cfg.Clock.Scale))
-	link := newDelayLink(ec, delay, func(err error) { s.logf("peer %d link: %v", peerID, err) })
+	inj := s.cfg.Faults.link(LinkID{FromKind: "server", From: s.cfg.ID, ToKind: "server", To: peerID})
+	link := newDelayLink(ec, delay, inj, func(err error) { s.logf("peer %d link: %v", peerID, err) })
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -157,14 +182,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	h := *hello.Hello
 	if h.Kind == "client" {
+		// Acknowledge before registering the delayed downlink: until the
+		// link exists this goroutine is the connection's only writer.
+		if err := ec.send(Msg{Welcome: &WelcomeMsg{ServerID: s.cfg.ID}}); err != nil {
+			conn.Close()
+			return
+		}
 		delay := time.Duration(s.cfg.ClientDelay(h.ID) * float64(s.cfg.Clock.Scale))
-		link := newDelayLink(ec, delay, func(err error) { s.logf("client %d link: %v", h.ID, err) })
+		inj := s.cfg.Faults.link(LinkID{FromKind: "server", From: s.cfg.ID, ToKind: "client", To: h.ID})
+		link := newDelayLink(ec, delay, inj, func(err error) { s.logf("client %d link: %v", h.ID, err) })
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			link.close()
 			conn.Close()
 			return
+		}
+		if old, ok := s.clients[h.ID]; ok {
+			old.close() // the client reconnected to the same server
 		}
 		s.clients[h.ID] = link
 		s.mu.Unlock()
@@ -195,7 +230,12 @@ func (s *Server) handleConn(conn net.Conn) {
 // triggers forwarding to every peer.
 func (s *Server) handleOp(op OpMsg, fromClient bool) {
 	s.mu.Lock()
-	if s.closed || s.seen[op.OpID] {
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.seen[op.OpID] {
+		s.dups++
 		s.mu.Unlock()
 		return
 	}
@@ -205,11 +245,12 @@ func (s *Server) handleOp(op OpMsg, fromClient bool) {
 			link.send(Msg{Forward: &ForwardMsg{Op: op}})
 		}
 	}
+	ahead := s.ahead
 	s.mu.Unlock()
 
 	// Execute when this server's simulation time reaches issue + δ, i.e.
 	// at virtual wall position issue + δ − ahead.
-	execVirtual := op.IssueSim + s.cfg.Delta - s.cfg.Ahead
+	execVirtual := op.IssueSim + s.cfg.Delta - ahead
 	nowVirtual := s.cfg.Clock.NowVirtual()
 	if nowVirtual > execVirtual+s.cfg.LatenessTolerance {
 		s.mu.Lock()
@@ -230,16 +271,16 @@ func (s *Server) handleOp(op OpMsg, fromClient bool) {
 // execute applies the operation at the server's current simulation time
 // and pushes updates to connected clients.
 func (s *Server) execute(op OpMsg) {
-	execSim := s.cfg.Clock.NowVirtual() + s.cfg.Ahead
-	// Snap on-time executions to the ideal simulation time: scheduling
-	// noise within the tolerance is measurement error, not lateness.
-	if ideal := op.IssueSim + s.cfg.Delta; execSim < ideal+s.cfg.LatenessTolerance && execSim > ideal-s.cfg.LatenessTolerance {
-		execSim = ideal
-	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
+	}
+	execSim := s.cfg.Clock.NowVirtual() + s.ahead
+	// Snap on-time executions to the ideal simulation time: scheduling
+	// noise within the tolerance is measurement error, not lateness.
+	if ideal := op.IssueSim + s.cfg.Delta; execSim < ideal+s.cfg.LatenessTolerance && execSim > ideal-s.cfg.LatenessTolerance {
+		execSim = ideal
 	}
 	s.log = append(s.log, ExecRecord{Op: op, ExecSim: execSim})
 	update := Msg{Update: &UpdateMsg{Op: op, ExecSim: execSim}}
@@ -254,6 +295,14 @@ func (s *Server) Stats() (executions, late int, maxLateness float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.log), s.late, s.maxLate
+}
+
+// Duplicates reports how many duplicate operation arrivals the seen-op
+// set suppressed (nonzero only under fault injection or retransmission).
+func (s *Server) Duplicates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dups
 }
 
 // Log returns a copy of the execution log.

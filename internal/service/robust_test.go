@@ -1,0 +1,101 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecoverMiddlewareTurnsPanicInto500JSON(t *testing.T) {
+	h := recoverJSON(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/assign", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("panic response is not JSON: %q", rec.Body.String())
+	}
+	if body["error"] == "" {
+		t.Fatalf("panic response has no error field: %v", body)
+	}
+	if strings.Contains(body["error"], "boom") {
+		t.Fatalf("panic value leaked to the client: %v", body)
+	}
+}
+
+func TestRecoverMiddlewarePropagatesAbortHandler(t *testing.T) {
+	// http.ErrAbortHandler is the stdlib's sanctioned way to abort a
+	// response; swallowing it would change its meaning.
+	h := recoverJSON(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler must propagate")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	t.Fatal("unreachable")
+}
+
+func TestRequestTimeoutAnswers503JSON(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	h := timeoutJSON(slow, 20*time.Millisecond)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/assign", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("timeout response is not JSON: %q", rec.Body.String())
+	}
+	if body["error"] == "" {
+		t.Fatalf("timeout response has no error field: %v", body)
+	}
+}
+
+func TestRequestTimeoutFastPathUnaffected(t *testing.T) {
+	s := New(Options{MaxNodes: 256, RequestTimeout: 2 * time.Second})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz under timeout middleware: %d", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["status"] != "ok" {
+		t.Fatalf("healthz body %q", rec.Body.String())
+	}
+}
+
+func TestServerPanicRouteRecovered(t *testing.T) {
+	// End to end through New: a handler that panics yields 500 JSON, and
+	// the server keeps answering afterwards.
+	s := New(Options{MaxNodes: 256})
+	s.mux.HandleFunc("/panic", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/panic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("server unhealthy after recovered panic: %d", rec.Code)
+	}
+}

@@ -36,6 +36,9 @@ type Options struct {
 	MaxNodes int
 	// MaxBodyBytes bounds request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// RequestTimeout bounds each request's handling time; a request
+	// exceeding it receives 503 JSON. Zero disables the limit.
+	RequestTimeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -49,8 +52,9 @@ func (o *Options) fill() {
 
 // Server is the HTTP handler.
 type Server struct {
-	opts Options
-	mux  *http.ServeMux
+	opts    Options
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // New builds the service.
@@ -61,12 +65,52 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
 	s.mux.HandleFunc("/v1/placement", s.handlePlacement)
+	var h http.Handler = s.mux
+	if opts.RequestTimeout > 0 {
+		h = timeoutJSON(h, opts.RequestTimeout)
+	}
+	s.handler = recoverJSON(h)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+// recoverJSON turns a handler panic into a 500 JSON error instead of
+// killing the connection with a stack trace. http.ErrAbortHandler keeps
+// its stdlib meaning and propagates.
+func recoverJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			// Best effort: if the handler already wrote a header this
+			// degrades to appending, which the client's decoder rejects —
+			// still better than a dropped connection.
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal server error"})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutJSON bounds each request's handling time, answering 503 JSON on
+// expiry. http.TimeoutHandler writes its timeout body to the outer
+// ResponseWriter, so the Content-Type set here survives; on the fast
+// path every endpoint writes JSON anyway. A handler panic is re-raised
+// by TimeoutHandler in this goroutine, where recoverJSON catches it.
+func timeoutJSON(next http.Handler, d time.Duration) http.Handler {
+	inner := http.TimeoutHandler(next, d, `{"error":"request timed out"}`+"\n")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		inner.ServeHTTP(w, r)
+	})
 }
 
 // httpError is an error with a status code.
