@@ -7,6 +7,16 @@
 //
 //	capassign -preset mit -placement k-center-b -servers 40
 //	capassign -data meridian.lat -servers 80 -alg Greedy -capacity 50
+//
+// With -coords (or -coords-n) it switches to the million-client
+// coordinate pipeline (internal/scale): clients are network coordinates
+// (latgen -coords-out), no pairwise matrix is materialized, and the
+// report includes the certified bound alongside the exact and audited
+// client-level D:
+//
+//	latgen -coords-out clients.coords -n 1000000
+//	capassign -coords clients.coords -servers 64 -cells 2000
+//	capassign -coords-n 1000000 -servers 64 -capacity 20000
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"diacap/internal/core"
 	"diacap/internal/latency"
 	"diacap/internal/placement"
+	"diacap/internal/scale"
 )
 
 func main() {
@@ -33,8 +44,31 @@ func main() {
 		algName   = flag.String("alg", "all", `algorithm name or "all"`)
 		capacity  = flag.Int("capacity", 0, "per-server client capacity (0 = uncapacitated)")
 		showLoads = flag.Bool("loads", false, "print per-server load distribution")
+
+		coords   = flag.String("coords", "", "coordinate mode: client coordinates file (latgen -coords-out format)")
+		coordsN  = flag.Int("coords-n", 0, "coordinate mode: generate this many synthetic client coordinates instead of reading a file")
+		cells    = flag.Int("cells", 0, "coordinate mode: max cluster cells (0 = default 2000)")
+		restarts = flag.Int("restarts", 2, "coordinate mode: seeded weighted-random solver restarts")
+		audit    = flag.Int("audit", 0, "coordinate mode: audited client pairs (0 = default 10000)")
+		workers  = flag.Int("workers", 0, "coordinate mode: solver pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *coords != "" || *coordsN > 0 {
+		runCoords(coordsOptions{
+			file:     *coords,
+			n:        *coordsN,
+			seed:     *seed,
+			servers:  *servers,
+			capacity: *capacity,
+			cells:    *cells,
+			restarts: *restarts,
+			audit:    *audit,
+			workers:  *workers,
+			loads:    *showLoads,
+		})
+		return
+	}
 
 	m, err := loadMatrix(*data, *preset, *seed)
 	if err != nil {
@@ -93,6 +127,82 @@ func main() {
 	}
 }
 
+type coordsOptions struct {
+	file                   string
+	n, servers, capacity   int
+	cells, restarts, audit int
+	workers                int
+	seed                   int64
+	loads                  bool
+}
+
+// runCoords is the coordinate-mode entry point: ingest (or generate)
+// client coordinates, place servers by K-center over the population,
+// and run the internal/scale pipeline.
+func runCoords(o coordsOptions) {
+	if o.file != "" && o.n > 0 {
+		fatal(fmt.Errorf("-coords and -coords-n are mutually exclusive"))
+	}
+	start := time.Now()
+	var clients []latency.Coord
+	var err error
+	if o.file != "" {
+		f, err2 := os.Open(o.file)
+		if err2 != nil {
+			fatal(err2)
+		}
+		clients, err = latency.ReadCoords(f)
+		f.Close()
+	} else {
+		clients, err = latency.GenerateCoords(latency.DefaultConfig(o.n), o.seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	ingestMs := time.Since(start)
+
+	start = time.Now()
+	placed, err := scale.PlaceServers(clients, o.servers, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	placeMs := time.Since(start)
+
+	var caps core.Capacities
+	if o.capacity > 0 {
+		caps = core.UniformCapacities(len(placed), o.capacity)
+	}
+	res, err := scale.AssignCoords(clients, scale.Options{
+		Servers:        placed,
+		Capacities:     caps,
+		MaxCells:       o.cells,
+		RandomRestarts: o.restarts,
+		Seed:           o.seed,
+		Workers:        o.workers,
+		AuditPairs:     o.audit,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("clients=%d servers=%d (k-center over coords) cells=%d capacity=%s\n",
+		len(clients), len(placed), res.Cells, capStr(o.capacity))
+	fmt.Printf("ingest %v, place %v, cluster %v, solve %v (winner %s), expand %v\n",
+		ingestMs.Round(time.Millisecond), placeMs.Round(time.Millisecond),
+		msDur(res.ClusterMs), msDur(res.SolveMs), res.Algorithm, msDur(res.ExpandMs))
+	fmt.Printf("max cell radius rho: %.3f ms   cell-level D: %.3f ms\n", res.MaxRho, res.DCells)
+	fmt.Printf("certified bound:  D <= %.3f ms\n", res.CertifiedD)
+	fmt.Printf("exact D:          %.3f ms\n", res.ExactD)
+	fmt.Printf("audited D:        %.3f ms (over %d random pairs)\n", res.AuditedD, res.AuditPairs)
+	if o.loads {
+		printLoadsSlice(res.Loads)
+	}
+}
+
+func msDur(ms float64) time.Duration {
+	return (time.Duration(ms*1e6) * time.Nanosecond).Round(time.Millisecond)
+}
+
 func loadMatrix(path, preset string, seed int64) (latency.Matrix, error) {
 	switch {
 	case path != "":
@@ -118,7 +228,10 @@ func loadMatrix(path, preset string, seed int64) (latency.Matrix, error) {
 }
 
 func printLoads(in *core.Instance, a core.Assignment) {
-	loads := in.Loads(a)
+	printLoadsSlice(in.Loads(a))
+}
+
+func printLoadsSlice(loads []int) {
 	sorted := append([]int(nil), loads...)
 	sort.Ints(sorted)
 	used := 0

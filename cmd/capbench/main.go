@@ -31,7 +31,7 @@ const (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "figures to regenerate: comma list of 7a,7b,7c,8,9,10a,10b,10c,A1-A3,E1-E4, or 'all' / 'ablations' / 'extensions'")
+		figs    = flag.String("fig", "all", "figures to regenerate: comma list of 7a,7b,7c,8,9,10a,10b,10c,A1-A3,E1-E5, or 'all' / 'ablations' / 'extensions'")
 		dataset = flag.String("dataset", "meridian", `data set: "meridian", "mit", "transit-stub", or a node count`)
 		data    = flag.String("data", "", "latency matrix file (latgen format) — e.g. real Meridian converted via latgen -from-king; overrides -dataset")
 		full    = flag.Bool("full", false, "run at paper scale (full data set, 20..100 servers); slow")
@@ -87,7 +87,7 @@ func main() {
 			want[id] = true
 		}
 	} else if *figs == "extensions" {
-		for _, id := range []string{"E1", "E2", "E3", "E4"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5"} {
 			want[id] = true
 		}
 	} else {
@@ -116,6 +116,15 @@ func main() {
 		{"E2", func() (*bench.Figure, error) { return bench.ExtMeasurement(opts, servers, nil) }},
 		{"E3", func() (*bench.Figure, error) { return bench.ExtTimewarp(opts, servers, nil) }},
 		{"E4", func() (*bench.Figure, error) { return bench.ExtObjective(opts, servers) }},
+		{"E5", func() (*bench.Figure, error) {
+			// Coordinate-pipeline sweep; sizes are independent of the
+			// matrix. Scaled runs stop at 100k clients, -full adds 1M.
+			sizes := []int{10000, 100000}
+			if *full {
+				sizes = append(sizes, 1000000)
+			}
+			return bench.ExtScale(*seed, 64, sizes, nil)
+		}},
 	}
 
 	ran := 0

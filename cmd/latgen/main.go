@@ -8,6 +8,13 @@
 //	latgen -preset meridian -seed 1 -o meridian.lat
 //	latgen -n 400 -seed 7 -clusters 10 -o small.lat
 //	latgen -n 100 -stats              # print distribution stats only
+//
+// With -coords-out it instead emits per-node network coordinates
+// (position + access height, O(n) memory), the scalable input format of
+// capassign -coords — a million nodes are routine where a matrix would
+// need terabytes:
+//
+//	latgen -coords-out clients.coords -n 1000000 -seed 1
 package main
 
 import (
@@ -27,12 +34,39 @@ func main() {
 		noise     = flag.Float64("noise", -1, "lognormal noise sigma (-1 = default)")
 		detour    = flag.Float64("detour", -1, "fraction of pairs with detour inflation (-1 = default)")
 		out       = flag.String("o", "", "output file (default stdout)")
+		coordsOut = flag.String("coords-out", "", "write per-node network coordinates to this file instead of a matrix (supports -n far beyond matrix sizes)")
 		showStat  = flag.Bool("stats", false, "print distribution statistics to stderr")
 		fromKing  = flag.String("from-king", "", "convert a King measurement file (src dst value triples) instead of generating")
 		kingUnit  = flag.Float64("king-unit", 1e-3, "multiplier converting King values to ms (published files use µs RTTs)")
 		kingHalve = flag.Bool("king-halve", true, "halve King RTTs to one-way latencies")
 	)
 	flag.Parse()
+
+	if *coordsOut != "" {
+		if *preset != "" || *fromKing != "" {
+			fatal(fmt.Errorf("-coords-out generates synthetically; it cannot combine with -preset or -from-king"))
+		}
+		cfg := latency.DefaultConfig(*n)
+		if *clusters > 0 {
+			cfg.Clusters = *clusters
+		}
+		cs, err := latency.GenerateCoords(cfg, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*coordsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := latency.WriteCoords(f, cs); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "latgen: wrote %d coordinates to %s\n", len(cs), *coordsOut)
+		return
+	}
 
 	if *fromKing != "" {
 		f, err := os.Open(*fromKing)

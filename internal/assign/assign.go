@@ -56,6 +56,33 @@ func ByName(name string) (Algorithm, error) {
 	return nil, fmt.Errorf("assign: unknown algorithm %q", name)
 }
 
+// Extended returns every algorithm in the package — the paper's four
+// plus the baselines and metaheuristics — with the randomized ones
+// (Random, Anneal) driven by seed, so two calls with the same seed yield
+// identical algorithm behavior.
+func Extended(seed int64) []Algorithm {
+	return append(All(),
+		SingleServer{},
+		RandomAssign{Seed: seed},
+		TwoPhase{},
+		LocalSearch{},
+		MinAverage{},
+		Anneal{Seed: seed},
+	)
+}
+
+// ByNameSeeded resolves name over the Extended set, seeding randomized
+// algorithms with seed. Names from All() resolve to the same algorithms
+// ByName returns.
+func ByNameSeeded(name string, seed int64) (Algorithm, error) {
+	for _, a := range Extended(seed) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("assign: unknown algorithm %q", name)
+}
+
 // validateInputs runs the shared pre-flight checks.
 func validateInputs(in *core.Instance, caps core.Capacities) error {
 	if in == nil {

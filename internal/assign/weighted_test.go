@@ -1,0 +1,169 @@
+package assign
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"diacap/internal/core"
+)
+
+// weightedAlgs are the algorithms with a weighted entry point.
+func weightedAlgs() []WeightedAlgorithm {
+	return []WeightedAlgorithm{
+		NearestServer{},
+		LongestFirstBatch{},
+		Greedy{},
+		RandomAssign{Seed: 7},
+	}
+}
+
+func unitWeights(n int) Weights {
+	w := make(Weights, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// TestWeightedUnitEquivalence pins the defining property of the weighted
+// engines: with all-ones weights they reproduce the unweighted
+// capacitated algorithms move for move.
+func TestWeightedUnitEquivalence(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(int64(trial+900), 40, 2, 5)
+		nc, ns := in.NumClients(), in.NumServers()
+		capacity := (nc+ns-1)/ns + trial%3 // between exact fit and slack
+		caps := core.UniformCapacities(ns, capacity)
+		for _, alg := range weightedAlgs() {
+			want, err := alg.Assign(in, caps)
+			if err != nil {
+				t.Fatalf("trial %d %s unweighted: %v", trial, alg.Name(), err)
+			}
+			got, err := alg.AssignWeighted(in, unitWeights(nc), caps)
+			if err != nil {
+				t.Fatalf("trial %d %s weighted: %v", trial, alg.Name(), err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("trial %d %s: unit-weighted assignment diverges\nunweighted %v\nweighted   %v",
+					trial, alg.Name(), want, got)
+			}
+		}
+	}
+}
+
+// TestWeightedRespectsCapacities checks weighted feasibility with
+// non-uniform weights on instances with just enough slack.
+func TestWeightedRespectsCapacities(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 1300)))
+		in := randomInstance(int64(trial+1300), 36, 2, 4)
+		nc, ns := in.NumClients(), in.NumServers()
+		weights := make(Weights, nc)
+		total := 0
+		for i := range weights {
+			weights[i] = 1 + rng.Intn(5)
+			total += weights[i]
+		}
+		caps := core.UniformCapacities(ns, (total+ns-1)/ns+5)
+		for _, alg := range weightedAlgs() {
+			a, err := alg.AssignWeighted(in, weights, caps)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg.Name(), err)
+			}
+			if err := in.Validate(a); err != nil {
+				t.Fatalf("trial %d %s: invalid assignment: %v", trial, alg.Name(), err)
+			}
+			if err := CheckWeighted(in, a, weights, caps); err != nil {
+				t.Errorf("trial %d %s: %v", trial, alg.Name(), err)
+			}
+		}
+	}
+}
+
+// TestWeightedNilWeights checks nil weights mean unit weights.
+func TestWeightedNilWeights(t *testing.T) {
+	in := randomInstance(2000, 30, 2, 4)
+	caps := core.UniformCapacities(in.NumServers(), in.NumClients())
+	for _, alg := range weightedAlgs() {
+		want, err := alg.Assign(in, caps)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		got, err := alg.AssignWeighted(in, nil, caps)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: nil-weights diverges from unweighted", alg.Name())
+		}
+	}
+}
+
+// TestWeightedValidation covers the weighted pre-flight failures.
+func TestWeightedValidation(t *testing.T) {
+	in := randomInstance(2100, 24, 2, 3)
+	nc, ns := in.NumClients(), in.NumServers()
+	ample := core.UniformCapacities(ns, 10*nc)
+	for _, alg := range weightedAlgs() {
+		if _, err := alg.AssignWeighted(in, make(Weights, nc+1), ample); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s: misaligned weights: got %v, want ErrInfeasible", alg.Name(), err)
+		}
+		bad := unitWeights(nc)
+		bad[0] = 0
+		if _, err := alg.AssignWeighted(in, bad, ample); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s: zero weight: got %v, want ErrInfeasible", alg.Name(), err)
+		}
+		heavy := unitWeights(nc)
+		heavy[0] = 100 * nc * ns
+		tight := core.UniformCapacities(ns, nc)
+		if _, err := alg.AssignWeighted(in, heavy, tight); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s: over-capacity total: got %v, want ErrInfeasible", alg.Name(), err)
+		}
+	}
+}
+
+// TestExtendedRegistry checks ByNameSeeded resolves the full set and
+// seeds the randomized algorithms reproducibly.
+func TestExtendedRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, alg := range Extended(3) {
+		if names[alg.Name()] {
+			t.Fatalf("duplicate algorithm name %q", alg.Name())
+		}
+		names[alg.Name()] = true
+		got, err := ByNameSeeded(alg.Name(), 3)
+		if err != nil {
+			t.Fatalf("ByNameSeeded(%q): %v", alg.Name(), err)
+		}
+		if got.Name() != alg.Name() {
+			t.Fatalf("ByNameSeeded(%q) resolved %q", alg.Name(), got.Name())
+		}
+	}
+	for _, name := range []string{"Nearest-Server", "Longest-First-Batch", "Greedy", "Distributed-Greedy"} {
+		if !names[name] {
+			t.Errorf("Extended is missing %q", name)
+		}
+	}
+	if _, err := ByNameSeeded("nope", 1); err == nil {
+		t.Error("ByNameSeeded accepted an unknown name")
+	}
+
+	in := randomInstance(2200, 30, 2, 4)
+	a1, err := RandomAssign{Seed: 11}.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := ByNameSeeded("Random", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := alg.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("ByNameSeeded(Random, 11) is not driven by the seed")
+	}
+}

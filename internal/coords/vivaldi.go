@@ -214,6 +214,44 @@ func (s *System) Fit(m latency.Matrix, rounds, samplesPerNode int) error {
 	return nil
 }
 
+// Coord exports node i's coordinate in the latency.Coord form the
+// internal/scale pipeline ingests (unused axes are zero; the height
+// carries over). Defined for Dim ≤ 3 only — higher-dimensional
+// embeddings cannot be projected losslessly and return an error.
+//
+// Coord.LatencyTo differs from Estimate in one respect: Estimate floors
+// results at MinLatency, LatencyTo does not, so exported distances can
+// be marginally smaller than estimates for near-coincident nodes.
+func (s *System) Coord(i int) (latency.Coord, error) {
+	if s.cfg.Dim > 3 {
+		return latency.Coord{}, fmt.Errorf("coords: cannot export Dim=%d system as latency.Coord (max 3)", s.cfg.Dim)
+	}
+	if i < 0 || i >= len(s.nodes) {
+		return latency.Coord{}, fmt.Errorf("coords: node %d out of range [0,%d)", i, len(s.nodes))
+	}
+	n := &s.nodes[i]
+	var c latency.Coord
+	axes := [3]*float64{&c.X, &c.Y, &c.Z}
+	for d, v := range n.vec {
+		*axes[d] = v
+	}
+	c.H = n.height
+	return c, nil
+}
+
+// Coords exports every node's coordinate (see Coord).
+func (s *System) Coords() ([]latency.Coord, error) {
+	out := make([]latency.Coord, len(s.nodes))
+	for i := range s.nodes {
+		c, err := s.Coord(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
 // EstimatedMatrix materializes all pairwise estimates as a latency matrix.
 func (s *System) EstimatedMatrix() latency.Matrix {
 	n := len(s.nodes)

@@ -280,23 +280,28 @@ func (in *Instance) MaxInteractionPath(a Assignment) float64 {
 }
 
 // MaxPathNaive computes D by direct enumeration of all client pairs in
-// O(|C|²). It exists as an oracle for testing MaxInteractionPath.
+// O(|C|²), fanned out over row ranges (GOMAXPROCS-bounded). It exists
+// as an oracle for testing MaxInteractionPath and as the full-pair
+// evaluator for audits that deliberately avoid the eccentricity
+// shortcut.
 func (in *Instance) MaxPathNaive(a Assignment) float64 {
-	var max float64
-	for i := range a {
-		if a[i] == Unassigned {
-			continue
-		}
-		for j := i; j < len(a); j++ {
-			if a[j] == Unassigned {
+	return parallelRowsMax(len(a), parallelMinRows, func(start, stride int) float64 {
+		var max float64
+		for i := start; i < len(a); i += stride {
+			if a[i] == Unassigned {
 				continue
 			}
-			if v := in.InteractionPath(a, i, j); v > max {
-				max = v
+			for j := i; j < len(a); j++ {
+				if a[j] == Unassigned {
+					continue
+				}
+				if v := in.InteractionPath(a, i, j); v > max {
+					max = v
+				}
 			}
 		}
-	}
-	return max
+		return max
+	})
 }
 
 // LowerBound returns the paper's theoretical lower bound on D over all
@@ -315,42 +320,50 @@ func (in *Instance) LowerBound() float64 {
 	return in.lowerBound
 }
 
+// computeLowerBound is O(|C|²·|S|) and the dominant cost of serving
+// large matrices; both phases fan out over client-row ranges
+// (GOMAXPROCS-bounded, see parallelRows) — rows are independent in
+// phase one, and phase two is a pure max-reduction.
 func (in *Instance) computeLowerBound() {
 	nc, ns := len(in.clients), len(in.servers)
 	// B[i][l] = min over s of d(ci, s) + d(s, sl).
 	b := make([][]float64, nc)
 	bBacking := make([]float64, nc*ns)
-	for i := 0; i < nc; i++ {
-		row := bBacking[i*ns : (i+1)*ns : (i+1)*ns]
-		csRow := in.cs[i]
-		for l := 0; l < ns; l++ {
-			best := math.Inf(1)
-			for k := 0; k < ns; k++ {
-				if v := csRow[k] + in.ss[k][l]; v < best {
-					best = v
-				}
-			}
-			row[l] = best
-		}
-		b[i] = row
-	}
-	var lb float64
-	for i := 0; i < nc; i++ {
-		bi := b[i]
-		for j := i; j < nc; j++ {
-			cj := in.cs[j]
-			best := math.Inf(1)
+	parallelRows(nc, parallelMinRows, func(start, stride int) {
+		for i := start; i < nc; i += stride {
+			row := bBacking[i*ns : (i+1)*ns : (i+1)*ns]
+			csRow := in.cs[i]
 			for l := 0; l < ns; l++ {
-				if v := bi[l] + cj[l]; v < best {
-					best = v
+				best := math.Inf(1)
+				for k := 0; k < ns; k++ {
+					if v := csRow[k] + in.ss[k][l]; v < best {
+						best = v
+					}
+				}
+				row[l] = best
+			}
+			b[i] = row
+		}
+	})
+	in.lowerBound = parallelRowsMax(nc, parallelMinRows, func(start, stride int) float64 {
+		var lb float64
+		for i := start; i < nc; i += stride {
+			bi := b[i]
+			for j := i; j < nc; j++ {
+				cj := in.cs[j]
+				best := math.Inf(1)
+				for l := 0; l < ns; l++ {
+					if v := bi[l] + cj[l]; v < best {
+						best = v
+					}
+				}
+				if best > lb {
+					lb = best
 				}
 			}
-			if best > lb {
-				lb = best
-			}
 		}
-	}
-	in.lowerBound = lb
+		return lb
+	})
 }
 
 // NormalizedInteractivity returns D(a) divided by the lower bound — the

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinRows is the row count below which the quadratic hot loops
+// stay single-goroutine: under it, goroutine startup outweighs the
+// per-row work.
+const parallelMinRows = 128
+
+// numRowWorkers returns the fan-out width for an n-row loop:
+// GOMAXPROCS-bounded, never wider than the row count, and 1 for small
+// inputs.
+func numRowWorkers(n, minRows int) int {
+	w := runtime.GOMAXPROCS(0)
+	if n < minRows || w < 2 {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// parallelRows fans fn out over row ranges: worker w handles rows
+// w, w+stride, w+2·stride, … Strided (rather than contiguous) ranges
+// keep triangular loops balanced, where row i costs O(n−i). fn must not
+// touch state shared across rows.
+func parallelRows(n, minRows int, fn func(start, stride int)) {
+	workers := numRowWorkers(n, minRows)
+	if workers == 1 {
+		fn(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelRowsMax is parallelRows for max-reductions: each worker
+// returns its row-range maximum and the overall maximum is returned.
+// The zero-rows result is 0, matching the sequential loops it replaces.
+func parallelRowsMax(n, minRows int, fn func(start, stride int) float64) float64 {
+	workers := numRowWorkers(n, minRows)
+	if workers == 1 {
+		return fn(0, 1)
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			partial[w] = fn(w, workers)
+		}(w)
+	}
+	wg.Wait()
+	max := partial[0]
+	for _, v := range partial[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"diacap/internal/latency"
+)
+
+// parallelTestInstance is large enough (> parallelMinRows clients) that
+// the row fan-out actually spawns workers.
+func parallelTestInstance(t *testing.T, seed int64) *Instance {
+	t.Helper()
+	m := latency.ScaledLike(300, seed)
+	servers := make([]int, 8)
+	clients := make([]int, 300-8)
+	for i := range servers {
+		servers[i] = i
+	}
+	for i := range clients {
+		clients[i] = 8 + i
+	}
+	in, err := NewInstanceTrusted(m, servers, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestParallelRowsMatchSequential pins the fan-out against the
+// single-worker path: with GOMAXPROCS forced past 1 (this host may have
+// one CPU), LowerBound and MaxPathNaive must reproduce the sequential
+// results exactly — same additions in the same per-row order, so
+// float-for-float equality is required, and under -race this doubles as
+// the data-race test for parallelRows/parallelRowsMax.
+func TestParallelRowsMatchSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	for seed := int64(1); seed <= 3; seed++ {
+		wide := parallelTestInstance(t, seed)
+		a := NewAssignment(wide.NumClients())
+		for i := range a {
+			a[i] = i % wide.NumServers()
+		}
+
+		runtime.GOMAXPROCS(1)
+		narrow := parallelTestInstance(t, seed)
+		seqLB := narrow.LowerBound()
+		seqD := narrow.MaxPathNaive(a)
+		runtime.GOMAXPROCS(4)
+
+		if got := wide.LowerBound(); got != seqLB {
+			t.Errorf("seed %d: parallel LowerBound %v != sequential %v", seed, got, seqLB)
+		}
+		if got := wide.MaxPathNaive(a); got != seqD {
+			t.Errorf("seed %d: parallel MaxPathNaive %v != sequential %v", seed, got, seqD)
+		}
+		// Different summation order (ecc(s)+d+ecc(t) vs per-pair sums), so
+		// only near-equality holds here.
+		if want := wide.MaxInteractionPath(a); math.Abs(want-seqD) > 1e-9 {
+			t.Errorf("seed %d: MaxPathNaive %v != MaxInteractionPath %v", seed, seqD, want)
+		}
+	}
+}
+
+// TestParallelRowsSmallInputsStaySequential checks the minRows cutoff.
+func TestParallelRowsSmallInputsStaySequential(t *testing.T) {
+	calls := 0
+	parallelRows(parallelMinRows-1, parallelMinRows, func(start, stride int) {
+		calls++
+		if start != 0 || stride != 1 {
+			t.Errorf("small input fanned out: start=%d stride=%d", start, stride)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1", calls)
+	}
+	if got := parallelRowsMax(0, parallelMinRows, func(int, int) float64 { return 42 }); got != 42 {
+		t.Errorf("zero-row max = %v, want the single sequential call's 42", got)
+	}
+}

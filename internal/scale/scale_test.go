@@ -1,0 +1,321 @@
+package scale
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/latency"
+)
+
+const eps = 1e-9
+
+// testCoords generates a deterministic synthetic client population.
+func testCoords(t testing.TB, n int, seed int64) []latency.Coord {
+	t.Helper()
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(n), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// directInstance materializes the coordinate metric as a full matrix
+// instance (nodes: servers then clients) — feasible only at test sizes.
+func directInstance(t testing.TB, clients, servers []latency.Coord) *core.Instance {
+	t.Helper()
+	all := append(append([]latency.Coord(nil), servers...), clients...)
+	m := latency.CoordsToMatrix(all)
+	serverIdx := make([]int, len(servers))
+	clientIdx := make([]int, len(clients))
+	for i := range serverIdx {
+		serverIdx[i] = i
+	}
+	for i := range clientIdx {
+		clientIdx[i] = len(servers) + i
+	}
+	in, err := core.NewInstanceTrusted(m, serverIdx, clientIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestClusterPartitions(t *testing.T) {
+	clients := testCoords(t, 3000, 1)
+	for _, maxCells := range []int{10, 100, 500} {
+		cells, err := Cluster(clients, maxCells, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) > maxCells {
+			t.Fatalf("maxCells=%d: got %d cells", maxCells, len(cells))
+		}
+		seen := make([]bool, len(clients))
+		for _, cell := range cells {
+			if len(cell.Members) == 0 {
+				t.Fatal("empty cell survived finalize")
+			}
+			if cell.Rho < 0 {
+				t.Fatalf("negative rho %v", cell.Rho)
+			}
+			for _, i := range cell.Members {
+				if seen[i] {
+					t.Fatalf("client %d in two cells", i)
+				}
+				seen[i] = true
+				if d := clients[i].LatencyTo(cell.Rep); d > cell.Rho+eps {
+					t.Fatalf("member %d at %v exceeds rho %v", i, d, cell.Rho)
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("maxCells=%d: client %d unassigned to any cell", maxCells, i)
+			}
+		}
+	}
+}
+
+func TestClusterSingletons(t *testing.T) {
+	clients := testCoords(t, 50, 2)
+	cells, err := Cluster(clients, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 50 {
+		t.Fatalf("got %d cells, want 50 singletons", len(cells))
+	}
+	for i, cell := range cells {
+		if cell.Rho != 0 || len(cell.Members) != 1 || cell.Members[0] != i {
+			t.Fatalf("cell %d is not the singleton of client %d: %+v", i, i, cell)
+		}
+	}
+}
+
+// TestCertificateHolds is the core property: on every run,
+// AuditedD ≤ ExactD ≤ CertifiedD ≤ DCells + 2·MaxRho.
+func TestCertificateHolds(t *testing.T) {
+	for _, n := range []int{64, 400, 1500} {
+		clients := testCoords(t, n, int64(n))
+		servers, err := PlaceServers(clients, 6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := AssignCoords(clients, Options{Servers: servers, MaxCells: n / 8, RandomRestarts: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AuditedD > res.ExactD+eps {
+			t.Errorf("n=%d: AuditedD %v > ExactD %v", n, res.AuditedD, res.ExactD)
+		}
+		if res.ExactD > res.CertifiedD+eps {
+			t.Errorf("n=%d: ExactD %v > CertifiedD %v", n, res.ExactD, res.CertifiedD)
+		}
+		if naive := res.DCells + 2*res.MaxRho; res.CertifiedD > naive+eps {
+			t.Errorf("n=%d: CertifiedD %v > DCells+2·MaxRho %v", n, res.CertifiedD, naive)
+		}
+		sum := 0
+		for _, l := range res.Loads {
+			sum += l
+		}
+		if sum != n || len(res.Assignment) != n {
+			t.Errorf("n=%d: %d clients assigned, loads sum %d", n, len(res.Assignment), sum)
+		}
+	}
+}
+
+// TestNeverBeatsOptimum checks the pipeline's exact client D against the
+// brute-force optimum of the direct instance on tiny populations.
+func TestNeverBeatsOptimum(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + trial
+		clients := testCoords(t, n, int64(trial+40))
+		servers, err := PlaceServers(clients, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := directInstance(t, clients, servers)
+		_, optimal, err := assign.BruteForce{}.Solve(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, maxCells := range []int{3, n / 2, n} {
+			res, err := AssignCoords(clients, Options{Servers: servers, MaxCells: maxCells})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExactD < optimal-eps {
+				t.Errorf("trial %d maxCells=%d: pipeline D %v beats optimum %v", trial, maxCells, res.ExactD, optimal)
+			}
+		}
+	}
+}
+
+// TestConvergesToDirect checks the k → n limit: with singleton cells the
+// pipeline must return exactly what the best direct heuristic returns on
+// the materialized instance.
+func TestConvergesToDirect(t *testing.T) {
+	n := 96
+	clients := testCoords(t, n, 5)
+	servers, err := PlaceServers(clients, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AssignCoords(clients, Options{Servers: servers, MaxCells: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells != n || res.MaxRho != 0 {
+		t.Fatalf("expected %d singleton cells with rho 0, got %d cells, MaxRho %v", n, res.Cells, res.MaxRho)
+	}
+	if math.Abs(res.ExactD-res.CertifiedD) > eps || math.Abs(res.ExactD-res.DCells) > eps {
+		t.Errorf("singleton run: ExactD %v, CertifiedD %v, DCells %v should coincide", res.ExactD, res.CertifiedD, res.DCells)
+	}
+
+	in := directInstance(t, clients, servers)
+	best := math.Inf(1)
+	for _, alg := range []assign.Algorithm{assign.NearestServer{}, assign.LongestFirstBatch{}, assign.Greedy{}} {
+		a, err := alg.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := in.MaxInteractionPath(a); d < best {
+			best = d
+		}
+	}
+	if math.Abs(res.ExactD-best) > 1e-6 {
+		t.Errorf("singleton pipeline D %v != best direct heuristic D %v", res.ExactD, best)
+	}
+}
+
+// TestQualityNearDirect is the acceptance bar: at k = n/4 the clustered
+// pipeline stays within 10%% of the best direct LFB/Greedy solve.
+func TestQualityNearDirect(t *testing.T) {
+	for _, n := range []int{512, 1024} {
+		clients := testCoords(t, n, int64(n+7))
+		servers, err := PlaceServers(clients, 8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := directInstance(t, clients, servers)
+		best := math.Inf(1)
+		for _, alg := range []assign.Algorithm{assign.LongestFirstBatch{}, assign.Greedy{}} {
+			a, err := alg.Assign(in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := in.MaxInteractionPath(a); d < best {
+				best = d
+			}
+		}
+		res, err := AssignCoords(clients, Options{Servers: servers, MaxCells: n / 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExactD > 1.10*best {
+			t.Errorf("n=%d k=%d: pipeline D %v exceeds 110%% of direct best %v", n, n/4, res.ExactD, best)
+		}
+	}
+}
+
+// TestCapacitiesRespected checks weighted capacity accounting end to
+// end: expanded per-server client counts stay within tight caps.
+func TestCapacitiesRespected(t *testing.T) {
+	n, u := 900, 6
+	clients := testCoords(t, n, 11)
+	servers, err := PlaceServers(clients, u, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := core.UniformCapacities(u, n/u+40)
+	res, err := AssignCoords(clients, Options{Servers: servers, Capacities: caps, MaxCells: 150, RandomRestarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, l := range res.Loads {
+		if l > caps[k] {
+			t.Errorf("server %d carries %d clients, capacity %d", k, l, caps[k])
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers pins the worker pool's deterministic
+// best-pick: fan-out width must not change the result. Run with -race
+// this is also the pool's data-race test.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	clients := testCoords(t, 600, 21)
+	servers, err := PlaceServers(clients, 6, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := func(workers int) Options {
+		return Options{Servers: servers, MaxCells: 100, RandomRestarts: 6, Seed: 4, Workers: workers}
+	}
+	r1, err := AssignCoords(clients, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := AssignCoords(clients, opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Algorithm != r8.Algorithm || !reflect.DeepEqual(r1.Assignment, r8.Assignment) {
+		t.Errorf("worker count changed the result: %q vs %q", r1.Algorithm, r8.Algorithm)
+	}
+}
+
+func TestPlaceServers(t *testing.T) {
+	clients := testCoords(t, 300, 31)
+	s1, err := PlaceServers(clients, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 10 {
+		t.Fatalf("got %d servers, want 10", len(s1))
+	}
+	s2, err := PlaceServers(clients, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("PlaceServers is not deterministic per seed")
+	}
+	if _, err := PlaceServers(clients, 0, 1); err == nil {
+		t.Error("PlaceServers accepted u = 0")
+	}
+	if _, err := PlaceServers(nil, 3, 1); err == nil {
+		t.Error("PlaceServers accepted an empty population")
+	}
+}
+
+func TestAssignCoordsValidation(t *testing.T) {
+	clients := testCoords(t, 40, 51)
+	servers, err := PlaceServers(clients, 3, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssignCoords(nil, Options{Servers: servers}); err == nil {
+		t.Error("accepted empty client set")
+	}
+	if _, err := AssignCoords(clients, Options{}); err == nil {
+		t.Error("accepted empty server set")
+	}
+	if _, err := AssignCoords(clients, Options{Servers: servers, Algorithms: []string{"nope"}}); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if _, err := AssignCoords(clients, Options{Servers: servers, Algorithms: []string{"Distributed-Greedy"}}); err == nil {
+		t.Error("accepted a non-weighted algorithm")
+	}
+	bad := append([]latency.Coord(nil), clients...)
+	bad[3].H = -1
+	if _, err := AssignCoords(bad, Options{Servers: servers}); err == nil {
+		t.Error("accepted a negative-height client")
+	}
+	caps := core.UniformCapacities(len(servers), 1)
+	if _, err := AssignCoords(clients, Options{Servers: servers, Capacities: caps}); err == nil {
+		t.Error("accepted infeasible capacities")
+	}
+}

@@ -7,10 +7,13 @@
 //
 // Endpoints:
 //
-//	GET  /healthz        liveness probe
-//	GET  /v1/algorithms  list assignment algorithms
-//	POST /v1/assign      compute an assignment (see AssignRequest)
-//	POST /v1/placement   choose server nodes (see PlacementRequest)
+//	GET  /healthz          liveness probe
+//	GET  /v1/algorithms    list assignment algorithms
+//	POST /v1/assign        compute an assignment (see AssignRequest)
+//	POST /v1/assign-coords scaled assignment from network coordinates,
+//	                       no matrix and no MaxNodes limit (see
+//	                       AssignCoordsRequest)
+//	POST /v1/placement     choose server nodes (see PlacementRequest)
 //
 // All errors are JSON: {"error": "..."} with a 4xx/5xx status.
 package service
@@ -27,6 +30,7 @@ import (
 	"diacap/internal/core"
 	"diacap/internal/latency"
 	"diacap/internal/placement"
+	"diacap/internal/scale"
 )
 
 // Options bounds the service.
@@ -64,6 +68,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
+	s.mux.HandleFunc("/v1/assign-coords", s.handleAssignCoords)
 	s.mux.HandleFunc("/v1/placement", s.handlePlacement)
 	var h http.Handler = s.mux
 	if opts.RequestTimeout > 0 {
@@ -198,6 +203,9 @@ type AssignRequest struct {
 	// IncludeLowerBound adds the theoretical lower bound and normalized
 	// interactivity (cost: O(|C|²·|S|)).
 	IncludeLowerBound bool `json:"includeLowerBound,omitempty"`
+	// Seed drives randomized algorithms (e.g. "Random", "Anneal") for
+	// reproducible responses; omitted means a time-based seed.
+	Seed *int64 `json:"seed,omitempty"`
 }
 
 // AssignResponse is the result.
@@ -258,7 +266,7 @@ func (s *Server) doAssign(req *AssignRequest) (*AssignResponse, error) {
 	if name == "" {
 		name = "Distributed-Greedy"
 	}
-	alg, err := assign.ByName(name)
+	alg, err := assign.ByNameSeeded(name, seedOrNow(req.Seed))
 	if err != nil {
 		return nil, badRequest("unknown algorithm %q", name)
 	}
@@ -298,6 +306,152 @@ func (s *Server) doAssign(req *AssignRequest) (*AssignResponse, error) {
 	return resp, nil
 }
 
+// seedOrNow dereferences an optional request seed, defaulting to a
+// time-based seed so unseeded requests stay randomized.
+func seedOrNow(s *int64) int64 {
+	if s != nil {
+		return *s
+	}
+	return time.Now().UnixNano()
+}
+
+// MaxCoordCells bounds the reduced instance a coords request may ask
+// for: the reduced solve is the same O(k²·U) machinery /v1/assign runs
+// on matrices, so k gets the equivalent of the MaxNodes guard.
+const MaxCoordCells = 4096
+
+// AssignCoordsRequest asks for a scaled assignment from network
+// coordinates (the Vivaldi height-vector model): clients and servers
+// are points plus access heights, latencies are coordinate-predicted,
+// and no pairwise matrix is ever materialized. This endpoint bypasses
+// the MaxNodes limit — population size is bounded only by the request
+// body limit — because the internal/scale pipeline's cost is O(n), not
+// O(n²·|S|).
+type AssignCoordsRequest struct {
+	// Clients are the client coordinates.
+	Clients []latency.Coord `json:"clients"`
+	// Servers are the server coordinates. Empty with PlaceServers > 0
+	// derives that many servers from the client population by greedy
+	// K-center.
+	Servers []latency.Coord `json:"servers,omitempty"`
+	// PlaceServers is the number of servers to derive when Servers is
+	// empty.
+	PlaceServers int `json:"placeServers,omitempty"`
+	// Capacities optionally limits clients per server (aligned with the
+	// effective server list).
+	Capacities []int `json:"capacities,omitempty"`
+	// MaxCells bounds the reduced instance (0 = scale default; limit
+	// MaxCoordCells).
+	MaxCells int `json:"maxCells,omitempty"`
+	// Algorithms names the reduced-instance solvers (default: the
+	// weighted Nearest-Server, Longest-First-Batch, Greedy).
+	Algorithms []string `json:"algorithms,omitempty"`
+	// RandomRestarts adds seeded weighted-random candidates.
+	RandomRestarts int `json:"randomRestarts,omitempty"`
+	// Seed drives restarts, audit sampling, and server placement;
+	// omitted means a time-based seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// AuditPairs sizes the random pair subsample measured against the
+	// expanded assignment (0 = default; negative disables).
+	AuditPairs int `json:"auditPairs,omitempty"`
+}
+
+// AssignCoordsResponse is the scaled result with its certificate.
+type AssignCoordsResponse struct {
+	// Assignment[i] is the server index for client i.
+	Assignment []int `json:"assignment"`
+	// Servers echoes the effective server coordinates (useful with
+	// PlaceServers).
+	Servers   []latency.Coord `json:"servers"`
+	Algorithm string          `json:"algorithm"`
+	// Cells is the reduced instance size k; MaxRho the largest cell
+	// radius (ms).
+	Cells  int     `json:"cells"`
+	MaxRho float64 `json:"maxRho"`
+	// DCells ≤ CertifiedD bound the quality: CertifiedD is a certified
+	// upper bound on the client-level D, ExactD the exact value under
+	// the coordinate metric, AuditedD the measured maximum over the
+	// audited subsample.
+	DCells     float64 `json:"dCells"`
+	CertifiedD float64 `json:"certifiedD"`
+	ExactD     float64 `json:"exactD"`
+	AuditedD   float64 `json:"auditedD"`
+	AuditPairs int     `json:"auditPairs"`
+	Loads      []int   `json:"loads"`
+	ElapsedMs  float64 `json:"elapsedMs"`
+}
+
+func (s *Server) handleAssignCoords(w http.ResponseWriter, r *http.Request) {
+	var req AssignCoordsRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.doAssignCoords(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) doAssignCoords(req *AssignCoordsRequest) (*AssignCoordsResponse, error) {
+	if len(req.Clients) == 0 {
+		return nil, badRequest("clients are required")
+	}
+	if req.MaxCells < 0 || req.MaxCells > MaxCoordCells {
+		return nil, badRequest("maxCells %d out of range [0, %d]", req.MaxCells, MaxCoordCells)
+	}
+	seed := seedOrNow(req.Seed)
+	start := time.Now()
+	servers := req.Servers
+	if len(servers) == 0 {
+		if req.PlaceServers <= 0 {
+			return nil, badRequest("servers (or placeServers) are required")
+		}
+		var err error
+		servers, err = scale.PlaceServers(req.Clients, req.PlaceServers, seed)
+		if err != nil {
+			return nil, badRequest("placing servers: %v", err)
+		}
+	} else if req.PlaceServers > 0 {
+		return nil, badRequest("servers and placeServers are mutually exclusive")
+	}
+	var caps core.Capacities
+	if req.Capacities != nil {
+		if len(req.Capacities) != len(servers) {
+			return nil, unprocessable("capacities: %d entries for %d servers", len(req.Capacities), len(servers))
+		}
+		caps = core.Capacities(req.Capacities)
+	}
+	res, err := scale.AssignCoords(req.Clients, scale.Options{
+		Servers:        servers,
+		Capacities:     caps,
+		MaxCells:       req.MaxCells,
+		Algorithms:     req.Algorithms,
+		RandomRestarts: req.RandomRestarts,
+		Seed:           seed,
+		AuditPairs:     req.AuditPairs,
+	})
+	if err != nil {
+		return nil, unprocessable("scaled assignment failed: %v", err)
+	}
+	return &AssignCoordsResponse{
+		Assignment: res.Assignment,
+		Servers:    servers,
+		Algorithm:  res.Algorithm,
+		Cells:      res.Cells,
+		MaxRho:     res.MaxRho,
+		DCells:     res.DCells,
+		CertifiedD: res.CertifiedD,
+		ExactD:     res.ExactD,
+		AuditedD:   res.AuditedD,
+		AuditPairs: res.AuditPairs,
+		Loads:      res.Loads,
+		ElapsedMs:  float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
 // PlacementRequest asks for server placement.
 type PlacementRequest struct {
 	Matrix [][]float64 `json:"matrix"`
@@ -305,8 +459,9 @@ type PlacementRequest struct {
 	K int `json:"k"`
 	// Strategy is "random", "k-center-a", or "k-center-b" (default).
 	Strategy string `json:"strategy,omitempty"`
-	// Seed drives random placement.
-	Seed int64 `json:"seed,omitempty"`
+	// Seed drives random placement reproducibly; omitted means a
+	// time-based seed.
+	Seed *int64 `json:"seed,omitempty"`
 }
 
 // PlacementResponse is the result.
@@ -341,7 +496,7 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		strategy = placement.KCenterB
 	}
 	start := time.Now()
-	servers, err := placement.Place(strategy, m, req.K, rand.New(rand.NewSource(req.Seed)))
+	servers, err := placement.Place(strategy, m, req.K, rand.New(rand.NewSource(seedOrNow(req.Seed))))
 	if err != nil {
 		writeError(w, badRequest("placement: %v", err))
 		return

@@ -15,6 +15,8 @@ import (
 
 func testServer() *Server { return New(Options{MaxNodes: 256}) }
 
+func ptr[T any](v T) *T { return &v }
+
 func postJSON(t *testing.T, s *Server, path string, body any) *httptest.ResponseRecorder {
 	t.Helper()
 	data, err := json.Marshal(body)
@@ -258,7 +260,7 @@ func TestPlacementHappyPath(t *testing.T) {
 			Matrix:   smallMatrix(t),
 			K:        4,
 			Strategy: strategy,
-			Seed:     7,
+			Seed:     ptr(int64(7)),
 		})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("strategy %q: status = %d: %s", strategy, rec.Code, rec.Body.String())
@@ -315,5 +317,130 @@ func TestEndToEndOverRealHTTP(t *testing.T) {
 	}
 	if out.D <= 0 || len(out.Assignment) != 20 {
 		t.Fatalf("response = %+v", out)
+	}
+}
+
+func testClientCoords(t *testing.T, n int) []latency.Coord {
+	t.Helper()
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(n), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestAssignCoordsHappyPath(t *testing.T) {
+	s := testServer()
+	clients := testClientCoords(t, 400)
+	rec := postJSON(t, s, "/v1/assign-coords", AssignCoordsRequest{
+		Clients:      clients,
+		PlaceServers: 5,
+		MaxCells:     64,
+		Seed:         ptr(int64(2)),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[AssignCoordsResponse](t, rec)
+	if len(resp.Assignment) != len(clients) || len(resp.Servers) != 5 {
+		t.Fatalf("assignment %d clients, %d servers", len(resp.Assignment), len(resp.Servers))
+	}
+	if resp.ExactD > resp.CertifiedD+1e-9 || resp.AuditedD > resp.ExactD+1e-9 {
+		t.Fatalf("certificate violated: audited %v, exact %v, certified %v",
+			resp.AuditedD, resp.ExactD, resp.CertifiedD)
+	}
+	if resp.Cells == 0 || resp.Cells > 64 {
+		t.Fatalf("cells = %d", resp.Cells)
+	}
+	sum := 0
+	for _, l := range resp.Loads {
+		sum += l
+	}
+	if sum != len(clients) {
+		t.Fatalf("loads sum %d, want %d", sum, len(clients))
+	}
+}
+
+// TestAssignCoordsBypassesMaxNodes sends more clients than the matrix
+// endpoints accept: the coordinate path has no MaxNodes limit.
+func TestAssignCoordsBypassesMaxNodes(t *testing.T) {
+	s := testServer() // MaxNodes: 256
+	clients := testClientCoords(t, 2000)
+	rec := postJSON(t, s, "/v1/assign-coords", AssignCoordsRequest{
+		Clients:      clients,
+		PlaceServers: 8,
+		MaxCells:     128,
+		Seed:         ptr(int64(4)),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[AssignCoordsResponse](t, rec)
+	if len(resp.Assignment) != 2000 {
+		t.Fatalf("assignment has %d clients", len(resp.Assignment))
+	}
+}
+
+func TestAssignCoordsSeedReproducible(t *testing.T) {
+	s := testServer()
+	clients := testClientCoords(t, 300)
+	req := AssignCoordsRequest{
+		Clients:        clients,
+		PlaceServers:   4,
+		MaxCells:       50,
+		RandomRestarts: 4,
+		Seed:           ptr(int64(11)),
+	}
+	r1 := decodeBody[AssignCoordsResponse](t, postJSON(t, s, "/v1/assign-coords", req))
+	r2 := decodeBody[AssignCoordsResponse](t, postJSON(t, s, "/v1/assign-coords", req))
+	if fmt.Sprint(r1.Assignment) != fmt.Sprint(r2.Assignment) || r1.Algorithm != r2.Algorithm {
+		t.Fatal("same seed produced different assignments")
+	}
+}
+
+func TestAssignCoordsValidation(t *testing.T) {
+	s := testServer()
+	clients := testClientCoords(t, 50)
+	servers := clients[:3]
+	cases := []struct {
+		name string
+		req  AssignCoordsRequest
+	}{
+		{"no clients", AssignCoordsRequest{Servers: servers}},
+		{"no servers", AssignCoordsRequest{Clients: clients}},
+		{"both servers and placeServers", AssignCoordsRequest{Clients: clients, Servers: servers, PlaceServers: 2}},
+		{"maxCells over limit", AssignCoordsRequest{Clients: clients, Servers: servers, MaxCells: MaxCoordCells + 1}},
+		{"misaligned capacities", AssignCoordsRequest{Clients: clients, Servers: servers, Capacities: []int{1}}},
+		{"unknown algorithm", AssignCoordsRequest{Clients: clients, Servers: servers, Algorithms: []string{"nope"}}},
+	}
+	for _, tc := range cases {
+		rec := postJSON(t, s, "/v1/assign-coords", tc.req)
+		if rec.Code < 400 || rec.Code >= 500 {
+			t.Errorf("%s: status = %d, want 4xx: %s", tc.name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestAssignSeedPlumbed pins the satellite behavior: a seeded /v1/assign
+// request running a randomized algorithm is reproducible, and different
+// seeds are allowed to (and here do) differ.
+func TestAssignSeedPlumbed(t *testing.T) {
+	s := testServer()
+	m := smallMatrix(t)
+	req := func(seed int64) AssignRequest {
+		return AssignRequest{Matrix: m, Servers: []int{0, 1, 2}, Algorithm: "Random", Seed: ptr(seed)}
+	}
+	r1 := decodeBody[AssignResponse](t, postJSON(t, s, "/v1/assign", req(5)))
+	r2 := decodeBody[AssignResponse](t, postJSON(t, s, "/v1/assign", req(5)))
+	if fmt.Sprint(r1.Assignment) != fmt.Sprint(r2.Assignment) {
+		t.Fatal("same seed produced different Random assignments")
+	}
+	diff := false
+	for seed := int64(6); seed < 12 && !diff; seed++ {
+		r3 := decodeBody[AssignResponse](t, postJSON(t, s, "/v1/assign", req(seed)))
+		diff = fmt.Sprint(r3.Assignment) != fmt.Sprint(r1.Assignment)
+	}
+	if !diff {
+		t.Fatal("every seed produced the identical Random assignment")
 	}
 }
