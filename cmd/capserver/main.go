@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	capserver -addr :8080
+//	capserver -addr :8080 -metrics-addr :9090
 //
 //	curl -s localhost:8080/v1/algorithms
 //	curl -s -X POST localhost:8080/v1/assign -d '{
@@ -12,41 +12,100 @@
 //	    "algorithm": "Greedy",
 //	    "includeOffsets": true
 //	}'
+//	curl -s localhost:9090/metrics
+//
+// Observability flags:
+//
+//	-metrics-addr  serve /metrics (Prometheus text) and /debug/vars
+//	               (JSON) on a dedicated listener; both are also mounted
+//	               on the main listener
+//	-pprof         mount net/http/pprof under /debug/pprof/ (opt-in)
+//	-log-level     debug | info | warn | error
+//	-live n        also boot a demo live TCP cluster over a synthetic
+//	               n-node latency matrix and drive a background workload,
+//	               so the diacap_live_* telemetry and the /healthz
+//	               cluster section carry real values
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/latency"
+	"diacap/internal/live"
+	"diacap/internal/obs"
+	"diacap/internal/placement"
 	"diacap/internal/service"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		maxNodes   = flag.Int("max-nodes", 2048, "largest accepted matrix")
-		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0 = unlimited)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxNodes    = flag.Int("max-nodes", 2048, "largest accepted matrix")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0 = unlimited)")
+		metricsAddr = flag.String("metrics-addr", "", "extra listener for /metrics and /debug/vars (empty = main listener only)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel    = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		liveNodes   = flag.Int("live", 0, "boot a demo live cluster over a synthetic n-node matrix (0 = off)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	service.PreregisterMetrics(reg)
+	live.PreregisterMetrics(reg)
+
+	var liveStatus service.LiveStatus
+	if *liveNodes > 0 {
+		cluster, stopWorkload, err := startDemoCluster(*liveNodes, reg, logger)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopWorkload()
+		defer cluster.Close()
+		liveStatus = cluster
+	}
 
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.New(service.Options{
 			MaxNodes:       *maxNodes,
 			RequestTimeout: *reqTimeout,
+			Metrics:        reg,
+			Logger:         logger,
+			EnablePprof:    *pprofFlag,
+			Live:           liveStatus,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "capserver: listening on %s\n", *addr)
+	logger.Info("capserver listening", "addr", *addr, "version", obs.BuildVersion())
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", reg.VarsHandler())
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() { errCh <- metricsSrv.ListenAndServe() }()
+		logger.Info("metrics listening", "addr", *metricsAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	// SIGTERM is what init systems and container runtimes send; treating
@@ -54,14 +113,92 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "capserver:", err)
-		os.Exit(1)
+		fatal(err)
 	case <-stop:
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if metricsSrv != nil {
+			_ = metricsSrv.Shutdown(ctx)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "capserver: shutdown:", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("shutdown: %w", err))
 		}
 	}
+}
+
+// startDemoCluster boots a small live TCP cluster on localhost over a
+// synthetic n-node matrix — K-center server placement, Greedy
+// assignment, δ = D — and drives a background operation workload so the
+// live telemetry (per-server executions, lag spread, RTT) moves. The
+// returned stop function ends the workload goroutine.
+func startDemoCluster(n int, reg *obs.Registry, logger *slog.Logger) (*live.Cluster, func(), error) {
+	if n < 4 {
+		return nil, nil, fmt.Errorf("capserver: -live %d nodes, want >= 4", n)
+	}
+	const seed = 1
+	numServers := n / 4
+	if numServers < 2 {
+		numServers = 2
+	}
+	m := latency.ScaledLike(n, seed)
+	servers, err := placement.Place(placement.KCenterB, m, numServers, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	clients := make([]int, n)
+	for i := range clients {
+		clients[i] = i
+	}
+	in, err := core.NewInstanceTrusted(m, servers, clients)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := assign.Greedy{}.Assign(in, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	off, err := in.ComputeOffsets(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster, err := live.StartCluster(live.ClusterConfig{
+		Instance:   in,
+		Assignment: a,
+		Delta:      off.D,
+		Offsets:    off,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	logger.Info("demo live cluster up",
+		"nodes", n, "servers", numServers, "deltaMs", off.D)
+
+	done := make(chan struct{})
+	go func() {
+		// A gentle steady workload: one op per client per second, enough
+		// to keep every live metric moving without loading the host.
+		opID := 0
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				for _, ci := range clients {
+					if c := cluster.Client(ci); c != nil {
+						c.Issue(opID)
+						opID++
+					}
+				}
+			}
+		}
+	}()
+	return cluster, func() { close(done) }, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capserver:", err)
+	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"diacap/internal/core"
 	"diacap/internal/dia"
 	"diacap/internal/live"
+	"diacap/internal/obs"
 )
 
 var (
@@ -25,7 +26,7 @@ var (
 	linkJit   = flag.Float64("link-jitter", 0, "chaos: max extra per-message delay in virtual ms")
 )
 
-func runChaos(in *core.Instance, a core.Assignment, off *core.Offsets, delta float64, seed int64, numOps int, interval float64) error {
+func runChaos(in *core.Instance, a core.Assignment, off *core.Offsets, delta float64, seed int64, numOps int, interval float64, metrics *obs.Registry) error {
 	loads := in.Loads(a)
 	victim := *chaosKill
 	if victim < 0 {
@@ -67,6 +68,7 @@ func runChaos(in *core.Instance, a core.Assignment, off *core.Offsets, delta flo
 		Delta:      delta,
 		Offsets:    off,
 		Faults:     plan,
+		Metrics:    metrics,
 	})
 	if err != nil {
 		return err

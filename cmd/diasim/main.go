@@ -21,18 +21,26 @@
 //
 //	diasim -preset 30 -servers 3 -ops 60 -interval 10 -delta-factor 1.3 -chaos
 //	diasim -preset 30 -servers 3 -ops 60 -chaos -kill 2 -drop 0.05
+//
+// Observability: -trace-algo logs every assignment-algorithm step (the
+// Greedy batch picks, the Distributed-Greedy D trajectory, annealing
+// temperatures); -metrics-addr serves /metrics and /debug/vars for the
+// duration of the run; -pprof adds /debug/pprof/ to that listener.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"diacap/internal/assign"
 	"diacap/internal/core"
 	"diacap/internal/dia"
 	"diacap/internal/latency"
+	"diacap/internal/obs"
 	"diacap/internal/placement"
 	"diacap/internal/sim"
 )
@@ -49,11 +57,45 @@ func main() {
 		interval    = flag.Float64("interval", 2, "mean operation inter-arrival (ms)")
 		jitter      = flag.Float64("jitter", 0, "lognormal latency jitter sigma (0 = none)")
 		repair      = flag.String("repair", "none", `late-operation policy: "none", "timewarp", or "tss"`)
+		logLevel    = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		traceAlgo   = flag.Bool("trace-algo", false, "log every assignment-algorithm step (implies -log-level debug)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address for the run's duration")
+		pprofFlag   = flag.Bool("pprof", false, "with -metrics-addr, also mount /debug/pprof/")
 	)
 	flag.Parse()
 	repairMode, err := parseRepair(*repair)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceAlgo {
+		// Trace events log at debug; asking for the trace means asking
+		// to see it.
+		*logLevel = "debug"
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", reg.VarsHandler())
+		if *pprofFlag {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Error("metrics listener failed", "addr", *metricsAddr, "error", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", *metricsAddr)
 	}
 
 	m, err := loadMatrix(*preset, *seed)
@@ -77,6 +119,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var hook obs.AlgoTrace
+	if *traceAlgo {
+		hook = obs.LogTrace(logger)
+	}
+	if reg != nil {
+		hook = obs.Tee(hook, obs.MetricsTrace(reg))
+	}
+	if hook != nil {
+		traced, ok := assign.WithTrace(alg, hook)
+		if ok {
+			alg = traced
+		} else if *traceAlgo {
+			logger.Warn("algorithm does not support tracing", "algorithm", alg.Name())
+		}
+	}
 	a, err := alg.Assign(in, nil)
 	if err != nil {
 		fatal(err)
@@ -88,7 +145,7 @@ func main() {
 	delta := off.D * *deltaFactor
 
 	if *chaosMode {
-		if err := runChaos(in, a, off, delta, *seed, *ops, *interval); err != nil {
+		if err := runChaos(in, a, off, delta, *seed, *ops, *interval, reg); err != nil {
 			fatal(err)
 		}
 		return

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 )
 
 // Anneal is a simulated-annealing metaheuristic over single-client moves,
@@ -27,6 +28,11 @@ type Anneal struct {
 	// StartTemp and EndTemp bound the geometric cooling schedule as
 	// fractions of the initial D (defaults 0.05 and 0.0001).
 	StartTemp, EndTemp float64
+	// Trace, if non-nil, observes every accepted move (obs.KindAnneal)
+	// with the temperature at acceptance — the live view of the cooling
+	// schedule. Rejected proposals are not traced: with 200·|C| steps
+	// they would swamp any consumer.
+	Trace obs.AlgoTrace
 }
 
 // Name implements Algorithm.
@@ -78,6 +84,7 @@ func (an Anneal) Assign(in *core.Instance, caps core.Capacities) (core.Assignmen
 	best := ev.Assignment()
 	bestD := d
 	temp := t0
+	accepted := 0
 	for step := 0; step < steps; step++ {
 		c := rng.Intn(nc)
 		cur := ev.ServerOf(c)
@@ -93,6 +100,13 @@ func (an Anneal) Assign(in *core.Instance, caps core.Capacities) (core.Assignmen
 		if nd <= d || rng.Float64() < math.Exp((d-nd)/temp) {
 			ev.Move(c, s)
 			d = nd
+			accepted++
+			if an.Trace != nil {
+				an.Trace(obs.AlgoEvent{
+					Algorithm: an.Name(), Kind: obs.KindAnneal, Step: accepted,
+					D: d, Temp: temp, Client: c, Server: s,
+				})
+			}
 			if d < bestD-eps {
 				bestD = d
 				best = ev.Assignment()

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 )
 
 // eps absorbs floating-point noise in latency comparisons.
@@ -81,6 +82,26 @@ func ByNameSeeded(name string, seed int64) (Algorithm, error) {
 		}
 	}
 	return nil, fmt.Errorf("assign: unknown algorithm %q", name)
+}
+
+// WithTrace returns a copy of alg with its per-iteration trace hook set.
+// Greedy, Distributed-Greedy, and Anneal support tracing; other
+// algorithms are returned unchanged with traced == false. The hook is
+// installed on the returned copy only, so shared algorithm values (e.g.
+// the registry returned by All) are never mutated.
+func WithTrace(alg Algorithm, t obs.AlgoTrace) (traced Algorithm, ok bool) {
+	switch a := alg.(type) {
+	case Greedy:
+		a.Trace = t
+		return a, true
+	case DistributedGreedy:
+		a.Trace = t
+		return a, true
+	case Anneal:
+		a.Trace = t
+		return a, true
+	}
+	return alg, false
 }
 
 // validateInputs runs the shared pre-flight checks.

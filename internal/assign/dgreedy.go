@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 )
 
 // DistributedGreedy is the paper's Distributed-Greedy Assignment
@@ -38,6 +39,11 @@ type DistributedGreedy struct {
 	// The paper's Fig. 9 plots interactivity after each modification; the
 	// bound supports generating that curve.
 	MaxModifications int
+	// Trace, if non-nil, observes the run live: one obs.KindInit event
+	// with the initial D, then one obs.KindMove event per reassignment
+	// carrying the monotone non-increasing D trajectory (the Section IV-D
+	// guarantee, asserted in tests).
+	Trace obs.AlgoTrace
 }
 
 // NewDistributedGreedy returns the paper's configuration: Nearest-Server
@@ -98,6 +104,12 @@ func (g DistributedGreedy) AssignWithTrace(in *core.Instance, caps core.Capaciti
 	loads := in.Loads(a)
 	trace := &Trace{InitialD: in.MaxInteractionPath(a)}
 	d := trace.InitialD
+	if g.Trace != nil {
+		g.Trace(obs.AlgoEvent{
+			Algorithm: g.Name(), Kind: obs.KindInit, Step: 0,
+			D: trace.InitialD, Client: -1, Server: -1,
+		})
+	}
 
 	// reach(c) = d(c, sA(c)) + max_t (d(sA(c), t) + ecc(t)) is the length
 	// of the longest interaction path involving c; c is on a longest path
@@ -193,6 +205,12 @@ func (g DistributedGreedy) AssignWithTrace(in *core.Instance, caps core.Capaciti
 			newD := in.MaxInteractionPath(a)
 			trace.DAfter = append(trace.DAfter, newD)
 			trace.Moves = append(trace.Moves, c)
+			if g.Trace != nil {
+				g.Trace(obs.AlgoEvent{
+					Algorithm: g.Name(), Kind: obs.KindMove, Step: trace.Modifications(),
+					D: newD, Client: c, Server: bestS,
+				})
+			}
 			if newD < d-eps {
 				d = newD
 				improved = true

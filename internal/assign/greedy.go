@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 )
 
 // Greedy is the paper's Greedy Assignment (Section IV-C, pseudocode in
@@ -23,14 +24,19 @@ import (
 // considered and Δn reflects the remaining capacity: candidate batches are
 // the prefixes of Ls that fit, so a selected batch fills the server at
 // most exactly to capacity.
-type Greedy struct{}
+type Greedy struct {
+	// Trace, if non-nil, observes every batch pick (obs.KindBatch) with
+	// the chosen pair's Δl and Δn. A nil hook costs one comparison per
+	// batch, outside the pair scan.
+	Trace obs.AlgoTrace
+}
 
 // Name implements Algorithm.
 func (Greedy) Name() string { return "Greedy" }
 
 // Assign implements Algorithm.
-func (Greedy) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
-	return greedyAssign(in, caps, true)
+func (g Greedy) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
+	return greedyAssign(in, caps, true, g.Trace)
 }
 
 // GreedyPlainDelta is the ablation of Greedy's cost rule: it selects the
@@ -47,12 +53,12 @@ func (GreedyPlainDelta) Name() string { return "Greedy-PlainDelta" }
 
 // Assign implements Algorithm.
 func (GreedyPlainDelta) Assign(in *core.Instance, caps core.Capacities) (core.Assignment, error) {
-	return greedyAssign(in, caps, false)
+	return greedyAssign(in, caps, false, nil)
 }
 
 // greedyAssign is the shared engine; amortized selects the paper's Δl/Δn
 // cost (true) or the ablation's plain Δl (false).
-func greedyAssign(in *core.Instance, caps core.Capacities, amortized bool) (core.Assignment, error) {
+func greedyAssign(in *core.Instance, caps core.Capacities, amortized bool, trace obs.AlgoTrace) (core.Assignment, error) {
 	if err := validateInputs(in, caps); err != nil {
 		return nil, err
 	}
@@ -96,8 +102,10 @@ func greedyAssign(in *core.Instance, caps core.Capacities, amortized bool) (core
 	}
 	maxLen := 0.0
 	remaining := nc
+	step := 0
 
 	for remaining > 0 {
+		step++
 		// Stage 1: find the (client, server) pair with minimum Δl/Δn.
 		minCost := math.Inf(1)
 		bestC, bestS := -1, -1
@@ -158,6 +166,13 @@ func greedyAssign(in *core.Instance, caps core.Capacities, amortized bool) (core
 
 		// Stage 2: assign the batch — the first Δn unassigned clients of
 		// Ls[bestS] (all clients not farther from bestS than bestC).
+		if trace != nil {
+			trace(obs.AlgoEvent{
+				Algorithm: "Greedy", Kind: obs.KindBatch, Step: step,
+				D: bestLen, DeltaL: bestLen - maxLen, DeltaN: index[bestS][bestC],
+				Client: bestC, Server: bestS,
+			})
+		}
 		maxLen = bestLen
 		want := index[bestS][bestC]
 		taken := 0

@@ -1,0 +1,160 @@
+package assign
+
+import (
+	"testing"
+
+	"diacap/internal/core"
+	"diacap/internal/latency"
+	"diacap/internal/obs"
+)
+
+// transitStubInstance builds a metric instance from the transit-stub
+// topology generator: transit routers become servers, a slice of stub
+// hosts become clients.
+func transitStubInstance(t testing.TB, seed int64) *core.Instance {
+	t.Helper()
+	m, roles, err := latency.TransitStub(latency.DefaultTransitStub(150), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers, clients []int
+	for i, isTransit := range roles.Transit {
+		if isTransit {
+			servers = append(servers, i)
+		} else if len(clients) < 120 {
+			clients = append(clients, i)
+		}
+	}
+	in, err := core.NewInstanceTrusted(m, servers, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestDGHookTrajectoryMonotone(t *testing.T) {
+	// Satellite check for the observability layer: the D trajectory the
+	// obs.AlgoTrace hook records during a Distributed-Greedy run must be
+	// monotone non-increasing (Section IV-D) and must agree with the
+	// algorithm's own MoveTrace.
+	for seed := int64(1); seed <= 4; seed++ {
+		in := transitStubInstance(t, seed)
+		var events []obs.AlgoEvent
+		alg := NewDistributedGreedy()
+		alg.Trace = obs.Collect(&events)
+		a, moveTrace, err := alg.AssignWithTrace(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var init []obs.AlgoEvent
+		for _, e := range events {
+			if e.Kind == obs.KindInit {
+				init = append(init, e)
+			}
+		}
+		if len(init) != 1 {
+			t.Fatalf("seed %d: %d init events, want 1", seed, len(init))
+		}
+		if init[0].D != moveTrace.InitialD {
+			t.Fatalf("seed %d: init event D = %v, MoveTrace InitialD = %v",
+				seed, init[0].D, moveTrace.InitialD)
+		}
+
+		traj := obs.DTrajectory(events, "")
+		if len(traj) != 1+len(moveTrace.DAfter) {
+			t.Fatalf("seed %d: trajectory has %d points, MoveTrace has %d moves",
+				seed, len(traj), len(moveTrace.DAfter))
+		}
+		if !obs.MonotoneNonIncreasing(traj, 1e-9) {
+			t.Fatalf("seed %d: hook trajectory not monotone non-increasing: %v", seed, traj)
+		}
+		last := traj[len(traj)-1]
+		if got := in.MaxInteractionPath(a); got != last {
+			t.Fatalf("seed %d: final hook D = %v, assignment D = %v", seed, last, got)
+		}
+	}
+}
+
+func TestGreedyHookBatches(t *testing.T) {
+	in := transitStubInstance(t, 7)
+	var events []obs.AlgoEvent
+	g := Greedy{Trace: obs.Collect(&events)}
+	a, err := g.Assign(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no batch events recorded")
+	}
+	assigned := 0
+	for i, e := range events {
+		if e.Kind != obs.KindBatch {
+			t.Fatalf("event %d kind = %q, want batch", i, e.Kind)
+		}
+		if e.DeltaN <= 0 {
+			t.Fatalf("event %d Δn = %d, want positive", i, e.DeltaN)
+		}
+		if e.DeltaL < 0 {
+			t.Fatalf("event %d Δl = %v, want non-negative", i, e.DeltaL)
+		}
+		assigned += e.DeltaN
+	}
+	// The batch sizes must add up to the full client set: every client is
+	// assigned in exactly one amortized batch pick.
+	if assigned != in.NumClients() {
+		t.Fatalf("batches cover %d clients, instance has %d", assigned, in.NumClients())
+	}
+	final := events[len(events)-1].D
+	if got := in.MaxInteractionPath(a); got != final {
+		t.Fatalf("last batch event D = %v, assignment D = %v", final, got)
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	in := fig4Instance(t)
+	var events []obs.AlgoEvent
+	hook := obs.Collect(&events)
+
+	for _, alg := range []Algorithm{Greedy{}, NewDistributedGreedy()} {
+		events = nil
+		traced, ok := WithTrace(alg, hook)
+		if !ok {
+			t.Fatalf("%s: WithTrace not supported", alg.Name())
+		}
+		if traced.Name() != alg.Name() {
+			t.Fatalf("traced name = %q, want %q", traced.Name(), alg.Name())
+		}
+		if _, err := traced.Assign(in, nil); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("%s: traced run emitted no events", alg.Name())
+		}
+		// The original value must stay untouched: running it again emits
+		// nothing new.
+		n := len(events)
+		if _, err := alg.Assign(in, nil); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != n {
+			t.Fatalf("%s: untraced original emitted events", alg.Name())
+		}
+	}
+
+	if _, ok := WithTrace(NearestServer{}, hook); ok {
+		t.Fatal("NearestServer should not claim trace support")
+	}
+}
+
+// BenchmarkAssign is the untraced hot path (nil trace field: one pointer
+// comparison per emission site); BenchmarkAssignTraced runs the same
+// workload with a live collecting hook. The difference is the whole cost
+// of the observability layer on the assignment path.
+func BenchmarkAssign(b *testing.B) { benchAlgorithm(b, Greedy{}) }
+
+func BenchmarkAssignTraced(b *testing.B) {
+	var events []obs.AlgoEvent
+	benchAlgorithm(b, Greedy{Trace: func(e obs.AlgoEvent) { events = append(events, e) }})
+	_ = events
+}

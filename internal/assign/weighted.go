@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 )
 
 // Weights gives each client an integral demand against server
@@ -325,8 +326,10 @@ func (g Greedy) AssignWeighted(in *core.Instance, weights Weights, caps core.Cap
 	}
 	maxLen := 0.0
 	remaining := nc
+	step := 0
 
 	for remaining > 0 {
+		step++
 		minCost := math.Inf(1)
 		bestC, bestS := -1, -1
 		bestLen := 0.0
@@ -382,11 +385,12 @@ func (g Greedy) AssignWeighted(in *core.Instance, weights Weights, caps core.Cap
 
 		// Assign the batch: every unassigned client of Ls[bestS] up to
 		// and including bestC.
-		maxLen = bestLen
+		batchW := 0
 		for _, c := range ls[bestS] {
 			if a[c] == core.Unassigned {
 				a[c] = bestS
 				loads[bestS] += weights.of(c)
+				batchW += weights.of(c)
 				remaining--
 				if d := in.ClientServerDist(c, bestS); d > ecc[bestS] {
 					ecc[bestS] = d
@@ -396,6 +400,14 @@ func (g Greedy) AssignWeighted(in *core.Instance, weights Weights, caps core.Cap
 				break
 			}
 		}
+		if g.Trace != nil {
+			g.Trace(obs.AlgoEvent{
+				Algorithm: g.Name(), Kind: obs.KindBatch, Step: step,
+				D: bestLen, DeltaL: bestLen - maxLen, DeltaN: batchW,
+				Client: bestC, Server: bestS,
+			})
+		}
+		maxLen = bestLen
 	}
 	return a, nil
 }

@@ -1,0 +1,42 @@
+package dgreedy
+
+import (
+	"testing"
+
+	"diacap/internal/obs"
+)
+
+func TestProtocolTraceHook(t *testing.T) {
+	in := randomInstance(t, 11, 40, 5)
+	initial := nsInitial(t, in, nil)
+	var events []obs.AlgoEvent
+	res, err := RunWithOptions(in, nil, initial, Options{Trace: obs.Collect(&events)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(events) == 0 || events[0].Kind != obs.KindInit {
+		t.Fatalf("first event = %+v, want an init event", events)
+	}
+	if events[0].D != res.InitialD {
+		t.Fatalf("init event D = %v, Result.InitialD = %v", events[0].D, res.InitialD)
+	}
+	moves := events[1:]
+	if len(moves) != len(res.Trace) {
+		t.Fatalf("%d move events, Result.Trace has %d entries", len(moves), len(res.Trace))
+	}
+	for i, e := range moves {
+		if e.Kind != obs.KindMove {
+			t.Fatalf("event %d kind = %q, want move", i+1, e.Kind)
+		}
+		if e.D != res.Trace[i] {
+			t.Fatalf("move %d D = %v, Result.Trace[%d] = %v", i+1, e.D, i, res.Trace[i])
+		}
+		if e.Client < 0 || e.Client >= in.NumClients() || e.Server < 0 || e.Server >= in.NumServers() {
+			t.Fatalf("move %d has out-of-range client/server: %+v", i+1, e)
+		}
+	}
+	if !obs.MonotoneNonIncreasing(obs.DTrajectory(events, ""), eps) {
+		t.Fatalf("protocol trajectory not monotone: %v", obs.DTrajectory(events, ""))
+	}
+}

@@ -48,6 +48,13 @@ type ClientConfig struct {
 	HandshakeTimeout time.Duration
 	// Faults, if non-nil, supplies fault injection for the uplink.
 	Faults *Injectors
+	// OnDelivery, if non-nil, observes every state-update delivery as it
+	// is recorded (called outside the client's lock; the cluster hooks
+	// lag-spread telemetry here).
+	OnDelivery func(Delivery)
+	// OnReconnectAttempt, if non-nil, is called before every reconnect
+	// dial attempt, including the first.
+	OnReconnectAttempt func()
 }
 
 func (cfg *ClientConfig) fillReconnectDefaults() {
@@ -194,6 +201,9 @@ func (c *Client) Reconnect(serverAddr string, uplinkDelay float64) error {
 			}
 			backoff *= 2
 		}
+		if c.cfg.OnReconnectAttempt != nil {
+			c.cfg.OnReconnectAttempt()
+		}
 		ec, serverID, err = c.handshake(serverAddr)
 		if err == nil {
 			break
@@ -291,20 +301,24 @@ func (c *Client) readLoop(ec *encoderConn, gen int) {
 		if late {
 			presentation = arrival
 		}
+		d := Delivery{
+			Op:              u.Op,
+			ExecSim:         u.ExecSim,
+			ArrivalSim:      arrival,
+			Late:            late,
+			InteractionTime: presentation - u.Op.IssueSim,
+		}
 		c.mu.Lock()
 		if c.gen != gen {
 			// A reconnect superseded this connection mid-delivery.
 			c.mu.Unlock()
 			return
 		}
-		c.deliveries = append(c.deliveries, Delivery{
-			Op:              u.Op,
-			ExecSim:         u.ExecSim,
-			ArrivalSim:      arrival,
-			Late:            late,
-			InteractionTime: presentation - u.Op.IssueSim,
-		})
+		c.deliveries = append(c.deliveries, d)
 		c.mu.Unlock()
+		if c.cfg.OnDelivery != nil {
+			c.cfg.OnDelivery(d)
+		}
 	}
 }
 

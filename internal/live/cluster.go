@@ -9,6 +9,7 @@ import (
 
 	"diacap/internal/core"
 	"diacap/internal/dia"
+	"diacap/internal/obs"
 )
 
 // ClusterConfig configures a full localhost deployment of the paper's
@@ -43,6 +44,10 @@ type ClusterConfig struct {
 	// path (see ClientConfig; zero values take the defaults).
 	ReconnectAttempts int
 	ReconnectBackoff  time.Duration
+	// Metrics, if non-nil, receives live-cluster telemetry: per-server
+	// execution counts, per-delivery lag spread, reconnect attempts,
+	// failover durations, fault-injection totals (see obs.go).
+	Metrics *obs.Registry
 }
 
 // Cluster is a running live deployment.
@@ -52,6 +57,7 @@ type Cluster struct {
 	servers []*Server
 	clients map[int]*Client
 	inj     *Injectors
+	metrics *clusterMetrics
 
 	mu         sync.Mutex
 	assignment core.Assignment // current assignment; changes on failover
@@ -219,18 +225,21 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 	}
+	cl.metrics = newClusterMetrics(cfg.Metrics, cl, len(clientIDs))
 	// Clients.
 	for _, ci := range clientIDs {
 		target := cfg.Assignment[ci]
 		c, err := Dial(ClientConfig{
-			ID:                ci,
-			Clock:             clock,
-			Delta:             cfg.Delta,
-			UplinkDelay:       in.ClientServerDist(ci, target),
-			LatenessTolerance: cfg.LatenessTolerance,
-			ReconnectAttempts: cfg.ReconnectAttempts,
-			ReconnectBackoff:  cfg.ReconnectBackoff,
-			Faults:            cl.inj,
+			ID:                 ci,
+			Clock:              clock,
+			Delta:              cfg.Delta,
+			UplinkDelay:        in.ClientServerDist(ci, target),
+			LatenessTolerance:  cfg.LatenessTolerance,
+			ReconnectAttempts:  cfg.ReconnectAttempts,
+			ReconnectBackoff:   cfg.ReconnectBackoff,
+			Faults:             cl.inj,
+			OnDelivery:         cl.metrics.deliveryHook(cfg.Delta),
+			OnReconnectAttempt: cl.metrics.reconnectHook(),
 		}, cl.servers[target].Addr())
 		if err != nil {
 			cl.Close()
@@ -243,6 +252,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // Clock returns the shared cluster clock.
 func (cl *Cluster) Clock() Clock { return cl.clock }
+
+// NumServers returns the configured server count (dead or alive). With
+// DeadServers it satisfies the service package's LiveStatus view.
+func (cl *Cluster) NumServers() int { return len(cl.servers) }
 
 // Client returns a launched client by instance index (nil if absent).
 func (cl *Cluster) Client(id int) *Client { return cl.clients[id] }
@@ -412,6 +425,7 @@ func (cl *Cluster) Failover() (*FailoverReport, error) {
 	cl.offsets = off
 	cl.failovers = append(cl.failovers, rep)
 	cl.mu.Unlock()
+	cl.metrics.observeFailover(rep.WallDuration)
 	return &rep, nil
 }
 

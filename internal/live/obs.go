@@ -1,0 +1,168 @@
+package live
+
+import (
+	"strconv"
+	"time"
+
+	"diacap/internal/obs"
+)
+
+// Metric names and help strings shared between the running cluster and
+// PreregisterMetrics, so the exposed schema is identical either way.
+const (
+	nLiveServers     = "diacap_live_servers"
+	hLiveServers     = "Configured server count of the live cluster."
+	nLiveClients     = "diacap_live_clients"
+	hLiveClients     = "Launched client count of the live cluster."
+	nLiveDelta       = "diacap_live_configured_delta_ms"
+	hLiveDelta       = "Configured execution lag delta of the live cluster, in virtual ms."
+	nLiveDead        = "diacap_live_dead_servers"
+	hLiveDead        = "Servers killed and not yet replaced."
+	nLiveDrops       = "diacap_live_link_drops"
+	hLiveDrops       = "Messages dropped by fault injection across all links."
+	nLiveDups        = "diacap_live_link_duplicates"
+	hLiveDups        = "Messages duplicated by fault injection across all links."
+	nLiveLagSpread   = "diacap_live_lag_spread_ms"
+	hLiveLagSpread   = "Observed interaction time minus configured delta per delivery, in virtual ms."
+	nLiveRTT         = "diacap_live_rtt_ms"
+	hLiveRTT         = "Client-measured uplink round-trip time, in virtual ms."
+	nLiveReconnects  = "diacap_live_reconnect_attempts_total"
+	hLiveReconnects  = "Client reconnect dial attempts."
+	nLiveFailover    = "diacap_live_failover_seconds"
+	hLiveFailover    = "Wall-clock duration of completed failovers."
+	nLiveClientLate  = "diacap_live_client_late_total"
+	hLiveClientLate  = "Deliveries that missed issue + delta + tolerance, as observed by clients."
+	nLiveServerExecs = "diacap_live_server_executions"
+	hLiveServerExecs = "Operations executed per server (cumulative)."
+	nLiveServerLate  = "diacap_live_server_late"
+	hLiveServerLate  = "Executions past deadline + tolerance per server (cumulative)."
+	nLiveServerDups  = "diacap_live_server_duplicates"
+	hLiveServerDups  = "Duplicate op arrivals suppressed per server (cumulative)."
+)
+
+// lagSpreadBuckets start at 0 because on-time deliveries present exactly
+// at issue + δ (spread ≈ 0 up to scheduler noise); the upper buckets
+// measure how far past the configured lag late updates arrive.
+var lagSpreadBuckets = []float64{0, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// clusterMetrics holds the live cluster's metric handles. A nil
+// *clusterMetrics is valid everywhere and records nothing, so the hot
+// paths pay one pointer comparison when metrics are off.
+//
+// Per-server counts are exported as function gauges over the servers'
+// existing Stats()/Duplicates() accessors: the serving path keeps its
+// own counters and the scrape reads them, so instrumentation adds zero
+// work per executed operation.
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	lagSpread       *obs.Histogram
+	rtt             *obs.Histogram
+	reconnects      *obs.Counter
+	failoverSeconds *obs.Histogram
+	clientLate      *obs.Counter
+}
+
+// registerFamilies creates (or re-resolves) the event-driven instrument
+// families shared by PreregisterMetrics and a running cluster.
+func registerFamilies(reg *obs.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		reg:             reg,
+		lagSpread:       reg.Histogram(nLiveLagSpread, hLiveLagSpread, lagSpreadBuckets),
+		rtt:             reg.Histogram(nLiveRTT, hLiveRTT, obs.LatencyMsBuckets),
+		reconnects:      reg.Counter(nLiveReconnects, hLiveReconnects),
+		failoverSeconds: reg.Histogram(nLiveFailover, hLiveFailover, obs.SecondsBuckets),
+		clientLate:      reg.Counter(nLiveClientLate, hLiveClientLate),
+	}
+}
+
+// PreregisterMetrics creates the cluster-level metric families ahead of
+// any cluster, so a scrape exposes the full (zero-valued) schema even
+// before a live deployment starts. Idempotent; StartCluster later binds
+// the liveness gauges to the actual cluster.
+func PreregisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	registerFamilies(reg)
+	reg.Gauge(nLiveServers, hLiveServers)
+	reg.Gauge(nLiveClients, hLiveClients)
+	reg.Gauge(nLiveDelta, hLiveDelta)
+	reg.Gauge(nLiveDead, hLiveDead)
+	reg.Gauge(nLiveDrops, hLiveDrops)
+	reg.Gauge(nLiveDups, hLiveDups)
+}
+
+// newClusterMetrics registers the cluster's instruments. Snapshot gauges
+// (sizes, configured δ) are set once; liveness gauges are functions
+// evaluated at scrape time.
+func newClusterMetrics(reg *obs.Registry, cl *Cluster, numClients int) *clusterMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := registerFamilies(reg)
+	reg.Gauge(nLiveServers, hLiveServers).Set(float64(len(cl.servers)))
+	reg.Gauge(nLiveClients, hLiveClients).Set(float64(numClients))
+	reg.Gauge(nLiveDelta, hLiveDelta).Set(cl.cfg.Delta)
+	reg.GaugeFunc(nLiveDead, hLiveDead, func() float64 {
+		return float64(len(cl.DeadServers()))
+	})
+	reg.GaugeFunc(nLiveDrops, hLiveDrops, func() float64 {
+		return float64(cl.inj.Stats().MessagesDropped)
+	})
+	reg.GaugeFunc(nLiveDups, hLiveDups, func() float64 {
+		return float64(cl.inj.Stats().MessagesDuplicated)
+	})
+	for k := range cl.servers {
+		srv := cl.servers[k]
+		label := obs.L("server", strconv.Itoa(k))
+		reg.GaugeFunc(nLiveServerExecs, hLiveServerExecs, func() float64 {
+			execs, _, _ := srv.Stats()
+			return float64(execs)
+		}, label)
+		reg.GaugeFunc(nLiveServerLate, hLiveServerLate, func() float64 {
+			_, late, _ := srv.Stats()
+			return float64(late)
+		}, label)
+		reg.GaugeFunc(nLiveServerDups, hLiveServerDups, func() float64 {
+			return float64(srv.Duplicates())
+		}, label)
+	}
+	return m
+}
+
+// deliveryHook builds the per-delivery observer for client readLoops, or
+// nil when metrics are off (so clients skip the call entirely).
+func (m *clusterMetrics) deliveryHook(delta float64) func(Delivery) {
+	if m == nil {
+		return nil
+	}
+	return func(d Delivery) {
+		m.lagSpread.Observe(d.InteractionTime - delta)
+		if d.Late {
+			m.clientLate.Inc()
+		}
+	}
+}
+
+// reconnectHook builds the per-attempt observer, or nil.
+func (m *clusterMetrics) reconnectHook() func() {
+	if m == nil {
+		return nil
+	}
+	return func() { m.reconnects.Inc() }
+}
+
+func (m *clusterMetrics) observeRTT(rtt float64) {
+	if m == nil {
+		return
+	}
+	m.rtt.Observe(rtt)
+}
+
+func (m *clusterMetrics) observeFailover(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.failoverSeconds.Observe(d.Seconds())
+}

@@ -1,0 +1,110 @@
+package live
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"diacap/internal/dia"
+	"diacap/internal/obs"
+)
+
+func TestClusterMetricsSmoke(t *testing.T) {
+	// A small clean run with a registry attached must leave real values
+	// behind: the size gauges, one lag-spread observation per delivered
+	// update, and per-server execution gauges that add up to the run's
+	// execution count.
+	in, a, off := liveInstance(t, 3, 12, 3)
+	reg := obs.NewRegistry()
+	PreregisterMetrics(reg) // must be compatible with the cluster's own registration
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		LatenessTolerance: 35,
+		Metrics:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ops := dia.UniformWorkload(in.NumClients(), 10, 100, 25)
+	res, err := cluster.RunWorkload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v := reg.Gauge(nLiveServers, "").Value(); v != float64(in.NumServers()) {
+		t.Errorf("servers gauge = %g, want %d", v, in.NumServers())
+	}
+	if v := reg.Gauge(nLiveClients, "").Value(); v != float64(in.NumClients()) {
+		t.Errorf("clients gauge = %g, want %d", v, in.NumClients())
+	}
+	if v := reg.Gauge(nLiveDelta, "").Value(); v != off.D {
+		t.Errorf("delta gauge = %g, want %g", v, off.D)
+	}
+	if v := reg.Gauge(nLiveDead, "").Value(); v != 0 {
+		t.Errorf("dead gauge = %g, want 0", v)
+	}
+
+	lag := reg.Histogram(nLiveLagSpread, "", lagSpreadBuckets)
+	if got, want := lag.Count(), uint64(res.UpdatesDelivered); got != want {
+		t.Errorf("lag-spread observations = %d, want one per delivered update (%d)", got, want)
+	}
+
+	var execs float64
+	for k := 0; k < in.NumServers(); k++ {
+		execs += reg.Gauge(nLiveServerExecs, "", obs.L("server", strconv.Itoa(k))).Value()
+	}
+	if execs != float64(res.Executions) {
+		t.Errorf("per-server execution gauges sum to %g, run executed %d", execs, res.Executions)
+	}
+
+	// The exposition must include the live families with their values.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"diacap_live_lag_spread_ms_count",
+		`diacap_live_server_executions{server="0"}`,
+		"diacap_live_configured_delta_ms",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestClusterWithoutMetricsIsNil(t *testing.T) {
+	// Metrics off: the cluster's handle is nil and every hook degrades to
+	// a no-op (nil delivery hook, nil-safe observers).
+	in, a, off := liveInstance(t, 4, 10, 2)
+	cluster, err := StartCluster(ClusterConfig{
+		Instance:          in,
+		Assignment:        a,
+		Delta:             off.D,
+		Offsets:           off,
+		LatenessTolerance: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.metrics != nil {
+		t.Fatal("cluster without a registry should have nil metrics")
+	}
+	if cluster.metrics.deliveryHook(1) != nil {
+		t.Error("nil metrics should produce a nil delivery hook")
+	}
+	if cluster.metrics.reconnectHook() != nil {
+		t.Error("nil metrics should produce a nil reconnect hook")
+	}
+	cluster.metrics.observeRTT(1)      // must not panic
+	cluster.metrics.observeFailover(0) // must not panic
+	if cluster.NumServers() != in.NumServers() {
+		t.Errorf("NumServers = %d, want %d", cluster.NumServers(), in.NumServers())
+	}
+}

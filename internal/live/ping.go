@@ -108,6 +108,7 @@ func (cl *Cluster) MeasuredUplinks(pings int, timeout time.Duration) (map[int]fl
 				errCh <- fmt.Errorf("client %d: %w", id, err)
 				return
 			}
+			cl.metrics.observeRTT(rtt)
 			mu.Lock()
 			out[id] = rtt
 			mu.Unlock()

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per
+// family, then each series. Histograms render cumulative _bucket series
+// with le labels (including +Inf), plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			write("# HELP %s %s\n", f.name, f.help)
+		}
+		write("# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.kind {
+			case kindCounter:
+				write("%s%s %d\n", f.name, s.labels, s.c.Value())
+			case kindGauge:
+				write("%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value()))
+			case kindHistogram:
+				upper, cum := s.h.Buckets()
+				for i, u := range upper {
+					write("%s_bucket%s %d\n", f.name, withLE(s.labels, formatFloat(u)), cum[i])
+				}
+				write("%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum[len(cum)-1])
+				write("%s_sum%s %s\n", f.name, s.labels, formatFloat(s.h.Sum()))
+				write("%s_count%s %d\n", f.name, s.labels, cum[len(cum)-1])
+			}
+		}
+	}
+	return err
+}
+
+// withLE splices an le label into a rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Upper   []float64 `json:"upper"`
+	Buckets []uint64  `json:"buckets"` // cumulative, aligned with Upper; +Inf omitted (= Count)
+}
+
+// Snapshot returns every metric as a JSON-encodable map keyed by
+// name+labels: counters as integers, gauges as floats, histograms as
+// HistogramSnapshot values.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			s := f.series[key]
+			id := f.name + s.labels
+			switch f.kind {
+			case kindCounter:
+				out[id] = s.c.Value()
+			case kindGauge:
+				out[id] = s.g.Value()
+			case kindHistogram:
+				upper, cum := s.h.Buckets()
+				out[id] = HistogramSnapshot{
+					Count:   cum[len(cum)-1],
+					Sum:     s.h.Sum(),
+					Upper:   upper,
+					Buckets: cum[:len(cum)-1],
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Handler serves the registry in Prometheus text format (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the registry as a JSON document (GET /debug/vars),
+// the expvar-style view for humans and ad-hoc tooling.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+var processStart = time.Now()
+
+// RegisterRuntime adds process-level function gauges (goroutines, heap
+// bytes, GC cycles, uptime) to the registry. Idempotent.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+	r.GaugeFunc("process_uptime_seconds", "Seconds since process start.", func() float64 {
+		return time.Since(processStart).Seconds()
+	})
+}
+
+// BuildVersion reports the best build identity available: the module
+// version when installed, else the VCS revision (12 chars) when built
+// from a checkout, else "devel".
+func BuildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	return "devel"
+}

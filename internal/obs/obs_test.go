@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promSample is one parsed exposition line: name, rendered label set
+// (sorted, brace form or ""), and value.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parseProm is a minimal parser for the Prometheus text exposition
+// format (version 0.0.4): it collects # TYPE declarations and every
+// sample line, failing the test on anything malformed. It is
+// deliberately independent of the package's renderer so the two can
+// disagree.
+func parseProm(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if len(strings.SplitN(line, " ", 4)) < 4 {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+		// Sample: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		var val float64
+		switch valStr {
+		case "+Inf", "-Inf", "NaN":
+			// keep zero; presence is what matters for these tests
+		default:
+			var err error
+			val, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+		}
+		name, labels := id, ""
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			name, labels = id[:i], id[i:]
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: val})
+	}
+	return types, samples
+}
+
+func findSample(samples []promSample, name, labels string) (promSample, bool) {
+	for _, s := range samples {
+		if s.name == name && s.labels == labels {
+			return s, true
+		}
+	}
+	return promSample{}, false
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.", L("code", "200"), L("endpoint", "/x")).Add(7)
+	r.Gauge("temperature", "Current temperature.").Set(36.5)
+	h := r.Histogram("latency_ms", "Latency.", []float64{1, 5, 25})
+	for _, v := range []float64{0.5, 3, 3, 100} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, sb.String())
+
+	if got := types["requests_total"]; got != "counter" {
+		t.Errorf("requests_total TYPE = %q, want counter", got)
+	}
+	if got := types["temperature"]; got != "gauge" {
+		t.Errorf("temperature TYPE = %q, want gauge", got)
+	}
+	if got := types["latency_ms"]; got != "histogram" {
+		t.Errorf("latency_ms TYPE = %q, want histogram", got)
+	}
+
+	// Labels render sorted by key regardless of argument order.
+	if s, ok := findSample(samples, "requests_total", `{code="200",endpoint="/x"}`); !ok || s.value != 7 {
+		t.Errorf("requests_total sample = %+v, ok=%v; want value 7", s, ok)
+	}
+	if s, ok := findSample(samples, "temperature", ""); !ok || s.value != 36.5 {
+		t.Errorf("temperature sample = %+v, ok=%v; want 36.5", s, ok)
+	}
+
+	// Histogram: cumulative buckets, +Inf, _sum, _count.
+	wantBuckets := map[string]float64{
+		`{le="1"}`:    1, // 0.5
+		`{le="5"}`:    3, // + 3, 3
+		`{le="25"}`:   3,
+		`{le="+Inf"}`: 4, // + 100
+	}
+	for labels, want := range wantBuckets {
+		s, ok := findSample(samples, "latency_ms_bucket", labels)
+		if !ok || s.value != want {
+			t.Errorf("latency_ms_bucket%s = %+v, ok=%v; want %g", labels, s, ok, want)
+		}
+	}
+	if s, ok := findSample(samples, "latency_ms_sum", ""); !ok || s.value != 106.5 {
+		t.Errorf("latency_ms_sum = %+v, ok=%v; want 106.5", s, ok)
+	}
+	if s, ok := findSample(samples, "latency_ms_count", ""); !ok || s.value != 4 {
+		t.Errorf("latency_ms_count = %+v, ok=%v; want 4", s, ok)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	// Prometheus le is inclusive: an observation exactly on a boundary
+	// lands in that boundary's bucket.
+	h.Observe(1) // le=1
+	h.Observe(2) // le=2
+	h.Observe(4) // le=4
+	h.Observe(5) // +Inf
+	upper, cum := h.Buckets()
+	if len(upper) != 3 || upper[0] != 1 || upper[1] != 2 || upper[2] != 4 {
+		t.Fatalf("upper = %v", upper)
+	}
+	want := []uint64{1, 2, 3, 4} // cumulative, +Inf last
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d (cum=%v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 12 {
+		t.Errorf("Sum = %g, want 12", h.Sum())
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing buckets did not panic")
+		}
+	}()
+	r.Histogram("bad", "", []float64{5, 1})
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(w))
+				// Exercise the registry's get-or-create fast path too.
+				r.Counter("c", "").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != 2*workers*per {
+		t.Errorf("counter = %d, want %d", got, 2*workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.GaugeFunc("fn", "", func() float64 { return v })
+	if got := r.Gauge("fn", "").Value(); got != 3 {
+		t.Fatalf("function gauge = %g, want 3", got)
+	}
+	v = 9
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn 9") {
+		t.Fatalf("exposition did not evaluate function gauge:\n%s", sb.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", L("k", "v")).Add(2)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if got, ok := snap[`c{k="v"}`].(uint64); !ok || got != 2 {
+		t.Errorf(`snapshot c{k="v"} = %v`, snap[`c{k="v"}`])
+	}
+	hs, ok := snap["h"].(HistogramSnapshot)
+	if !ok || hs.Count != 1 || hs.Sum != 0.5 {
+		t.Errorf("snapshot h = %+v", snap["h"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", L("path", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition = %q, want it to contain %q", sb.String(), want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", LatencyMsBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i % 1000))
+			i++
+		}
+	})
+}
+
+func BenchmarkRegistryGetOrCreate(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < b.N; i++ {
+		r.Counter("requests_total", "help", L("endpoint", "/v1/assign"), L("code", "200")).Inc()
+	}
+}
+
+func ExampleRegistry() {
+	r := NewRegistry()
+	r.Counter("ops_total", "Operations.").Add(3)
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	fmt.Print(sb.String())
+	// Output:
+	// # HELP ops_total Operations.
+	// # TYPE ops_total counter
+	// ops_total 3
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+)
+
+// AlgoTrace observes one assignment-algorithm iteration. Algorithms call
+// the hook synchronously on their hot path, so implementations must be
+// cheap; a nil AlgoTrace costs one pointer comparison per iteration. The
+// hook is how the paper's convergence plots (Greedy's amortized batch
+// picks, Distributed-Greedy's monotone non-increasing D trajectory,
+// annealing's temperature schedule) become visible in a live system.
+type AlgoTrace func(AlgoEvent)
+
+// Event kinds emitted by the instrumented algorithms.
+const (
+	// KindInit reports the initial assignment's D before optimization.
+	KindInit = "init"
+	// KindBatch is one Greedy batch pick, carrying Δl and Δn.
+	KindBatch = "batch"
+	// KindMove is one Distributed-Greedy client reassignment, carrying
+	// the D trajectory.
+	KindMove = "move"
+	// KindAnneal is one accepted annealing move, carrying the temperature.
+	KindAnneal = "anneal"
+)
+
+// AlgoEvent is one step of an assignment algorithm's execution. Fields
+// not meaningful for a kind are zero (indices -1).
+type AlgoEvent struct {
+	// Algorithm is the emitting algorithm's Name().
+	Algorithm string
+	// Kind is one of KindInit, KindBatch, KindMove, KindAnneal.
+	Kind string
+	// Step numbers the events of one run per kind, starting at 1
+	// (0 for KindInit).
+	Step int
+	// D is the maximum interaction-path length after this step (ms).
+	D float64
+	// DeltaL is the increase of D caused by a Greedy batch pick (ms).
+	DeltaL float64
+	// DeltaN is the Greedy batch size (the paper's Δn).
+	DeltaN int
+	// Temp is the annealing temperature at this step.
+	Temp float64
+	// Client and Server identify a moved/anchor client and its
+	// destination server (-1 when not applicable).
+	Client, Server int
+}
+
+// Collect returns a trace hook appending every event to *events — the
+// test-side collector.
+func Collect(events *[]AlgoEvent) AlgoTrace {
+	return func(e AlgoEvent) { *events = append(*events, e) }
+}
+
+// CollectLocked is Collect with a mutex, for algorithms that may emit
+// from multiple goroutines.
+func CollectLocked(mu *sync.Mutex, events *[]AlgoEvent) AlgoTrace {
+	return func(e AlgoEvent) {
+		mu.Lock()
+		*events = append(*events, e)
+		mu.Unlock()
+	}
+}
+
+// LogTrace returns a hook writing each event to the logger at debug
+// level — what cmd flags like -trace-algo wire up.
+func LogTrace(l *slog.Logger) AlgoTrace {
+	return func(e AlgoEvent) {
+		l.Debug("algo step",
+			slog.String("algorithm", e.Algorithm),
+			slog.String("kind", e.Kind),
+			slog.Int("step", e.Step),
+			slog.Float64("d", e.D),
+			slog.Float64("deltaL", e.DeltaL),
+			slog.Int("deltaN", e.DeltaN),
+			slog.Float64("temp", e.Temp),
+			slog.Int("client", e.Client),
+			slog.Int("server", e.Server),
+		)
+	}
+}
+
+// MetricsTrace returns a hook recording algorithm progress into reg:
+// diacap_algo_steps_total{algorithm,kind} counts iterations and
+// diacap_algo_d_ms{algorithm} tracks the current objective, so a scrape
+// mid-run shows how far convergence has come.
+func MetricsTrace(reg *Registry) AlgoTrace {
+	return func(e AlgoEvent) {
+		reg.Counter("diacap_algo_steps_total",
+			"Assignment algorithm iterations by kind.",
+			L("algorithm", e.Algorithm), L("kind", e.Kind)).Inc()
+		if e.D > 0 {
+			reg.Gauge("diacap_algo_d_ms",
+				"Current maximum interaction-path length D during/after the last run (ms).",
+				L("algorithm", e.Algorithm)).Set(e.D)
+		}
+	}
+}
+
+// Tee fans one event out to several hooks, skipping nils.
+func Tee(hooks ...AlgoTrace) AlgoTrace {
+	var live []AlgoTrace
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e AlgoEvent) {
+		for _, h := range live {
+			h(e)
+		}
+	}
+}
+
+// DTrajectory extracts the D values of events matching kind (all events
+// with D > 0 when kind is empty), in order.
+func DTrajectory(events []AlgoEvent, kind string) []float64 {
+	var out []float64
+	for _, e := range events {
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if kind == "" && e.D <= 0 {
+			continue
+		}
+		out = append(out, e.D)
+	}
+	return out
+}
+
+// MonotoneNonIncreasing reports whether v never increases by more than
+// tol between consecutive entries — the paper's Section IV-D guarantee
+// for the Distributed-Greedy D trajectory.
+func MonotoneNonIncreasing(v []float64, tol float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[i-1]+tol {
+			return false
+		}
+	}
+	return true
+}

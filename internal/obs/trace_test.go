@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCollectAndDTrajectory(t *testing.T) {
+	var events []AlgoEvent
+	hook := Collect(&events)
+	hook(AlgoEvent{Kind: KindInit, D: 50})
+	hook(AlgoEvent{Kind: KindMove, Step: 1, D: 45})
+	hook(AlgoEvent{Kind: KindMove, Step: 2, D: 40})
+	hook(AlgoEvent{Kind: KindBatch, Step: 1, DeltaN: 3}) // D zero: skipped by ""
+
+	if len(events) != 4 {
+		t.Fatalf("collected %d events, want 4", len(events))
+	}
+	moves := DTrajectory(events, KindMove)
+	if len(moves) != 2 || moves[0] != 45 || moves[1] != 40 {
+		t.Errorf("move trajectory = %v", moves)
+	}
+	all := DTrajectory(events, "")
+	if len(all) != 3 || all[0] != 50 {
+		t.Errorf("full trajectory = %v", all)
+	}
+}
+
+func TestMonotoneNonIncreasing(t *testing.T) {
+	cases := []struct {
+		v    []float64
+		tol  float64
+		want bool
+	}{
+		{nil, 0, true},
+		{[]float64{10}, 0, true},
+		{[]float64{10, 10, 9, 9, 3}, 0, true},
+		{[]float64{10, 11}, 0, false},
+		{[]float64{10, 10.0000001}, 1e-6, true},
+		{[]float64{10, 5, 6}, 0, false},
+	}
+	for _, c := range cases {
+		if got := MonotoneNonIncreasing(c.v, c.tol); got != c.want {
+			t.Errorf("MonotoneNonIncreasing(%v, %g) = %v, want %v", c.v, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils should be nil")
+	}
+	var a, b []AlgoEvent
+	single := Tee(nil, Collect(&a))
+	single(AlgoEvent{Kind: KindInit})
+	if len(a) != 1 {
+		t.Errorf("single-hook Tee delivered %d events", len(a))
+	}
+	a = nil
+	both := Tee(Collect(&a), nil, Collect(&b))
+	both(AlgoEvent{Kind: KindMove})
+	if len(a) != 1 || len(b) != 1 {
+		t.Errorf("fan-out Tee delivered a=%d b=%d", len(a), len(b))
+	}
+}
+
+func TestMetricsTrace(t *testing.T) {
+	r := NewRegistry()
+	hook := MetricsTrace(r)
+	hook(AlgoEvent{Algorithm: "Greedy", Kind: KindBatch, D: 40})
+	hook(AlgoEvent{Algorithm: "Greedy", Kind: KindBatch, D: 42})
+	hook(AlgoEvent{Algorithm: "Greedy", Kind: KindInit}) // D zero: gauge untouched
+
+	steps := r.Counter("diacap_algo_steps_total", "",
+		L("algorithm", "Greedy"), L("kind", KindBatch))
+	if steps.Value() != 2 {
+		t.Errorf("steps counter = %d, want 2", steps.Value())
+	}
+	if d := r.Gauge("diacap_algo_d_ms", "", L("algorithm", "Greedy")).Value(); d != 42 {
+		t.Errorf("d gauge = %g, want 42", d)
+	}
+}
+
+func TestLogTraceEmitsAtDebug(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	LogTrace(logger)(AlgoEvent{Algorithm: "Greedy", Kind: KindBatch, Step: 3, D: 40})
+	out := buf.String()
+	for _, want := range []string{"algo step", "algorithm=Greedy", "kind=batch", "step=3", "d=40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	info, err := NewLogger(&buf, "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	LogTrace(info)(AlgoEvent{Algorithm: "Greedy", Kind: KindBatch})
+	if buf.Len() != 0 {
+		t.Errorf("info-level logger emitted trace output: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, s := range []string{"debug", "info", "", "warn", "warning", "error"} {
+		if _, err := ParseLevel(s); err != nil {
+			t.Errorf("ParseLevel(%q) failed: %v", s, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "loud"); err == nil {
+		t.Error("NewLogger with a bad level should fail")
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	// Must be safe at every level and allocate no output.
+	l := Discard()
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Error("x")
+	if l.Enabled(nil, 12) {
+		t.Error("discard logger claims to be enabled")
+	}
+}

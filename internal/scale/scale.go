@@ -33,6 +33,7 @@ import (
 	"diacap/internal/assign"
 	"diacap/internal/core"
 	"diacap/internal/latency"
+	"diacap/internal/obs"
 )
 
 // DefaultMaxCells bounds the reduced instance when Options.MaxCells is
@@ -72,6 +73,10 @@ type Options struct {
 	// AuditPairs is the size of the random pair subsample measured
 	// against the expanded assignment (0 = 10000; negative disables).
 	AuditPairs int
+	// Metrics, if non-nil, receives pipeline telemetry: cell count and
+	// radii, stage timings, worker-pool utilization, and the certified
+	// bound vs. audited D gap.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -168,7 +173,7 @@ func AssignCoords(clients []latency.Coord, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	best, _, err := red.solveAll(algorithms, opts.Capacities, opts.Seed, opts.RandomRestarts, opts.Workers)
+	best, _, err := red.solveAll(algorithms, opts.Capacities, opts.Seed, opts.RandomRestarts, opts.Workers, opts.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +205,39 @@ func AssignCoords(clients []latency.Coord, opts Options) (*Result, error) {
 		res.AuditedD = auditD(clients, opts.Servers, a, opts.AuditPairs, opts.Seed)
 	}
 	res.ExpandMs = msSince(start)
+	recordPipeline(opts.Metrics, len(clients), res)
 	return res, nil
+}
+
+// recordPipeline publishes one finished pipeline run: sizes, the
+// certificate chain (cell-level D ≤ certified bound, audited D below the
+// exact value), and per-stage timings. The bound-vs-audit gap is the
+// pipeline's accuracy margin: how much the triangle-inequality
+// certificate over-states the D actually measured on sampled clients.
+func recordPipeline(reg *obs.Registry, numClients int, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("diacap_scale_clients",
+		"Client population of the last pipeline run.").Set(float64(numClients))
+	reg.Gauge("diacap_scale_cells",
+		"Reduced-instance cell count of the last pipeline run.").Set(float64(res.Cells))
+	reg.Gauge("diacap_scale_max_rho_ms",
+		"Largest cell radius of the last pipeline run, in ms.").Set(res.MaxRho)
+	reg.Gauge("diacap_scale_certified_d_ms",
+		"Certified upper bound on the client-level D, in ms.").Set(res.CertifiedD)
+	reg.Gauge("diacap_scale_audited_d_ms",
+		"Maximum interaction path over the audited client-pair subsample, in ms.").Set(res.AuditedD)
+	reg.Gauge("diacap_scale_cert_gap_ms",
+		"Certified bound minus audited D, in ms — the certificate's slack.").Set(res.CertifiedD - res.AuditedD)
+	for _, st := range []struct {
+		stage string
+		ms    float64
+	}{{"cluster", res.ClusterMs}, {"solve", res.SolveMs}, {"expand", res.ExpandMs}} {
+		reg.Histogram("diacap_scale_stage_seconds",
+			"Wall-clock time per pipeline stage in seconds.",
+			obs.SecondsBuckets, obs.L("stage", st.stage)).Observe(st.ms / 1000)
+	}
 }
 
 // PlaceServers picks u server coordinates from the client population by

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"diacap/internal/assign"
 	"diacap/internal/core"
 	"diacap/internal/latency"
+	"diacap/internal/obs"
 )
 
 // reduced is the cell-level instance: servers keep their identity,
@@ -110,7 +113,9 @@ type candidate struct {
 // one job per restart seed; deterministic ones run once. The winner is
 // the candidate with the lowest certified bound, ties broken by job
 // order, so the result is independent of worker count and scheduling.
-func (r *reduced) solveAll(algorithms []assign.WeightedAlgorithm, caps core.Capacities, seed int64, restarts, workers int) (candidate, []candidate, error) {
+// A non-nil reg receives pool telemetry (worker count, jobs, busy-time
+// utilization).
+func (r *reduced) solveAll(algorithms []assign.WeightedAlgorithm, caps core.Capacities, seed int64, restarts, workers int, reg *obs.Registry) (candidate, []candidate, error) {
 	type job struct {
 		name  string
 		solve func() (core.Assignment, error)
@@ -140,18 +145,22 @@ func (r *reduced) solveAll(algorithms []assign.WeightedAlgorithm, caps core.Capa
 	}
 	results := make([]candidate, len(jobs))
 	next := make(chan int)
+	var busy atomic.Int64 // summed per-job wall time, ns
+	poolStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range next {
+				jobStart := time.Now()
 				a, err := jobs[idx].solve()
 				c := candidate{name: jobs[idx].name, a: a, err: err}
 				if err == nil {
 					c.certD = r.certifiedD(a)
 				}
 				results[idx] = c
+				busy.Add(int64(time.Since(jobStart)))
 			}
 		}()
 	}
@@ -160,6 +169,19 @@ func (r *reduced) solveAll(algorithms []assign.WeightedAlgorithm, caps core.Capa
 	}
 	close(next)
 	wg.Wait()
+	if reg != nil {
+		wall := time.Since(poolStart)
+		util := 0.0
+		if wall > 0 {
+			util = float64(busy.Load()) / (float64(wall) * float64(workers))
+		}
+		reg.Gauge("diacap_scale_solver_workers",
+			"Worker-pool size of the last reduced solve.").Set(float64(workers))
+		reg.Gauge("diacap_scale_solver_jobs",
+			"Jobs fanned out by the last reduced solve.").Set(float64(len(jobs)))
+		reg.Gauge("diacap_scale_worker_utilization",
+			"Busy-time fraction of the worker pool over the last reduced solve (0-1).").Set(util)
+	}
 
 	best := -1
 	for i, c := range results {

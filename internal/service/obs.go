@@ -1,0 +1,195 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"diacap/internal/assign"
+	"diacap/internal/obs"
+)
+
+// LiveStatus is the view of a live server cluster the service fronts.
+// *live.Cluster satisfies it; /healthz reports the dead-server count so
+// an orchestrator probing the HTTP plane sees cluster degradation.
+type LiveStatus interface {
+	// NumServers is the configured cluster size.
+	NumServers() int
+	// DeadServers lists the indices of servers that have failed.
+	DeadServers() []int
+}
+
+// endpoints is the closed label set for per-endpoint metrics; anything
+// else (bad paths, probes) is folded into "other" so scrape cardinality
+// stays bounded no matter what clients request.
+var endpoints = []string{
+	"/healthz",
+	"/v1/algorithms",
+	"/v1/assign",
+	"/v1/assign-coords",
+	"/v1/placement",
+	"/metrics",
+	"/debug/vars",
+}
+
+func normalizeEndpoint(path string) string {
+	for _, e := range endpoints {
+		if path == e {
+			return e
+		}
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter captures the response code for the metrics middleware.
+// It deliberately does not forward Flush/Hijack: every endpoint writes a
+// small JSON or text body in one shot.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Metric names and help strings shared between the middleware and
+// PreregisterMetrics, so the exposed schema is identical either way.
+const (
+	nHTTPRequests = "diacap_http_requests_total"
+	hHTTPRequests = "HTTP requests served, by endpoint and status code."
+	nHTTPSeconds  = "diacap_http_request_seconds"
+	hHTTPSeconds  = "HTTP request handling time in seconds."
+	nHTTPErrors   = "diacap_http_errors_total"
+	hHTTPErrors   = "HTTP requests answered with a 4xx/5xx status."
+	nHTTPInflight = "diacap_http_inflight_requests"
+	hHTTPInflight = "Requests currently being handled."
+	nAssignD      = "diacap_assign_d_ms"
+	hAssignD      = "Maximum interaction-path length D (= minimum feasible lag) of the last assignment, in ms."
+	nAssignSec    = "diacap_assign_seconds"
+	hAssignSec    = "Assignment computation time in seconds."
+)
+
+// PreregisterMetrics creates the service's metric families (zero-valued)
+// ahead of any traffic, so the first scrape already exposes the full
+// schema: request counters and latency histograms per endpoint, and the
+// assignment-D gauge per paper algorithm. Idempotent.
+func PreregisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(nHTTPInflight, hHTTPInflight)
+	for _, ep := range endpoints {
+		reg.Counter(nHTTPRequests, hHTTPRequests,
+			obs.L("endpoint", ep), obs.L("code", "200"))
+		reg.Histogram(nHTTPSeconds, hHTTPSeconds,
+			obs.SecondsBuckets, obs.L("endpoint", ep))
+		reg.Counter(nHTTPErrors, hHTTPErrors, obs.L("endpoint", ep))
+	}
+	for _, alg := range assign.All() {
+		reg.Gauge(nAssignD, hAssignD, obs.L("algorithm", alg.Name()))
+		reg.Histogram(nAssignSec, hAssignSec,
+			obs.SecondsBuckets, obs.L("algorithm", alg.Name()))
+	}
+}
+
+// instrument is the outermost middleware: it wraps even the recover and
+// timeout layers so their 500/503 responses are counted under the real
+// status code, and tracks in-flight requests across the whole chain.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	reg := s.opts.Metrics
+	inflight := reg.Gauge(nHTTPInflight, hHTTPInflight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := normalizeEndpoint(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		inflight.Inc()
+		start := time.Now()
+		defer func() {
+			inflight.Dec()
+			code := sw.status
+			if code == 0 {
+				code = http.StatusOK
+			}
+			reg.Counter(nHTTPRequests, hHTTPRequests,
+				obs.L("endpoint", ep), obs.L("code", strconv.Itoa(code))).Inc()
+			reg.Histogram(nHTTPSeconds, hHTTPSeconds,
+				obs.SecondsBuckets, obs.L("endpoint", ep)).
+				Observe(time.Since(start).Seconds())
+			if code >= 400 {
+				reg.Counter(nHTTPErrors, hHTTPErrors,
+					obs.L("endpoint", ep)).Inc()
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// mountDebug adds /metrics, /debug/vars and (opt-in) /debug/pprof to the
+// mux. pprof is off by default: profile endpoints reveal internals and
+// cost CPU, so exposure is an explicit operator decision.
+func (s *Server) mountDebug() {
+	if s.opts.Metrics != nil {
+		s.mux.Handle("/metrics", s.opts.Metrics.Handler())
+		s.mux.Handle("/debug/vars", s.opts.Metrics.VarsHandler())
+	}
+	if s.opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// fail answers err as JSON and logs it with the request context: 4xx at
+// Warn (client mistakes), everything else at Error. Extra attrs carry
+// handler-specific context (node count, algorithm, duration).
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error, attrs ...any) {
+	status := errStatus(err)
+	logAttrs := append([]any{
+		"endpoint", r.URL.Path,
+		"method", r.Method,
+		"status", status,
+		"error", err.Error(),
+	}, attrs...)
+	if status >= 400 && status < 500 {
+		s.log.Warn("request failed", logAttrs...)
+	} else {
+		s.log.Error("request failed", logAttrs...)
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// recordAssignD publishes the freshly computed D — the minimum feasible
+// lag δ of the paper — per algorithm, plus a compute-time histogram.
+func (s *Server) recordAssignD(algorithm string, d float64, elapsed time.Duration) {
+	if s.opts.Metrics == nil {
+		return
+	}
+	s.opts.Metrics.Gauge(nAssignD, hAssignD,
+		obs.L("algorithm", algorithm)).Set(d)
+	s.opts.Metrics.Histogram(nAssignSec, hAssignSec,
+		obs.SecondsBuckets, obs.L("algorithm", algorithm)).
+		Observe(elapsed.Seconds())
+}
+
+// durationMs renders a duration for structured logs in the unit the rest
+// of the system speaks (latencies and D are all milliseconds).
+func durationMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -77,7 +77,7 @@ func TestRequestTimeoutFastPathUnaffected(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz under timeout middleware: %d", rec.Code)
 	}
-	var body map[string]string
+	var body map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["status"] != "ok" {
 		t.Fatalf("healthz body %q", rec.Body.String())
 	}

@@ -7,13 +7,16 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe (build info, live-cluster state)
 //	GET  /v1/algorithms    list assignment algorithms
 //	POST /v1/assign        compute an assignment (see AssignRequest)
 //	POST /v1/assign-coords scaled assignment from network coordinates,
 //	                       no matrix and no MaxNodes limit (see
 //	                       AssignCoordsRequest)
 //	POST /v1/placement     choose server nodes (see PlacementRequest)
+//	GET  /metrics          Prometheus text exposition (Options.Metrics)
+//	GET  /debug/vars       JSON metric snapshot (Options.Metrics)
+//	GET  /debug/pprof/     net/http/pprof (Options.EnablePprof)
 //
 // All errors are JSON: {"error": "..."} with a 4xx/5xx status.
 package service
@@ -22,13 +25,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"time"
 
 	"diacap/internal/assign"
 	"diacap/internal/core"
 	"diacap/internal/latency"
+	"diacap/internal/obs"
 	"diacap/internal/placement"
 	"diacap/internal/scale"
 )
@@ -43,6 +49,17 @@ type Options struct {
 	// RequestTimeout bounds each request's handling time; a request
 	// exceeding it receives 503 JSON. Zero disables the limit.
 	RequestTimeout time.Duration
+	// Metrics, if non-nil, receives request/assignment metrics and
+	// enables GET /metrics (Prometheus text) and GET /debug/vars (JSON).
+	Metrics *obs.Registry
+	// Logger receives structured request and error logs (nil = discard).
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in:
+	// profiles reveal internals and cost CPU to produce).
+	EnablePprof bool
+	// Live, if non-nil, is the live server cluster this service fronts;
+	// /healthz then reports its size and dead-server count.
+	Live LiveStatus
 }
 
 func (o *Options) fill() {
@@ -52,29 +69,40 @@ func (o *Options) fill() {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 64 << 20
 	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
+	}
 }
 
 // Server is the HTTP handler.
 type Server struct {
-	opts    Options
-	mux     *http.ServeMux
-	handler http.Handler
+	opts      Options
+	log       *slog.Logger
+	algoTrace obs.AlgoTrace
+	mux       *http.ServeMux
+	handler   http.Handler
 }
 
 // New builds the service.
 func New(opts Options) *Server {
 	opts.fill()
-	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s := &Server{opts: opts, log: opts.Logger, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
 	s.mux.HandleFunc("/v1/assign-coords", s.handleAssignCoords)
 	s.mux.HandleFunc("/v1/placement", s.handlePlacement)
+	s.mountDebug()
 	var h http.Handler = s.mux
 	if opts.RequestTimeout > 0 {
 		h = timeoutJSON(h, opts.RequestTimeout)
 	}
-	s.handler = recoverJSON(h)
+	h = recoverJSON(h)
+	if opts.Metrics != nil {
+		s.algoTrace = obs.MetricsTrace(opts.Metrics)
+		h = s.instrument(h)
+	}
+	s.handler = h
 	return s
 }
 
@@ -140,13 +168,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// errStatus maps an error to its HTTP status (500 unless it carries one).
+func errStatus(err error) int {
 	var he *httpError
-	status := http.StatusInternalServerError
 	if errors.As(err, &he) {
-		status = he.status
+		return he.status
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return http.StatusInternalServerError
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
@@ -163,7 +191,23 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := map[string]any{
+		"status":    "ok",
+		"version":   obs.BuildVersion(),
+		"goVersion": runtime.Version(),
+	}
+	if s.opts.Live != nil {
+		dead := s.opts.Live.DeadServers()
+		if len(dead) > 0 {
+			resp["status"] = "degraded"
+		}
+		resp["live"] = map[string]any{
+			"servers":     s.opts.Live.NumServers(),
+			"deadServers": len(dead),
+			"dead":        dead,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // AlgorithmInfo describes one algorithm in the listing.
@@ -174,7 +218,7 @@ type AlgorithmInfo struct {
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"})
+		s.fail(w, r, &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"})
 		return
 	}
 	out := make([]AlgorithmInfo, 0, 4)
@@ -227,14 +271,18 @@ type AssignResponse struct {
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req AssignRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	resp, err := s.doAssign(&req)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, r, err,
+			"nodes", len(req.Matrix),
+			"algorithm", req.Algorithm,
+			"durationMs", durationMs(time.Since(start)))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -270,6 +318,12 @@ func (s *Server) doAssign(req *AssignRequest) (*AssignResponse, error) {
 	if err != nil {
 		return nil, badRequest("unknown algorithm %q", name)
 	}
+	if s.algoTrace != nil {
+		// Copy semantics: WithTrace hooks the per-request copy only.
+		if traced, ok := assign.WithTrace(alg, s.algoTrace); ok {
+			alg = traced
+		}
+	}
 	var caps core.Capacities
 	if req.Capacities != nil {
 		caps = core.Capacities(req.Capacities)
@@ -302,7 +356,9 @@ func (s *Server) doAssign(req *AssignRequest) (*AssignResponse, error) {
 		}
 		resp.ServerAhead = off.ServerAhead
 	}
-	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	elapsed := time.Since(start)
+	resp.ElapsedMs = durationMs(elapsed)
+	s.recordAssignD(alg.Name(), resp.D, elapsed)
 	return resp, nil
 }
 
@@ -382,14 +438,18 @@ type AssignCoordsResponse struct {
 }
 
 func (s *Server) handleAssignCoords(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req AssignCoordsRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	resp, err := s.doAssignCoords(&req)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, r, err,
+			"clients", len(req.Clients),
+			"servers", len(req.Servers),
+			"durationMs", durationMs(time.Since(start)))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -432,6 +492,7 @@ func (s *Server) doAssignCoords(req *AssignCoordsRequest) (*AssignCoordsResponse
 		RandomRestarts: req.RandomRestarts,
 		Seed:           seed,
 		AuditPairs:     req.AuditPairs,
+		Metrics:        s.opts.Metrics,
 	})
 	if err != nil {
 		return nil, unprocessable("scaled assignment failed: %v", err)
@@ -475,20 +536,20 @@ type PlacementResponse struct {
 func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	var req PlacementRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if len(req.Matrix) == 0 {
-		writeError(w, badRequest("matrix is required"))
+		s.fail(w, r, badRequest("matrix is required"))
 		return
 	}
 	if len(req.Matrix) > s.opts.MaxNodes {
-		writeError(w, badRequest("matrix has %d nodes, limit %d", len(req.Matrix), s.opts.MaxNodes))
+		s.fail(w, r, badRequest("matrix has %d nodes, limit %d", len(req.Matrix), s.opts.MaxNodes), "nodes", len(req.Matrix))
 		return
 	}
 	m := latency.Matrix(req.Matrix)
 	if err := m.Validate(); err != nil {
-		writeError(w, badRequest("invalid matrix: %v", err))
+		s.fail(w, r, badRequest("invalid matrix: %v", err), "nodes", len(req.Matrix))
 		return
 	}
 	strategy := placement.Strategy(req.Strategy)
@@ -498,7 +559,7 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	servers, err := placement.Place(strategy, m, req.K, rand.New(rand.NewSource(seedOrNow(req.Seed))))
 	if err != nil {
-		writeError(w, badRequest("placement: %v", err))
+		s.fail(w, r, badRequest("placement: %v", err), "nodes", len(req.Matrix), "k", req.K)
 		return
 	}
 	writeJSON(w, http.StatusOK, PlacementResponse{
