@@ -1,0 +1,92 @@
+// Command dialint runs the repository's domain-aware static analyzers
+// (internal/lint/analyzers) over Go packages and exits non-zero on any
+// finding. It is the CI gate guarding the invariants the paper
+// reproduction's claims rest on: seeded-randomness discipline,
+// preregistered metric schemas, epsilon float comparisons, owned
+// goroutines, context threading, and lock-copy hygiene.
+//
+// Usage:
+//
+//	dialint [-list] [-rules rule1,rule2] [packages...]
+//
+// Packages default to ./... relative to the enclosing module. A finding
+// can be silenced in place with
+//
+//	//lint:ignore dialint/<rule> reason
+//
+// on (or directly above) the offending line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"diacap/internal/lint"
+	"diacap/internal/lint/analyzers"
+)
+
+func main() {
+	findings, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dialint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI, returning the number of findings printed; errors
+// are operational failures (exit 2), findings mean exit 1, like go vet.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("dialint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	active := analyzers.All()
+	if *list {
+		for _, a := range active {
+			fmt.Fprintf(out, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	if *rules != "" {
+		active = active[:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a, ok := analyzers.ByName(strings.TrimSpace(name))
+			if !ok {
+				return 0, fmt.Errorf("unknown rule %q (try -list)", name)
+			}
+			active = append(active, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := lint.Run(pkgs, active)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "dialint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryRule(t *testing.T) {
+	var out strings.Builder
+	findings, err := run([]string{"-list"}, &out)
+	if err != nil || findings != 0 {
+		t.Fatalf("run(-list) = %d, %v", findings, err)
+	}
+	for _, rule := range []string{
+		"seeded-rand", "obs-preregister", "float-eq",
+		"goroutine-owner", "ctx-first", "mutex-value",
+	} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-rules", "no-such-rule"}, &out); err == nil {
+		t.Fatal("want an error for an unknown rule")
+	}
+}
+
+// TestRepoIsClean is the CI gate in test form: dialint over the whole
+// module must report nothing.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	var out strings.Builder
+	findings, err := run([]string{"diacap/..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 {
+		t.Errorf("dialint found %d issue(s):\n%s", findings, out.String())
+	}
+}

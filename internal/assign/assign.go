@@ -11,6 +11,7 @@
 package assign
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"sort"
@@ -158,8 +159,8 @@ func (NearestServer) Assign(in *core.Instance, caps core.Capacities) (core.Assig
 			order[k] = k
 		}
 		sort.Slice(order, func(x, y int) bool {
-			if row[order[x]] != row[order[y]] {
-				return row[order[x]] < row[order[y]]
+			if c := cmp.Compare(row[order[x]], row[order[y]]); c != 0 {
+				return c < 0
 			}
 			return order[x] < order[y]
 		})

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"sort"
@@ -78,8 +79,8 @@ func greedyAssign(in *core.Instance, caps core.Capacities, amortized bool, trace
 			row[i] = in.ClientServerDist(i, k)
 		}
 		sort.Slice(list, func(x, y int) bool {
-			if row[list[x]] != row[list[y]] {
-				return row[list[x]] < row[list[y]]
+			if c := cmp.Compare(row[list[x]], row[list[y]]); c != 0 {
+				return c < 0
 			}
 			return list[x] < list[y]
 		})

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 
@@ -53,8 +54,8 @@ func lfbUncapacitated(in *core.Instance) core.Assignment {
 		order[i] = i
 	}
 	sort.Slice(order, func(x, y int) bool {
-		if nearestDist[order[x]] != nearestDist[order[y]] {
-			return nearestDist[order[x]] > nearestDist[order[y]]
+		if c := cmp.Compare(nearestDist[order[x]], nearestDist[order[y]]); c != 0 {
+			return c > 0
 		}
 		return order[x] < order[y]
 	})
@@ -139,8 +140,8 @@ func lfbCapacitated(in *core.Instance, caps core.Capacities) (core.Assignment, e
 		}
 		sort.Slice(batch, func(x, y int) bool {
 			dx, dy := in.ClientServerDist(batch[x], s), in.ClientServerDist(batch[y], s)
-			if dx != dy {
-				return dx < dy
+			if c := cmp.Compare(dx, dy); c != 0 {
+				return c < 0
 			}
 			return batch[x] < batch[y]
 		})

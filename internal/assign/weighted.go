@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
@@ -112,8 +113,8 @@ func (ns NearestServer) AssignWeighted(in *core.Instance, weights Weights, caps 
 			order[k] = k
 		}
 		sort.Slice(order, func(x, y int) bool {
-			if row[order[x]] != row[order[y]] {
-				return row[order[x]] < row[order[y]]
+			if c := cmp.Compare(row[order[x]], row[order[y]]); c != 0 {
+				return c < 0
 			}
 			return order[x] < order[y]
 		})
@@ -214,8 +215,8 @@ func (l LongestFirstBatch) AssignWeighted(in *core.Instance, weights Weights, ca
 		}
 		sort.Slice(batch, func(x, y int) bool {
 			dx, dy := in.ClientServerDist(batch[x], s), in.ClientServerDist(batch[y], s)
-			if dx != dy {
-				return dx < dy
+			if c := cmp.Compare(dx, dy); c != 0 {
+				return c < 0
 			}
 			return batch[x] < batch[y]
 		})
@@ -311,8 +312,8 @@ func (g Greedy) AssignWeighted(in *core.Instance, weights Weights, caps core.Cap
 			row[i] = in.ClientServerDist(i, k)
 		}
 		sort.Slice(list, func(x, y int) bool {
-			if row[list[x]] != row[list[y]] {
-				return row[list[x]] < row[list[y]]
+			if c := cmp.Compare(row[list[x]], row[list[y]]); c != 0 {
+				return c < 0
 			}
 			return list[x] < list[y]
 		})

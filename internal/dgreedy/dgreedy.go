@@ -16,6 +16,7 @@
 package dgreedy
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -476,7 +477,9 @@ func (sv *server) handleProbeReply(m probeReply) {
 		return // duplicate caused by a retransmission race
 	}
 	sv.replied[m.from] = true
-	if m.l < sv.bestL || (m.l == sv.bestL && (sv.bestFrom == -1 || m.from < sv.bestFrom)) {
+	// Exact three-way compare: the tie-break on server id only applies
+	// at bit-identical l values, keeping the protocol deterministic.
+	if c := cmp.Compare(m.l, sv.bestL); c < 0 || (c == 0 && (sv.bestFrom == -1 || m.from < sv.bestFrom)) {
 		sv.bestL = m.l
 		sv.bestFrom = m.from
 	}

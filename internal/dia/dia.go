@@ -24,6 +24,7 @@
 package dia
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -600,11 +601,11 @@ func (r *runtime) finalize() {
 	for _, sv := range r.servers {
 		timeline := append([]execRecord(nil), sv.log...)
 		sort.Slice(timeline, func(i, j int) bool {
-			if timeline[i].execSimTime != timeline[j].execSimTime {
-				return timeline[i].execSimTime < timeline[j].execSimTime
+			if c := cmp.Compare(timeline[i].execSimTime, timeline[j].execSimTime); c != 0 {
+				return c < 0
 			}
-			if timeline[i].op.IssueTime != timeline[j].op.IssueTime {
-				return timeline[i].op.IssueTime < timeline[j].op.IssueTime
+			if c := cmp.Compare(timeline[i].op.IssueTime, timeline[j].op.IssueTime); c != 0 {
+				return c < 0
 			}
 			return timeline[i].op.ID < timeline[j].op.ID
 		})

@@ -1,6 +1,7 @@
 package dia
 
 import (
+	"cmp"
 	"hash/fnv"
 	"math"
 	"sort"
@@ -98,11 +99,11 @@ type timedOp struct {
 func digestsAt(numClients int, history []timedOp, checkpoints []float64) []uint64 {
 	ordered := append([]timedOp(nil), history...)
 	sort.Slice(ordered, func(i, j int) bool {
-		if ordered[i].sim != ordered[j].sim {
-			return ordered[i].sim < ordered[j].sim
+		if c := cmp.Compare(ordered[i].sim, ordered[j].sim); c != 0 {
+			return c < 0
 		}
-		if ordered[i].op.IssueTime != ordered[j].op.IssueTime {
-			return ordered[i].op.IssueTime < ordered[j].op.IssueTime
+		if c := cmp.Compare(ordered[i].op.IssueTime, ordered[j].op.IssueTime); c != 0 {
+			return c < 0
 		}
 		return ordered[i].op.ID < ordered[j].op.ID
 	})

@@ -14,6 +14,7 @@
 package dynamic
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -133,8 +134,8 @@ func GenerateChurn(cfg ChurnConfig, seed int64) ([]Event, error) {
 	}
 	events = append(events, departures...)
 	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].Time != events[j].Time {
-			return events[i].Time < events[j].Time
+		if c := cmp.Compare(events[i].Time, events[j].Time); c != 0 {
+			return c < 0
 		}
 		// Leaves before joins at equal times frees capacity first.
 		return events[i].Kind == Leave && events[j].Kind == Join

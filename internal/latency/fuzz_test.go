@@ -54,3 +54,62 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadCoords hardens the coordinate-file parser feeding the
+// million-client pipeline: arbitrary input must never panic or
+// over-allocate, every accepted coordinate must be Valid, and a
+// successful parse must round-trip through WriteCoords/ReadCoords within
+// the text format's 9-digit precision.
+func FuzzReadCoords(f *testing.F) {
+	var buf bytes.Buffer
+	cs, err := GenerateCoords(DefaultConfig(5), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteCoords(&buf, cs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("coords 0\n")
+	f.Add("coords 1\n1 2 3 4\n")
+	f.Add("coords 1\n1 2 3 -4\n")  // negative height: must be rejected
+	f.Add("coords 1\n1 2 NaN 0\n") // non-finite component: must be rejected
+	f.Add("coords 2\n1 2 3 4\n")   // count larger than body
+	f.Add("coords 999999999999\n") // hostile header
+	f.Add("coords -5\n")
+	f.Add("matrix 1\n1 2 3 4\n")
+	f.Add("coords 1\n1 2 3\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		cs, err := ReadCoords(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for i, c := range cs {
+			if err := c.Valid(); err != nil {
+				t.Fatalf("ReadCoords accepted invalid coord %d: %v", i, err)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteCoords(&out, cs); err != nil {
+			t.Fatalf("WriteCoords after successful ReadCoords: %v", err)
+		}
+		back, err := ReadCoords(&out)
+		if err != nil {
+			t.Fatalf("re-ReadCoords failed: %v", err)
+		}
+		if len(back) != len(cs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(cs), len(back))
+		}
+		for i := range cs {
+			av := [4]float64{cs[i].X, cs[i].Y, cs[i].Z, cs[i].H}
+			bv := [4]float64{back[i].X, back[i].Y, back[i].Z, back[i].H}
+			for j := range av {
+				a, b := av[j], bv[j]
+				if a != b && math.Abs(a-b) > 1e-6*math.Abs(a) {
+					t.Fatalf("round trip changed coord %d field %d: %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

@@ -75,6 +75,7 @@ func (m Matrix) Validate() error {
 			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 				return fmt.Errorf("%w: entry [%d][%d] = %v, want positive finite", ErrBadMatrix, i, j, v)
 			}
+			//lint:ignore dialint/float-eq stored values must be bit-identical: Symmetrize writes the same float to both entries, so any difference is data corruption, not rounding
 			if v != m[j][i] {
 				return fmt.Errorf("%w: asymmetric at [%d][%d]: %v vs %v", ErrBadMatrix, i, j, v, m[j][i])
 			}

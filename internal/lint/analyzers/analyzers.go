@@ -1,0 +1,136 @@
+// Package analyzers holds dialint's domain rules. Each analyzer encodes
+// one invariant the paper reproduction's claims depend on; DESIGN.md §11
+// explains why each exists. The testdata/src/<rule> packages are the
+// executable specification: every rule demonstrates at least one caught
+// violation and one clean pass there.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"diacap/internal/lint"
+)
+
+// All returns every dialint analyzer, in the order cmd/dialint runs them.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		SeededRand,
+		ObsPreregister,
+		FloatEq,
+		GoroutineOwner,
+		CtxFirst,
+		MutexValue,
+	}
+}
+
+// ByName resolves one analyzer.
+func ByName(name string) (*lint.Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// matchInternal scopes a rule to the module's internal packages — where
+// the paper's algorithms and serving layers live. Testdata suites bypass
+// Match entirely, so synthetic packages still exercise Run.
+func matchInternal(importPath string) bool {
+	return strings.Contains(importPath, "/internal/") ||
+		strings.HasSuffix(importPath, "/internal")
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions, and indirect calls through
+// non-selector, non-identifier expressions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// recvNamed returns the named receiver type of fn, or nil for
+// package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedType(sig.Recv().Type())
+}
+
+// enclosingFuncName walks the node stack outward and names the innermost
+// enclosing function: a FuncDecl's name, or "" for a func literal or
+// file scope.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Name.Name
+		case *ast.FuncLit:
+			return ""
+		}
+	}
+	return ""
+}
+
+// insideLoop reports whether any enclosing node is a for or range
+// statement.
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// anyFuncDeclNamed reports whether some enclosing FuncDecl's name
+// satisfies pred.
+func anyFuncDeclNamed(stack []ast.Node, pred func(string) bool) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && pred(fd.Name.Name) {
+			return true
+		}
+	}
+	return false
+}

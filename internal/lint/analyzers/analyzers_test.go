@@ -1,0 +1,52 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"diacap/internal/lint/analyzers"
+	"diacap/internal/lint/linttest"
+)
+
+func TestSeededRand(t *testing.T) {
+	linttest.Run(t, "testdata/src/seededrand", analyzers.SeededRand)
+}
+
+func TestObsPreregister(t *testing.T) {
+	linttest.Run(t, "testdata/src/obspreregister", analyzers.ObsPreregister)
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, "testdata/src/floateq", analyzers.FloatEq)
+}
+
+func TestGoroutineOwner(t *testing.T) {
+	linttest.Run(t, "testdata/src/goroutineowner", analyzers.GoroutineOwner)
+}
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxfirst", analyzers.CtxFirst)
+}
+
+func TestMutexValue(t *testing.T) {
+	linttest.Run(t, "testdata/src/mutexvalue", analyzers.MutexValue)
+}
+
+func TestAllHaveDocsAndNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		got, ok := analyzers.ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v; want the analyzer itself", a.Name, got, ok)
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("expected 6 analyzers, got %d", len(seen))
+	}
+}

@@ -1,0 +1,56 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"diacap/internal/lint"
+)
+
+// CtxFirst enforces context.Context threading discipline on every
+// function signature (declarations, literals, interface methods, and
+// func-typed fields alike): a context parameter comes first, and a
+// context is never stored in a struct field. The service and live layers
+// cancel work through contexts on request and failover boundaries;
+// a buried or struct-stashed context is how a cancelled request keeps
+// computing an assignment nobody will read.
+var CtxFirst = &lint.Analyzer{
+	Name: "ctx-first",
+	Doc:  "context.Context is the first parameter of any signature that takes one, and never a struct field",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncType:
+				if t.Params == nil {
+					return true
+				}
+				pos := 0
+				for _, field := range t.Params.List {
+					isCtx := isNamed(info.Types[field.Type].Type, "context", "Context")
+					names := len(field.Names)
+					if names == 0 {
+						names = 1 // unnamed parameter
+					}
+					if isCtx && pos > 0 {
+						pass.Reportf(field.Pos(),
+							"context.Context must be the first parameter so cancellation flows through every call boundary")
+					}
+					pos += names
+				}
+			case *ast.StructType:
+				for _, field := range t.Fields.List {
+					if isNamed(info.Types[field.Type].Type, "context", "Context") {
+						pass.Reportf(field.Pos(),
+							"context.Context stored in a struct outlives the request that created it; pass it as a call argument instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"diacap/internal/lint"
+)
+
+// exactEqFuncRE names the approved exact-comparison helpers: a function
+// whose name declares bit-exact intent (eqExact, dedupExact, bitsEqual,
+// ...) may use ==/!= on floats. Everything else compares D and latency
+// values that accumulate floating-point noise and must use an epsilon.
+var exactEqFuncRE = regexp.MustCompile(`(?i)(exact|bitseq|bitideq|bitsequal|bitidentical)`)
+
+// FloatEq forbids == and != between non-constant float expressions in
+// internal packages. D values and latencies are sums of float64 terms;
+// the paper's comparisons (monotone DG trajectories, certified-bound
+// audits, batch tie-breaks) go wrong silently when 1e-16 of accumulated
+// noise flips an exact equality. Comparisons against compile-time
+// constants (sentinels like 0) stay legal, as does the x != x NaN idiom
+// and code inside approved exact-eq helpers.
+var FloatEq = &lint.Analyzer{
+	Name:  "float-eq",
+	Doc:   "no ==/!= between non-constant float64 values outside approved exact-eq helpers; use an epsilon comparison",
+	Match: matchInternal,
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return
+			}
+			xt, yt := info.Types[bin.X], info.Types[bin.Y]
+			if !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return // sentinel comparison against a compile-time constant
+			}
+			if sameIdent(bin.X, bin.Y, info) {
+				return // x != x: the deliberate NaN test
+			}
+			if name := enclosingFuncName(stack); exactEqFuncRE.MatchString(name) {
+				return
+			}
+			pass.Reportf(bin.OpPos,
+				"%s on float64 values: accumulated rounding noise makes exact equality meaningless for D/latency math; compare with an epsilon (math.Abs(a-b) <= eps) or an approved *Exact/bits helper",
+				bin.Op)
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameIdent reports whether both operands are the same identifier
+// resolving to the same object.
+func sameIdent(x, y ast.Expr, info *types.Info) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	xo, yo := info.Uses[xi], info.Uses[yi]
+	return xo != nil && xo == yo
+}

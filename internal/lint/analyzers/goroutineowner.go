@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"diacap/internal/lint"
+)
+
+// stopChanRE names channels whose receive (or close) ties a goroutine to
+// an owner's lifecycle.
+var stopChanRE = regexp.MustCompile(`(?i)(done|stop|quit|shutdown|closed)`)
+
+// GoroutineOwner requires every goroutine launched in internal/live and
+// internal/scale to be tied to an owner's lifecycle: its body (or, for a
+// named same-package function, that function's body) must call
+// (*sync.WaitGroup).Done, close a done-channel, or wait on a
+// stop/done/quit channel. The live cluster's Kill and Failover paths
+// assume every worker is joinable or cancellable — an untracked
+// goroutine holding a connection is precisely the leak that turns a
+// clean failover test into a flaky one.
+var GoroutineOwner = &lint.Analyzer{
+	Name: "goroutine-owner",
+	Doc:  "every go statement in internal/live and internal/scale must be WaitGroup-joined or stop-channel-cancellable",
+	Match: func(importPath string) bool {
+		return strings.HasSuffix(importPath, "internal/live") ||
+			strings.HasSuffix(importPath, "internal/scale")
+	},
+	Run: runGoroutineOwner,
+}
+
+func runGoroutineOwner(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+
+	// Index this package's function declarations by object, so
+	// `go s.acceptLoop()` can be checked against acceptLoop's body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body, what = fun.Body, "function literal"
+			default:
+				fn := calleeFunc(info, g.Call)
+				if fn == nil {
+					pass.Reportf(g.Pos(), "goroutine launches an indirect call; dialint cannot see its lifecycle — launch a named function or literal tied to a WaitGroup or stop channel")
+					return true
+				}
+				decl, ok := decls[fn]
+				if !ok {
+					pass.Reportf(g.Pos(), "goroutine launches %s.%s from outside the package; wrap it in a literal that joins an owner WaitGroup or stop channel", fn.Pkg().Name(), fn.Name())
+					return true
+				}
+				body, what = decl.Body, fn.Name()
+			}
+			if body == nil || !lifecycleTied(info, body) {
+				pass.Reportf(g.Pos(),
+					"goroutine (%s) is not tied to an owner lifecycle: no WaitGroup.Done, done-channel close, or stop-channel wait — Kill/Failover cannot join or cancel it", what)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lifecycleTied scans a goroutine body for any accepted ownership signal.
+func lifecycleTied(info *types.Info, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, e); fn != nil {
+				if fn.Name() == "Done" && isNamed(recvOf(fn), "sync", "WaitGroup") {
+					tied = true
+					return false
+				}
+			}
+			// close(x.done) — the goroutine signals its own completion.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(e.Args) == 1 {
+					if stopChanRE.MatchString(lastName(e.Args[0])) {
+						tied = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-x.done / <-ctx.Done() / <-stop, directly or in a select.
+			if e.Op == token.ARROW && stopChanRE.MatchString(lastName(e.X)) {
+				tied = true
+				return false
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+func recvOf(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// lastName extracts the trailing identifier of an expression for name
+// matching: c.done → "done", ctx.Done() → "Done", stop → "stop".
+func lastName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return lastName(x.Fun)
+	}
+	return ""
+}

@@ -1,0 +1,109 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"diacap/internal/lint"
+)
+
+// MutexValue flags lock-bearing types passed, received, or returned by
+// value. A copied sync.Mutex is a fork of the lock: both copies guard
+// nothing, and the race only surfaces under churn — exactly when the
+// live cluster's Kill/Failover paths exercise the locks hardest. Unlike
+// go vet's copylocks (which checks assignments), this rule checks
+// signatures, where the copy is a design decision rather than a slip.
+var MutexValue = &lint.Analyzer{
+	Name: "mutex-value",
+	Doc:  "types containing sync locks (Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool, atomics) must move by pointer in signatures",
+	Run:  runMutexValue,
+}
+
+// syncLockTypes are the sync types whose by-value copy is a bug.
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+func runMutexValue(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkFieldList(pass, info, fd.Recv, "receiver")
+			if fd.Type.Params != nil {
+				checkFieldList(pass, info, fd.Type.Params, "parameter")
+			}
+			if fd.Type.Results != nil {
+				checkFieldList(pass, info, fd.Type.Results, "result")
+			}
+		}
+	}
+	return nil
+}
+
+func checkFieldList(pass *lint.Pass, info *types.Info, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := containsLock(t, make(map[types.Type]bool)); lock != "" {
+			pass.Reportf(field.Pos(),
+				"%s copies a value containing %s: both copies stop guarding the same state; pass *%s instead",
+				role, lock, types.TypeString(t, types.RelativeTo(pass.TypesPkg())))
+		}
+	}
+}
+
+// containsLock reports the first sync lock type reachable through value
+// embedding (struct fields and array elements), or "".
+func containsLock(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	// A pointer (or any reference type) breaks value embedding: the lock
+	// behind it is shared, not copied.
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return ""
+	}
+	if n := namedType(t); n != nil {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			if obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+				return "sync." + obj.Name()
+			}
+			if obj.Pkg().Path() == "sync/atomic" {
+				// atomic.Int64 and friends embed noCopy for the same reason.
+				return "atomic." + obj.Name()
+			}
+		}
+		return containsLock(n.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := containsLock(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"diacap/internal/lint"
+)
+
+// obsPkgPath is the metrics registry package whose instrument
+// constructors this rule guards.
+const obsPkgPath = "diacap/internal/obs"
+
+// registryMethods are the (*obs.Registry) instrument constructors whose
+// first argument is a metric name.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+// ObsPreregister enforces the metrics-schema discipline: every metric
+// name handed to the obs registry is a package-level const (so the
+// exposed schema is auditable by reading const blocks, and
+// Preregister functions can't drift from serving paths), and instrument
+// construction never sits in a loop outside a registration function
+// (the registry lookup is a lock + map probe — fine per request, wrong
+// per iteration of a hot loop). As a cross-package check it also flags
+// the same metric name registered with two different help strings, which
+// would make the Prometheus exposition depend on registration order.
+var ObsPreregister = &lint.Analyzer{
+	Name: "obs-preregister",
+	Doc:  "obs registry metric names must be package-level consts, constructed outside loops, with one help string per name repo-wide",
+	Run:  runObsPreregister,
+}
+
+// obsFact is the per-package fact: metric name → help string, for the
+// names whose help argument is also constant.
+type obsFact map[string]string
+
+// registrationFuncs may construct instruments inside loops: they run
+// once at startup to preregister label sets, not on a serving path.
+func isRegistrationFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return name == "init" ||
+		strings.HasPrefix(lower, "preregister") ||
+		strings.HasPrefix(lower, "register")
+}
+
+func runObsPreregister(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+	fact := obsFact{}
+	for _, f := range pass.Files() {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !registryMethods[fn.Name()] {
+				return
+			}
+			recv := recvNamed(fn)
+			if recv == nil || recv.Obj().Pkg() == nil ||
+				recv.Obj().Pkg().Path() != obsPkgPath || recv.Obj().Name() != "Registry" {
+				return
+			}
+			if len(call.Args) == 0 {
+				return
+			}
+			name := checkMetricName(pass, fn.Name(), call.Args[0])
+			if name != "" && len(call.Args) >= 2 {
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					fact[name] = constant.StringVal(tv.Value)
+				}
+			}
+			if insideLoop(stack) && !anyFuncDeclNamed(stack, isRegistrationFunc) {
+				pass.Reportf(call.Pos(),
+					"Registry.%s inside a loop: resolve the instrument once and reuse the handle, or move registration into an init/Preregister function", fn.Name())
+			}
+		})
+	}
+	if len(fact) > 0 {
+		for _, pf := range pass.AllPackageFacts() {
+			other, ok := pf.Fact.(obsFact)
+			if !ok {
+				continue
+			}
+			for name, help := range fact {
+				if prev, ok := other[name]; ok && prev != help {
+					pass.Reportf(pass.Files()[0].Package,
+						"metric %q registered with help %q here but %q in %s: the exposed schema would depend on registration order",
+						name, help, prev, pf.Path)
+				}
+			}
+		}
+		pass.ExportPackageFact(fact)
+	}
+	return nil
+}
+
+// checkMetricName validates the name argument and returns its constant
+// value when it has one.
+func checkMetricName(pass *lint.Pass, method string, arg ast.Expr) string {
+	info := pass.TypesInfo()
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(),
+			"metric name passed to Registry.%s is not a compile-time constant: dynamic names defeat preregistration and unbound the scrape cardinality", method)
+		return ""
+	}
+	name := constant.StringVal(tv.Value)
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		pass.Reportf(arg.Pos(),
+			"metric name %q must be a package-level const, not an inline literal or constant expression: consts keep the schema auditable and shared with Preregister functions", name)
+		return name
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+		pass.Reportf(arg.Pos(),
+			"metric name %q must be declared as a package-level const (found a local declaration)", name)
+	}
+	return name
+}

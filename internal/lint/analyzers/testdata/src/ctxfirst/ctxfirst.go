@@ -1,0 +1,32 @@
+// Package ctxfirst exercises dialint/ctx-first: a context parameter
+// comes first in every signature, and contexts never live in structs.
+package ctxfirst
+
+import "context"
+
+func solve(ctx context.Context, n int) int { // clean: context first
+	_ = ctx
+	return n
+}
+
+func buried(n int, ctx context.Context) { // want "must be the first parameter"
+	_ = ctx
+	_ = n
+}
+
+func literalBuried() {
+	fn := func(name string, ctx context.Context) { _, _ = name, ctx } // want "must be the first parameter"
+	fn("x", context.Background())
+}
+
+type handler interface {
+	Handle(ctx context.Context, req string) error    // clean
+	Flush(deadline int64, ctx context.Context) error // want "must be the first parameter"
+}
+
+type request struct {
+	id  int
+	ctx context.Context // want "stored in a struct outlives the request"
+}
+
+func noContext(a, b int) int { return a + b } // clean: no context at all

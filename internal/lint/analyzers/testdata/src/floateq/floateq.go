@@ -1,0 +1,47 @@
+// Package floateq exercises dialint/float-eq: exact ==/!= between
+// non-constant floats is a violation; constant sentinels, the NaN idiom,
+// and approved exact-eq helpers are clean.
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+func violations(a, b float64, xs []float64) bool {
+	if a == b { // want "== on float64 values"
+		return true
+	}
+	if xs[0] != xs[1] { // want "!= on float64 values"
+		return false
+	}
+	return a*2 == b+1 // want "== on float64 values"
+}
+
+func clean(a, b float64) bool {
+	if a == 0 { // clean: comparison against a compile-time constant
+		return true
+	}
+	if a != a { // clean: the deliberate NaN test
+		return false
+	}
+	return math.Abs(a-b) <= eps // clean: epsilon comparison
+}
+
+func dedupExact(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] { // clean: *Exact helper approved for bit-exact compares
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func bitsEqual(a, b float64) bool {
+	return a == b // clean: approved exact-eq helper name
+}
+
+func suppressedCompare(a, b float64) bool {
+	//lint:ignore dialint/float-eq demo: stored values are bit-identical by construction
+	return a == b
+}

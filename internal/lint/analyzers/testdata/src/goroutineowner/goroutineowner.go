@@ -1,0 +1,66 @@
+// Package goroutineowner exercises dialint/goroutine-owner: every go
+// statement must be WaitGroup-joined or stop-channel-cancellable.
+package goroutineowner
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (w *worker) leaky() {
+	go func() { // want "not tied to an owner lifecycle"
+		for {
+			process()
+		}
+	}()
+}
+
+func (w *worker) joined() {
+	w.wg.Add(1)
+	go func() { // clean: WaitGroup.Done ties it to Wait
+		defer w.wg.Done()
+		process()
+	}()
+}
+
+func (w *worker) cancellable() {
+	go func() { // clean: waits on a stop channel
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+				process()
+			}
+		}
+	}()
+}
+
+func (w *worker) signalling() {
+	go func() { // clean: closes its done channel on exit
+		defer close(w.done)
+		process()
+	}()
+}
+
+func (w *worker) namedLoop() {
+	go w.run() // clean: run's body waits on the stop channel
+}
+
+func (w *worker) run() {
+	<-w.stop
+}
+
+func indirect(fn func()) {
+	go fn() // want "indirect call"
+}
+
+func external() {
+	var mu sync.Mutex
+	go mu.Unlock() // want "from outside the package"
+}
+
+func process() {}

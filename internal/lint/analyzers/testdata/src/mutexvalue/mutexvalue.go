@@ -1,0 +1,58 @@
+// Package mutexvalue exercises dialint/mutex-value: lock-bearing types
+// move by pointer in signatures, never by value.
+package mutexvalue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+type viaPointer struct {
+	mu *sync.Mutex // pointer field: the lock is shared, not copied
+	n  int
+}
+
+type counters struct {
+	hits atomic.Int64
+}
+
+func byValue(g guarded) int { // want "parameter copies a value containing sync.Mutex"
+	return g.count
+}
+
+func byPointer(g *guarded) int { // clean: pointer receiver of the lock
+	return g.count
+}
+
+func (g guarded) valueReceiver() int { // want "receiver copies a value containing sync.Mutex"
+	return g.count
+}
+
+func (g *guarded) pointerReceiver() int { // clean
+	return g.count
+}
+
+func returned() guarded { // want "result copies a value containing sync.Mutex"
+	return guarded{}
+}
+
+func pointerField(v viaPointer) int { // clean: pointer breaks value embedding
+	return v.n
+}
+
+func waitGroupValue(wg sync.WaitGroup) { // want "parameter copies a value containing sync.WaitGroup"
+	wg.Wait()
+}
+
+func atomicValue(c counters) int64 { // want "parameter copies a value containing atomic.Int64"
+	return c.hits.Load()
+}
+
+func embeddedArray(banks [4]guarded) { // want "parameter copies a value containing sync.Mutex"
+	_ = banks
+}

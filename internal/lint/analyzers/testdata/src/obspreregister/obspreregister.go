@@ -1,0 +1,48 @@
+// Package obspreregister exercises dialint/obs-preregister: metric names
+// must be package-level consts, and instrument construction stays out of
+// loops except inside registration functions.
+package obspreregister
+
+import "diacap/internal/obs"
+
+const (
+	nRequests = "demo_requests_total"
+	hRequests = "Requests handled."
+	nWorkers  = "demo_workers"
+)
+
+func constName(reg *obs.Registry) {
+	reg.Counter(nRequests, hRequests).Inc() // clean: package-level const
+}
+
+func inlineLiteral(reg *obs.Registry) {
+	reg.Counter("demo_inline_total", "Inline.").Inc() // want "must be a package-level const, not an inline literal"
+}
+
+func dynamicName(reg *obs.Registry, shard string) {
+	reg.Gauge("demo_"+shard, "Dynamic.").Set(1) // want "not a compile-time constant"
+}
+
+func localConst(reg *obs.Registry) {
+	const name = "demo_local_total"
+	reg.Counter(name, "Local.").Inc() // want "must be declared as a package-level const"
+}
+
+func hotLoop(reg *obs.Registry, stages []string) {
+	for _, s := range stages {
+		reg.Gauge(nWorkers, "Workers.", obs.L("stage", s)).Set(1) // want "Registry.Gauge inside a loop"
+	}
+}
+
+func registerStages(reg *obs.Registry, stages []string) {
+	for _, s := range stages {
+		reg.Gauge(nWorkers, "Workers.", obs.L("stage", s)).Set(0) // clean: register* functions preregister label sets
+	}
+}
+
+// PreregisterAll is exempt by name, like registerStages.
+func PreregisterAll(reg *obs.Registry, stages []string) {
+	for _, s := range stages {
+		reg.Counter(nRequests, hRequests, obs.L("stage", s)).Add(0) // clean
+	}
+}

@@ -1,0 +1,36 @@
+// Package seededrand exercises dialint/seeded-rand: package-level
+// math/rand draws are violations; seeded constructors and methods on an
+// injected *rand.Rand are clean.
+package seededrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() (int, float64) {
+	n := rand.Intn(10)                 // want "call to global math/rand.Intn"
+	x := rand.Float64()                // want "call to global math/rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "call to global math/rand.Shuffle"
+	return n, x
+}
+
+func globalDrawsV2() int {
+	return randv2.IntN(10) // want "call to global math/rand/v2.IntN"
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))      // clean: approved constructors
+	z := rand.NewZipf(rng, 1.2, 1, 100)        // clean: NewZipf builds on an injected rng
+	return rng.Float64() + float64(z.Uint64()) // clean: methods on injected generators
+}
+
+func seededV2(s1, s2 uint64) uint64 {
+	pcg := randv2.New(randv2.NewPCG(s1, s2)) // clean: v2 seeded constructors
+	return pcg.Uint64()
+}
+
+func suppressed() int {
+	//lint:ignore dialint/seeded-rand demo: a reasoned suppression silences the rule
+	return rand.Int()
+}

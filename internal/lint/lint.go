@@ -1,0 +1,275 @@
+// Package lint is dialint's engine: a dependency-free static-analysis
+// framework on the standard library's go/parser and go/types, built for
+// the repository's domain invariants — seeded-randomness discipline,
+// metric preregistration, float-comparison hygiene, goroutine ownership,
+// context threading, and lock copying. Off-the-shelf linters check Go
+// idioms; these rules check the assumptions the paper reproduction's
+// claims rest on (deterministic runs under a seed, a stable metrics
+// schema, leak-free failover), which no generic tool can know about.
+//
+// The moving parts:
+//
+//   - Analyzer: a named rule with a Run function over one package.
+//   - Pass: what Run sees — the parsed+type-checked package, a Reportf
+//     sink, and a per-package fact store for cross-package rules.
+//   - Loader (load.go): resolves packages via `go list -export` and
+//     type-checks target sources against compiler export data, so the
+//     engine needs no third-party machinery.
+//   - Suppression: `//lint:ignore dialint/<rule> reason` on (or directly
+//     above) the offending line silences one rule there; the reason is
+//     mandatory and a malformed ignore is itself a diagnostic.
+//
+// cmd/dialint is the CLI; linttest drives the `// want "regex"`
+// expectation suites under analyzers/testdata.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one dialint rule.
+type Analyzer struct {
+	// Name is the rule name cited in diagnostics as dialint/<Name>.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Match restricts the rule to packages whose import path it accepts;
+	// nil applies the rule everywhere. The testdata driver bypasses it.
+	Match func(importPath string) bool
+	// Run analyzes one package, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, bound to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: dialint/%s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// PackageFact is analyzer-produced data attached to an analyzed package,
+// visible to later passes of the same analyzer over other packages.
+type PackageFact struct {
+	// Path is the import path of the package that exported the fact.
+	Path string
+	// Fact is the analyzer-defined payload.
+	Fact any
+}
+
+// factStore maps analyzer name → package path → exported fact.
+type factStore map[string]map[string]any
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	store factStore
+	supp  suppressions
+}
+
+// Fset returns the file set the package was parsed into.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checking results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the type-checked package object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Reportf records a diagnostic at pos unless a matching suppression
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.supp.covers(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportPackageFact publishes fact for the package under analysis.
+// Later packages (in dependency order) can read it via AllPackageFacts.
+func (p *Pass) ExportPackageFact(fact any) {
+	byPkg := p.store[p.Analyzer.Name]
+	if byPkg == nil {
+		byPkg = make(map[string]any)
+		p.store[p.Analyzer.Name] = byPkg
+	}
+	byPkg[p.Pkg.ImportPath] = fact
+}
+
+// AllPackageFacts returns the facts this analyzer exported for
+// previously analyzed packages, sorted by package path.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	byPkg := p.store[p.Analyzer.Name]
+	out := make([]PackageFact, 0, len(byPkg))
+	for path, fact := range byPkg {
+		out = append(out, PackageFact{Path: path, Fact: fact})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// WalkStack walks the file invoking fn for every node with the stack of
+// enclosing nodes (outermost first, not including n itself). Analyzers
+// use it where a finding depends on context — enclosing function, loop,
+// or go statement.
+func WalkStack(file *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// ignoreRE matches a suppression comment. The rule must carry the
+// dialint/ prefix so grepping for a rule name finds its suppressions.
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+dialint/([A-Za-z-]+)\s*(.*)$`)
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+	pos    token.Position
+}
+
+// suppressions indexes ignore comments by file and line.
+type suppressions map[string]map[int][]suppression
+
+// covers reports whether a diagnostic for rule at pos is silenced: an
+// ignore with a non-empty reason on the same line or the line directly
+// above (the comment-on-its-own-line form).
+func (s suppressions) covers(pos token.Position, rule string) bool {
+	lines := s[pos.Filename]
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		for _, sup := range lines[ln] {
+			if sup.rule == rule && sup.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseSuppressions scans the package's comments for ignore directives.
+// Directives missing a reason are returned so the runner can flag them:
+// an unexplained suppression is exactly the tribal knowledge dialint
+// exists to eliminate.
+func parseSuppressions(pkg *Package) (suppressions, []suppression) {
+	supp := make(suppressions)
+	var malformed []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sup := suppression{
+					file:   pos.Filename,
+					line:   pos.Line,
+					rule:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					pos:    pos,
+				}
+				if sup.reason == "" {
+					malformed = append(malformed, sup)
+					continue
+				}
+				byLine := supp[sup.file]
+				if byLine == nil {
+					byLine = make(map[int][]suppression)
+					supp[sup.file] = byLine
+				}
+				byLine[sup.line] = append(byLine[sup.line], sup)
+			}
+		}
+	}
+	return supp, malformed
+}
+
+// Run applies the analyzers to the packages (which must be in dependency
+// order, as the Loader returns them, for facts to flow forward) and
+// returns all diagnostics sorted by position. Type-check failures
+// surface as dialint/typecheck diagnostics rather than aborting the run,
+// so one broken package does not hide findings elsewhere.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	store := make(factStore)
+	for _, pkg := range pkgs {
+		supp, malformed := parseSuppressions(pkg)
+		for _, m := range malformed {
+			diags = append(diags, Diagnostic{
+				Pos:     m.pos,
+				Rule:    "malformed-ignore",
+				Message: fmt.Sprintf("lint:ignore dialint/%s needs a reason; an unexplained suppression is not an invariant", m.rule),
+			})
+		}
+		for _, err := range pkg.TypeErrors {
+			diags = append(diags, Diagnostic{
+				Pos:     positionOfError(pkg, err),
+				Rule:    "typecheck",
+				Message: err.Error(),
+			})
+		}
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, store: store, supp: supp}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+func positionOfError(pkg *Package, err error) token.Position {
+	if te, ok := err.(types.Error); ok {
+		return te.Fset.Position(te.Pos)
+	}
+	if len(pkg.Files) > 0 {
+		return pkg.Fset.Position(pkg.Files[0].Package)
+	}
+	return token.Position{Filename: pkg.Dir}
+}

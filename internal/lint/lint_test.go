@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"diacap/internal/lint"
+	"diacap/internal/lint/analyzers"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+func load(t *testing.T, rel, importPath string) *lint.Package {
+	t.Helper()
+	loaderOnce.Do(func() { loader, loaderErr = lint.NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	abs, err := filepath.Abs(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", rel, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("testdata must type-check: %v", terr)
+	}
+	return pkg
+}
+
+// TestMalformedIgnore: an ignore directive with no reason is itself a
+// diagnostic, and the finding it meant to silence is still reported.
+func TestMalformedIgnore(t *testing.T) {
+	// The import path is made to satisfy FloatEq's Match: lint.Run is
+	// called directly here, without linttest's Match bypass.
+	pkg := load(t, "testdata/src/malformed", "dialint.test/internal/malformed")
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzers.FloatEq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	if len(diags) != 2 || diags[0].Rule != "malformed-ignore" || diags[1].Rule != "float-eq" {
+		t.Fatalf("want [malformed-ignore float-eq], got %v\n%s", rules, render(diags))
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("malformed-ignore message should demand a reason, got %q", diags[0].Message)
+	}
+	if diags[0].Pos.Line != diags[1].Pos.Line-1 {
+		t.Errorf("directive at line %d should sit directly above the finding at line %d",
+			diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+// TestObsFactConflict: the same metric name registered with two help
+// strings in different packages is flagged on the later package.
+func TestObsFactConflict(t *testing.T) {
+	a := load(t, "testdata/src/obsconflict/a", "dialint.test/obsconflict/a")
+	b := load(t, "testdata/src/obsconflict/b", "dialint.test/obsconflict/b")
+	diags, err := lint.Run([]*lint.Package{a, b}, []*lint.Analyzer{analyzers.ObsPreregister})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the conflict diagnostic, got:\n%s", render(diags))
+	}
+	d := diags[0]
+	if d.Rule != "obs-preregister" ||
+		!strings.Contains(d.Message, "demo_conflict_total") ||
+		!strings.Contains(d.Message, "registration order") {
+		t.Errorf("unexpected conflict diagnostic: %s", d)
+	}
+	if filepath.Base(d.Pos.Filename) != "b.go" {
+		t.Errorf("conflict should be reported on the later package, got %s", d.Pos.Filename)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Rule:    "float-eq",
+		Message: "m",
+	}
+	if got, want := d.String(), "x.go:3:7: dialint/float-eq: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func render(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

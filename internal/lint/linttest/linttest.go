@@ -1,0 +1,149 @@
+// Package linttest drives dialint analyzers over expectation-annotated
+// testdata packages. A testdata source line carries one or more
+// `// want "regex"` comments; the runner checks that the analyzer
+// reports a diagnostic matching each regex on exactly that line, and
+// that no diagnostic goes unexpected. Suppressed findings (a
+// `//lint:ignore dialint/<rule> reason` in the testdata) must produce no
+// diagnostic and therefore no want comment — which is how the
+// suppression mechanism itself gets covered.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"diacap/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader caches one Loader per test process: the `go list -export`
+// resolution behind it costs a second or two and is identical for every
+// analyzer suite.
+func sharedLoader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader(".")
+	})
+	return loader, loaderErr
+}
+
+// wantRE matches one expectation; several may sit on one line.
+var wantRE = regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the testdata package at dir (relative to the calling test's
+// package directory), applies the analyzer, and asserts the diagnostics
+// equal the // want expectations.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs, "dialint.test/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("testdata must type-check: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	expects := collectWants(t, pkg)
+	// Bypass Match: testdata lives under dialint.test/, not the import
+	// paths the production rule is scoped to.
+	unscoped := *a
+	unscoped.Match = nil
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	// Engine-level diagnostics (malformed-ignore) claim want comments the
+	// same way analyzer findings do, so suppression syntax is testable.
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func claim(expects []*expectation, d lint.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWants(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	pos := fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+		pattern, err := strconv.Unquote(m[1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, m[1], err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return out
+}
+
+// Fprint is a debugging aid: it renders diagnostics one per line, the
+// format cmd/dialint prints.
+func Fprint(diags []lint.Diagnostic) string {
+	s := ""
+	for _, d := range diags {
+		s += fmt.Sprintln(d)
+	}
+	return s
+}

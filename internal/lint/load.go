@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// ImportPath is the package's import path ("diacap/internal/assign",
+	// or a synthetic path for testdata packages).
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, in filename order.
+	Files []*ast.File
+	// Types and Info are the go/types results. Types is non-nil even
+	// when TypeErrors is not empty (partial information).
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check failures; the runner reports them
+	// as dialint/typecheck diagnostics.
+	TypeErrors []error
+
+	// moduleDeps counts module-internal transitive dependencies. Because
+	// deps(A) strictly contains deps(B)∪{B} whenever A imports B, sorting
+	// by this count is a valid topological order for fact flow.
+	moduleDeps int
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Deps       []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks packages. Import resolution leans on
+// the go command: one `go list -export -deps` run yields, for every
+// dependency (standard library included), a compiler export-data file,
+// which a stdlib go/importer lookup serves to go/types. Only the
+// packages under analysis are parsed from source; everything they import
+// is loaded from export data, so a whole-repo run stays fast and the
+// engine stays free of third-party loaders.
+type Loader struct {
+	// RootDir is the module root (the directory holding go.mod).
+	RootDir string
+	// ModulePath is the module's declared path.
+	ModulePath string
+
+	fset    *token.FileSet
+	listed  map[string]*listedPkg
+	imp     types.Importer
+	typeCfg func(pkg *Package) *types.Config
+}
+
+// NewLoader locates the module root at or above dir and prepares a
+// loader. No packages are resolved yet; Load and LoadDir do that.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		RootDir:    root,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		listed:     make(map[string]*listedPkg),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// goList runs `go list -e -json -export -deps` for the patterns and
+// merges the result into the loader's package index.
+func (l *Loader) goList(patterns ...string) error {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.RootDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if prev, ok := l.listed[p.ImportPath]; !ok || prev.Export == "" {
+			cp := p
+			l.listed[p.ImportPath] = &cp
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return nil
+}
+
+// lookupExport serves compiler export data to the gc importer. Paths
+// not seen in the initial go list run (possible for testdata-only
+// imports) are resolved with a follow-up go list.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	p, ok := l.listed[path]
+	if !ok || p.Export == "" {
+		if err := l.goList(path); err != nil {
+			return nil, err
+		}
+		p, ok = l.listed[path]
+	}
+	if !ok || p.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// Load resolves the patterns (e.g. "./...") relative to the module root
+// and returns the matched module packages, parsed and type-checked, in
+// dependency order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range l.listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		moduleDeps := 0
+		for _, d := range p.Deps {
+			if d == l.ModulePath || strings.HasPrefix(d, l.ModulePath+"/") {
+				moduleDeps++
+			}
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.moduleDeps = moduleDeps
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].moduleDeps != pkgs[j].moduleDeps {
+			return pkgs[i].moduleDeps < pkgs[j].moduleDeps
+		}
+		return pkgs[i].ImportPath < pkgs[j].ImportPath
+	})
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory outside the go
+// tool's view — the analyzers' testdata packages live under testdata/,
+// which `go build` ignores but which must still type-check for the
+// analyzers to see through to go/types objects. importPath is the
+// synthetic path given to the type-checked package.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	// Dependencies of testdata packages resolve lazily via lookupExport;
+	// seed the index with the module's own packages so diacap imports hit
+	// the first run's export data.
+	if len(l.listed) == 0 {
+		if err := l.goList("./..."); err != nil {
+			return nil, err
+		}
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses the files and type-checks them as one package.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	sort.Strings(filenames)
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.fset}
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", fn, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{
+		Importer:    l.imp,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// The returned error duplicates the first entry of pkg.TypeErrors;
+	// partial type information is still usable, so analysis proceeds and
+	// the runner reports the errors as diagnostics.
+	pkg.Types, _ = cfg.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}

@@ -1,0 +1,9 @@
+// Package malformed carries an ignore directive with no reason: the
+// engine must flag the directive itself and still report the finding it
+// failed to suppress.
+package malformed
+
+func eq(a, b float64) bool {
+	//lint:ignore dialint/float-eq
+	return a == b
+}

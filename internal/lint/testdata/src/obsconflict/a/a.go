@@ -1,0 +1,11 @@
+// Package a registers the shared metric with one help string.
+package a
+
+import "diacap/internal/obs"
+
+const nShared = "demo_conflict_total"
+
+// Register installs the instrument.
+func Register(reg *obs.Registry) {
+	reg.Counter(nShared, "Conflicting help, version A.").Inc()
+}

@@ -1,0 +1,13 @@
+// Package b registers the same metric name as package a with a
+// different help string — the cross-package conflict obs-preregister
+// exists to catch.
+package b
+
+import "diacap/internal/obs"
+
+const nShared = "demo_conflict_total"
+
+// Register installs the instrument.
+func Register(reg *obs.Registry) {
+	reg.Counter(nShared, "Conflicting help, version B.").Inc()
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"sort"
@@ -352,8 +353,8 @@ func (cl *Cluster) Failover() (*FailoverReport, error) {
 		row := in.ClientServerRow(ci)
 		order := append([]int(nil), survivors...)
 		sort.Slice(order, func(x, y int) bool {
-			if row[order[x]] != row[order[y]] {
-				return row[order[x]] < row[order[y]]
+			if c := cmp.Compare(row[order[x]], row[order[y]]); c != 0 {
+				return c < 0
 			}
 			return order[x] < order[y]
 		})

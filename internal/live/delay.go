@@ -16,6 +16,12 @@ type delayLink struct {
 	out    *encoderConn
 	faults *linkInjector
 
+	// done is closed by the sender goroutine on exit, tying it to the
+	// link's lifecycle: close() requests shutdown, done observes it, so
+	// an owner (or a leak test) can join the goroutine instead of
+	// trusting that it got the message.
+	done chan struct{}
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []delayedMsg
@@ -35,11 +41,16 @@ type delayedMsg struct {
 // per-link fault injection; onErr (may be nil) is invoked once on the
 // first send error.
 func newDelayLink(out *encoderConn, delay time.Duration, faults *linkInjector, onErr func(error)) *delayLink {
-	l := &delayLink{delay: delay, out: out, faults: faults, onErr: onErr}
+	l := &delayLink{delay: delay, out: out, faults: faults, onErr: onErr, done: make(chan struct{})}
 	l.cond = sync.NewCond(&l.mu)
 	go l.run()
 	return l
 }
+
+// drained reports sender-goroutine exit: it is closed once the queue has
+// flushed after close(), or immediately after a send error kills the
+// link.
+func (l *delayLink) drained() <-chan struct{} { return l.done }
 
 // send enqueues a message for delayed delivery. It never blocks on the
 // network.
@@ -81,6 +92,7 @@ func (l *delayLink) lostCount() int {
 }
 
 func (l *delayLink) run() {
+	defer close(l.done)
 	for {
 		l.mu.Lock()
 		for len(l.queue) == 0 && !l.closed {

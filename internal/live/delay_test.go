@@ -1,0 +1,96 @@
+package live
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConn returns a connected TCP pair on localhost: delayLink's sender
+// needs a real conn for its gob encoder.
+func pipeConn(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if derr != nil || err != nil {
+		t.Fatalf("dial: %v accept: %v", derr, err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestDelayLinkDrained verifies the goroutine-ownership contract the
+// dialint goroutine-owner rule enforces structurally: after close(), the
+// sender goroutine flushes the queue, exits, and signals via drained().
+func TestDelayLinkDrained(t *testing.T) {
+	cconn, sconn := pipeConn(t)
+	link := newDelayLink(newEncoderConn(cconn), time.Millisecond, nil, nil)
+
+	const sent = 3
+	for i := 0; i < sent; i++ {
+		link.send(Msg{Pong: &PongMsg{Nonce: int64(i)}})
+	}
+	link.close()
+
+	// The receiver must observe every queued message before drained()
+	// fires: close() flushes, it does not discard.
+	dec := gob.NewDecoder(sconn)
+	for i := 0; i < sent; i++ {
+		var m Msg
+		if err := dec.Decode(&m); err != nil {
+			t.Fatalf("receiving message %d: %v", i, err)
+		}
+		if m.Pong == nil || m.Pong.Nonce != int64(i) {
+			t.Fatalf("message %d: got %+v, want Pong nonce %d", i, m, i)
+		}
+	}
+
+	select {
+	case <-link.drained():
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender goroutine did not exit after close and drain")
+	}
+	if got := link.lostCount(); got != 0 {
+		t.Errorf("clean drain lost %d messages", got)
+	}
+}
+
+// TestDelayLinkDrainedOnSendError: a dead connection must also release
+// the sender goroutine, with the loss accounted.
+func TestDelayLinkDrainedOnSendError(t *testing.T) {
+	cconn, sconn := pipeConn(t)
+	sconn.Close() // writes from the client side will fail
+	errc := make(chan error, 1)
+	link := newDelayLink(newEncoderConn(cconn), 0, nil, func(err error) { errc <- err })
+
+	// TCP buffering may absorb early writes; keep sending until the
+	// error surfaces.
+	deadline := time.After(5 * time.Second)
+	for {
+		link.send(Msg{Welcome: &WelcomeMsg{ServerID: 1}})
+		select {
+		case <-errc:
+		case <-deadline:
+			t.Fatal("send error never surfaced on a closed peer")
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+	select {
+	case <-link.drained():
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender goroutine did not exit after the link died")
+	}
+}

@@ -113,6 +113,14 @@ func newClusterMetrics(reg *obs.Registry, cl *Cluster, numClients int) *clusterM
 	reg.GaugeFunc(nLiveDups, hLiveDups, func() float64 {
 		return float64(cl.inj.Stats().MessagesDuplicated)
 	})
+	registerServerGauges(reg, cl)
+	return m
+}
+
+// registerServerGauges installs the per-server function gauges. It runs
+// once at cluster construction (a registration function, not a serving
+// path), so looping over the label sets here is deliberate.
+func registerServerGauges(reg *obs.Registry, cl *Cluster) {
 	for k := range cl.servers {
 		srv := cl.servers[k]
 		label := obs.L("server", strconv.Itoa(k))
@@ -128,7 +136,6 @@ func newClusterMetrics(reg *obs.Registry, cl *Cluster, numClients int) *clusterM
 			return float64(srv.Duplicates())
 		}, label)
 	}
-	return m
 }
 
 // deliveryHook builds the per-delivery observer for client readLoops, or

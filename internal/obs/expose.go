@@ -134,23 +134,36 @@ func (r *Registry) VarsHandler() http.Handler {
 
 var processStart = time.Now()
 
+// Runtime metric names and help strings, package-level consts per the
+// dialint/obs-preregister schema discipline.
+const (
+	nGoGoroutines = "go_goroutines"
+	hGoGoroutines = "Number of live goroutines."
+	nGoHeapAlloc  = "go_heap_alloc_bytes"
+	hGoHeapAlloc  = "Bytes of allocated heap objects."
+	nGoGCCycles   = "go_gc_cycles_total"
+	hGoGCCycles   = "Completed GC cycles."
+	nProcUptime   = "process_uptime_seconds"
+	hProcUptime   = "Seconds since process start."
+)
+
 // RegisterRuntime adds process-level function gauges (goroutines, heap
 // bytes, GC cycles, uptime) to the registry. Idempotent.
 func RegisterRuntime(r *Registry) {
-	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+	r.GaugeFunc(nGoGoroutines, hGoGoroutines, func() float64 {
 		return float64(runtime.NumGoroutine())
 	})
-	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+	r.GaugeFunc(nGoHeapAlloc, hGoHeapAlloc, func() float64 {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
 		return float64(m.HeapAlloc)
 	})
-	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+	r.GaugeFunc(nGoGCCycles, hGoGCCycles, func() float64 {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
 		return float64(m.NumGC)
 	})
-	r.GaugeFunc("process_uptime_seconds", "Seconds since process start.", func() float64 {
+	r.GaugeFunc(nProcUptime, hProcUptime, func() float64 {
 		return time.Since(processStart).Seconds()
 	})
 }

@@ -83,18 +83,25 @@ func LogTrace(l *slog.Logger) AlgoTrace {
 	}
 }
 
+// Algorithm-trace metric names and help strings, package-level consts
+// per the dialint/obs-preregister schema discipline.
+const (
+	nAlgoSteps = "diacap_algo_steps_total"
+	hAlgoSteps = "Assignment algorithm iterations by kind."
+	nAlgoD     = "diacap_algo_d_ms"
+	hAlgoD     = "Current maximum interaction-path length D during/after the last run (ms)."
+)
+
 // MetricsTrace returns a hook recording algorithm progress into reg:
 // diacap_algo_steps_total{algorithm,kind} counts iterations and
 // diacap_algo_d_ms{algorithm} tracks the current objective, so a scrape
 // mid-run shows how far convergence has come.
 func MetricsTrace(reg *Registry) AlgoTrace {
 	return func(e AlgoEvent) {
-		reg.Counter("diacap_algo_steps_total",
-			"Assignment algorithm iterations by kind.",
+		reg.Counter(nAlgoSteps, hAlgoSteps,
 			L("algorithm", e.Algorithm), L("kind", e.Kind)).Inc()
 		if e.D > 0 {
-			reg.Gauge("diacap_algo_d_ms",
-				"Current maximum interaction-path length D during/after the last run (ms).",
+			reg.Gauge(nAlgoD, hAlgoD,
 				L("algorithm", e.Algorithm)).Set(e.D)
 		}
 	}

@@ -116,7 +116,7 @@ func PlaceKCenterA(m latency.Matrix, k int) ([]int, error) {
 		}
 	}
 	sort.Float64s(dists)
-	dists = dedupFloats(dists)
+	dists = dedupExact(dists)
 
 	// build greedily selects centers so that every node is within 2r of a
 	// center, returning at most k+1 centers (stops early when exceeded).
@@ -262,7 +262,7 @@ func identity(n int) []int {
 	return out
 }
 
-func dedupFloats(sorted []float64) []float64 {
+func dedupExact(sorted []float64) []float64 {
 	out := sorted[:0]
 	for i, v := range sorted {
 		if i == 0 || v != sorted[i-1] {

@@ -1,0 +1,62 @@
+package scale
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// pipelineFingerprint renders everything about a Result except the
+// wall-clock timings, which legitimately vary run to run.
+func pipelineFingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s cells=%d maxRho=%v dCells=%v certified=%v exact=%v audited=%v auditPairs=%d\n",
+		r.Algorithm, r.Cells, r.MaxRho, r.DCells, r.CertifiedD, r.ExactD, r.AuditedD, r.AuditPairs)
+	fmt.Fprintf(&b, "assignment=%v\n", r.Assignment)
+	fmt.Fprintf(&b, "loads=%v\n", r.Loads)
+	return b.String()
+}
+
+// TestPipelineDeterminism: the full cluster→solve→expand→certify
+// pipeline must be byte-identical for a fixed seed across repeated runs,
+// GOMAXPROCS settings, and worker-pool widths — the solver pool fans out
+// across goroutines, and the winner pick must not depend on completion
+// order.
+func TestPipelineDeterminism(t *testing.T) {
+	clients := testCoords(t, 3000, 11)
+	servers, err := PlaceServers(clients, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		res, err := AssignCoords(clients, Options{
+			Servers:        servers,
+			MaxCells:       120,
+			Seed:           5,
+			Workers:        workers,
+			RandomRestarts: 3,
+			AuditPairs:     2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pipelineFingerprint(res)
+	}
+
+	want := run(4)
+	if again := run(4); again != want {
+		t.Fatalf("two identical runs diverge:\n--- first\n%s--- second\n%s", want, again)
+	}
+	if got := run(1); got != want {
+		t.Fatalf("Workers=1 diverges from Workers=4:\n--- baseline\n%s--- got\n%s", want, got)
+	}
+	for _, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := run(4)
+		runtime.GOMAXPROCS(prev)
+		if got != want {
+			t.Fatalf("GOMAXPROCS=%d diverges:\n--- baseline\n%s--- got\n%s", procs, want, got)
+		}
+	}
+}

@@ -214,30 +214,45 @@ func AssignCoords(clients []latency.Coord, opts Options) (*Result, error) {
 // exact value), and per-stage timings. The bound-vs-audit gap is the
 // pipeline's accuracy margin: how much the triangle-inequality
 // certificate over-states the D actually measured on sampled clients.
+// Pipeline metric names and help strings, package-level consts per the
+// dialint/obs-preregister schema discipline.
+const (
+	nScaleClients  = "diacap_scale_clients"
+	hScaleClients  = "Client population of the last pipeline run."
+	nScaleCells    = "diacap_scale_cells"
+	hScaleCells    = "Reduced-instance cell count of the last pipeline run."
+	nScaleMaxRho   = "diacap_scale_max_rho_ms"
+	hScaleMaxRho   = "Largest cell radius of the last pipeline run, in ms."
+	nScaleCertD    = "diacap_scale_certified_d_ms"
+	hScaleCertD    = "Certified upper bound on the client-level D, in ms."
+	nScaleAuditD   = "diacap_scale_audited_d_ms"
+	hScaleAuditD   = "Maximum interaction path over the audited client-pair subsample, in ms."
+	nScaleCertGap  = "diacap_scale_cert_gap_ms"
+	hScaleCertGap  = "Certified bound minus audited D, in ms — the certificate's slack."
+	nScaleStageSec = "diacap_scale_stage_seconds"
+	hScaleStageSec = "Wall-clock time per pipeline stage in seconds."
+)
+
 func recordPipeline(reg *obs.Registry, numClients int, res *Result) {
 	if reg == nil {
 		return
 	}
-	reg.Gauge("diacap_scale_clients",
-		"Client population of the last pipeline run.").Set(float64(numClients))
-	reg.Gauge("diacap_scale_cells",
-		"Reduced-instance cell count of the last pipeline run.").Set(float64(res.Cells))
-	reg.Gauge("diacap_scale_max_rho_ms",
-		"Largest cell radius of the last pipeline run, in ms.").Set(res.MaxRho)
-	reg.Gauge("diacap_scale_certified_d_ms",
-		"Certified upper bound on the client-level D, in ms.").Set(res.CertifiedD)
-	reg.Gauge("diacap_scale_audited_d_ms",
-		"Maximum interaction path over the audited client-pair subsample, in ms.").Set(res.AuditedD)
-	reg.Gauge("diacap_scale_cert_gap_ms",
-		"Certified bound minus audited D, in ms — the certificate's slack.").Set(res.CertifiedD - res.AuditedD)
-	for _, st := range []struct {
-		stage string
-		ms    float64
-	}{{"cluster", res.ClusterMs}, {"solve", res.SolveMs}, {"expand", res.ExpandMs}} {
-		reg.Histogram("diacap_scale_stage_seconds",
-			"Wall-clock time per pipeline stage in seconds.",
-			obs.SecondsBuckets, obs.L("stage", st.stage)).Observe(st.ms / 1000)
-	}
+	reg.Gauge(nScaleClients, hScaleClients).Set(float64(numClients))
+	reg.Gauge(nScaleCells, hScaleCells).Set(float64(res.Cells))
+	reg.Gauge(nScaleMaxRho, hScaleMaxRho).Set(res.MaxRho)
+	reg.Gauge(nScaleCertD, hScaleCertD).Set(res.CertifiedD)
+	reg.Gauge(nScaleAuditD, hScaleAuditD).Set(res.AuditedD)
+	reg.Gauge(nScaleCertGap, hScaleCertGap).Set(res.CertifiedD - res.AuditedD)
+	observeStage(reg, "cluster", res.ClusterMs)
+	observeStage(reg, "solve", res.SolveMs)
+	observeStage(reg, "expand", res.ExpandMs)
+}
+
+// observeStage records one stage duration; the three stages are unrolled
+// at the call site so instrument resolution stays out of loops.
+func observeStage(reg *obs.Registry, stage string, ms float64) {
+	reg.Histogram(nScaleStageSec, hScaleStageSec,
+		obs.SecondsBuckets, obs.L("stage", stage)).Observe(ms / 1000)
 }
 
 // PlaceServers picks u server coordinates from the client population by

@@ -13,6 +13,17 @@ import (
 	"diacap/internal/obs"
 )
 
+// Solver-pool metric names and help strings, package-level consts per
+// the dialint/obs-preregister schema discipline.
+const (
+	nSolverWorkers = "diacap_scale_solver_workers"
+	hSolverWorkers = "Worker-pool size of the last reduced solve."
+	nSolverJobs    = "diacap_scale_solver_jobs"
+	hSolverJobs    = "Jobs fanned out by the last reduced solve."
+	nWorkerUtil    = "diacap_scale_worker_utilization"
+	hWorkerUtil    = "Busy-time fraction of the worker pool over the last reduced solve (0-1)."
+)
+
 // reduced is the cell-level instance: servers keep their identity,
 // cells stand in for their members, and each cell weighs its member
 // count against server capacities.
@@ -175,12 +186,9 @@ func (r *reduced) solveAll(algorithms []assign.WeightedAlgorithm, caps core.Capa
 		if wall > 0 {
 			util = float64(busy.Load()) / (float64(wall) * float64(workers))
 		}
-		reg.Gauge("diacap_scale_solver_workers",
-			"Worker-pool size of the last reduced solve.").Set(float64(workers))
-		reg.Gauge("diacap_scale_solver_jobs",
-			"Jobs fanned out by the last reduced solve.").Set(float64(len(jobs)))
-		reg.Gauge("diacap_scale_worker_utilization",
-			"Busy-time fraction of the worker pool over the last reduced solve (0-1).").Set(util)
+		reg.Gauge(nSolverWorkers, hSolverWorkers).Set(float64(workers))
+		reg.Gauge(nSolverJobs, hSolverJobs).Set(float64(len(jobs)))
+		reg.Gauge(nWorkerUtil, hWorkerUtil).Set(util)
 	}
 
 	best := -1

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -28,8 +29,8 @@ type event struct {
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+	if c := cmp.Compare(h[i].time, h[j].time); c != 0 {
+		return c < 0
 	}
 	return h[i].seq < h[j].seq
 }

@@ -150,6 +150,7 @@ func (c *CDF) Inverse(p float64) float64 {
 // suitable for plotting a step CDF.
 func (c *CDF) Points() (xs, ps []float64) {
 	for i, v := range c.sorted {
+		//lint:ignore dialint/float-eq exact dedup of adjacent sorted samples: only bit-identical values share a CDF step, epsilon-merging would distort the distribution
 		if i+1 < len(c.sorted) && c.sorted[i+1] == v {
 			continue // emit only the last of equal values
 		}
