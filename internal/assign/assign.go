@@ -18,6 +18,7 @@ import (
 
 	"diacap/internal/core"
 	"diacap/internal/obs"
+	"diacap/internal/perfkit"
 )
 
 // eps absorbs floating-point noise in latency comparisons.
@@ -136,16 +137,9 @@ func (NearestServer) Assign(in *core.Instance, caps core.Capacities) (core.Assig
 	nc, ns := in.NumClients(), in.NumServers()
 	a := core.NewAssignment(nc)
 	if caps == nil {
-		for i := 0; i < nc; i++ {
-			row := in.ClientServerRow(i)
-			best := 0
-			for k := 1; k < ns; k++ {
-				if row[k] < row[best] {
-					best = k
-				}
-			}
-			a[i] = best
-		}
+		// One argmin kernel pass over the flat client-server table;
+		// same strict-< lower-index tie rule as the scalar scan.
+		perfkit.NearestInto(in.FlatClientServer(), a)
 		return a, nil
 	}
 

@@ -1,0 +1,108 @@
+package assign
+
+// Property test for the capacitated contract shared by every algorithm
+// in the Extended registry: given a feasible randomized capacity
+// vector, an algorithm either returns a complete assignment in which no
+// server exceeds its capacity, or fails cleanly with ErrInfeasible
+// (legitimate for shapes like SingleServer under tight caps). Given an
+// infeasible vector (total capacity below the client count), every
+// algorithm must refuse with ErrInfeasible.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"diacap/internal/core"
+	"diacap/internal/latency"
+)
+
+// randomFeasibleCaps draws a capacity vector with total capacity in
+// [nc, nc+slack], spread unevenly across servers — including zeros, so
+// algorithms that scan servers in index order meet full servers early.
+func randomFeasibleCaps(rng *rand.Rand, nc, ns, slack int) core.Capacities {
+	caps := make(core.Capacities, ns)
+	total := nc + rng.Intn(slack+1)
+	for i := 0; i < total; i++ {
+		caps[rng.Intn(ns)]++
+	}
+	return caps
+}
+
+func TestExtendedCapacityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := []struct{ nodes, servers int }{
+		{30, 4}, {60, 6}, {90, 8},
+	}
+	for _, tc := range trials {
+		in := mustInstance(t, latency.ScaledLike(tc.nodes, int64(tc.nodes)), tc.servers)
+		nc, ns := in.NumClients(), in.NumServers()
+		for round := 0; round < 5; round++ {
+			caps := randomFeasibleCaps(rng, nc, ns, nc/2)
+			for _, alg := range Extended(int64(round)) {
+				a, err := alg.Assign(in, caps)
+				if err != nil {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Errorf("%s %dx%d round %d: non-infeasible error: %v", alg.Name(), nc, ns, round, err)
+					}
+					continue
+				}
+				if verr := in.Validate(a); verr != nil {
+					t.Errorf("%s %dx%d round %d: invalid assignment: %v", alg.Name(), nc, ns, round, verr)
+					continue
+				}
+				for i, s := range a {
+					if s == core.Unassigned {
+						t.Errorf("%s %dx%d round %d: client %d left unassigned", alg.Name(), nc, ns, round, i)
+						break
+					}
+				}
+				if cerr := in.CheckCapacities(a, caps); cerr != nil {
+					t.Errorf("%s %dx%d round %d: capacity violated with caps %v: %v", alg.Name(), nc, ns, round, caps, cerr)
+				}
+			}
+		}
+	}
+}
+
+// TestExtendedInfeasibleCapacity checks the refusal side: every
+// algorithm must reject a capacity vector that cannot hold all clients,
+// and the error must unwrap to ErrInfeasible.
+func TestExtendedInfeasibleCapacity(t *testing.T) {
+	in := mustInstance(t, latency.ScaledLike(40, 7), 5)
+	caps := core.UniformCapacities(in.NumServers(), (in.NumClients()-1)/in.NumServers())
+	for _, alg := range Extended(1) {
+		a, err := alg.Assign(in, caps)
+		if err == nil {
+			t.Errorf("%s: accepted infeasible caps (total %d < %d clients), returned %v",
+				alg.Name(), (in.NumClients()-1)/in.NumServers()*in.NumServers(), in.NumClients(), a)
+			continue
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s: error does not unwrap to ErrInfeasible: %v", alg.Name(), err)
+		}
+	}
+}
+
+// TestExtendedUncapacitatedComplete pins the nil-caps contract the
+// capacity property builds on: every Extended algorithm produces a
+// complete, valid assignment when capacities are absent.
+func TestExtendedUncapacitatedComplete(t *testing.T) {
+	in := mustInstance(t, latency.ScaledLike(50, 9), 6)
+	for _, alg := range Extended(2) {
+		a, err := alg.Assign(in, nil)
+		if err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+			continue
+		}
+		if err := in.Validate(a); err != nil {
+			t.Errorf("%s: invalid assignment: %v", alg.Name(), err)
+		}
+		for i, s := range a {
+			if s == core.Unassigned {
+				t.Errorf("%s: client %d left unassigned", alg.Name(), i)
+				break
+			}
+		}
+	}
+}

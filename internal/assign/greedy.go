@@ -8,6 +8,7 @@ import (
 
 	"diacap/internal/core"
 	"diacap/internal/obs"
+	"diacap/internal/perfkit"
 )
 
 // Greedy is the paper's Greedy Assignment (Section IV-C, pseudocode in
@@ -121,15 +122,7 @@ func greedyAssign(in *core.Instance, caps core.Capacities, amortized bool, trace
 			}
 			// m ← max_b∈C' {d(s, sA(b)) + d(sA(b), b)}, via per-server
 			// eccentricities; -Inf when no client is assigned yet.
-			m := math.Inf(-1)
-			for t := 0; t < ns; t++ {
-				if ecc[t] < 0 {
-					continue
-				}
-				if v := in.ServerServerDist(k, t) + ecc[t]; v > m {
-					m = v
-				}
-			}
+			m := perfkit.MaxPlusSkip(in.ServerServerRow(k), ecc)
 			for _, c := range ls[k] {
 				if a[c] != core.Unassigned {
 					continue

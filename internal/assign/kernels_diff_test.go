@@ -1,0 +1,88 @@
+package assign
+
+import (
+	"runtime"
+	"testing"
+
+	"diacap/internal/core"
+	"diacap/internal/latency"
+)
+
+// nearestServerScalar is the pre-perfkit scalar scan NearestServer
+// shipped with, retained here as the differential reference for the
+// kernel-backed path.
+func nearestServerScalar(in *core.Instance) core.Assignment {
+	nc, ns := in.NumClients(), in.NumServers()
+	a := core.NewAssignment(nc)
+	for i := 0; i < nc; i++ {
+		row := in.ClientServerRow(i)
+		best := 0
+		for k := 1; k < ns; k++ {
+			if row[k] < row[best] {
+				best = k
+			}
+		}
+		a[i] = best
+	}
+	return a
+}
+
+// TestNearestServerKernelDifferential checks the argmin kernel against
+// the scalar reference on a synthetic instance and at full Meridian
+// scale: assignments must be identical, including every tie-break.
+func TestNearestServerKernelDifferential(t *testing.T) {
+	instances := []*core.Instance{
+		mustInstance(t, latency.ScaledLike(240, 5), 12),
+	}
+	if !testing.Short() {
+		instances = append(instances, mustInstance(t, latency.MeridianLike(3), 80))
+	}
+	for _, in := range instances {
+		want := nearestServerScalar(in)
+		got, err := NearestServer{}.Assign(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%d clients/%d servers: client %d assigned %d, reference %d",
+					in.NumClients(), in.NumServers(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGreedyKernelByteIdentical pins Greedy's kernel-backed batch scan
+// across GOMAXPROCS settings: assignment and trace must be
+// byte-identical whether the surrounding evaluators fan out or not.
+func TestGreedyKernelByteIdentical(t *testing.T) {
+	in := mustInstance(t, latency.ScaledLike(300, 11), 14)
+	want := tracedRun(t, "Greedy", 1, in)
+	for _, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := tracedRun(t, "Greedy", 1, in)
+		runtime.GOMAXPROCS(prev)
+		if got != want {
+			t.Fatalf("GOMAXPROCS=%d: Greedy diverges:\n--- baseline\n%s--- got\n%s", procs, want, got)
+		}
+	}
+}
+
+// mustInstance builds a full-clients instance with the first ns nodes
+// as servers.
+func mustInstance(t *testing.T, m latency.Matrix, ns int) *core.Instance {
+	t.Helper()
+	servers := make([]int, ns)
+	for i := range servers {
+		servers[i] = i
+	}
+	clients := make([]int, m.Len())
+	for i := range clients {
+		clients[i] = i
+	}
+	in, err := core.NewInstanceTrusted(m, servers, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

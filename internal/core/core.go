@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"diacap/internal/latency"
+	"diacap/internal/perfkit"
 )
 
 // Unassigned marks a client without an assigned server inside a partial
@@ -38,8 +39,15 @@ type Instance struct {
 	clients []int
 
 	// cs[i][k] = d(client i, server k); ss[k][l] = d(server k, server l).
+	// Both are row views into the flat, cache-line-aligned csF/ssF
+	// storage, so indexed access and the perfkit kernels see the same
+	// bytes.
 	cs [][]float64
 	ss [][]float64
+
+	// csF/ssF are the perfkit layouts the hot-path kernels run over.
+	csF *perfkit.FlatMatrix
+	ssF *perfkit.FlatMatrix
 
 	lbOnce     sync.Once // guards the lazily computed lower bound
 	lowerBound float64
@@ -92,19 +100,19 @@ func NewInstanceTrusted(m latency.Matrix, servers, clients []int) (*Instance, er
 		servers: append([]int(nil), servers...),
 		clients: append([]int(nil), clients...),
 	}
+	inst.csF = perfkit.NewFlatMatrix(len(clients), len(servers))
 	inst.cs = make([][]float64, len(clients))
-	csBacking := make([]float64, len(clients)*len(servers))
 	for i, c := range inst.clients {
-		row := csBacking[i*len(servers) : (i+1)*len(servers) : (i+1)*len(servers)]
+		row := inst.csF.Row(i)
 		for k, s := range inst.servers {
 			row[k] = m[c][s]
 		}
 		inst.cs[i] = row
 	}
+	inst.ssF = perfkit.NewFlatMatrix(len(servers), len(servers))
 	inst.ss = make([][]float64, len(servers))
-	ssBacking := make([]float64, len(servers)*len(servers))
 	for k, s := range inst.servers {
-		row := ssBacking[k*len(servers) : (k+1)*len(servers) : (k+1)*len(servers)]
+		row := inst.ssF.Row(k)
 		for l, s2 := range inst.servers {
 			row[l] = m[s][s2]
 		}
@@ -143,6 +151,15 @@ func (in *Instance) ClientServerRow(i int) []float64 { return in.cs[i] }
 // ServerServerRow returns the distances from server k to every server.
 // The returned slice is shared; callers must not mutate it.
 func (in *Instance) ServerServerRow(k int) []float64 { return in.ss[k] }
+
+// FlatClientServer returns the client-to-server distance table in its
+// flat perfkit layout (rows = clients, cols = servers). Callers must
+// not mutate it; it shares storage with ClientServerRow.
+func (in *Instance) FlatClientServer() *perfkit.FlatMatrix { return in.csF }
+
+// FlatServerServer returns the server-to-server distance table in its
+// flat perfkit layout. Callers must not mutate it.
+func (in *Instance) FlatServerServer() *perfkit.FlatMatrix { return in.ssF }
 
 // Assignment maps each client (by instance-local index) to a server
 // (instance-local index), or Unassigned. The paper's sA(c).
@@ -238,17 +255,7 @@ func (in *Instance) InteractionPath(a Assignment, i, j int) float64 {
 // client assigned to it, or -1 for servers with no clients.
 func (in *Instance) Eccentricities(a Assignment) []float64 {
 	ecc := make([]float64, len(in.servers))
-	for k := range ecc {
-		ecc[k] = -1
-	}
-	for i, s := range a {
-		if s == Unassigned {
-			continue
-		}
-		if d := in.cs[i][s]; d > ecc[s] {
-			ecc[s] = d
-		}
-	}
+	perfkit.EccInto(in.csF, a, ecc)
 	return ecc
 }
 
@@ -263,20 +270,17 @@ func (in *Instance) Eccentricities(a Assignment) []float64 {
 //
 // Partial assignments are allowed: unassigned clients are ignored, and the
 // result is the maximum over assigned pairs (0 when none).
+//
+// The eccentricity fill and the pair scan both run as perfkit kernels
+// over the instance's flat tables, with all temporaries taken from a
+// pooled scratch arena — the call allocates nothing, which matters to
+// the local-search and churn loops that invoke it per move.
 func (in *Instance) MaxInteractionPath(a Assignment) float64 {
-	ecc := in.Eccentricities(a)
-	used := in.UsedServers(a)
-	var max float64
-	for ai, k := range used {
-		ek := ecc[k]
-		row := in.ss[k]
-		for _, l := range used[ai:] {
-			if v := ek + row[l] + ecc[l]; v > max {
-				max = v
-			}
-		}
-	}
-	return max
+	s := perfkit.GetScratch()
+	defer perfkit.PutScratch(s)
+	ecc := s.Floats(len(in.servers))
+	perfkit.EccInto(in.csF, a, ecc)
+	return perfkit.MaxPathEcc(in.ssF, ecc, s)
 }
 
 // MaxPathNaive computes D by direct enumeration of all client pairs in
@@ -284,24 +288,47 @@ func (in *Instance) MaxInteractionPath(a Assignment) float64 {
 // as an oracle for testing MaxInteractionPath and as the full-pair
 // evaluator for audits that deliberately avoid the eccentricity
 // shortcut.
+//
+// The enumeration itself runs as the perfkit pair kernel: assigned
+// clients are compacted once into dense (distance, server) arrays and
+// the pair loop streams over them instead of re-testing Unassigned
+// sentinels and chasing row pointers per pair. MaxPathReference keeps
+// the original scalar walk; the two must agree bit-for-bit (the kernel
+// adds the same operands in the same order), which the differential
+// tests assert.
 func (in *Instance) MaxPathNaive(a Assignment) float64 {
-	return parallelRowsMax(len(a), parallelMinRows, func(start, stride int) float64 {
-		var max float64
-		for i := start; i < len(a); i += stride {
-			if a[i] == Unassigned {
+	s := perfkit.GetScratch()
+	defer perfkit.PutScratch(s)
+	dc := s.Floats(len(a))
+	srv := s.Ints(len(a))
+	n := perfkit.CompactAssigned(in.csF, a, dc, srv)
+	dc, srv = dc[:n], srv[:n]
+	return parallelRowsMax(n, parallelMinRows, func(start, stride int) float64 {
+		return perfkit.MaxPathPairsRange(dc, srv, in.ssF, start, stride)
+	})
+}
+
+// MaxPathReference is the retained naive reference for MaxPathNaive:
+// the sequential client-pair walk with per-pair InteractionPath
+// arithmetic, exactly as the repo computed D before the perfkit
+// kernels. It is the correctness oracle of the differential tests and
+// the "before" side of cmd/diabench's maxpath benchmark.
+func (in *Instance) MaxPathReference(a Assignment) float64 {
+	var max float64
+	for i := 0; i < len(a); i++ {
+		if a[i] == Unassigned {
+			continue
+		}
+		for j := i; j < len(a); j++ {
+			if a[j] == Unassigned {
 				continue
 			}
-			for j := i; j < len(a); j++ {
-				if a[j] == Unassigned {
-					continue
-				}
-				if v := in.InteractionPath(a, i, j); v > max {
-					max = v
-				}
+			if v := in.InteractionPath(a, i, j); v > max {
+				max = v
 			}
 		}
-		return max
-	})
+	}
+	return max
 }
 
 // LowerBound returns the paper's theoretical lower bound on D over all
@@ -324,46 +351,94 @@ func (in *Instance) LowerBound() float64 {
 // large matrices; both phases fan out over client-row ranges
 // (GOMAXPROCS-bounded, see parallelRows) — rows are independent in
 // phase one, and phase two is a pure max-reduction.
+//
+// Both phases are min-plus products over flat rows. Phase one runs
+// perfkit.MinPlus and exploits the symmetry of the server-to-server
+// table (a latency.Matrix invariant — Symmetrize writes the identical
+// float to both entries and Validate rejects any difference):
+// min_k cs[i][k] + ss[k][l] walks column l of ss, which is row l, so
+// the kernel streams two contiguous rows instead of striding. Phase
+// two runs the fused, early-abandoning perfkit.MaxMinPlus. The sums
+// are bit-identical to the column walk, which LowerBoundReference
+// retains and the differential tests check.
 func (in *Instance) computeLowerBound() {
+	in.lowerBound = in.LowerBoundUncached()
+}
+
+// LowerBoundUncached recomputes the lower bound from scratch, bypassing
+// the per-instance cache. LowerBound is the API callers want; this
+// entry point exists so cmd/diabench can time the kernel-backed
+// computation across repetitions (the cached accessor would measure
+// one run and then a field read).
+func (in *Instance) LowerBoundUncached() float64 {
 	nc, ns := len(in.clients), len(in.servers)
 	// B[i][l] = min over s of d(ci, s) + d(s, sl).
-	b := make([][]float64, nc)
-	bBacking := make([]float64, nc*ns)
+	b := perfkit.NewFlatMatrix(nc, ns)
 	parallelRows(nc, parallelMinRows, func(start, stride int) {
 		for i := start; i < nc; i += stride {
-			row := bBacking[i*ns : (i+1)*ns : (i+1)*ns]
+			row := b.Row(i)
 			csRow := in.cs[i]
 			for l := 0; l < ns; l++ {
-				best := math.Inf(1)
-				for k := 0; k < ns; k++ {
-					if v := csRow[k] + in.ss[k][l]; v < best {
-						best = v
-					}
-				}
-				row[l] = best
+				row[l] = perfkit.MinPlus(csRow, in.ss[l])
 			}
-			b[i] = row
 		}
 	})
-	in.lowerBound = parallelRowsMax(nc, parallelMinRows, func(start, stride int) float64 {
+	// Phase two folds each client row through the fused MaxMinPlus
+	// kernel: one call per row instead of one per pair, with rows
+	// abandoned as soon as their running minimum cannot beat the
+	// worker-local maximum. Each worker's local lb only understates the
+	// merged result, so abandoned rows can never affect the final max
+	// and the fold stays bit-identical to LowerBoundReference under any
+	// GOMAXPROCS.
+	return parallelRowsMax(nc, parallelMinRows, func(start, stride int) float64 {
 		var lb float64
 		for i := start; i < nc; i += stride {
-			bi := b[i]
-			for j := i; j < nc; j++ {
-				cj := in.cs[j]
-				best := math.Inf(1)
-				for l := 0; l < ns; l++ {
-					if v := bi[l] + cj[l]; v < best {
-						best = v
-					}
-				}
-				if best > lb {
-					lb = best
-				}
-			}
+			lb = perfkit.MaxMinPlus(b.Row(i), in.csF, i, lb)
 		}
 		return lb
 	})
+}
+
+// LowerBoundReference is the retained naive reference for LowerBound:
+// the sequential column-walking nested loops the repo shipped before
+// the perfkit kernels, with no caching. It is the differential-test
+// oracle and the "before" side of cmd/diabench's lower-bound
+// benchmark.
+func (in *Instance) LowerBoundReference() float64 {
+	nc, ns := len(in.clients), len(in.servers)
+	b := make([][]float64, nc)
+	bBacking := make([]float64, nc*ns)
+	for i := 0; i < nc; i++ {
+		row := bBacking[i*ns : (i+1)*ns : (i+1)*ns]
+		csRow := in.cs[i]
+		for l := 0; l < ns; l++ {
+			best := math.Inf(1)
+			for k := 0; k < ns; k++ {
+				if v := csRow[k] + in.ss[k][l]; v < best {
+					best = v
+				}
+			}
+			row[l] = best
+		}
+		b[i] = row
+	}
+	var lb float64
+	for i := 0; i < nc; i++ {
+		bi := b[i]
+		for j := i; j < nc; j++ {
+			cj := in.cs[j]
+			best := math.Inf(1)
+			for l := 0; l < ns; l++ {
+				if v := bi[l] + cj[l]; v < best {
+					best = v
+				}
+			}
+			if best > lb {
+				lb = best
+			}
+		}
+	}
+	return lb
 }
 
 // NormalizedInteractivity returns D(a) divided by the lower bound — the

@@ -1,0 +1,231 @@
+package core_test
+
+// Differential tests for the perfkit-backed hot paths: every optimized
+// evaluator must agree bit-for-bit with its retained naive reference —
+// MaxPathNaive with the pair-walk MaxPathReference, MaxInteractionPath
+// and the incremental Evaluator with the scalar eccentricity reference,
+// LowerBound with LowerBoundReference — on SyntheticInternet instances,
+// at full Meridian scale, and on fuzz-generated instances, under
+// GOMAXPROCS 1 and 8 alike. Exact equality (asserted on
+// math.Float64bits, never on rounded values) is the repo's determinism
+// contract: the kernels reorder comparisons but combine the same
+// operands in the same association, so any bit of divergence from the
+// same-decomposition reference is a bug, not noise. The two
+// decompositions are compared to each other only at the repo's 1e-9
+// cross-algorithm tolerance (see eccPathReference).
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"diacap/internal/core"
+	"diacap/internal/latency"
+)
+
+// diffInstance builds an instance over a matrix with ns random servers
+// and a client at every node.
+func diffInstance(t testing.TB, m latency.Matrix, ns int, seed int64) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(m.Len())
+	servers := append([]int(nil), perm[:ns]...)
+	clients := make([]int, m.Len())
+	for i := range clients {
+		clients[i] = i
+	}
+	in, err := core.NewInstanceTrusted(m, servers, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// diffAssignment returns a random partial assignment.
+func diffAssignment(in *core.Instance, seed int64, unassignedFrac float64) core.Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := core.NewAssignment(in.NumClients())
+	for i := range a {
+		if rng.Float64() >= unassignedFrac {
+			a[i] = rng.Intn(in.NumServers())
+		}
+	}
+	return a
+}
+
+// eccPathReference is the retained scalar form of the eccentricity
+// decomposition (the pre-perfkit MaxInteractionPath body): the oracle
+// for MaxInteractionPath and Evaluator.D. It is NOT bit-identical to
+// the client-pair walk in general — the two associate the same three
+// addends in different orders when the witness pair's servers are
+// index-inverted — which is why the pair walk (MaxPathReference) and
+// the ecc decomposition each keep their own reference, and cross-form
+// agreement is asserted to 1e-9 like the repo always has.
+func eccPathReference(in *core.Instance, a core.Assignment) float64 {
+	ecc := in.Eccentricities(a)
+	var max float64
+	for k := 0; k < in.NumServers(); k++ {
+		if ecc[k] < 0 {
+			continue
+		}
+		for l := k; l < in.NumServers(); l++ {
+			if ecc[l] < 0 {
+				continue
+			}
+			if v := ecc[k] + in.ServerServerDist(k, l) + ecc[l]; v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// checkBitsEqual asserts two float64 values are bit-identical.
+func checkBitsEqual(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: %v (bits %x) != reference %v (bits %x)",
+			label, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// underGOMAXPROCS runs fn at each of the given parallelism levels.
+func underGOMAXPROCS(t *testing.T, levels []int, fn func(t *testing.T)) {
+	t.Helper()
+	for _, procs := range levels {
+		prev := runtime.GOMAXPROCS(procs)
+		fn(t)
+		runtime.GOMAXPROCS(prev)
+		if t.Failed() {
+			t.Fatalf("divergence at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+// checkInstance runs the full differential battery on one instance.
+func checkInstance(t *testing.T, in *core.Instance, seed int64) {
+	t.Helper()
+	a := diffAssignment(in, seed, 0.1)
+	refPairs := in.MaxPathReference(a)
+	refEcc := eccPathReference(in, a)
+	refLB := in.LowerBoundReference()
+	if math.Abs(refPairs-refEcc) > 1e-9 {
+		t.Fatalf("references disagree beyond tolerance: pairs %v vs ecc %v", refPairs, refEcc)
+	}
+
+	underGOMAXPROCS(t, []int{1, 8}, func(t *testing.T) {
+		checkBitsEqual(t, "MaxPathNaive", in.MaxPathNaive(a), refPairs)
+		checkBitsEqual(t, "MaxInteractionPath", in.MaxInteractionPath(a), refEcc)
+		checkBitsEqual(t, "LowerBoundReference rerun", in.LowerBoundReference(), refLB)
+
+		ev, err := in.NewEvaluator(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBitsEqual(t, "Evaluator.D", ev.D(), refEcc)
+
+		// A short random move sequence keeps exact agreement with the
+		// from-scratch references after every mutation.
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		cur := a.Clone()
+		for step := 0; step < 25; step++ {
+			c := rng.Intn(in.NumClients())
+			s := rng.Intn(in.NumServers())
+			if rng.Float64() < 0.1 {
+				s = core.Unassigned
+			}
+			cur[c] = s
+			got := ev.Move(c, s)
+			checkBitsEqual(t, "Evaluator.Move", got, eccPathReference(in, cur))
+			checkBitsEqual(t, "MaxPathNaive after move", in.MaxPathNaive(cur), in.MaxPathReference(cur))
+		}
+	})
+}
+
+func TestDifferentialSyntheticInternet(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, servers int
+		seed           int64
+	}{
+		{40, 4, 1},
+		{90, 7, 2},
+		{200, 16, 3},
+	} {
+		m, err := latency.SyntheticInternet(latency.DefaultConfig(tc.nodes), tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := diffInstance(t, m, tc.servers, tc.seed)
+		checkInstance(t, in, tc.seed*31)
+	}
+}
+
+// TestDifferentialMeridianScale exercises the kernels at the paper's
+// full Meridian scale (1796 nodes, 80 servers) — the regime
+// cmd/diabench benchmarks — so tiling bugs that only appear past the
+// cache-resident sizes cannot hide. The lower bound differential runs
+// at MIT-like scale to keep the race-enabled CI run affordable.
+func TestDifferentialMeridianScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meridian-scale differential is seconds-long; skipped with -short")
+	}
+	m := latency.MeridianLike(1)
+	in := diffInstance(t, m, 80, 7)
+	a := diffAssignment(in, 99, 0.05)
+	refPairs := in.MaxPathReference(a)
+	refEcc := eccPathReference(in, a)
+	if math.Abs(refPairs-refEcc) > 1e-9 {
+		t.Fatalf("references disagree beyond tolerance: pairs %v vs ecc %v", refPairs, refEcc)
+	}
+	underGOMAXPROCS(t, []int{1, 8}, func(t *testing.T) {
+		checkBitsEqual(t, "MaxPathNaive@meridian", in.MaxPathNaive(a), refPairs)
+		checkBitsEqual(t, "MaxInteractionPath@meridian", in.MaxInteractionPath(a), refEcc)
+	})
+
+	mit := latency.MITLike(2)
+	inMIT := diffInstance(t, mit, 32, 8)
+	refLB := inMIT.LowerBoundReference()
+	underGOMAXPROCS(t, []int{1, 8}, func(t *testing.T) {
+		checkBitsEqual(t, "LowerBound@mit", inMIT.LowerBound(), refLB)
+	})
+}
+
+// FuzzDifferentialInstance feeds fuzz-shaped instances through the
+// same battery: the optimized pair kernel must match the pair-walk
+// reference bit-for-bit, the eccentricity evaluators must match the
+// scalar ecc reference bit-for-bit, and the two forms must agree to
+// the repo's cross-algorithm tolerance.
+func FuzzDifferentialInstance(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(4))
+	f.Add(int64(77), uint8(3), uint8(2))
+	f.Add(int64(-12), uint8(120), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, nodesRaw, serversRaw uint8) {
+		nodes := int(nodesRaw)%150 + 2
+		ns := int(serversRaw)%nodes + 1
+		m, err := latency.SyntheticInternet(latency.DefaultConfig(nodes), seed)
+		if err != nil {
+			t.Skip()
+		}
+		in := diffInstance(t, m, ns, seed)
+		a := diffAssignment(in, seed^0xfeed, 0.2)
+		refPairs := in.MaxPathReference(a)
+		refEcc := eccPathReference(in, a)
+		if math.Abs(refPairs-refEcc) > 1e-9 {
+			t.Fatalf("references disagree beyond tolerance: pairs %v vs ecc %v", refPairs, refEcc)
+		}
+		if got := in.MaxPathNaive(a); math.Float64bits(got) != math.Float64bits(refPairs) {
+			t.Fatalf("MaxPathNaive %v != reference %v", got, refPairs)
+		}
+		if got := in.MaxInteractionPath(a); math.Float64bits(got) != math.Float64bits(refEcc) {
+			t.Fatalf("MaxInteractionPath %v != reference %v", got, refEcc)
+		}
+		ev, err := in.NewEvaluator(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ev.D(); math.Float64bits(got) != math.Float64bits(refEcc) {
+			t.Fatalf("Evaluator.D %v != reference %v", got, refEcc)
+		}
+	})
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"diacap/internal/perfkit"
 )
 
 // Evaluator maintains the maximum interaction-path length D of an
@@ -29,6 +31,11 @@ type Evaluator struct {
 	// dirty marks that d must be recomputed (after a move that could
 	// lower D, a full pair scan over used servers is needed anyway).
 	dirty bool
+	// scratch backs the recompute kernel's compaction arrays. An
+	// Evaluator is single-goroutine (its whole point is mutable
+	// incremental state), so one private arena serves every recompute
+	// without allocation.
+	scratch *perfkit.Scratch
 }
 
 // NewEvaluator builds an evaluator over a copy of the assignment (the
@@ -44,11 +51,12 @@ func (in *Instance) NewEvaluator(a Assignment) (*Evaluator, error) {
 		}
 	}
 	ev := &Evaluator{
-		in:    in,
-		a:     a.Clone(),
-		loads: in.Loads(a),
-		ecc:   in.Eccentricities(a),
-		dirty: true,
+		in:      in,
+		a:       a.Clone(),
+		loads:   in.Loads(a),
+		ecc:     in.Eccentricities(a),
+		dirty:   true,
+		scratch: new(perfkit.Scratch),
 	}
 	return ev, nil
 }
@@ -74,24 +82,12 @@ func (ev *Evaluator) D() float64 {
 	return ev.d
 }
 
+// recompute rebuilds D from the per-server eccentricities via the
+// perfkit pair kernel (bit-identical to the sentinel-skipping double
+// loop it replaced — see perfkit.MaxPathEccRef).
 func (ev *Evaluator) recompute() {
-	ns := ev.in.NumServers()
-	var d float64
-	for s := 0; s < ns; s++ {
-		if ev.ecc[s] < 0 {
-			continue
-		}
-		row := ev.in.ss[s]
-		for t := s; t < ns; t++ {
-			if ev.ecc[t] < 0 {
-				continue
-			}
-			if v := ev.ecc[s] + row[t] + ev.ecc[t]; v > d {
-				d = v
-			}
-		}
-	}
-	ev.d = d
+	ev.scratch.Reset()
+	ev.d = perfkit.MaxPathEcc(ev.in.ssF, ev.ecc, ev.scratch)
 	ev.dirty = false
 }
 

@@ -1,0 +1,121 @@
+package perfkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+func TestFlatMatrixAlignment(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {7, 8}, {16, 80}, {100, 100}} {
+		f := NewFlatMatrix(dims[0], dims[1])
+		if f.Stride()%f64PerLine != 0 {
+			t.Errorf("%v: stride %d not a multiple of %d", dims, f.Stride(), f64PerLine)
+		}
+		if f.Stride() < f.Cols() {
+			t.Errorf("%v: stride %d < cols %d", dims, f.Stride(), f.Cols())
+		}
+		addr := uintptr(unsafe.Pointer(&f.data[0]))
+		if addr%cacheLineBytes != 0 {
+			t.Errorf("%v: base address %#x not %d-byte aligned", dims, addr, cacheLineBytes)
+		}
+		for i := 0; i < f.Rows(); i++ {
+			row := f.Row(i)
+			if len(row) != f.Cols() || cap(row) != f.Cols() {
+				t.Fatalf("%v: row %d len/cap = %d/%d, want %d", dims, i, len(row), cap(row), f.Cols())
+			}
+			rowAddr := uintptr(unsafe.Pointer(&row[0]))
+			if rowAddr%cacheLineBytes != 0 {
+				t.Errorf("%v: row %d address %#x not aligned", dims, i, rowAddr)
+			}
+		}
+	}
+	f32 := NewFlatMatrix32(9, 13)
+	addr := uintptr(unsafe.Pointer(&f32.data[0]))
+	if addr%cacheLineBytes != 0 {
+		t.Errorf("float32 base address %#x not aligned", addr)
+	}
+}
+
+func TestFlatMatrixAccessors(t *testing.T) {
+	f := NewFlatMatrix(3, 4)
+	f.Set(1, 2, 42.5)
+	if got := f.At(1, 2); got != 42.5 {
+		t.Fatalf("At(1,2) = %v, want 42.5", got)
+	}
+	if got := f.Row(1)[2]; got != 42.5 {
+		t.Fatalf("Row(1)[2] = %v, want 42.5", got)
+	}
+	// Padding must stay untouched by row writes: capacity is clipped.
+	row := f.Row(0)
+	if cap(row) != 4 {
+		t.Fatalf("row cap = %d, want 4", cap(row))
+	}
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]float64, 17)
+	for i := range rows {
+		rows[i] = make([]float64, 23)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64() * 300
+		}
+	}
+	f := FromRows(rows)
+	for i := range rows {
+		for j := range rows[i] {
+			if got, want := math.Float64bits(f.At(i, j)), math.Float64bits(rows[i][j]); got != want {
+				t.Fatalf("At(%d,%d) bits %x, want %x", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestNarrowRounds(t *testing.T) {
+	f := NewFlatMatrix(2, 3)
+	f.Set(0, 0, 1.0/3.0)
+	f.Set(1, 2, 123.456)
+	n := f.Narrow()
+	if got, want := n.At(0, 0), float32(1.0/3.0); got != want {
+		t.Fatalf("Narrow At(0,0) = %v, want %v", got, want)
+	}
+	if got, want := n.At(1, 2), float32(123.456); got != want {
+		t.Fatalf("Narrow At(1,2) = %v, want %v", got, want)
+	}
+}
+
+func TestScratchReuseAndGrowth(t *testing.T) {
+	s := new(Scratch)
+	a := s.Floats(8)
+	b := s.Floats(8)
+	for i := range a {
+		a[i] = 1
+	}
+	for i := range b {
+		b[i] = 2
+	}
+	// Distinct live allocations must not alias.
+	if a[0] != 1 || b[0] != 2 {
+		t.Fatalf("scratch slices alias: a[0]=%v b[0]=%v", a[0], b[0])
+	}
+	// Growth mid-cycle keeps outstanding slices valid.
+	c := s.Floats(1 << 16)
+	_ = c
+	if a[3] != 1 || b[3] != 2 {
+		t.Fatalf("scratch growth corrupted outstanding slices")
+	}
+	s.Reset()
+	d := s.Ints(4)
+	if len(d) != 4 {
+		t.Fatalf("Ints(4) len = %d", len(d))
+	}
+	// Pool round trip.
+	p := GetScratch()
+	_ = p.Floats(3)
+	PutScratch(p)
+	q := GetScratch()
+	_ = q.Floats(3)
+	PutScratch(q)
+}

@@ -1,0 +1,103 @@
+package perfkit
+
+import "math"
+
+// float32 kernels
+//
+// The float32 variants exist for bandwidth-bound sweeps: a Meridian
+// scale client-server table in float32 moves half the bytes per scan.
+// They are NOT part of the bit-exact contract — narrowing rounds each
+// latency to 24 bits of mantissa — so nothing on the repo's
+// deterministic paths consumes them. Their tests bound the divergence
+// from the float64 kernels (relative error ~1e-6 per addition chain)
+// and check the argmin structure is preserved up to near-ties.
+
+// MinPlus32 returns min over i of a[i] + b[i] in float32 arithmetic,
+// or +Inf when a is empty.
+func MinPlus32(a, b []float32) float32 {
+	n := len(a)
+	if n == 0 {
+		return float32(math.Inf(1))
+	}
+	b = b[:n]
+	m0 := float32(math.Inf(1))
+	m1, m2, m3 := m0, m0, m0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		if v := a[i] + b[i]; v < m0 {
+			m0 = v
+		}
+		if v := a[i+1] + b[i+1]; v < m1 {
+			m1 = v
+		}
+		if v := a[i+2] + b[i+2]; v < m2 {
+			m2 = v
+		}
+		if v := a[i+3] + b[i+3]; v < m3 {
+			m3 = v
+		}
+	}
+	for ; i < n; i++ {
+		if v := a[i] + b[i]; v < m0 {
+			m0 = v
+		}
+	}
+	if m1 < m0 {
+		m0 = m1
+	}
+	if m2 < m0 {
+		m0 = m2
+	}
+	if m3 < m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// MinPlus32Ref is the retained scalar reference for MinPlus32.
+func MinPlus32Ref(a, b []float32) float32 {
+	best := float32(math.Inf(1))
+	for i := range a {
+		if v := a[i] + b[i]; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// NearestInto32 fills out[i] with the argmin of row i of cs, ties
+// toward the lower index.
+func NearestInto32(cs *FlatMatrix32, out []int) {
+	for i := 0; i < cs.rows; i++ {
+		row := cs.Row(i)
+		if len(row) == 0 {
+			out[i] = -1
+			continue
+		}
+		best, bv := 0, row[0]
+		for k := 1; k < len(row); k++ {
+			if row[k] < bv {
+				best, bv = k, row[k]
+			}
+		}
+		out[i] = best
+	}
+}
+
+// NearestInto32Ref is the retained scalar reference for NearestInto32.
+func NearestInto32Ref(cs *FlatMatrix32, out []int) {
+	for i := 0; i < cs.Rows(); i++ {
+		row := cs.Row(i)
+		if len(row) == 0 {
+			out[i] = -1
+			continue
+		}
+		best := 0
+		for k := 1; k < len(row); k++ {
+			if row[k] < row[best] {
+				best = k
+			}
+		}
+		out[i] = best
+	}
+}
