@@ -24,7 +24,12 @@
 //	-live n        also boot a demo live TCP cluster over a synthetic
 //	               n-node latency matrix and drive a background workload,
 //	               so the diacap_live_* telemetry and the /healthz
-//	               cluster section carry real values
+//	               cluster section carry real values; the assignment
+//	               endpoints are then admission-gated on cluster health
+//	               (stale snapshots / 429 + Retry-After under churn)
+//	-drain-timeout grace period for in-flight requests on shutdown:
+//	               SIGTERM/SIGINT closes the listener immediately and
+//	               drains what is already being handled
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,13 +56,14 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
-		maxNodes    = flag.Int("max-nodes", 2048, "largest accepted matrix")
-		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0 = unlimited)")
-		metricsAddr = flag.String("metrics-addr", "", "extra listener for /metrics and /debug/vars (empty = main listener only)")
-		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		logLevel    = flag.String("log-level", "info", "log level: debug | info | warn | error")
-		liveNodes   = flag.Int("live", 0, "boot a demo live cluster over a synthetic n-node matrix (0 = off)")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxNodes     = flag.Int("max-nodes", 2048, "largest accepted matrix")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handling deadline (0 = unlimited)")
+		metricsAddr  = flag.String("metrics-addr", "", "extra listener for /metrics and /debug/vars (empty = main listener only)")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		liveNodes    = flag.Int("live", 0, "boot a demo live cluster over a synthetic n-node matrix (0 = off)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -69,7 +76,14 @@ func main() {
 	service.PreregisterMetrics(reg)
 	live.PreregisterMetrics(reg)
 
-	var liveStatus service.LiveStatus
+	opts := service.Options{
+		MaxNodes:       *maxNodes,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		Metrics:        reg,
+		Logger:         logger,
+		EnablePprof:    *pprofFlag,
+	}
 	if *liveNodes > 0 {
 		cluster, stopWorkload, err := startDemoCluster(*liveNodes, reg, logger)
 		if err != nil {
@@ -77,51 +91,51 @@ func main() {
 		}
 		defer stopWorkload()
 		defer cluster.Close()
-		liveStatus = cluster
+		opts.Live = cluster
+		// Fronting a real cluster: gate assignment work on its health so a
+		// churn storm sheds load instead of piling fresh computations onto
+		// a cluster mid-failover.
+		opts.Admission = &service.AdmissionConfig{Health: cluster}
 	}
+	svc := service.New(opts)
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: service.New(service.Options{
-			MaxNodes:       *maxNodes,
-			RequestTimeout: *reqTimeout,
-			Metrics:        reg,
-			Logger:         logger,
-			EnablePprof:    *pprofFlag,
-			Live:           liveStatus,
-		}),
-		ReadHeaderTimeout: 10 * time.Second,
+	// SIGTERM is what init systems and container runtimes send; treating
+	// only ^C as graceful would make every orchestrated stop abrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
 	}
-
-	errCh := make(chan error, 2)
-	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("capserver listening", "addr", *addr, "version", obs.BuildVersion())
+	logger.Info("capserver listening", "addr", ln.Addr().String(), "version", obs.BuildVersion())
 
 	var metricsSrv *http.Server
+	metricsErr := make(chan error, 1)
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/debug/vars", reg.VarsHandler())
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-		go func() { errCh <- metricsSrv.ListenAndServe() }()
+		go func() { metricsErr <- metricsSrv.ListenAndServe() }()
 		logger.Info("metrics listening", "addr", *metricsAddr)
 	}
 
-	stop := make(chan os.Signal, 1)
-	// SIGTERM is what init systems and container runtimes send; treating
-	// only ^C as graceful would make every orchestrated stop abrupt.
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
+	// Serve blocks until the signal context fires, then drains in-flight
+	// requests for up to -drain-timeout before returning.
+	if err := svc.Serve(ctx, ln); err != nil {
 		fatal(err)
-	case <-stop:
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	}
+	if metricsSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if metricsSrv != nil {
-			_ = metricsSrv.Shutdown(ctx)
-		}
-		if err := srv.Shutdown(ctx); err != nil {
-			fatal(fmt.Errorf("shutdown: %w", err))
+		_ = metricsSrv.Shutdown(shCtx)
+		select {
+		case err := <-metricsErr:
+			if err != nil && err != http.ErrServerClosed {
+				fatal(err)
+			}
+		default:
 		}
 	}
 }
@@ -162,11 +176,12 @@ func startDemoCluster(n int, reg *obs.Registry, logger *slog.Logger) (*live.Clus
 		return nil, nil, err
 	}
 	cluster, err := live.StartCluster(live.ClusterConfig{
-		Instance:   in,
-		Assignment: a,
-		Delta:      off.D,
-		Offsets:    off,
-		Metrics:    reg,
+		Instance:            in,
+		Assignment:          a,
+		Delta:               off.D,
+		Offsets:             off,
+		Metrics:             reg,
+		ReconnectJitterSeed: seed,
 	})
 	if err != nil {
 		return nil, nil, err

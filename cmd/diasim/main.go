@@ -22,6 +22,17 @@
 //	diasim -preset 30 -servers 3 -ops 60 -interval 10 -delta-factor 1.3 -chaos
 //	diasim -preset 30 -servers 3 -ops 60 -chaos -kill 2 -drop 0.05
 //
+// With -scenario the run instead replays a seeded churn-and-mobility
+// preset (flash crowds, diurnal waves, coordinate drift, correlated
+// failure storms) against an online strategy, reporting the
+// D-vs-disruption outcome; -scenario with -chaos deploys the scenario
+// population as a live cluster and replays its kill and partition
+// schedule over real TCP:
+//
+//	diasim -scenario flashcrowd -strategy hysteresis
+//	diasim -scenario storm -strategy always-rebalance -cap 30
+//	diasim -scenario flashcrowd -chaos -delta-factor 1.3
+//
 // Observability: -trace-algo logs every assignment-algorithm step (the
 // Greedy batch picks, the Distributed-Greedy D trajectory, annealing
 // temperatures); -metrics-addr serves /metrics and /debug/vars for the
@@ -96,6 +107,15 @@ func main() {
 			}
 		}()
 		logger.Info("metrics listening", "addr", *metricsAddr)
+	}
+
+	if *scenarioKind != "" {
+		// Scenario mode replays a churn-and-mobility preset; it builds its
+		// own population, so -preset/-placement/-alg do not apply.
+		if err := runScenario(*scenarioKind, *seed, *deltaFactor, *ops, *interval, reg); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	m, err := loadMatrix(*preset, *seed)

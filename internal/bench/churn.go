@@ -1,0 +1,157 @@
+package bench
+
+// Churn-resilience study: the D-vs-disruption Pareto frontier. An
+// always-rebalance policy pins D to the online optimum but reassigns —
+// i.e. reconnects — clients constantly; a hysteresis gate with a
+// migration budget should buy back almost all of that disruption while
+// giving up only a sliver of D. This harness scores the online
+// strategies across the scenario presets (flash crowds, drift, storms)
+// and renders both a per-cell table and a Pareto figure, with a golden
+// CSV under results/ pinning the headline claim: hysteresis+budget cuts
+// reassignments at least 3× versus always-rebalance while time-averaged
+// D stays within 10%.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"diacap/internal/core"
+	"diacap/internal/dynamic"
+)
+
+// ChurnCell is one (scenario, strategy) measurement.
+type ChurnCell struct {
+	Scenario string
+	Strategy string
+	// Label is the short policy name used in figures and CSV keys (the
+	// Strategy field carries the fully parameterized name).
+	Label string
+	// TimeAvgD and MaxD summarize the interactivity trajectory.
+	TimeAvgD, MaxD float64
+	// RepairMoves are strategy-chosen reassignments; ForcedMoves are
+	// failover evacuations; their sum is total client disruption.
+	RepairMoves, ForcedMoves int
+	// SuppressedProposals and SuppressedMoves count what the hysteresis
+	// gate rejected (zero for ungated strategies).
+	SuppressedProposals, SuppressedMoves int
+}
+
+// Migrations is the total client disruption the policy caused.
+func (c ChurnCell) Migrations() int { return c.RepairMoves + c.ForcedMoves }
+
+// churnPolicy builds a fresh strategy per run (strategies are stateful).
+type churnPolicy struct {
+	label string
+	build func(in *core.Instance) dynamic.Strategy
+}
+
+// alwaysRebalancePeriod makes PeriodicReoptimize fire on every event:
+// any positive virtual-time gap exceeds it. (Period <= 0 would fall
+// back to the 500ms default.)
+const alwaysRebalancePeriod = 1e-6
+
+// churnPolicies is the fixed policy ladder of the study, from
+// zero-disruption to maximum-disruption, with the hysteresis-gated
+// rebalancer as the proposed middle ground.
+func churnPolicies() []churnPolicy {
+	return []churnPolicy{
+		{"nearest", func(in *core.Instance) dynamic.Strategy {
+			return dynamic.NewNearestJoin(in)
+		}},
+		{"greedy+repair", func(in *core.Instance) dynamic.Strategy {
+			return dynamic.NewGreedyJoinRepair(in, 2)
+		}},
+		{"hysteresis", func(in *core.Instance) dynamic.Strategy {
+			return dynamic.NewHysteresis(
+				dynamic.NewPeriodicReoptimize(in, alwaysRebalancePeriod),
+				1,    // ≥ 1 virtual ms absolute gain
+				0.05, // and ≥ 5% relative gain
+				dynamic.NewMigrationBudget(3, 6))
+		}},
+		{"always-rebalance", func(in *core.Instance) dynamic.Strategy {
+			return dynamic.NewPeriodicReoptimize(in, alwaysRebalancePeriod)
+		}},
+	}
+}
+
+// ChurnScenarioKinds are the presets the study sweeps.
+func ChurnScenarioKinds() []string { return []string{"flashcrowd", "drift", "storm"} }
+
+// ChurnResilience runs every policy over every scenario preset and
+// returns the cells in (scenario, policy) order. Fully deterministic
+// for a given seed.
+func ChurnResilience(seed int64) ([]ChurnCell, error) {
+	var cells []ChurnCell
+	for _, kind := range ChurnScenarioKinds() {
+		sc, err := dynamic.BuildScenario(kind, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", kind, err)
+		}
+		for _, p := range churnPolicies() {
+			strat := p.build(sc.Pop.Instance)
+			res, err := dynamic.SimulateScenario(sc, nil, strat)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s under %s: %w", p.label, kind, err)
+			}
+			cells = append(cells, ChurnCell{
+				Scenario:            kind,
+				Strategy:            res.Strategy,
+				Label:               p.label,
+				TimeAvgD:            res.TimeAvgD,
+				MaxD:                res.MaxD,
+				RepairMoves:         res.RepairMoves,
+				ForcedMoves:         res.ForcedMoves,
+				SuppressedProposals: res.SuppressedProposals,
+				SuppressedMoves:     res.SuppressedMoves,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// ChurnParetoFigure renders the cells as a Pareto scatter: one series
+// per scenario, X = total migrations, Y = time-averaged D. Points
+// within a series follow the policy ladder order.
+func ChurnParetoFigure(cells []ChurnCell) *Figure {
+	fig := &Figure{
+		ID:     "churn",
+		Title:  "D vs disruption Pareto frontier across churn scenarios",
+		XLabel: "Client migrations",
+		YLabel: "Time-averaged D (ms)",
+	}
+	bySc := map[string]int{}
+	for _, c := range cells {
+		i, ok := bySc[c.Scenario]
+		if !ok {
+			i = len(fig.Series)
+			bySc[c.Scenario] = i
+			fig.Series = append(fig.Series, Series{Name: c.Scenario})
+		}
+		s := &fig.Series[i]
+		s.X = append(s.X, float64(c.Migrations()))
+		s.Y = append(s.Y, c.TimeAvgD)
+	}
+	return fig
+}
+
+// WriteChurnCSV writes the cells as a flat CSV table:
+// scenario,policy,strategy,time_avg_d,max_d,repair_moves,forced_moves,
+// suppressed_proposals,suppressed_moves.
+func WriteChurnCSV(w io.Writer, cells []ChurnCell) error {
+	if _, err := fmt.Fprintln(w,
+		"scenario,policy,strategy,time_avg_d,max_d,repair_moves,forced_moves,suppressed_proposals,suppressed_moves"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		_, err := fmt.Fprintf(w, "%s,%s,%q,%s,%s,%d,%d,%d,%d\n",
+			c.Scenario, c.Label, c.Strategy,
+			strconv.FormatFloat(c.TimeAvgD, 'g', 6, 64),
+			strconv.FormatFloat(c.MaxD, 'g', 6, 64),
+			c.RepairMoves, c.ForcedMoves, c.SuppressedProposals, c.SuppressedMoves)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

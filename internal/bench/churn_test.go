@@ -1,0 +1,169 @@
+package bench_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diacap/internal/bench"
+)
+
+const churnGoldenPath = "../../results/churn_resilience.csv"
+
+func churnCells(t *testing.T) []bench.ChurnCell {
+	t.Helper()
+	cells, err := bench.ChurnResilience(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func cellBy(t *testing.T, cells []bench.ChurnCell, scenario, label string) bench.ChurnCell {
+	t.Helper()
+	for _, c := range cells {
+		if c.Scenario == scenario && c.Label == label {
+			return c
+		}
+	}
+	t.Fatalf("no cell for (%s, %s)", scenario, label)
+	return bench.ChurnCell{}
+}
+
+// TestChurnResilienceParetoClaim pins the headline result: on the
+// flash-crowd and drift scenarios, the hysteresis+budget policy causes
+// at least 3× fewer client migrations than always-rebalance while its
+// time-averaged D stays within 10%.
+func TestChurnResilienceParetoClaim(t *testing.T) {
+	cells := churnCells(t)
+	for _, scenario := range []string{"flashcrowd", "drift"} {
+		hyst := cellBy(t, cells, scenario, "hysteresis")
+		always := cellBy(t, cells, scenario, "always-rebalance")
+		if always.Migrations() == 0 {
+			t.Fatalf("%s: always-rebalance performed no migrations; baseline degenerate", scenario)
+		}
+		if 3*hyst.Migrations() > always.Migrations() {
+			t.Errorf("%s: hysteresis migrations %d not ≥3× below always-rebalance %d",
+				scenario, hyst.Migrations(), always.Migrations())
+		}
+		if hyst.TimeAvgD > 1.10*always.TimeAvgD {
+			t.Errorf("%s: hysteresis TimeAvgD %.3f exceeds 110%% of always-rebalance %.3f",
+				scenario, hyst.TimeAvgD, always.TimeAvgD)
+		}
+		if hyst.SuppressedProposals == 0 {
+			t.Errorf("%s: hysteresis gate never engaged", scenario)
+		}
+	}
+}
+
+func TestChurnResilienceDeterministic(t *testing.T) {
+	a, b := churnCells(t), churnCells(t)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChurnParetoFigure(t *testing.T) {
+	cells := churnCells(t)
+	fig := bench.ChurnParetoFigure(cells)
+	if len(fig.Series) != len(bench.ChurnScenarioKinds()) {
+		t.Fatalf("%d series, want one per scenario (%d)", len(fig.Series), len(bench.ChurnScenarioKinds()))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %s malformed: %d x, %d y", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flashcrowd") {
+		t.Fatal("figure CSV is missing the flashcrowd series")
+	}
+}
+
+// TestChurnResilienceGolden diffs the study against the checked-in
+// results/churn_resilience.csv. Bless intentional changes with
+//
+//	go test ./internal/bench -run ChurnResilienceGolden -update-golden
+func TestChurnResilienceGolden(t *testing.T) {
+	cells := churnCells(t)
+	var buf bytes.Buffer
+	if err := bench.WriteChurnCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(churnGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(churnGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s", churnGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(churnGoldenPath)
+	if err != nil {
+		t.Fatalf("%v — bless with: go test ./internal/bench -run ChurnResilienceGolden -update-golden", err)
+	}
+	compareChurnCSV(t, got, string(want))
+}
+
+// compareChurnCSV diffs the churn table: the three leading string
+// columns exactly, numeric columns to the same tolerance as the figure
+// goldens (counts parse exactly; D values allow float jitter across
+// platforms).
+func compareChurnCSV(t *testing.T, got, want string) {
+	t.Helper()
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("%s: %d lines generated, golden has %d", churnGoldenPath, len(gotLines), len(wantLines))
+	}
+	for ln, wantLine := range wantLines {
+		gotLine := gotLines[ln]
+		if ln == 0 {
+			if gotLine != wantLine {
+				t.Fatalf("%s: header %q != golden %q", churnGoldenPath, gotLine, wantLine)
+			}
+			continue
+		}
+		gf, wf := strings.Split(gotLine, ","), strings.Split(wantLine, ",")
+		if len(gf) != len(wf) {
+			t.Fatalf("%s line %d: %d fields != golden %d\ngot:  %s\nwant: %s",
+				churnGoldenPath, ln+1, len(gf), len(wf), gotLine, wantLine)
+		}
+		for col, w := range wf {
+			g := gf[col]
+			if col < 3 {
+				if g != w {
+					t.Fatalf("%s line %d col %d: %q != golden %q", churnGoldenPath, ln+1, col, g, w)
+				}
+				continue
+			}
+			if g == w {
+				continue
+			}
+			gv, gerr := strconv.ParseFloat(g, 64)
+			wv, werr := strconv.ParseFloat(w, 64)
+			if gerr != nil || werr != nil {
+				t.Fatalf("%s line %d col %d: unparseable cells %q vs %q", churnGoldenPath, ln+1, col, g, w)
+			}
+			if diff := math.Abs(gv - wv); diff > 1e-9+1e-5*math.Max(math.Abs(gv), math.Abs(wv)) {
+				t.Fatalf("%s line %d col %d: %v deviates from golden %v\ngot:  %s\nwant: %s",
+					churnGoldenPath, ln+1, col, gv, wv, gotLine, wantLine)
+			}
+		}
+	}
+}

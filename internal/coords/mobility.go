@@ -1,0 +1,170 @@
+// Mobility models for Vivaldi coordinate spaces: the mobile-client
+// setting where a participant's network position drifts over time
+// (cellular hand-offs, Wi-Fi roaming, VPN egress changes). Each step
+// combines a directional component — the node is going somewhere — with
+// a random walk, the standard Gauss-Markov-style compromise between
+// pure Brownian motion (too jittery) and straight-line motion (too
+// predictable). Everything is seeded-deterministic so a drift scenario
+// replays bit-identically.
+package coords
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MobilityConfig parameterizes a drift process. Distances are in the
+// coordinate space's latency units (ms).
+type MobilityConfig struct {
+	// WalkSigma is the per-step, per-axis standard deviation of the
+	// random-walk component.
+	WalkSigma float64
+	// Velocity is the per-step displacement along the node's current
+	// heading (the directional component).
+	Velocity float64
+	// TurnProb is the per-step probability that a moving node picks a
+	// fresh random heading (default 0.1).
+	TurnProb float64
+	// MovingFraction is the fraction of eligible nodes that actually
+	// move (default 1); the rest stay put, like wired clients in a
+	// mixed population.
+	MovingFraction float64
+	// HeightSigma is the per-step standard deviation of the height
+	// random walk (access-link churn); zero freezes heights.
+	HeightSigma float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c MobilityConfig) Validate() error {
+	switch {
+	case c.WalkSigma < 0 || c.Velocity < 0 || c.HeightSigma < 0:
+		return errors.New("coords: mobility magnitudes must be non-negative")
+	case c.WalkSigma == 0 && c.Velocity == 0 && c.HeightSigma == 0:
+		return errors.New("coords: mobility with no motion (all magnitudes zero)")
+	case c.TurnProb < 0 || c.TurnProb > 1:
+		return fmt.Errorf("coords: TurnProb %v outside [0, 1]", c.TurnProb)
+	case c.MovingFraction < 0 || c.MovingFraction > 1:
+		return fmt.Errorf("coords: MovingFraction %v outside [0, 1]", c.MovingFraction)
+	}
+	return nil
+}
+
+func (c *MobilityConfig) fill() {
+	if c.TurnProb == 0 {
+		c.TurnProb = 0.1
+	}
+	if c.MovingFraction == 0 {
+		c.MovingFraction = 1
+	}
+}
+
+// Mobility drives the drift of a subset of a System's nodes. All
+// randomness comes from one seeded stream consumed in a fixed order, so
+// two Mobility instances with the same system, eligibility, config, and
+// seed produce identical trajectories.
+type Mobility struct {
+	sys     *System
+	cfg     MobilityConfig
+	rng     *rand.Rand
+	movers  []int
+	heading [][]float64
+	steps   int
+}
+
+// NewMobility selects MovingFraction of the eligible nodes (nil =
+// every node) and gives each a random initial heading. Server nodes are
+// typically excluded from eligibility: infrastructure does not roam.
+func NewMobility(sys *System, eligible []int, cfg MobilityConfig, seed int64) (*Mobility, error) {
+	if sys == nil {
+		return nil, errors.New("coords: nil system")
+	}
+	cfg.fill()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eligible == nil {
+		eligible = make([]int, sys.Len())
+		for i := range eligible {
+			eligible[i] = i
+		}
+	}
+	for _, i := range eligible {
+		if i < 0 || i >= sys.Len() {
+			return nil, fmt.Errorf("coords: eligible node %d out of range [0,%d)", i, sys.Len())
+		}
+	}
+	m := &Mobility{sys: sys, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+
+	// Deterministic mover selection: shuffle a sorted copy, take the
+	// prefix, and re-sort so the per-step iteration order is stable.
+	pool := append([]int(nil), eligible...)
+	sort.Ints(pool)
+	m.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	n := int(math.Round(cfg.MovingFraction * float64(len(pool))))
+	if n > len(pool) {
+		n = len(pool)
+	}
+	m.movers = pool[:n]
+	sort.Ints(m.movers)
+
+	m.heading = make([][]float64, len(m.movers))
+	for i := range m.heading {
+		m.heading[i] = m.randomHeading()
+	}
+	return m, nil
+}
+
+// randomHeading draws a unit vector in the system's dimension.
+func (m *Mobility) randomHeading() []float64 {
+	dir := make([]float64, m.sys.cfg.Dim)
+	for {
+		var norm float64
+		for d := range dir {
+			dir[d] = m.rng.NormFloat64()
+			norm += dir[d] * dir[d]
+		}
+		if norm > 1e-12 {
+			norm = math.Sqrt(norm)
+			for d := range dir {
+				dir[d] /= norm
+			}
+			return dir
+		}
+	}
+}
+
+// Movers returns the nodes this model moves, ascending.
+func (m *Mobility) Movers() []int { return append([]int(nil), m.movers...) }
+
+// Steps returns how many steps have been applied.
+func (m *Mobility) Steps() int { return m.steps }
+
+// Step advances every mover by one mobility step: an occasional turn,
+// then displacement = Velocity·heading + N(0, WalkSigma) per axis, plus
+// an N(0, HeightSigma) height walk.
+func (m *Mobility) Step() error {
+	delta := make([]float64, m.sys.cfg.Dim)
+	for i, node := range m.movers {
+		if m.cfg.TurnProb > 0 && m.rng.Float64() < m.cfg.TurnProb {
+			m.heading[i] = m.randomHeading()
+		}
+		for d := range delta {
+			delta[d] = m.cfg.Velocity * m.heading[i][d]
+			if m.cfg.WalkSigma > 0 {
+				delta[d] += m.rng.NormFloat64() * m.cfg.WalkSigma
+			}
+		}
+		dh := 0.0
+		if m.cfg.HeightSigma > 0 && m.sys.cfg.Height {
+			dh = m.rng.NormFloat64() * m.cfg.HeightSigma
+		}
+		if err := m.sys.Displace(node, delta, dh); err != nil {
+			return err
+		}
+	}
+	m.steps++
+	return nil
+}

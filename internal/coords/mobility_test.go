@@ -1,0 +1,242 @@
+package coords
+
+import (
+	"math"
+	"testing"
+
+	"diacap/internal/latency"
+)
+
+func mobilitySystem(t *testing.T, n int, seed int64) *System {
+	t.Helper()
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(n), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewFromCoords(DefaultConfig(), cs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewFromCoordsMatchesLatencyModel(t *testing.T) {
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewFromCoords(DefaultConfig(), cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimates must agree with Coord.LatencyTo (up to the MinLatency
+	// floor, which DefaultConfig coordinates never hit).
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			want := cs[i].LatencyTo(cs[j])
+			got := sys.Estimate(i, j)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("Estimate(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Round-trip back out.
+	out, err := sys.Coords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range out {
+		if c != cs[i] {
+			t.Fatalf("coord %d round-trip: %+v != %+v", i, c, cs[i])
+		}
+	}
+}
+
+func TestNewFromCoordsRejectsBadInput(t *testing.T) {
+	if _, err := NewFromCoords(DefaultConfig(), nil, 1); err == nil {
+		t.Fatal("accepted empty coordinate set")
+	}
+	bad := []latency.Coord{{X: math.NaN()}}
+	if _, err := NewFromCoords(DefaultConfig(), bad, 1); err == nil {
+		t.Fatal("accepted NaN coordinate")
+	}
+	cfg := DefaultConfig()
+	cfg.Dim = 4
+	if _, err := NewFromCoords(cfg, []latency.Coord{{}}, 1); err == nil {
+		t.Fatal("accepted Dim=4 import")
+	}
+}
+
+func TestDisplaceMovesEstimates(t *testing.T) {
+	sys := mobilitySystem(t, 8, 3)
+	before := sys.Estimate(0, 1)
+	if err := sys.Displace(0, []float64{50, 0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Estimate(0, 1)
+	if before == after {
+		t.Fatal("Displace did not change the estimate")
+	}
+	// Heights clamp at zero.
+	if err := sys.Displace(0, nil, -1e9); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sys.Coord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.H != 0 {
+		t.Fatalf("height = %v after huge negative displacement, want 0", c.H)
+	}
+	// Bad inputs are rejected.
+	if err := sys.Displace(99, []float64{1}, 0); err == nil {
+		t.Fatal("accepted out-of-range node")
+	}
+	if err := sys.Displace(0, []float64{1, 2, 3, 4}, 0); err == nil {
+		t.Fatal("accepted 4-axis displacement in a 3-dim system")
+	}
+	if err := sys.Displace(0, []float64{math.Inf(1)}, 0); err == nil {
+		t.Fatal("accepted infinite displacement")
+	}
+}
+
+func TestMobilityDeterministic(t *testing.T) {
+	run := func() latency.Matrix {
+		sys := mobilitySystem(t, 24, 9)
+		eligible := make([]int, 0, 20)
+		for i := 4; i < 24; i++ { // first 4 are "servers"
+			eligible = append(eligible, i)
+		}
+		m, err := NewMobility(sys, eligible, MobilityConfig{
+			WalkSigma:      0.5,
+			Velocity:       2,
+			TurnProb:       0.2,
+			MovingFraction: 0.5,
+			HeightSigma:    0.1,
+		}, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 20; s++ {
+			if err := m.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys.EstimatedMatrix()
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("nondeterministic mobility: [%d][%d] %v != %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestMobilityLeavesIneligibleNodesFixed(t *testing.T) {
+	sys := mobilitySystem(t, 16, 5)
+	fixedBefore := make([]latency.Coord, 4)
+	for i := range fixedBefore {
+		c, err := sys.Coord(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixedBefore[i] = c
+	}
+	eligible := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	m, err := NewMobility(sys, eligible, MobilityConfig{Velocity: 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 10; s++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range fixedBefore {
+		got, err := sys.Coord(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("ineligible node %d moved: %+v -> %+v", i, want, got)
+		}
+	}
+	if m.Steps() != 10 {
+		t.Fatalf("Steps() = %d, want 10", m.Steps())
+	}
+}
+
+// TestMobilityDriftAccumulates: with a directional component, expected
+// displacement grows with the number of steps — 40 steps must carry the
+// movers further from their origins than 5 steps.
+func TestMobilityDriftAccumulates(t *testing.T) {
+	driftAfter := func(steps int) float64 {
+		sys := mobilitySystem(t, 20, 11)
+		origin := make([]latency.Coord, 20)
+		for i := range origin {
+			c, err := sys.Coord(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origin[i] = c
+		}
+		m, err := NewMobility(sys, nil, MobilityConfig{Velocity: 2, WalkSigma: 0.2, TurnProb: 0.05}, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < steps; s++ {
+			if err := m.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total float64
+		for _, i := range m.Movers() {
+			c, err := sys.Coord(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dx, dy, dz := c.X-origin[i].X, c.Y-origin[i].Y, c.Z-origin[i].Z
+			total += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}
+		return total
+	}
+	short, long := driftAfter(5), driftAfter(40)
+	if long <= short {
+		t.Fatalf("drift after 40 steps (%v) not larger than after 5 (%v)", long, short)
+	}
+}
+
+func TestMobilityMovingFraction(t *testing.T) {
+	sys := mobilitySystem(t, 30, 17)
+	m, err := NewMobility(sys, nil, MobilityConfig{Velocity: 1, MovingFraction: 0.3}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Movers()); got != 9 {
+		t.Fatalf("Movers() has %d nodes, want 9 (30 · 0.3)", got)
+	}
+}
+
+func TestMobilityRejectsBadConfig(t *testing.T) {
+	sys := mobilitySystem(t, 4, 21)
+	cases := []MobilityConfig{
+		{},                                  // no motion at all
+		{Velocity: -1},                      // negative magnitude
+		{Velocity: 1, TurnProb: 2},          // probability out of range
+		{Velocity: 1, MovingFraction: -0.5}, // fraction out of range
+		{Velocity: 1, HeightSigma: -3},      // negative magnitude
+	}
+	for i, cfg := range cases {
+		if _, err := NewMobility(sys, nil, cfg, 1); err == nil {
+			t.Fatalf("case %d: accepted bad config %+v", i, cfg)
+		}
+	}
+	if _, err := NewMobility(sys, []int{0, 99}, MobilityConfig{Velocity: 1}, 1); err == nil {
+		t.Fatal("accepted out-of-range eligible node")
+	}
+	if _, err := NewMobility(nil, nil, MobilityConfig{Velocity: 1}, 1); err == nil {
+		t.Fatal("accepted nil system")
+	}
+}

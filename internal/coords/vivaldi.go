@@ -91,6 +91,69 @@ func New(cfg Config, n int, seed int64) (*System, error) {
 	return s, nil
 }
 
+// NewFromCoords builds a system whose nodes start at the given
+// coordinates (X, Y, Z mapped onto the first three axes, H onto the
+// height). It is the entry point for mobility experiments: a synthetic
+// population from latency.GenerateCoords becomes a live Vivaldi space
+// whose nodes can then drift via Displace or a Mobility model. Requires
+// Dim ≤ 3; with Height disabled the H components are ignored by all
+// estimates.
+func NewFromCoords(cfg Config, cs []latency.Coord, seed int64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dim > 3 {
+		return nil, fmt.Errorf("coords: cannot import latency.Coord into Dim=%d system (max 3)", cfg.Dim)
+	}
+	if len(cs) == 0 {
+		return nil, errors.New("coords: need at least one node")
+	}
+	s := &System{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	s.nodes = make([]node, len(cs))
+	for i, c := range cs {
+		if err := c.Valid(); err != nil {
+			return nil, fmt.Errorf("coords: node %d: %w", i, err)
+		}
+		vec := make([]float64, cfg.Dim)
+		src := [3]float64{c.X, c.Y, c.Z}
+		copy(vec, src[:cfg.Dim])
+		h := 0.0
+		if cfg.Height {
+			h = c.H
+		}
+		s.nodes[i] = node{vec: vec, height: h, err: 1}
+	}
+	return s, nil
+}
+
+// Displace moves node i by delta along the coordinate axes and dh along
+// the height (heights are clamped at zero). It models node mobility —
+// a client physically changing its network position — as opposed to
+// Update, which models measurement-driven convergence.
+func (s *System) Displace(i int, delta []float64, dh float64) error {
+	if i < 0 || i >= len(s.nodes) {
+		return fmt.Errorf("coords: node %d out of range [0,%d)", i, len(s.nodes))
+	}
+	if len(delta) > s.cfg.Dim {
+		return fmt.Errorf("coords: displacement has %d axes, system has %d", len(delta), s.cfg.Dim)
+	}
+	n := &s.nodes[i]
+	for d, v := range delta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("coords: bad displacement component %v", v)
+		}
+		n.vec[d] += v
+	}
+	if math.IsNaN(dh) || math.IsInf(dh, 0) {
+		return fmt.Errorf("coords: bad height displacement %v", dh)
+	}
+	n.height += dh
+	if n.height < 0 {
+		n.height = 0
+	}
+	return nil
+}
+
 // Len returns the number of nodes.
 func (s *System) Len() int { return len(s.nodes) }
 

@@ -61,6 +61,13 @@ func (in *Instance) NewEvaluator(a Assignment) (*Evaluator, error) {
 	return ev, nil
 }
 
+// Instance returns the instance this evaluator evaluates. Online
+// strategies read geometry through it instead of caching their own
+// instance pointer, so a caller may re-materialize the instance (e.g.
+// after network coordinates drift) and hand the strategies a fresh
+// evaluator without rebuilding the strategies themselves.
+func (ev *Evaluator) Instance() *Instance { return ev.in }
+
 // Assignment returns a copy of the current assignment.
 func (ev *Evaluator) Assignment() Assignment { return ev.a.Clone() }
 

@@ -27,6 +27,14 @@ import (
 
 const eps = 1e-9
 
+// ErrCapacityExhausted reports that a join (or forced rejoin) could not
+// be placed because every server is at capacity. It is the typed
+// rejection every online strategy must produce for capacity-infeasible
+// churn bursts — a flash crowd larger than the remaining capacity must
+// surface as this error, never as a panic or a silently
+// capacity-violating assignment.
+var ErrCapacityExhausted = errors.New("dynamic: no server has remaining capacity")
+
 // EventKind distinguishes joins from leaves.
 type EventKind int
 
@@ -85,15 +93,32 @@ func (c ChurnConfig) Validate() error {
 // lengths, truncated at the horizon (sessions outlasting the horizon
 // simply never leave).
 func GenerateChurn(cfg ChurnConfig, seed int64) ([]Event, error) {
+	if cfg.NumClients <= 0 {
+		return nil, errors.New("dynamic: NumClients must be positive")
+	}
+	pool := make([]int, cfg.NumClients)
+	for i := range pool {
+		pool[i] = i
+	}
+	return GenerateChurnPool(pool, cfg, seed)
+}
+
+// GenerateChurnPool is GenerateChurn over an explicit client pool: the
+// generated events reference the given instance-local client indices
+// instead of [0, NumClients). Scenario drivers use it to run background
+// churn on one subset of the population while reserving another (e.g.
+// the clients nearest a flash-crowd epicenter) for scripted bursts.
+// cfg.NumClients must match len(pool).
+func GenerateChurnPool(pool []int, cfg ChurnConfig, seed int64) ([]Event, error) {
+	if cfg.NumClients != len(pool) {
+		return nil, fmt.Errorf("dynamic: NumClients %d != pool size %d", cfg.NumClients, len(pool))
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var events []Event
-	idle := make([]int, cfg.NumClients)
-	for i := range idle {
-		idle[i] = i
-	}
+	idle := append([]int(nil), pool...)
 	// pickIdle removes and returns a random idle client (-1 when none).
 	pickIdle := func() int {
 		if len(idle) == 0 {
@@ -160,17 +185,23 @@ type Strategy interface {
 
 // NearestJoin joins each client to its nearest unsaturated server and
 // never reassigns anyone — the zero-disruption baseline.
-type NearestJoin struct{ in *core.Instance }
+//
+// Strategies read all geometry from the evaluator they are handed (not
+// from a cached instance pointer), so the same strategy value keeps
+// working when the simulator re-materializes the instance under
+// coordinate drift and hands it a fresh evaluator.
+type NearestJoin struct{}
 
-// NewNearestJoin builds the baseline for an instance.
-func NewNearestJoin(in *core.Instance) *NearestJoin { return &NearestJoin{in: in} }
+// NewNearestJoin builds the baseline. The instance argument is accepted
+// for compatibility and no longer retained.
+func NewNearestJoin(*core.Instance) *NearestJoin { return &NearestJoin{} }
 
 // Name implements Strategy.
 func (*NearestJoin) Name() string { return "Nearest-Join" }
 
 // PlaceJoin implements Strategy.
 func (s *NearestJoin) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
-	row := s.in.ClientServerRow(client)
+	row := ev.Instance().ClientServerRow(client)
 	best := -1
 	for k := range row {
 		if caps != nil && ev.Load(k) >= caps[k] {
@@ -188,10 +219,11 @@ func (*NearestJoin) Repair(*core.Evaluator, core.Capacities, float64) int { retu
 
 // GreedyJoin places each joining client on the unsaturated server that
 // minimizes the resulting D (one PeekMove per server); no reassignments.
-type GreedyJoin struct{ in *core.Instance }
+type GreedyJoin struct{}
 
-// NewGreedyJoin builds the strategy for an instance.
-func NewGreedyJoin(in *core.Instance) *GreedyJoin { return &GreedyJoin{in: in} }
+// NewGreedyJoin builds the strategy. The instance argument is accepted
+// for compatibility and no longer retained.
+func NewGreedyJoin(*core.Instance) *GreedyJoin { return &GreedyJoin{} }
 
 // Name implements Strategy.
 func (*GreedyJoin) Name() string { return "Greedy-Join" }
@@ -199,7 +231,7 @@ func (*GreedyJoin) Name() string { return "Greedy-Join" }
 // PlaceJoin implements Strategy.
 func (s *GreedyJoin) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
 	best, bestD := -1, math.Inf(1)
-	for k := 0; k < s.in.NumServers(); k++ {
+	for k := 0; k < ev.Instance().NumServers(); k++ {
 		if caps != nil && ev.Load(k) >= caps[k] {
 			continue
 		}
@@ -223,7 +255,8 @@ type GreedyJoinRepair struct {
 	MovesPerEvent int
 }
 
-// NewGreedyJoinRepair builds the strategy for an instance.
+// NewGreedyJoinRepair builds the strategy. The instance argument is
+// accepted for compatibility and no longer retained.
 func NewGreedyJoinRepair(in *core.Instance, movesPerEvent int) *GreedyJoinRepair {
 	if movesPerEvent <= 0 {
 		movesPerEvent = 2
@@ -243,7 +276,7 @@ func (s *GreedyJoinRepair) PlaceJoin(ev *core.Evaluator, caps core.Capacities, c
 
 // Repair implements Strategy.
 func (s *GreedyJoinRepair) Repair(ev *core.Evaluator, caps core.Capacities, _ float64) int {
-	in := s.join.in
+	in := ev.Instance()
 	moves := 0
 	for moves < s.MovesPerEvent {
 		d := ev.D()
@@ -283,7 +316,6 @@ func (s *GreedyJoinRepair) Repair(ev *core.Evaluator, caps core.Capacities, _ fl
 // (default Greedy). Every client whose server changes in a re-optimization
 // counts as disruption — the cost that the incremental strategies avoid.
 type PeriodicReoptimize struct {
-	in   *core.Instance
 	join *GreedyJoin
 	// Period between full re-optimizations (virtual ms).
 	Period float64
@@ -293,12 +325,14 @@ type PeriodicReoptimize struct {
 }
 
 // NewPeriodicReoptimize builds the strategy. The simulator drives its
-// clock via the event times it passes to Repair (see Simulate).
+// clock via the event times it passes to Repair (see Simulate). The
+// instance argument is accepted for compatibility and no longer
+// retained.
 func NewPeriodicReoptimize(in *core.Instance, period float64) *PeriodicReoptimize {
 	if period <= 0 {
 		period = 500
 	}
-	return &PeriodicReoptimize{in: in, join: NewGreedyJoin(in), Period: period}
+	return &PeriodicReoptimize{join: NewGreedyJoin(in), Period: period}
 }
 
 // Name implements Strategy.
@@ -318,11 +352,12 @@ func (s *PeriodicReoptimize) Repair(ev *core.Evaluator, caps core.Capacities, no
 		return 0
 	}
 	s.lastRun = now
+	in := ev.Instance()
 
 	// Build the active sub-instance: active clients only, in instance
 	// order, mapped back after solving.
 	var active []int
-	for c := 0; c < s.in.NumClients(); c++ {
+	for c := 0; c < in.NumClients(); c++ {
 		if ev.ServerOf(c) != core.Unassigned {
 			active = append(active, c)
 		}
@@ -332,13 +367,13 @@ func (s *PeriodicReoptimize) Repair(ev *core.Evaluator, caps core.Capacities, no
 	}
 	activeNodes := make([]int, len(active))
 	for i, c := range active {
-		activeNodes[i] = s.in.ClientNode(c)
+		activeNodes[i] = in.ClientNode(c)
 	}
-	serverNodes := make([]int, s.in.NumServers())
+	serverNodes := make([]int, in.NumServers())
 	for k := range serverNodes {
-		serverNodes[k] = s.in.ServerNode(k)
+		serverNodes[k] = in.ServerNode(k)
 	}
-	sub, err := core.NewInstanceTrusted(s.in.Matrix(), serverNodes, activeNodes)
+	sub, err := core.NewInstanceTrusted(in.Matrix(), serverNodes, activeNodes)
 	if err != nil {
 		return 0 // keep the current assignment on any internal error
 	}
@@ -385,6 +420,20 @@ type TimelinePoint struct {
 	D    float64
 }
 
+// anyCapacityLeft reports whether at least one server still has room
+// under caps (always true with nil caps: capacity is unlimited).
+func anyCapacityLeft(ev *core.Evaluator, caps core.Capacities) bool {
+	if caps == nil {
+		return true
+	}
+	for k := range caps {
+		if ev.Load(k) < caps[k] {
+			return true
+		}
+	}
+	return false
+}
+
 // Simulate replays a churn trace against a strategy. The instance's
 // client set is the churn pool; capacities are optional.
 func Simulate(in *core.Instance, caps core.Capacities, events []Event, horizon float64, strat Strategy) (*Result, error) {
@@ -429,7 +478,14 @@ func Simulate(in *core.Instance, caps core.Capacities, events []Event, horizon f
 				return nil, fmt.Errorf("dynamic: client %d joined twice", e.Client)
 			}
 			s := strat.PlaceJoin(ev, caps, e.Client)
-			if s < 0 || s >= in.NumServers() {
+			if s < 0 {
+				if !anyCapacityLeft(ev, caps) {
+					return nil, fmt.Errorf("dynamic: %s: join of client %d at t=%.1f: %w",
+						strat.Name(), e.Client, e.Time, ErrCapacityExhausted)
+				}
+				return nil, fmt.Errorf("dynamic: %s returned server %d for join", strat.Name(), s)
+			}
+			if s >= in.NumServers() {
 				return nil, fmt.Errorf("dynamic: %s returned server %d for join", strat.Name(), s)
 			}
 			if caps != nil && ev.Load(s) >= caps[s] {

@@ -1,0 +1,174 @@
+package dynamic
+
+// Hysteresis-bounded reassignment: the stability question for online
+// client assignment. Migrating a client is never free — it is a live
+// reconnect for a participant — so a migration should only happen when
+// the predicted improvement in D clears a threshold, and the aggregate
+// migration rate should be capped no matter how noisy the workload
+// gets. Smith/Bullo study exactly this trade-off for dynamic target
+// assignment under limited communication; here the same idea bounds the
+// repair side of any online Strategy.
+
+import (
+	"fmt"
+	"math"
+
+	"diacap/internal/core"
+)
+
+// MigrationBudget is a token bucket over virtual time: migrations spend
+// tokens, tokens refill at Rate per virtual second up to Burst. The
+// zero value is unusable; use NewMigrationBudget. Not safe for
+// concurrent use (the simulator is single-goroutine by design).
+type MigrationBudget struct {
+	// Rate is the sustained migration allowance in moves per virtual
+	// second.
+	Rate float64
+	// Burst is the bucket capacity in moves.
+	Burst float64
+
+	tokens float64
+	last   float64
+	primed bool
+}
+
+// NewMigrationBudget builds a bucket that starts full.
+func NewMigrationBudget(ratePerSec, burst float64) *MigrationBudget {
+	if ratePerSec < 0 {
+		ratePerSec = 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &MigrationBudget{Rate: ratePerSec, Burst: burst, tokens: burst}
+}
+
+// refill advances the bucket to virtual time now (ms).
+func (b *MigrationBudget) refill(now float64) {
+	if !b.primed {
+		b.primed = true
+		b.last = now
+		return
+	}
+	if now > b.last {
+		b.tokens = math.Min(b.Burst, b.tokens+b.Rate*(now-b.last)/1000)
+		b.last = now
+	}
+}
+
+// TryTake spends n tokens at virtual time now, all or nothing.
+func (b *MigrationBudget) TryTake(now float64, n int) bool {
+	b.refill(now)
+	if float64(n) > b.tokens+eps {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}
+
+// Tokens reports the balance after refilling to virtual time now.
+func (b *MigrationBudget) Tokens(now float64) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// Hysteresis wraps any Strategy and gates its repair: joins pass
+// through untouched, but the inner strategy's reassignments are first
+// rehearsed on a sandbox evaluator and applied only when
+//
+//   - the predicted drop in D is at least MinGain (virtual ms) and at
+//     least MinRelGain of the current D, and
+//   - the migration budget has a token for every move (all or nothing:
+//     a half-applied rebalance can be worse than none).
+//
+// Suppressed repairs are counted, so a simulation can report both sides
+// of the D-vs-churn trade-off.
+type Hysteresis struct {
+	// Inner is the wrapped strategy.
+	Inner Strategy
+	// MinGain is the absolute D improvement (virtual ms) a repair must
+	// promise to be applied.
+	MinGain float64
+	// MinRelGain is the same threshold relative to the current D (e.g.
+	// 0.05 = the repair must improve D by at least 5%).
+	MinRelGain float64
+	// Budget, if non-nil, caps the sustained migration rate.
+	Budget *MigrationBudget
+
+	suppressed     int
+	suppressedMove int
+}
+
+// NewHysteresis wraps inner with the given thresholds. A nil budget
+// means the gate is threshold-only.
+func NewHysteresis(inner Strategy, minGain, minRelGain float64, budget *MigrationBudget) *Hysteresis {
+	return &Hysteresis{Inner: inner, MinGain: minGain, MinRelGain: minRelGain, Budget: budget}
+}
+
+// Name implements Strategy.
+func (h *Hysteresis) Name() string {
+	rate := math.Inf(1)
+	if h.Budget != nil {
+		rate = h.Budget.Rate
+	}
+	return fmt.Sprintf("Hysteresis(%s, gain≥%.3gms, rel≥%.3g, rate=%.3g/s)",
+		h.Inner.Name(), h.MinGain, h.MinRelGain, rate)
+}
+
+// PlaceJoin implements Strategy: joins are mandatory, so they are never
+// gated.
+func (h *Hysteresis) PlaceJoin(ev *core.Evaluator, caps core.Capacities, client int) int {
+	return h.Inner.PlaceJoin(ev, caps, client)
+}
+
+// Repair implements Strategy. The inner repair runs on a sandbox copy
+// of the evaluator; the resulting assignment diff is the migration
+// proposal, applied to the real evaluator only when it clears the gain
+// thresholds and the budget covers every move.
+//
+// Stateful inner strategies (e.g. PeriodicReoptimize's period clock)
+// advance even when the proposal is suppressed: a deferred rebalance is
+// re-attempted on the strategy's own schedule, not retried every event.
+func (h *Hysteresis) Repair(ev *core.Evaluator, caps core.Capacities, now float64) int {
+	sandbox, err := ev.Instance().NewEvaluator(ev.Assignment())
+	if err != nil {
+		return 0
+	}
+	before := ev.D()
+	if h.Inner.Repair(sandbox, caps, now) == 0 {
+		return 0
+	}
+	proposal := sandbox.Assignment()
+	moves := 0
+	for c, s := range proposal {
+		if ev.ServerOf(c) != s {
+			moves++
+		}
+	}
+	if moves == 0 {
+		return 0
+	}
+	gain := before - sandbox.D()
+	if gain < h.MinGain-eps || gain < h.MinRelGain*before-eps {
+		h.suppressed++
+		h.suppressedMove += moves
+		return 0
+	}
+	if h.Budget != nil && !h.Budget.TryTake(now, moves) {
+		h.suppressed++
+		h.suppressedMove += moves
+		return 0
+	}
+	for c, s := range proposal {
+		if ev.ServerOf(c) != s {
+			ev.Move(c, s)
+		}
+	}
+	return moves
+}
+
+// Suppressed reports how many repair proposals the gate rejected and
+// how many individual migrations those proposals would have performed.
+func (h *Hysteresis) Suppressed() (proposals, moves int) {
+	return h.suppressed, h.suppressedMove
+}

@@ -1,0 +1,137 @@
+package dynamic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMigrationBudgetRefill(t *testing.T) {
+	b := NewMigrationBudget(10, 3) // 10 moves/s, burst 3, starts full
+	if !b.TryTake(0, 3) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if b.TryTake(0, 1) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 10/s over 100 virtual ms refills one token.
+	if !b.TryTake(100, 1) {
+		t.Fatal("bucket did not refill at Rate")
+	}
+	if b.TryTake(100, 1) {
+		t.Fatal("bucket over-refilled")
+	}
+	// Refill caps at Burst.
+	if got := b.Tokens(100000); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("tokens = %v, want clamped at burst 3", got)
+	}
+}
+
+func TestMigrationBudgetAllOrNothing(t *testing.T) {
+	b := NewMigrationBudget(0, 2)
+	if b.TryTake(0, 3) {
+		t.Fatal("granted 3 moves with 2 tokens")
+	}
+	if got := b.Tokens(0); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("failed TryTake consumed tokens: %v", got)
+	}
+	if !b.TryTake(0, 2) {
+		t.Fatal("refused an affordable batch")
+	}
+}
+
+// TestHysteresisGatesSmallGains: with a threshold above any gain the
+// inner repair can produce, the wrapper must apply nothing and count
+// the suppressions; with a zero threshold it must match the inner
+// strategy exactly.
+func TestHysteresisGatesSmallGains(t *testing.T) {
+	in := testInstance(t, 1, 60, 5)
+	events, err := GenerateChurn(defaultChurn(in.NumClients()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := NewGreedyJoinRepair(in, 2)
+	base, err := Simulate(in, nil, events, 1000, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.RepairMoves == 0 {
+		t.Fatal("inner strategy never repaired; test instance too easy")
+	}
+
+	// Impossible threshold: no migration survives.
+	blocked := NewHysteresis(NewGreedyJoinRepair(in, 2), 1e9, 0, nil)
+	resBlocked, err := Simulate(in, nil, events, 1000, blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBlocked.RepairMoves != 0 {
+		t.Fatalf("RepairMoves = %d with infinite threshold, want 0", resBlocked.RepairMoves)
+	}
+	if p, m := blocked.Suppressed(); p == 0 || m == 0 {
+		t.Fatalf("suppression counters (%d, %d) did not move", p, m)
+	}
+
+	// Zero threshold, no budget: transparent wrapper.
+	open := NewHysteresis(NewGreedyJoinRepair(in, 2), 0, 0, nil)
+	resOpen, err := Simulate(in, nil, events, 1000, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOpen.RepairMoves != base.RepairMoves {
+		t.Fatalf("open hysteresis moves = %d, inner = %d", resOpen.RepairMoves, base.RepairMoves)
+	}
+	if math.Abs(resOpen.TimeAvgD-base.TimeAvgD) > 1e-9 {
+		t.Fatalf("open hysteresis TimeAvgD = %v, inner = %v", resOpen.TimeAvgD, base.TimeAvgD)
+	}
+}
+
+// TestHysteresisBudgetCapsMigrations: a tight token bucket must bound
+// total migrations roughly by burst + rate·horizon, while D stays
+// finite and the run completes.
+func TestHysteresisBudgetCapsMigrations(t *testing.T) {
+	in := testInstance(t, 3, 80, 6)
+	events, err := GenerateChurn(defaultChurn(in.NumClients()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 1000.0
+	budget := NewMigrationBudget(2, 2) // ≤ 2 burst + 2/s · 1 s = 4 moves
+	h := NewHysteresis(NewGreedyJoinRepair(in, 2), 0, 0, budget)
+	res, err := Simulate(in, nil, events, horizon, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMoves := 2 + int(2*horizon/1000)
+	if res.RepairMoves > maxMoves {
+		t.Fatalf("RepairMoves = %d exceeds budget bound %d", res.RepairMoves, maxMoves)
+	}
+}
+
+func TestHysteresisDeterministic(t *testing.T) {
+	in := testInstance(t, 7, 50, 4)
+	events, err := GenerateChurn(defaultChurn(in.NumClients()), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		h := NewHysteresis(NewGreedyJoinRepair(in, 2), 1, 0.02, NewMigrationBudget(5, 3))
+		res, err := Simulate(in, nil, events, 1000, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.RepairMoves != b.RepairMoves || a.TimeAvgD != b.TimeAvgD || a.MaxD != b.MaxD {
+		t.Fatalf("nondeterministic hysteresis: %+v vs %+v", a, b)
+	}
+}
+
+func TestHysteresisName(t *testing.T) {
+	h := NewHysteresis(NewGreedyJoinRepair(nil, 2), 1, 0.05, NewMigrationBudget(10, 4))
+	if !strings.Contains(h.Name(), "Greedy-Join+Repair") {
+		t.Fatalf("Name %q does not mention the inner strategy", h.Name())
+	}
+}

@@ -1,0 +1,309 @@
+package dynamic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"diacap/internal/coords"
+	"diacap/internal/core"
+)
+
+func scenarioStrategies(in *core.Instance) []Strategy {
+	return []Strategy{
+		NewNearestJoin(in),
+		NewGreedyJoin(in),
+		NewGreedyJoinRepair(in, 2),
+		NewPeriodicReoptimize(in, 400),
+		NewHysteresis(NewGreedyJoinRepair(in, 2), 1, 0.02, NewMigrationBudget(10, 5)),
+	}
+}
+
+func TestBuildScenarioKinds(t *testing.T) {
+	for _, kind := range ScenarioKinds() {
+		sc, err := BuildScenario(kind, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(sc.Events) == 0 {
+			t.Fatalf("%s: empty event tape", kind)
+		}
+		res, err := SimulateScenario(sc, nil, NewGreedyJoinRepair(sc.Pop.Instance, 2))
+		if err != nil {
+			t.Fatalf("%s: simulate: %v", kind, err)
+		}
+		if res.Joins == 0 || res.TimeAvgD <= 0 {
+			t.Fatalf("%s: degenerate result %+v", kind, res.Result)
+		}
+		switch kind {
+		case "drift", "mixed":
+			if res.DriftSteps == 0 {
+				t.Fatalf("%s: no drift steps applied", kind)
+			}
+		}
+		switch kind {
+		case "storm", "mixed":
+			if res.KillsApplied == 0 {
+				t.Fatalf("%s: no kills applied", kind)
+			}
+			if res.ForcedMoves == 0 {
+				t.Fatalf("%s: kills evacuated nobody", kind)
+			}
+			if len(sc.Partitions) == 0 {
+				t.Fatalf("%s: storm recorded no partition window", kind)
+			}
+		}
+	}
+}
+
+// TestScenarioDeterministic: the full pipeline — population, drivers,
+// simulation — must replay bit-identically for a fixed seed.
+func TestScenarioDeterministic(t *testing.T) {
+	for _, kind := range ScenarioKinds() {
+		run := func() *ScenarioResult {
+			sc, err := BuildScenario(kind, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strat := NewHysteresis(NewGreedyJoinRepair(sc.Pop.Instance, 2), 1, 0.02, NewMigrationBudget(8, 4))
+			res, err := SimulateScenario(sc, nil, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if a.TimeAvgD != b.TimeAvgD || a.MaxD != b.MaxD || a.RepairMoves != b.RepairMoves ||
+			a.ForcedMoves != b.ForcedMoves || a.Joins != b.Joins || a.Leaves != b.Leaves ||
+			a.SuppressedProposals != b.SuppressedProposals {
+			t.Fatalf("%s: nondeterministic scenario: %+v vs %+v", kind, a, b)
+		}
+		if len(a.Timeline) != len(b.Timeline) {
+			t.Fatalf("%s: timeline lengths differ", kind)
+		}
+		for i := range a.Timeline {
+			if a.Timeline[i] != b.Timeline[i] {
+				t.Fatalf("%s: timelines diverge at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestScenarioAllStrategiesUnderCaps(t *testing.T) {
+	sc, err := BuildScenario("flashcrowd", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sc.Pop.Instance
+	// Generous but real capacities: the invariant check runs every event.
+	caps := core.UniformCapacities(in.NumServers(), in.NumClients())
+	for _, strat := range scenarioStrategies(in) {
+		res, err := SimulateScenario(sc, caps, strat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if res.Joins == 0 {
+			t.Fatalf("%s: no joins processed", strat.Name())
+		}
+	}
+}
+
+// TestScenarioInfeasibleBurstTypedError: when a failure storm shrinks
+// effective capacity below the active population, every strategy must
+// fail with ErrCapacityExhausted — not a panic, not a capacity-violating
+// assignment.
+func TestScenarioInfeasibleBurstTypedError(t *testing.T) {
+	build := func() *Scenario {
+		pop, err := NewPopulation(100, 5, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario("infeasible-storm", pop, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nearly everyone online, then 4 of 5 servers die permanently.
+		if err := sc.AddBackgroundChurn(BackgroundChurnConfig{
+			MeanInterarrival: 4, MeanSession: 5000, InitialActiveFraction: 0.9,
+		}, 17); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.AddFailureStorm(StormConfig{
+			ServerFraction: 0.8, Start: 700, Stagger: 50,
+		}, 19); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	sc := build()
+	in := sc.Pop.Instance
+	// Tight but instance-valid capacities: one survivor cannot absorb
+	// the whole active population.
+	perServer := in.NumClients()/in.NumServers() + 1
+	caps := core.UniformCapacities(in.NumServers(), perServer)
+	if err := in.ValidateCapacities(caps); err != nil {
+		t.Fatalf("test capacities invalid: %v", err)
+	}
+	for _, strat := range scenarioStrategies(in) {
+		res, err := SimulateScenario(sc, caps, strat)
+		if err == nil {
+			t.Fatalf("%s: infeasible storm succeeded: %+v", strat.Name(), res.Result)
+		}
+		if !errors.Is(err, ErrCapacityExhausted) {
+			t.Fatalf("%s: error %v is not ErrCapacityExhausted", strat.Name(), err)
+		}
+	}
+}
+
+// TestSimulateInfeasibleBurstTypedError covers the plain simulator: a
+// join burst beyond total capacity fails typed for every strategy.
+func TestSimulateInfeasibleBurstTypedError(t *testing.T) {
+	in := testInstance(t, 23, 40, 4)
+	caps := core.UniformCapacities(4, 3) // 12 slots for up to 36 clients
+	events, err := GenerateChurn(ChurnConfig{
+		NumClients: in.NumClients(), Horizon: 1000,
+		MeanInterarrival: 2, MeanSession: 10000, InitialActive: in.NumClients() / 2,
+	}, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range scenarioStrategies(in) {
+		res, err := Simulate(in, caps, events, 1000, strat)
+		if err == nil {
+			t.Fatalf("%s: infeasible burst succeeded: %+v", strat.Name(), res)
+		}
+		if !errors.Is(err, ErrCapacityExhausted) {
+			t.Fatalf("%s: error %v is not ErrCapacityExhausted", strat.Name(), err)
+		}
+	}
+}
+
+func TestScenarioStormRestartRestoresCapacity(t *testing.T) {
+	sc, err := BuildScenario("storm", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateScenario(sc, nil, NewGreedyJoinRepair(sc.Pop.Instance, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KillsApplied == 0 || res.Restarts == 0 {
+		t.Fatalf("storm preset applied %d kills, %d restarts; want both > 0", res.KillsApplied, res.Restarts)
+	}
+	if res.Restarts > res.KillsApplied {
+		t.Fatalf("%d restarts exceed %d kills", res.Restarts, res.KillsApplied)
+	}
+}
+
+// TestScenarioDriftChangesGeometry: drift must actually alter the D
+// trajectory relative to the same churn without drift.
+func TestScenarioDriftChangesGeometry(t *testing.T) {
+	run := func(withDrift bool) float64 {
+		pop, err := NewPopulation(80, 6, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScenario("drift-ab", pop, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withDrift {
+			if err := sc.AddDrift(DriftConfig{
+				Interval: 100,
+				Mobility: coords.MobilityConfig{Velocity: 4, WalkSigma: 1, MovingFraction: 0.7},
+			}, 37); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sc.AddBackgroundChurn(BackgroundChurnConfig{
+			MeanInterarrival: 6, MeanSession: 400, InitialActiveFraction: 0.5,
+		}, 41); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateScenario(sc, nil, NewGreedyJoin(pop.Instance))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withDrift && res.DriftSteps != 9 {
+			t.Fatalf("DriftSteps = %d, want 9 (horizon 1000 / interval 100, exclusive)", res.DriftSteps)
+		}
+		return res.TimeAvgD
+	}
+	static, drifted := run(false), run(true)
+	if math.Abs(static-drifted) < 1e-9 {
+		t.Fatalf("drift left TimeAvgD unchanged at %v", static)
+	}
+}
+
+func TestScenarioFinalizeCatchesDoubleJoin(t *testing.T) {
+	pop, err := NewPopulation(20, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario("bad", pop, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Events = []Event{
+		{Time: 1, Kind: Join, Client: 0},
+		{Time: 2, Kind: Join, Client: 0},
+	}
+	if err := sc.Finalize(); err == nil {
+		t.Fatal("Finalize accepted a double join")
+	}
+}
+
+func TestSimulateScenarioRequiresFinalize(t *testing.T) {
+	pop, err := NewPopulation(20, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario("raw", pop, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateScenario(sc, nil, NewGreedyJoin(pop.Instance)); err == nil {
+		t.Fatal("simulated a non-finalized scenario")
+	}
+}
+
+func TestScenarioDriversClaimDisjointPools(t *testing.T) {
+	pop, err := NewPopulation(60, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario("claims", pop, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sc.Unclaimed()
+	if err := sc.AddFlashCrowd(FlashCrowdConfig{ClientFraction: 0.5, Start: 100, Window: 50}, 1); err != nil {
+		t.Fatal(err)
+	}
+	afterCrowd := sc.Unclaimed()
+	if afterCrowd >= total {
+		t.Fatalf("flash crowd claimed nothing (%d -> %d)", total, afterCrowd)
+	}
+	if err := sc.AddBackgroundChurn(BackgroundChurnConfig{
+		MeanInterarrival: 5, MeanSession: 100, InitialActiveFraction: 0.5,
+	}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Unclaimed() != 0 {
+		t.Fatalf("default background churn left %d clients unclaimed", sc.Unclaimed())
+	}
+	// Finalize must pass: disjoint pools cannot double-join.
+	if err := sc.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// A third driver on the empty pool must fail loudly.
+	if err := sc.AddBackgroundChurn(BackgroundChurnConfig{MeanInterarrival: 5, MeanSession: 100}, 3); err == nil {
+		t.Fatal("driver claimed clients from an exhausted pool")
+	}
+}

@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -39,9 +40,18 @@ type ClientConfig struct {
 	// ReconnectAttempts bounds dial attempts inside Reconnect
 	// (default 5).
 	ReconnectAttempts int
-	// ReconnectBackoff is the wall-clock wait before the second dial
-	// attempt, doubling on every further attempt (default 10 ms).
+	// ReconnectBackoff is the backoff ceiling before the second dial
+	// attempt, doubling on every further attempt up to
+	// ReconnectBackoffMax (default 10 ms). The actual wait is drawn
+	// uniformly from (0, ceiling] — full jitter — so clients orphaned by
+	// the same server failure do not dial the survivor in lockstep.
 	ReconnectBackoff time.Duration
+	// ReconnectBackoffMax caps the doubling ceiling (default 2 s).
+	ReconnectBackoffMax time.Duration
+	// ReconnectJitterSeed seeds the jitter stream. The seed is mixed
+	// with the client ID, so a fixed seed still gives every client its
+	// own deterministic retry schedule.
+	ReconnectJitterSeed int64
 	// HandshakeTimeout bounds the wait for the server's Welcome after a
 	// dial succeeds (default 2 s). A server that accepts the TCP
 	// connection but never acknowledges counts as a failed attempt.
@@ -64,9 +74,51 @@ func (cfg *ClientConfig) fillReconnectDefaults() {
 	if cfg.ReconnectBackoff <= 0 {
 		cfg.ReconnectBackoff = 10 * time.Millisecond
 	}
+	if cfg.ReconnectBackoffMax <= 0 {
+		cfg.ReconnectBackoffMax = 2 * time.Second
+	}
+	if cfg.ReconnectBackoffMax < cfg.ReconnectBackoff {
+		cfg.ReconnectBackoffMax = cfg.ReconnectBackoff
+	}
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 2 * time.Second
 	}
+}
+
+// reconnectWaits is the full-jitter backoff schedule for one Reconnect
+// call: waits[i] precedes dial attempt i+2. Each wait is uniform in
+// (0, ceiling] with the ceiling doubling from ReconnectBackoff up to
+// ReconnectBackoffMax. Deterministic doubling would send every client
+// orphaned by the same failure back at the survivor in lockstep,
+// re-creating the stampede the backoff exists to clear; mixing the
+// client ID into the seed de-synchronizes the fleet while keeping each
+// client's schedule replayable under a fixed ReconnectJitterSeed.
+func (cfg *ClientConfig) reconnectWaits() []time.Duration {
+	rng := rand.New(rand.NewSource(mixJitterSeed(cfg.ReconnectJitterSeed, cfg.ID)))
+	waits := make([]time.Duration, 0, cfg.ReconnectAttempts-1)
+	ceiling := cfg.ReconnectBackoff
+	for i := 1; i < cfg.ReconnectAttempts; i++ {
+		waits = append(waits, time.Duration(rng.Int63n(int64(ceiling)))+1)
+		if ceiling < cfg.ReconnectBackoffMax/2 {
+			ceiling *= 2
+		} else {
+			ceiling = cfg.ReconnectBackoffMax
+		}
+	}
+	return waits
+}
+
+// mixJitterSeed folds a client ID into the shared jitter seed
+// (splitmix64 finalizer) so per-client streams are decorrelated even
+// for adjacent IDs.
+func mixJitterSeed(seed int64, id int) int64 {
+	x := uint64(seed) + (uint64(id)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 // Client is one live DIA participant.
@@ -190,16 +242,15 @@ func (c *Client) Reconnect(serverAddr string, uplinkDelay float64) error {
 		ec       *encoderConn
 		serverID int
 		err      error
-		backoff  = c.cfg.ReconnectBackoff
+		waits    = c.cfg.reconnectWaits()
 	)
 	for attempt := 0; attempt < c.cfg.ReconnectAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(backoff):
+			case <-time.After(waits[attempt-1]):
 			case <-c.done:
 				return fmt.Errorf("live: client %d closed during reconnect", c.cfg.ID)
 			}
-			backoff *= 2
 		}
 		if c.cfg.OnReconnectAttempt != nil {
 			c.cfg.OnReconnectAttempt()

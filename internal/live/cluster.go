@@ -41,10 +41,13 @@ type ClusterConfig struct {
 	// Faults optionally injects message-level faults on every link and
 	// enables chaos testing (see FaultPlan).
 	Faults *FaultPlan
-	// ReconnectAttempts / ReconnectBackoff tune the clients' reconnection
-	// path (see ClientConfig; zero values take the defaults).
-	ReconnectAttempts int
-	ReconnectBackoff  time.Duration
+	// ReconnectAttempts / ReconnectBackoff / ReconnectJitterSeed tune the
+	// clients' reconnection path (see ClientConfig; zero values take the
+	// defaults). The seed is mixed with each client's ID, so one cluster
+	// seed yields per-client jitter schedules that diverge yet replay.
+	ReconnectAttempts   int
+	ReconnectBackoff    time.Duration
+	ReconnectJitterSeed int64
 	// Metrics, if non-nil, receives live-cluster telemetry: per-server
 	// execution counts, per-delivery lag spread, reconnect attempts,
 	// failover durations, fault-injection totals (see obs.go).
@@ -59,6 +62,7 @@ type Cluster struct {
 	clients map[int]*Client
 	inj     *Injectors
 	metrics *clusterMetrics
+	health  *healthCounters
 
 	mu         sync.Mutex
 	assignment core.Assignment // current assignment; changes on failover
@@ -189,6 +193,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		assignment: cfg.Assignment.Clone(),
 		offsets:    cfg.Offsets,
 		dead:       make(map[int]bool),
+		health:     &healthCounters{},
 	}
 
 	// Servers.
@@ -231,16 +236,17 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	for _, ci := range clientIDs {
 		target := cfg.Assignment[ci]
 		c, err := Dial(ClientConfig{
-			ID:                 ci,
-			Clock:              clock,
-			Delta:              cfg.Delta,
-			UplinkDelay:        in.ClientServerDist(ci, target),
-			LatenessTolerance:  cfg.LatenessTolerance,
-			ReconnectAttempts:  cfg.ReconnectAttempts,
-			ReconnectBackoff:   cfg.ReconnectBackoff,
-			Faults:             cl.inj,
-			OnDelivery:         cl.metrics.deliveryHook(cfg.Delta),
-			OnReconnectAttempt: cl.metrics.reconnectHook(),
+			ID:                  ci,
+			Clock:               clock,
+			Delta:               cfg.Delta,
+			UplinkDelay:         in.ClientServerDist(ci, target),
+			LatenessTolerance:   cfg.LatenessTolerance,
+			ReconnectAttempts:   cfg.ReconnectAttempts,
+			ReconnectBackoff:    cfg.ReconnectBackoff,
+			ReconnectJitterSeed: cfg.ReconnectJitterSeed,
+			Faults:              cl.inj,
+			OnDelivery:          cl.deliveryObserver(),
+			OnReconnectAttempt:  cl.reconnectObserver(),
 		}, cl.servers[target].Addr())
 		if err != nil {
 			cl.Close()
@@ -427,6 +433,7 @@ func (cl *Cluster) Failover() (*FailoverReport, error) {
 	cl.failovers = append(cl.failovers, rep)
 	cl.mu.Unlock()
 	cl.metrics.observeFailover(rep.WallDuration)
+	cl.health.observeFailover(rep.WallDuration)
 	return &rep, nil
 }
 

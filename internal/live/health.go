@@ -1,0 +1,125 @@
+package live
+
+import (
+	"sync"
+	"time"
+)
+
+// HealthSnapshot is a point-in-time view of the cluster's resilience
+// telemetry. The counters behind it are always on — independent of
+// whether an obs.Registry is configured — because the service layer's
+// admission controller needs them to score cluster health: it diffs
+// successive snapshots into rates (failovers/s, reconnect storms, lag
+// spread per delivery) and gates new assignments on the result.
+type HealthSnapshot struct {
+	// VirtualNow is the cluster clock at snapshot time (virtual ms).
+	VirtualNow float64
+	// Servers / DeadServers / Clients describe the deployment: configured
+	// server count, servers killed and not yet replaced, launched clients.
+	Servers     int
+	DeadServers int
+	Clients     int
+
+	// ReconnectAttempts counts client reconnect dials (cumulative); a
+	// burst marks a reconnect storm.
+	ReconnectAttempts int
+	// Failovers counts completed failovers; FailoverWall is their total
+	// wall-clock cost.
+	Failovers    int
+	FailoverWall time.Duration
+
+	// Deliveries / LateDeliveries count client-observed state updates and
+	// constraint (ii) misses among them.
+	Deliveries     int
+	LateDeliveries int
+	// LagSpreadSum accumulates interaction time minus δ per delivery
+	// (≥ 0: on-time updates present exactly at issue + δ); MaxLagSpread
+	// is the worst single delivery.
+	LagSpreadSum float64
+	MaxLagSpread float64
+}
+
+// healthCounters aggregates the always-on telemetry under its own lock,
+// keeping the per-delivery hot path off the cluster's main mutex.
+type healthCounters struct {
+	mu                sync.Mutex
+	reconnectAttempts int
+	failovers         int
+	failoverWall      time.Duration
+	deliveries        int
+	lateDeliveries    int
+	lagSpreadSum      float64
+	maxLagSpread      float64
+}
+
+func (h *healthCounters) observeDelivery(spread float64, late bool) {
+	h.mu.Lock()
+	h.deliveries++
+	if late {
+		h.lateDeliveries++
+	}
+	h.lagSpreadSum += spread
+	if spread > h.maxLagSpread {
+		h.maxLagSpread = spread
+	}
+	h.mu.Unlock()
+}
+
+func (h *healthCounters) observeReconnect() {
+	h.mu.Lock()
+	h.reconnectAttempts++
+	h.mu.Unlock()
+}
+
+func (h *healthCounters) observeFailover(d time.Duration) {
+	h.mu.Lock()
+	h.failovers++
+	h.failoverWall += d
+	h.mu.Unlock()
+}
+
+// deliveryObserver fans one client delivery into the health counters
+// and, when metrics are configured, the obs histograms.
+func (cl *Cluster) deliveryObserver() func(Delivery) {
+	mh := cl.metrics.deliveryHook(cl.cfg.Delta)
+	return func(d Delivery) {
+		cl.health.observeDelivery(d.InteractionTime-cl.cfg.Delta, d.Late)
+		if mh != nil {
+			mh(d)
+		}
+	}
+}
+
+// reconnectObserver fans one reconnect dial attempt the same way.
+func (cl *Cluster) reconnectObserver() func() {
+	mh := cl.metrics.reconnectHook()
+	return func() {
+		cl.health.observeReconnect()
+		if mh != nil {
+			mh()
+		}
+	}
+}
+
+// HealthSnapshot captures the cluster's current resilience telemetry.
+func (cl *Cluster) HealthSnapshot() HealthSnapshot {
+	h := cl.health
+	h.mu.Lock()
+	snap := HealthSnapshot{
+		ReconnectAttempts: h.reconnectAttempts,
+		Failovers:         h.failovers,
+		FailoverWall:      h.failoverWall,
+		Deliveries:        h.deliveries,
+		LateDeliveries:    h.lateDeliveries,
+		LagSpreadSum:      h.lagSpreadSum,
+		MaxLagSpread:      h.maxLagSpread,
+	}
+	h.mu.Unlock()
+	snap.VirtualNow = cl.clock.NowVirtual()
+	snap.Servers = len(cl.servers)
+	snap.Clients = len(cl.clients)
+	cl.mu.Lock()
+	snap.DeadServers = len(cl.dead)
+	cl.mu.Unlock()
+	return snap
+}

@@ -80,15 +80,24 @@ func TestClientReconnectBackoffAgainstFlakyServer(t *testing.T) {
 	defer c.Close()
 
 	// The proxy kills the first three connections; attempt 4 gets through.
-	// Backoff doubles between attempts, so success cannot arrive before
-	// 20 + 40 + 80 ms of accumulated waiting.
+	// The jittered schedule is deterministic per (seed, ID), so the three
+	// waits preceding attempts 2–4 give an exact lower bound on elapsed
+	// time.
+	waits := c.cfg.reconnectWaits()
+	var min time.Duration
+	for _, w := range waits[:3] {
+		min += w
+	}
+	if min <= 0 {
+		t.Fatalf("degenerate jitter schedule %v", waits)
+	}
 	flaky := newFlakyProxy(t, srv.Addr(), 3)
 	start := time.Now()
 	if err := c.Reconnect(flaky.addr(), 1); err != nil {
 		t.Fatalf("reconnect through flaky proxy: %v", err)
 	}
-	if elapsed, min := time.Since(start), 7*backoff; elapsed < min {
-		t.Fatalf("reconnect succeeded after %v; exponential backoff requires ≥ %v", elapsed, min)
+	if elapsed := time.Since(start); elapsed < min {
+		t.Fatalf("reconnect succeeded after %v; the jittered backoff schedule requires ≥ %v", elapsed, min)
 	}
 	if c.Disconnected() {
 		t.Fatal("client still marked disconnected after successful reconnect")
@@ -105,13 +114,92 @@ func TestClientReconnectBackoffAgainstFlakyServer(t *testing.T) {
 	if err := c.Reconnect(dead.addr(), 1); err == nil {
 		t.Fatal("reconnect to a dead server must fail after bounded attempts")
 	}
-	// 5 attempts → 4 waits: 20+40+80+160 ms, then give up.
+	// 5 attempts → 4 jittered waits, each at most its doubling ceiling,
+	// then give up.
 	if elapsed, max := time.Since(start), 2*time.Second; elapsed > max {
 		t.Fatalf("bounded retry took %v, expected well under %v", elapsed, max)
 	}
 	// The failed reconnect left the previous (working) connection alone.
 	if _, err := c.MeasureRTT(1, 5*time.Second); err != nil {
 		t.Fatalf("previous connection must survive a failed reconnect: %v", err)
+	}
+}
+
+// TestReconnectJitterSchedulesDiverge pins the full-jitter property: two
+// clients sharing one ReconnectJitterSeed must NOT retry in lockstep —
+// deterministic doubling would aim every orphan of a dead server at the
+// survivor simultaneously. Each schedule stays replayable (same seed +
+// ID → same waits) and bounded by the doubling ceiling.
+func TestReconnectJitterSchedulesDiverge(t *testing.T) {
+	const (
+		attempts = 6
+		base     = 10 * time.Millisecond
+		maxB     = 40 * time.Millisecond
+	)
+	schedule := func(id int, seed int64) []time.Duration {
+		cfg := ClientConfig{
+			ID:                  id,
+			ReconnectAttempts:   attempts,
+			ReconnectBackoff:    base,
+			ReconnectBackoffMax: maxB,
+			ReconnectJitterSeed: seed,
+		}
+		cfg.fillReconnectDefaults()
+		return cfg.reconnectWaits()
+	}
+
+	a, b := schedule(0, 99), schedule(1, 99)
+	if len(a) != attempts-1 || len(b) != attempts-1 {
+		t.Fatalf("want %d waits per schedule, got %d and %d", attempts-1, len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("clients 0 and 1 share retry schedule %v under one seed", a)
+	}
+
+	// Replayable: the schedule is a pure function of (seed, ID).
+	again := schedule(0, 99)
+	for i := range a {
+		if a[i] != again[i] {
+			t.Fatalf("schedule not deterministic: %v vs %v", a, again)
+		}
+	}
+
+	// A different seed moves the schedule even for the same client.
+	other := schedule(0, 100)
+	same = true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seed change left client 0's schedule at %v", a)
+	}
+
+	// Bounds: each wait is in (0, ceiling], ceiling doubling to the cap.
+	for id := 0; id < 20; id++ {
+		ceiling := base
+		for i, w := range schedule(id, 7) {
+			if w <= 0 || w > ceiling {
+				t.Fatalf("client %d wait %d = %v outside (0, %v]", id, i, w, ceiling)
+			}
+			if ceiling < maxB/2 {
+				ceiling *= 2
+			} else {
+				ceiling = maxB
+			}
+		}
+		if ceiling != maxB {
+			t.Fatalf("client %d ceiling ended at %v, never reached cap %v", id, ceiling, maxB)
+		}
 	}
 }
 

@@ -1,0 +1,288 @@
+package service
+
+// Admission control for the assignment endpoints. When the service
+// fronts a live cluster, a churn event (failure storm, reconnect
+// stampede, partition) makes fresh assignments both expensive and
+// short-lived: the optimal move is often to answer brokers with the
+// last known-good assignment — or to push back outright — until the
+// cluster stabilizes. The controller scores cluster health from the
+// always-on resilience telemetry (live.HealthSnapshot) and walks a
+// three-state machine:
+//
+//	accept   → compute fresh assignments as usual
+//	degraded → serve the cached last-good response with an
+//	           X-Diacap-Stale header (compute on cache miss)
+//	shed     → 429 + Retry-After, no computation at all
+//
+// State exits require the score to drop an ExitMargin below the entry
+// threshold, so a score oscillating around a threshold cannot flap the
+// service between modes — the same hysteresis idea the dynamic layer
+// applies to reassignment.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"diacap/internal/live"
+)
+
+// HealthSource yields live-cluster resilience telemetry; *live.Cluster
+// satisfies it.
+type HealthSource interface {
+	HealthSnapshot() live.HealthSnapshot
+}
+
+// AdmissionState is the controller's current mode.
+type AdmissionState int
+
+const (
+	AdmissionAccept AdmissionState = iota
+	AdmissionDegraded
+	AdmissionShed
+)
+
+func (s AdmissionState) String() string {
+	switch s {
+	case AdmissionAccept:
+		return "accept"
+	case AdmissionDegraded:
+		return "degraded"
+	case AdmissionShed:
+		return "shed"
+	}
+	return fmt.Sprintf("AdmissionState(%d)", int(s))
+}
+
+// AdmissionConfig tunes the controller. Zero values take the defaults.
+type AdmissionConfig struct {
+	// Health provides the cluster telemetry; required.
+	Health HealthSource
+	// Window is the minimum wall-clock spacing between telemetry
+	// refreshes; successive snapshots are diffed into rates over it
+	// (default 1 s).
+	Window time.Duration
+	// DegradedScore and ShedScore are the state entry thresholds on the
+	// health score in [0, 1] (defaults 0.25 and 0.6).
+	DegradedScore float64
+	ShedScore     float64
+	// ExitMargin is the hysteresis band: leaving a state requires the
+	// score to drop ExitMargin below its entry threshold (default 0.05).
+	ExitMargin float64
+	// RetryAfter is the backoff advertised on 429 responses (default 2 s).
+	RetryAfter time.Duration
+	// StaleTTL bounds the age of a cached response served in degraded
+	// mode; older entries force a fresh computation (default 5 min).
+	StaleTTL time.Duration
+}
+
+func (c *AdmissionConfig) fill() {
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.DegradedScore <= 0 {
+		c.DegradedScore = 0.25
+	}
+	if c.ShedScore <= 0 {
+		c.ShedScore = 0.6
+	}
+	if c.ExitMargin <= 0 {
+		c.ExitMargin = 0.05
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.StaleTTL <= 0 {
+		c.StaleTTL = 5 * time.Minute
+	}
+}
+
+// healthScore maps a telemetry delta onto [0, 1]. Components and their
+// saturation scales, weights summing to 1:
+//
+//	0.45  dead-server fraction (instantaneous)
+//	0.20  failovers per second, saturating at 0.5/s
+//	0.20  reconnect dials per client per second, saturating at 1
+//	0.15  mean lag spread per delivery, saturating at 50 virtual ms
+//
+// The dead fraction alone cannot shed at the default 0.6 threshold: a
+// stably degraded cluster that still meets its δ keeps serving, and
+// only active churn (failovers, reconnect storms, lag blowout) pushes
+// the service into load shedding.
+func healthScore(prev, cur live.HealthSnapshot, elapsedSec float64) float64 {
+	if elapsedSec <= 0 {
+		elapsedSec = 1
+	}
+	var score float64
+	if cur.Servers > 0 {
+		score += 0.45 * float64(cur.DeadServers) / float64(cur.Servers)
+	}
+	failRate := float64(cur.Failovers-prev.Failovers) / elapsedSec
+	score += 0.20 * saturate(failRate/0.5)
+	if cur.Clients > 0 {
+		reconRate := float64(cur.ReconnectAttempts-prev.ReconnectAttempts) / elapsedSec / float64(cur.Clients)
+		score += 0.20 * saturate(reconRate)
+	}
+	if dd := cur.Deliveries - prev.Deliveries; dd > 0 {
+		meanSpread := (cur.LagSpreadSum - prev.LagSpreadSum) / float64(dd)
+		score += 0.15 * saturate(meanSpread/50)
+	}
+	return saturate(score)
+}
+
+func saturate(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// nextState advances the admission state machine for one score reading.
+// Entry uses the configured thresholds; exit requires dropping
+// ExitMargin below them.
+func (c *AdmissionConfig) nextState(state AdmissionState, score float64) AdmissionState {
+	switch state {
+	case AdmissionShed:
+		if score >= c.ShedScore-c.ExitMargin {
+			return AdmissionShed
+		}
+		if score >= c.DegradedScore {
+			return AdmissionDegraded
+		}
+		return AdmissionAccept
+	case AdmissionDegraded:
+		if score >= c.ShedScore {
+			return AdmissionShed
+		}
+		if score >= c.DegradedScore-c.ExitMargin {
+			return AdmissionDegraded
+		}
+		return AdmissionAccept
+	default:
+		if score >= c.ShedScore {
+			return AdmissionShed
+		}
+		if score >= c.DegradedScore {
+			return AdmissionDegraded
+		}
+		return AdmissionAccept
+	}
+}
+
+// admission is the runtime controller instance.
+type admission struct {
+	cfg AdmissionConfig
+	now func() time.Time // wall clock; tests substitute a fake
+
+	mu       sync.Mutex
+	haveBase bool
+	base     live.HealthSnapshot // snapshot the current rates diff against
+	baseAt   time.Time
+	score    float64
+	state    AdmissionState
+	stale    map[string]staleEntry // endpoint → last-good response
+}
+
+type staleEntry struct {
+	body   []byte
+	stored time.Time
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg.fill()
+	return &admission{cfg: cfg, now: time.Now, stale: make(map[string]staleEntry)}
+}
+
+// refresh re-scores the cluster at most once per Window and returns the
+// current state and score.
+func (a *admission) refresh() (AdmissionState, float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	if a.haveBase && now.Sub(a.baseAt) < a.cfg.Window {
+		return a.state, a.score
+	}
+	snap := a.cfg.Health.HealthSnapshot()
+	if !a.haveBase {
+		// First reading: no rate base yet, only the instantaneous
+		// components count.
+		a.haveBase = true
+		a.score = healthScore(snap, snap, 1)
+	} else {
+		a.score = healthScore(a.base, snap, now.Sub(a.baseAt).Seconds())
+	}
+	a.state = a.cfg.nextState(a.state, a.score)
+	a.base, a.baseAt = snap, now
+	return a.state, a.score
+}
+
+// storeStale caches a successful response for degraded-mode serving.
+func (a *admission) storeStale(endpoint string, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	a.stale[endpoint] = staleEntry{body: body, stored: a.now()}
+	a.mu.Unlock()
+}
+
+// staleFor returns the cached response for endpoint if it is within the
+// TTL, with its age.
+func (a *admission) staleFor(endpoint string) ([]byte, time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.stale[endpoint]
+	if !ok {
+		return nil, 0, false
+	}
+	age := a.now().Sub(e.stored)
+	if age > a.cfg.StaleTTL {
+		return nil, 0, false
+	}
+	return e.body, age, true
+}
+
+// admit gates one assignment request. It returns true when the request
+// was fully answered here (stale snapshot or shed) and the handler must
+// not compute.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	a := s.admission
+	if a == nil {
+		return false
+	}
+	state, score := a.refresh()
+	switch state {
+	case AdmissionShed:
+		s.countAdmission("shed", state, score)
+		s.log.Warn("admission: shedding assignment load",
+			"endpoint", endpoint, "score", score)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((a.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": fmt.Sprintf("cluster health score %.2f: assignment load shed, retry later", score),
+		})
+		return true
+	case AdmissionDegraded:
+		if body, age, ok := a.staleFor(endpoint); ok {
+			s.countAdmission("stale", state, score)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Diacap-Stale", strconv.FormatFloat(age.Seconds(), 'f', 0, 64))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			return true
+		}
+		// Cache miss: compute once so there is a snapshot to serve.
+		s.countAdmission("accept", state, score)
+		return false
+	default:
+		s.countAdmission("accept", state, score)
+		return false
+	}
+}

@@ -83,7 +83,16 @@ const (
 	hAssignD      = "Maximum interaction-path length D (= minimum feasible lag) of the last assignment, in ms."
 	nAssignSec    = "diacap_assign_seconds"
 	hAssignSec    = "Assignment computation time in seconds."
+	nAdmDecisions = "diacap_admission_decisions_total"
+	hAdmDecisions = "Admission decisions on the assignment endpoints, by outcome."
+	nAdmScore     = "diacap_admission_health_score"
+	hAdmScore     = "Latest cluster health score in [0,1] driving admission control."
+	nAdmState     = "diacap_admission_state"
+	hAdmState     = "Admission state: 0 accept, 1 degraded (serve stale), 2 shed."
 )
+
+// admissionDecisions is the closed label set of admission outcomes.
+var admissionDecisions = []string{"accept", "stale", "shed"}
 
 // PreregisterMetrics creates the service's metric families (zero-valued)
 // ahead of any traffic, so the first scrape already exposes the full
@@ -106,6 +115,23 @@ func PreregisterMetrics(reg *obs.Registry) {
 		reg.Histogram(nAssignSec, hAssignSec,
 			obs.SecondsBuckets, obs.L("algorithm", alg.Name()))
 	}
+	for _, d := range admissionDecisions {
+		reg.Counter(nAdmDecisions, hAdmDecisions, obs.L("decision", d))
+	}
+	reg.Gauge(nAdmScore, hAdmScore)
+	reg.Gauge(nAdmState, hAdmState)
+}
+
+// countAdmission publishes one admission decision plus the score and
+// state it was made under.
+func (s *Server) countAdmission(decision string, state AdmissionState, score float64) {
+	reg := s.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter(nAdmDecisions, hAdmDecisions, obs.L("decision", decision)).Inc()
+	reg.Gauge(nAdmScore, hAdmScore).Set(score)
+	reg.Gauge(nAdmState, hAdmState).Set(float64(state))
 }
 
 // instrument is the outermost middleware: it wraps even the recover and

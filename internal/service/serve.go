@@ -1,0 +1,43 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs the service on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately (new connections are
+// refused) while in-flight requests get up to Options.DrainTimeout to
+// complete via http.Server.Shutdown. Callers wire SIGTERM/SIGINT to ctx
+// with signal.NotifyContext so orchestrated stops drain instead of
+// dropping work. Returns nil on a clean drain; a drain-deadline
+// overrun surfaces as an error after the remaining connections are
+// force-closed.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		// Serve never returns nil; ErrServerClosed cannot happen before
+		// Shutdown is called, so this is a real listener failure.
+		return fmt.Errorf("service: serve: %w", err)
+	case <-ctx.Done():
+	}
+	s.log.Info("service: draining", "timeout", s.opts.DrainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("service: drain: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("service: serve: %w", err)
+	}
+	s.log.Info("service: drained")
+	return nil
+}

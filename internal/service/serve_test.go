@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrainsInflight: on shutdown, a request already in
+// flight completes (http.Server.Shutdown drains it) while new
+// connections are refused the moment the listener closes.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Options{
+		MaxNodes:     256,
+		DrainTimeout: 10 * time.Second,
+		testHookAssign: func() {
+			close(entered)
+			<-release
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	// A slow /v1/assign enters the handler and parks on the hook.
+	body, err := json.Marshal(AssignRequest{
+		Matrix: smallMatrix(t), Servers: []int{0, 1}, Algorithm: "Greedy", Seed: ptr[int64](1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/assign", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: string(b)}
+	}()
+	<-entered
+
+	// Trigger shutdown with the request still in flight (the SIGTERM
+	// path: capserver wires the signal into this context).
+	cancel()
+
+	// New connections must be refused once the listener closes. Shutdown
+	// closes it before draining, so this converges quickly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after shutdown started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case r := <-resCh:
+		t.Fatalf("in-flight request finished before release: %+v", r)
+	default:
+	}
+
+	// Release the handler: the drained request completes normally.
+	close(release)
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d during drain: %s", r.status, r.body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after a clean drain", err)
+	}
+}
+
+// TestGracefulShutdownDrainDeadline: a handler that outlives the drain
+// timeout is force-closed and Serve reports the overrun instead of
+// hanging forever.
+func TestGracefulShutdownDrainDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	s := New(Options{
+		MaxNodes:     256,
+		DrainTimeout: 50 * time.Millisecond,
+		testHookAssign: func() {
+			close(entered)
+			<-release
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	body, err := json.Marshal(AssignRequest{
+		Matrix: smallMatrix(t), Servers: []int{0, 1}, Algorithm: "Greedy", Seed: ptr[int64](1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/assign", "application/json", strings.NewReader(string(body)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-served:
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Serve error = %v, want a drain deadline overrun", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve hung past the drain deadline")
+	}
+}

@@ -60,6 +60,19 @@ type Options struct {
 	// Live, if non-nil, is the live server cluster this service fronts;
 	// /healthz then reports its size and dead-server count.
 	Live LiveStatus
+	// Admission, if non-nil with a Health source, gates the assignment
+	// endpoints on live-cluster health: degraded clusters get the cached
+	// last-good response (X-Diacap-Stale header), sick clusters get 429 +
+	// Retry-After instead of a doomed computation (see AdmissionConfig).
+	Admission *AdmissionConfig
+	// DrainTimeout bounds the in-flight drain of Serve on shutdown
+	// (default 10 s).
+	DrainTimeout time.Duration
+
+	// testHookAssign, when non-nil, runs inside every admitted /v1/assign
+	// request before the computation starts. In-package tests use it to
+	// hold a request in flight across a shutdown.
+	testHookAssign func()
 }
 
 func (o *Options) fill() {
@@ -72,6 +85,9 @@ func (o *Options) fill() {
 	if o.Logger == nil {
 		o.Logger = obs.Discard()
 	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
 }
 
 // Server is the HTTP handler.
@@ -81,12 +97,16 @@ type Server struct {
 	algoTrace obs.AlgoTrace
 	mux       *http.ServeMux
 	handler   http.Handler
+	admission *admission
 }
 
 // New builds the service.
 func New(opts Options) *Server {
 	opts.fill()
 	s := &Server{opts: opts, log: opts.Logger, mux: http.NewServeMux()}
+	if opts.Admission != nil && opts.Admission.Health != nil {
+		s.admission = newAdmission(*opts.Admission)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
@@ -277,6 +297,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	if s.admit(w, r, "/v1/assign") {
+		return
+	}
+	if s.opts.testHookAssign != nil {
+		s.opts.testHookAssign()
+	}
 	resp, err := s.doAssign(&req)
 	if err != nil {
 		s.fail(w, r, err,
@@ -284,6 +310,9 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 			"algorithm", req.Algorithm,
 			"durationMs", durationMs(time.Since(start)))
 		return
+	}
+	if s.admission != nil {
+		s.admission.storeStale("/v1/assign", resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -444,6 +473,9 @@ func (s *Server) handleAssignCoords(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	if s.admit(w, r, "/v1/assign-coords") {
+		return
+	}
 	resp, err := s.doAssignCoords(&req)
 	if err != nil {
 		s.fail(w, r, err,
@@ -451,6 +483,9 @@ func (s *Server) handleAssignCoords(w http.ResponseWriter, r *http.Request) {
 			"servers", len(req.Servers),
 			"durationMs", durationMs(time.Since(start)))
 		return
+	}
+	if s.admission != nil {
+		s.admission.storeStale("/v1/assign-coords", resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
