@@ -52,6 +52,7 @@ import (
 	"diacap/internal/obs"
 	"diacap/internal/placement"
 	"diacap/internal/service"
+	"diacap/internal/shard"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		liveNodes    = flag.Int("live", 0, "boot a demo live cluster over a synthetic n-node matrix (0 = off)")
+		shardCount   = flag.Int("shards", 0, "front a demo sharded assignment control plane with this many shards over a synthetic 8-server/400-client population (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
@@ -96,6 +98,27 @@ func main() {
 		// churn storm sheds load instead of piling fresh computations onto
 		// a cluster mid-failover.
 		opts.Admission = &service.AdmissionConfig{Health: cluster}
+	}
+	if *shardCount > 0 {
+		shard.Preregister(reg)
+		const demoServers, demoClients = 8, 400
+		cs, err := latency.GenerateCoords(latency.DefaultConfig(demoServers+demoClients), 1)
+		if err != nil {
+			fatal(err)
+		}
+		plane, err := shard.New(shard.Options{
+			Shards:  *shardCount,
+			Servers: cs[:demoServers],
+			Clients: cs[demoServers:],
+			Metrics: reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Shard = plane
+		logger.Info("sharded control plane ready",
+			"shards", plane.NumShards(), "cells", plane.NumCells(),
+			"servers", plane.NumServers(), "clients", plane.NumClients())
 	}
 	svc := service.New(opts)
 

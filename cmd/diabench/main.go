@@ -98,6 +98,44 @@ func suite() []benchmark {
 			},
 		},
 		{
+			name:     "incremental_d/meridian",
+			workload: "per-event D maintenance under churn: incremental engine vs eccentricity repair + full pair recompute, Meridian scale (1796 clients, 80 servers)",
+			setup: func() (func() float64, func() float64) {
+				in := buildInstance(latency.MeridianLike(1), 80)
+				a := randomAssignment(in, 99)
+				// One shared cyclic churn tape: both evaluators replay
+				// the same migrations from the same initial assignment,
+				// so per-event work differs only in how D is maintained.
+				const tapeLen = 4096
+				rng := rand.New(rand.NewSource(7))
+				tapeClient := make([]int, tapeLen)
+				tapeServer := make([]int, tapeLen)
+				for i := range tapeClient {
+					tapeClient[i] = rng.Intn(in.NumClients())
+					tapeServer[i] = rng.Intn(in.NumServers())
+				}
+				newEval := func() *core.Evaluator {
+					ev, err := in.NewEvaluator(a)
+					if err != nil {
+						panic(err)
+					}
+					return ev
+				}
+				evInc, evRef := newEval(), newEval()
+				evInc.EnableIncremental()
+				i, j := 0, 0
+				return func() float64 {
+						d := evInc.Move(tapeClient[i], tapeServer[i])
+						i = (i + 1) % tapeLen
+						return d
+					}, func() float64 {
+						d := evRef.Move(tapeClient[j], tapeServer[j])
+						j = (j + 1) % tapeLen
+						return d
+					}
+			},
+		},
+		{
 			name:     "lower_bound/mit",
 			workload: "super-optimal lower bound, MIT scale (1024 clients, 32 servers)",
 			setup: func() (func() float64, func() float64) {

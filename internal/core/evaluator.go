@@ -36,6 +36,13 @@ type Evaluator struct {
 	// incremental state), so one private arena serves every recompute
 	// without allocation.
 	scratch *perfkit.Scratch
+	// inc, when non-nil, maintains D incrementally (heap-backed
+	// eccentricities plus cached pair maxima) instead of through
+	// recompute. See EnableIncremental.
+	inc *incState
+	// stats counts the work performed, split by kind (see
+	// EvaluatorStats).
+	stats EvaluatorStats
 }
 
 // NewEvaluator builds an evaluator over a copy of the assignment (the
@@ -93,6 +100,7 @@ func (ev *Evaluator) D() float64 {
 // perfkit pair kernel (bit-identical to the sentinel-skipping double
 // loop it replaced — see perfkit.MaxPathEccRef).
 func (ev *Evaluator) recompute() {
+	ev.stats.Recomputes++
 	ev.scratch.Reset()
 	ev.d = perfkit.MaxPathEcc(ev.in.ssF, ev.ecc, ev.scratch)
 	ev.dirty = false
@@ -109,12 +117,19 @@ func (ev *Evaluator) Move(c, s int) float64 {
 	}
 	old := ev.a[c]
 	if old == s {
+		// No-op move: the assignment is unchanged, so D is too. Return
+		// the cached value without marking state dirty — a recompute here
+		// would be O(U²) for nothing (see TestEvaluatorNoOpMoveDoesNoWork).
 		return ev.D()
+	}
+	if ev.inc != nil {
+		return ev.moveIncremental(c, s)
 	}
 	if old != Unassigned {
 		ev.loads[old]--
 		// Repair the old server's eccentricity if c could have defined it.
 		if ev.in.cs[c][old] >= ev.ecc[old]-1e-15 {
+			ev.stats.EccScans++
 			ev.ecc[old] = -1
 			for j, sj := range ev.a {
 				if j != c && sj == old {
@@ -138,9 +153,13 @@ func (ev *Evaluator) Move(c, s int) float64 {
 
 // PeekMove returns the D that Move(c, s) would produce, without changing
 // state. It is O(U) when the move cannot shrink any eccentricity, and
-// falls back to a scan otherwise.
+// falls back to a scan otherwise. Peeking a client's current server is
+// answered from the cached D without any repair work.
 func (ev *Evaluator) PeekMove(c, s int) float64 {
 	cur := ev.a[c]
+	if cur == s {
+		return ev.D()
+	}
 	d := ev.Move(c, s)
 	ev.Move(c, cur)
 	return d

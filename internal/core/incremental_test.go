@@ -1,0 +1,290 @@
+package core_test
+
+// Differential battery for the incremental D engine: randomized
+// join/leave/migrate sequences where every step's D must be
+// bit-identical to the legacy evaluator (full recompute) and to the
+// scalar eccentricity reference, and must agree with the client-pair
+// walk MaxPathReference at the repo's 1e-9 cross-form tolerance (the
+// two decompositions associate the witness sum differently — see
+// differential_test.go). Per-server eccentricities and loads are also
+// checked bit-for-bit, because the shard plane reconciles the global D
+// from exactly those eccentricities.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"diacap/internal/core"
+	"diacap/internal/latency"
+)
+
+// incCheck drives one randomized op sequence through an incremental
+// evaluator, cross-checking against a legacy evaluator replaying the
+// same moves. refEvery > 0 additionally checks eccPathReference and
+// MaxPathReference every refEvery ops.
+func incCheck(t *testing.T, in *core.Instance, seed int64, ops, refEvery int) {
+	t.Helper()
+	inc, err := in.NewEvaluator(core.NewAssignment(in.NumClients()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.EnableIncremental()
+	legacy, err := in.NewEvaluator(core.NewAssignment(in.NumClients()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var active, inactive []int
+	for c := 0; c < in.NumClients(); c++ {
+		inactive = append(inactive, c)
+	}
+	for op := 0; op < ops; op++ {
+		var d float64
+		switch k := rng.Intn(3); {
+		case k == 0 && len(inactive) > 0: // join
+			i := rng.Intn(len(inactive))
+			c := inactive[i]
+			s := rng.Intn(in.NumServers())
+			d, err = inc.ApplyJoin(c, s)
+			if err != nil {
+				t.Fatalf("op %d: join(%d,%d): %v", op, c, s, err)
+			}
+			legacy.Move(c, s)
+			inactive[i] = inactive[len(inactive)-1]
+			inactive = inactive[:len(inactive)-1]
+			active = append(active, c)
+		case k == 1 && len(active) > 0: // leave
+			i := rng.Intn(len(active))
+			c := active[i]
+			d, err = inc.ApplyLeave(c)
+			if err != nil {
+				t.Fatalf("op %d: leave(%d): %v", op, c, err)
+			}
+			legacy.Move(c, core.Unassigned)
+			active[i] = active[len(active)-1]
+			active = active[:len(active)-1]
+			inactive = append(inactive, c)
+		case len(active) > 0: // migrate (sometimes a no-op on purpose)
+			c := active[rng.Intn(len(active))]
+			s := rng.Intn(in.NumServers())
+			d, err = inc.ApplyMove(c, s)
+			if err != nil {
+				t.Fatalf("op %d: migrate(%d,%d): %v", op, c, s, err)
+			}
+			legacy.Move(c, s)
+		default:
+			continue
+		}
+		checkBitsEqual(t, "incremental D vs legacy evaluator", d, legacy.D())
+		if refEvery > 0 && op%refEvery == 0 {
+			a := inc.Assignment()
+			checkBitsEqual(t, "incremental D vs ecc reference", d, eccPathReference(in, a))
+			if ref := in.MaxPathReference(a); math.Abs(d-ref) > 1e-9 {
+				t.Fatalf("op %d: incremental D %v vs MaxPathReference %v: |diff| %g > 1e-9",
+					op, d, ref, math.Abs(d-ref))
+			}
+			for s := 0; s < in.NumServers(); s++ {
+				checkBitsEqual(t, "incremental eccentricity", inc.Eccentricity(s), legacy.Eccentricity(s))
+				if inc.Load(s) != legacy.Load(s) {
+					t.Fatalf("op %d: load[%d] = %d, legacy %d", op, s, inc.Load(s), legacy.Load(s))
+				}
+			}
+		}
+	}
+	if st := inc.Stats(); st.Recomputes != 0 || st.EccScans != 0 {
+		t.Fatalf("incremental evaluator fell back to O(world) work: %+v", inc.Stats())
+	}
+}
+
+// TestIncrementalDifferential is the acceptance battery: over 10k
+// randomized join/leave/migrate ops on synthetic instances (full
+// reference checks on every op), plus a Meridian-scale sequence.
+func TestIncrementalDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, servers int
+		seed           int64
+		ops, refEvery  int
+	}{
+		{nodes: 60, servers: 6, seed: 1, ops: 4000, refEvery: 1},
+		{nodes: 120, servers: 12, seed: 2, ops: 4000, refEvery: 1},
+		{nodes: 200, servers: 25, seed: 3, ops: 4000, refEvery: 5},
+	} {
+		m, err := latency.SyntheticInternet(latency.DefaultConfig(tc.nodes), tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := diffInstance(t, m, tc.servers, tc.seed)
+		incCheck(t, in, tc.seed+100, tc.ops, tc.refEvery)
+	}
+}
+
+// TestIncrementalDifferentialMeridian exercises the engine at serving
+// scale (1796 nodes, 80 servers) where the heap and witness-cache
+// machinery actually matters.
+func TestIncrementalDifferentialMeridian(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meridian-scale differential in -short mode")
+	}
+	in := diffInstance(t, latency.MeridianLike(1), 80, 7)
+	incCheck(t, in, 11, 3000, 50)
+}
+
+// TestIncrementalFromWarmState enables the engine on an evaluator that
+// already went through legacy moves, then keeps checking equivalence.
+func TestIncrementalFromWarmState(t *testing.T) {
+	m := latency.ScaledLike(150, 9)
+	in := diffInstance(t, m, 10, 9)
+	a := diffAssignment(in, 10, 0.3)
+	ev, err := in.NewEvaluator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := in.NewEvaluator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		c, s := rng.Intn(in.NumClients()), rng.Intn(in.NumServers())
+		ev.Move(c, s)
+		legacy.Move(c, s)
+	}
+	ev.EnableIncremental()
+	checkBitsEqual(t, "D at enable time", ev.D(), legacy.D())
+	for i := 0; i < 2000; i++ {
+		c := rng.Intn(in.NumClients())
+		s := rng.Intn(in.NumServers() + 1)
+		if s == in.NumServers() {
+			s = core.Unassigned
+		}
+		checkBitsEqual(t, "post-enable move", ev.Move(c, s), legacy.Move(c, s))
+	}
+	for s := 0; s < in.NumServers(); s++ {
+		checkBitsEqual(t, "post-enable eccentricity", ev.Eccentricity(s), legacy.Eccentricity(s))
+	}
+}
+
+// TestIncrementalPeekMove checks PeekMove neutrality on the incremental
+// path: a peek must not change D, the assignment, or any eccentricity.
+func TestIncrementalPeekMove(t *testing.T) {
+	m := latency.ScaledLike(120, 3)
+	in := diffInstance(t, m, 8, 3)
+	ev, err := in.NewEvaluator(diffAssignment(in, 4, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.EnableIncremental()
+	legacy, err := in.NewEvaluator(ev.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		c, s := rng.Intn(in.NumClients()), rng.Intn(in.NumServers())
+		checkBitsEqual(t, "peek parity", ev.PeekMove(c, s), legacy.PeekMove(c, s))
+		checkBitsEqual(t, "D after peek", ev.D(), legacy.D())
+		if ev.ServerOf(c) != legacy.ServerOf(c) {
+			t.Fatalf("peek mutated assignment of client %d", c)
+		}
+	}
+}
+
+// TestApplyOpErrors pins the typed errors of the delta API.
+func TestApplyOpErrors(t *testing.T) {
+	m := latency.ScaledLike(40, 1)
+	in := diffInstance(t, m, 4, 1)
+	ev, err := in.NewEvaluator(core.NewAssignment(in.NumClients()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.ApplyLeave(0); !errors.Is(err, core.ErrNotAssigned) {
+		t.Fatalf("leave of inactive client: got %v, want ErrNotAssigned", err)
+	}
+	if _, err := ev.ApplyMove(0, 1); !errors.Is(err, core.ErrNotAssigned) {
+		t.Fatalf("migrate of inactive client: got %v, want ErrNotAssigned", err)
+	}
+	if _, err := ev.ApplyJoin(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.ApplyJoin(0, 1); !errors.Is(err, core.ErrAlreadyAssigned) {
+		t.Fatalf("double join: got %v, want ErrAlreadyAssigned", err)
+	}
+	if _, err := ev.ApplyJoin(-1, 0); err == nil {
+		t.Fatal("out-of-range client accepted")
+	}
+	if _, err := ev.ApplyJoin(1, in.NumServers()); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+	if _, err := ev.ApplyJoin(1, core.Unassigned); err == nil {
+		t.Fatal("join to Unassigned accepted")
+	}
+	if _, err := ev.ApplyMove(0, core.Unassigned); err == nil {
+		t.Fatal("migrate to Unassigned accepted")
+	}
+}
+
+// TestEvaluatorNoOpMoveDoesNoWork is the regression test for the no-op
+// fast path: once D is cached, re-assigning a client to its current
+// server (Move or PeekMove, legacy or incremental) must perform no
+// recompute, no eccentricity scan, and no incremental repair work.
+func TestEvaluatorNoOpMoveDoesNoWork(t *testing.T) {
+	m := latency.ScaledLike(80, 2)
+	in := diffInstance(t, m, 6, 2)
+	for _, incremental := range []bool{false, true} {
+		ev, err := in.NewEvaluator(diffAssignment(in, 3, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if incremental {
+			ev.EnableIncremental()
+		}
+		before := ev.D()
+		ev.ResetStats()
+		for c := 0; c < in.NumClients(); c++ {
+			checkBitsEqual(t, "no-op Move return", ev.Move(c, ev.ServerOf(c)), before)
+			checkBitsEqual(t, "no-op PeekMove return", ev.PeekMove(c, ev.ServerOf(c)), before)
+		}
+		if st := ev.Stats(); st != (core.EvaluatorStats{}) {
+			t.Fatalf("incremental=%v: no-op moves performed repair work: %+v", incremental, st)
+		}
+	}
+}
+
+// FuzzIncrementalOps interprets fuzz bytes as an op tape and replays it
+// against the legacy evaluator.
+func FuzzIncrementalOps(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 9, 4, 200, 33, 7})
+	f.Add(int64(3), []byte{255, 254, 253, 0, 0, 0, 1, 1, 1, 77})
+	m := latency.ScaledLike(64, 5)
+	f.Fuzz(func(t *testing.T, seed int64, tape []byte) {
+		if len(tape) > 512 {
+			tape = tape[:512]
+		}
+		in := diffInstance(t, m, 6, seed%16+1)
+		inc, err := in.NewEvaluator(core.NewAssignment(in.NumClients()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.EnableIncremental()
+		legacy, err := in.NewEvaluator(core.NewAssignment(in.NumClients()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(tape); i += 2 {
+			c := int(tape[i]) % in.NumClients()
+			s := int(tape[i+1])%(in.NumServers()+1) - 1 // -1 = Unassigned
+			got := inc.Move(c, s)
+			want := legacy.Move(c, s)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("op %d: move(%d,%d): incremental %v != legacy %v", i/2, c, s, got, want)
+			}
+		}
+		a := inc.Assignment()
+		if math.Float64bits(inc.D()) != math.Float64bits(eccPathReference(in, a)) {
+			t.Fatalf("final D %v != ecc reference %v", inc.D(), eccPathReference(in, a))
+		}
+	})
+}

@@ -30,6 +30,8 @@ var endpoints = []string{
 	"/v1/assign",
 	"/v1/assign-coords",
 	"/v1/placement",
+	"/v1/shard/assign",
+	"/v1/shard/snapshot",
 	"/metrics",
 	"/debug/vars",
 }

@@ -14,6 +14,12 @@
 //	                       no matrix and no MaxNodes limit (see
 //	                       AssignCoordsRequest)
 //	POST /v1/placement     choose server nodes (see PlacementRequest)
+//	POST /v1/shard/assign  mutate the sharded control plane
+//	                       (Options.Shard; see ShardAssignRequest)
+//	GET  /v1/shard/snapshot
+//	                       published shard snapshot, optionally
+//	                       conditional on ?epoch=N (409 + X-Diacap-Epoch
+//	                       when the epoch was retired)
 //	GET  /metrics          Prometheus text exposition (Options.Metrics)
 //	GET  /debug/vars       JSON metric snapshot (Options.Metrics)
 //	GET  /debug/pprof/     net/http/pprof (Options.EnablePprof)
@@ -37,6 +43,7 @@ import (
 	"diacap/internal/obs"
 	"diacap/internal/placement"
 	"diacap/internal/scale"
+	"diacap/internal/shard"
 )
 
 // Options bounds the service.
@@ -68,6 +75,10 @@ type Options struct {
 	// DrainTimeout bounds the in-flight drain of Serve on shutdown
 	// (default 10 s).
 	DrainTimeout time.Duration
+	// Shard, if non-nil, is the sharded assignment control plane this
+	// service fronts; it mounts POST /v1/shard/assign and
+	// GET /v1/shard/snapshot.
+	Shard *shard.Plane
 
 	// testHookAssign, when non-nil, runs inside every admitted /v1/assign
 	// request before the computation starts. In-package tests use it to
@@ -112,6 +123,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
 	s.mux.HandleFunc("/v1/assign-coords", s.handleAssignCoords)
 	s.mux.HandleFunc("/v1/placement", s.handlePlacement)
+	if opts.Shard != nil {
+		s.mux.HandleFunc("/v1/shard/assign", s.handleShardAssign)
+		s.mux.HandleFunc("/v1/shard/snapshot", s.handleShardSnapshot)
+	}
 	s.mountDebug()
 	var h http.Handler = s.mux
 	if opts.RequestTimeout > 0 {

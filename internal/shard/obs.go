@@ -1,0 +1,112 @@
+package shard
+
+import "diacap/internal/obs"
+
+// Metric names and help strings, declared as package-level consts per
+// the obs-preregister discipline: the exposed schema is this block.
+const (
+	nShardEvents = "diacap_shard_events_total"
+	hShardEvents = "Control-plane mutations processed, by operation."
+
+	nShardRejected = "diacap_shard_rejected_total"
+	hShardRejected = "Control-plane mutations rejected, by reason."
+
+	nShardEpoch = "diacap_shard_epoch"
+	hShardEpoch = "Epoch of the currently published snapshot."
+
+	nShardD = "diacap_shard_d_ms"
+	hShardD = "Exact global D of the published snapshot, in ms."
+
+	nShardCertifiedD = "diacap_shard_certified_d_ms"
+	hShardCertifiedD = "Certified upper bound on D from cell-level summaries, in ms."
+
+	nShardActive = "diacap_shard_active_clients"
+	hShardActive = "Active (assigned) clients across all shards."
+
+	nShardPublish = "diacap_shard_publish_seconds"
+	hShardPublish = "Wall time to rebuild summaries and publish a snapshot."
+
+	nShardStaleReads = "diacap_shard_stale_reads_total"
+	hShardStaleReads = "Snapshot reads that named a retired epoch."
+)
+
+// planeMetrics resolves the plane's instruments once at construction.
+// A nil registry yields a nil planeMetrics, and every method is
+// nil-safe, so the plane works unmetered.
+type planeMetrics struct {
+	reg        *obs.Registry
+	epoch      *obs.Gauge
+	dms        *obs.Gauge
+	certified  *obs.Gauge
+	active     *obs.Gauge
+	publish    *obs.Histogram
+	staleReads *obs.Counter
+}
+
+func newPlaneMetrics(reg *obs.Registry) *planeMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &planeMetrics{
+		reg:        reg,
+		epoch:      reg.Gauge(nShardEpoch, hShardEpoch),
+		dms:        reg.Gauge(nShardD, hShardD),
+		certified:  reg.Gauge(nShardCertifiedD, hShardCertifiedD),
+		active:     reg.Gauge(nShardActive, hShardActive),
+		publish:    reg.Histogram(nShardPublish, hShardPublish, obs.SecondsBuckets),
+		staleReads: reg.Counter(nShardStaleReads, hShardStaleReads),
+	}
+	return m
+}
+
+// Preregister registers every shard metric, including each op label of
+// the event counters, so scrapes expose the full schema before traffic.
+func Preregister(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, op := range []string{"join", "leave", "migrate", "kill", "restart", "drift", "resolve"} {
+		reg.Counter(nShardEvents, hShardEvents, obs.L("op", op))
+	}
+	for _, reason := range []string{"unknown_client", "no_capacity", "conflict", "server_down"} {
+		reg.Counter(nShardRejected, hShardRejected, obs.L("reason", reason))
+	}
+	reg.Gauge(nShardEpoch, hShardEpoch)
+	reg.Gauge(nShardD, hShardD)
+	reg.Gauge(nShardCertifiedD, hShardCertifiedD)
+	reg.Gauge(nShardActive, hShardActive)
+	reg.Histogram(nShardPublish, hShardPublish, obs.SecondsBuckets)
+	reg.Counter(nShardStaleReads, hShardStaleReads)
+}
+
+func (m *planeMetrics) event(op string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(nShardEvents, hShardEvents, obs.L("op", op)).Inc()
+}
+
+func (m *planeMetrics) rejected(reason string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(nShardRejected, hShardRejected, obs.L("reason", reason)).Inc()
+}
+
+func (m *planeMetrics) published(s *Snapshot, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.epoch.Set(float64(s.Epoch))
+	m.dms.Set(s.D)
+	m.certified.Set(s.CertifiedD)
+	m.active.Set(float64(s.Active))
+	m.publish.Observe(seconds)
+}
+
+func (m *planeMetrics) staleRead() {
+	if m == nil {
+		return
+	}
+	m.staleReads.Inc()
+}

@@ -1,0 +1,381 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"diacap/internal/assign"
+	"diacap/internal/core"
+	"diacap/internal/dynamic"
+)
+
+// OpResult reports the outcome of one control-plane mutation.
+type OpResult struct {
+	// Epoch is the snapshot epoch this mutation published.
+	Epoch uint64
+	// Shard is the shard that absorbed the mutation (-1 for
+	// whole-plane operations).
+	Shard int
+	// Server is the client's server after the mutation (join/migrate),
+	// or its former server (leave); core.Unassigned otherwise.
+	Server int
+	// D and CertifiedD are the published global values.
+	D, CertifiedD float64
+}
+
+func (p *Plane) opResult(shard, server int) OpResult {
+	s := p.publishLocked()
+	return OpResult{Epoch: s.Epoch, Shard: shard, Server: server, D: s.D, CertifiedD: s.CertifiedD}
+}
+
+// Join activates client c, placing it through the owning shard's
+// strategy. Fails with ErrUnknownClient, core.ErrAlreadyAssigned, or
+// ErrNoCapacity.
+func (p *Plane) Join(c int) (OpResult, error) {
+	sid, err := p.ShardOf(c)
+	if err != nil {
+		p.met.rejected("unknown_client")
+		return OpResult{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := p.shards[sid]
+	local := p.clientLocal[c]
+	if sh.ev.ServerOf(local) != core.Unassigned {
+		p.met.rejected("conflict")
+		return OpResult{}, fmt.Errorf("%w: client %d", core.ErrAlreadyAssigned, c)
+	}
+	s, err := p.place(sh, local, c)
+	if err != nil {
+		p.met.rejected("no_capacity")
+		return OpResult{}, err
+	}
+	p.met.event("join")
+	return p.opResult(sid, s), nil
+}
+
+// place runs the shard strategy's join path for local client and
+// applies the placement, with the same validation the scenario
+// simulator performs. Callers hold p.mu.
+func (p *Plane) place(sh *shardState, local, global int) (int, error) {
+	s := sh.strat.PlaceJoin(sh.ev, sh.effCaps, local)
+	if s < 0 {
+		return -1, fmt.Errorf("%w: client %d (shard %d): %w",
+			ErrNoCapacity, global, sh.id, dynamic.ErrCapacityExhausted)
+	}
+	if s >= len(p.alive) || !p.alive[s] {
+		return -1, fmt.Errorf("shard: strategy %s returned unusable server %d", sh.strat.Name(), s)
+	}
+	if sh.effCaps != nil && sh.ev.Load(s) >= sh.effCaps[s] {
+		return -1, fmt.Errorf("shard: strategy %s placed a client on saturated server %d", sh.strat.Name(), s)
+	}
+	if _, err := sh.ev.ApplyJoin(local, s); err != nil {
+		return -1, err
+	}
+	sh.noteAssign(p.clientCell[global], s, +1)
+	return s, nil
+}
+
+// Leave deactivates client c. Fails with ErrUnknownClient or
+// core.ErrNotAssigned.
+func (p *Plane) Leave(c int) (OpResult, error) {
+	sid, err := p.ShardOf(c)
+	if err != nil {
+		p.met.rejected("unknown_client")
+		return OpResult{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := p.shards[sid]
+	local := p.clientLocal[c]
+	old := sh.ev.ServerOf(local)
+	if _, err := sh.ev.ApplyLeave(local); err != nil {
+		p.met.rejected("conflict")
+		return OpResult{}, err
+	}
+	sh.noteAssign(p.clientCell[c], old, -1)
+	p.met.event("leave")
+	return p.opResult(sid, old), nil
+}
+
+// Migrate moves active client c to server target; target < 0 asks the
+// owning shard's strategy to re-place the client (the client keeps its
+// old server if no better placement has room). Fails with
+// ErrUnknownClient, core.ErrNotAssigned, ErrServerDown, or
+// ErrNoCapacity.
+func (p *Plane) Migrate(c, target int) (OpResult, error) {
+	sid, err := p.ShardOf(c)
+	if err != nil {
+		p.met.rejected("unknown_client")
+		return OpResult{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := p.shards[sid]
+	local := p.clientLocal[c]
+	old := sh.ev.ServerOf(local)
+	if old == core.Unassigned {
+		p.met.rejected("conflict")
+		return OpResult{}, fmt.Errorf("%w: migrate of client %d", core.ErrNotAssigned, c)
+	}
+	if target >= 0 {
+		if target >= len(p.alive) {
+			return OpResult{}, fmt.Errorf("shard: server %d out of range [0,%d)", target, len(p.alive))
+		}
+		if !p.alive[target] {
+			p.met.rejected("server_down")
+			return OpResult{}, fmt.Errorf("%w: server %d", ErrServerDown, target)
+		}
+		if target != old && sh.effCaps != nil && sh.ev.Load(target) >= sh.effCaps[target] {
+			p.met.rejected("no_capacity")
+			return OpResult{}, fmt.Errorf("%w: server %d is saturated in shard %d", ErrNoCapacity, target, sh.id)
+		}
+		if _, err := sh.ev.ApplyMove(local, target); err != nil {
+			return OpResult{}, err
+		}
+		if target != old {
+			sh.noteAssign(p.clientCell[c], old, -1)
+			sh.noteAssign(p.clientCell[c], target, +1)
+		}
+		p.met.event("migrate")
+		return p.opResult(sid, target), nil
+	}
+	// Strategy re-placement: lift the client out, ask the strategy, and
+	// restore the old seat if nothing has room.
+	if _, err := sh.ev.ApplyLeave(local); err != nil {
+		return OpResult{}, err
+	}
+	sh.noteAssign(p.clientCell[c], old, -1)
+	s, err := p.place(sh, local, c)
+	if err != nil {
+		if _, rerr := sh.ev.ApplyJoin(local, old); rerr != nil {
+			return OpResult{}, errors.Join(err, rerr)
+		}
+		sh.noteAssign(p.clientCell[c], old, +1)
+		return OpResult{}, err
+	}
+	p.met.event("migrate")
+	return p.opResult(sid, s), nil
+}
+
+// KillServer marks server k dead and evacuates its clients shard by
+// shard through each shard's strategy (ascending shard id, ascending
+// client order — deterministic). Killing a dead server is idempotent.
+// If an evacuation cannot be placed the plane returns the typed
+// capacity error with the world left capacity-consistent (every client
+// either has a live seat or is detached).
+func (p *Plane) KillServer(k int) (OpResult, int, error) {
+	if k < 0 || k >= len(p.alive) {
+		return OpResult{}, 0, fmt.Errorf("shard: server %d out of range [0,%d)", k, len(p.alive))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.alive[k] {
+		// Idempotent double kill: no state change, no new epoch.
+		s := p.snap.Load()
+		return OpResult{Epoch: s.Epoch, Shard: -1, Server: k, D: s.D, CertifiedD: s.CertifiedD}, 0, nil
+	}
+	p.alive[k] = false
+	p.dead++
+	p.rebuildEffCaps()
+	evacuated := 0
+	for _, sh := range p.shards {
+		for local := 0; local < len(sh.clients); local++ {
+			if sh.ev.ServerOf(local) != k {
+				continue
+			}
+			global := sh.clients[local]
+			if _, err := sh.ev.ApplyLeave(local); err != nil {
+				return OpResult{}, evacuated, err
+			}
+			sh.noteAssign(p.clientCell[global], k, -1)
+			if _, err := p.place(sh, local, global); err != nil {
+				p.met.event("kill")
+				r := p.opResult(-1, k)
+				return r, evacuated, err
+			}
+			evacuated++
+		}
+	}
+	p.met.event("kill")
+	r := p.opResult(-1, k)
+	return r, evacuated, nil
+}
+
+// RestartServer brings server k back. Restarting a live server is
+// idempotent.
+func (p *Plane) RestartServer(k int) (OpResult, error) {
+	if k < 0 || k >= len(p.alive) {
+		return OpResult{}, fmt.Errorf("shard: server %d out of range [0,%d)", k, len(p.alive))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.alive[k] {
+		p.alive[k] = true
+		p.dead--
+		p.rebuildEffCaps()
+		p.met.event("restart")
+	}
+	return p.opResult(-1, k), nil
+}
+
+// rebuildEffCaps refreshes every shard's effective capacity vector
+// after a liveness change (dead servers clamp to zero; nil caller caps
+// substitute the shard's own client count, mirroring the scenario
+// simulator). Callers hold p.mu.
+func (p *Plane) rebuildEffCaps() {
+	for _, sh := range p.shards {
+		if p.dead == 0 {
+			sh.effCaps = sh.caps
+			continue
+		}
+		eff := make(core.Capacities, len(p.alive))
+		for k := range eff {
+			switch {
+			case !p.alive[k]:
+				eff[k] = 0
+			case sh.caps != nil:
+				eff[k] = sh.caps[k]
+			default:
+				eff[k] = len(sh.clients)
+			}
+		}
+		sh.effCaps = eff
+	}
+}
+
+// RepairShard runs one shard's strategy repair at virtual time now and
+// returns the number of migrations it performed. The strategy mutates
+// the evaluator directly, so the cell-level summary is reconciled from
+// the assignment diff afterwards.
+func (p *Plane) RepairShard(id int, now float64) (int, error) {
+	if id < 0 || id >= len(p.shards) {
+		return 0, fmt.Errorf("shard: id %d out of range [0,%d)", id, len(p.shards))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := p.shards[id]
+	before := sh.ev.Assignment()
+	moves := sh.strat.Repair(sh.ev, sh.effCaps, now)
+	if moves != 0 {
+		sh.reconcileCells(p, before)
+		p.publishLocked()
+	}
+	return moves, nil
+}
+
+// Resolve re-solves every shard's active sub-instance from scratch with
+// the named assignment algorithm (seeded) and applies the result — the
+// per-shard batch solver counterpart of the online strategies. It
+// returns the total number of clients that moved.
+func (p *Plane) Resolve(algName string, seed int64) (OpResult, int, error) {
+	alg, err := assign.ByNameSeeded(algName, seed)
+	if err != nil {
+		return OpResult{}, 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	moved := 0
+	for _, sh := range p.shards {
+		if sh.active == 0 {
+			continue
+		}
+		ns := len(p.opts.Servers)
+		nodes := make([]int, 0, ns+sh.active)
+		activeLocal := make([]int, 0, sh.active)
+		for k := 0; k < ns; k++ {
+			nodes = append(nodes, k)
+		}
+		for local := range sh.clients {
+			if sh.ev.ServerOf(local) != core.Unassigned {
+				nodes = append(nodes, ns+local)
+				activeLocal = append(activeLocal, local)
+			}
+		}
+		// Submatrix re-indexes: sub node i is shard node nodes[i], so
+		// servers are again 0..ns-1 and clients ns..len(nodes)-1.
+		servers := make([]int, ns)
+		clients := make([]int, len(activeLocal))
+		for k := range servers {
+			servers[k] = k
+		}
+		for i := range clients {
+			clients[i] = ns + i
+		}
+		sub, err := core.NewInstanceTrusted(sh.in.Matrix().Submatrix(nodes), servers, clients)
+		if err != nil {
+			return OpResult{}, moved, fmt.Errorf("shard %d: %w", sh.id, err)
+		}
+		a, err := alg.Assign(sub, p.resolveCaps(sh))
+		if err != nil {
+			return OpResult{}, moved, fmt.Errorf("shard %d: %s: %w", sh.id, algName, err)
+		}
+		before := sh.ev.Assignment()
+		for i, local := range activeLocal {
+			if sh.ev.ServerOf(local) != a[i] {
+				sh.ev.Move(local, a[i])
+				moved++
+			}
+		}
+		sh.reconcileCells(p, before)
+	}
+	p.met.event("resolve")
+	r := p.opResult(-1, core.Unassigned)
+	return r, moved, nil
+}
+
+// resolveCaps is the capacity vector handed to a shard's batch solver:
+// the effective share, with nil passed through (uncapacitated).
+func (p *Plane) resolveCaps(sh *shardState) core.Capacities {
+	if sh.effCaps == nil && p.dead == 0 {
+		return nil
+	}
+	return sh.effCaps
+}
+
+// noteAssign maintains the shard's cell-level occupancy and active
+// count after one client's (de)assignment on server s.
+func (sh *shardState) noteAssign(cell, s, delta int) {
+	if s == core.Unassigned {
+		return
+	}
+	row := sh.cellLoad[cell]
+	if row == nil {
+		row = make([]int, sh.in.NumServers())
+		sh.cellLoad[cell] = row
+	}
+	row[s] += delta
+	sh.active += delta
+	sh.dirty = true
+}
+
+// reconcileCells rebuilds the cell-level occupancy from the assignment
+// diff after a strategy or solver mutated the evaluator directly.
+func (sh *shardState) reconcileCells(p *Plane, before core.Assignment) {
+	for local, prev := range before {
+		cur := sh.ev.ServerOf(local)
+		if cur == prev {
+			continue
+		}
+		cell := p.clientCell[sh.clients[local]]
+		sh.noteAssign(cell, prev, -1)
+		sh.noteAssign(cell, cur, +1)
+	}
+}
+
+// EvaluatorStats sums the per-shard evaluator work counters — tests use
+// it to prove the plane never fell back to O(world) repair.
+func (p *Plane) EvaluatorStats() core.EvaluatorStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total core.EvaluatorStats
+	for _, sh := range p.shards {
+		st := sh.ev.Stats()
+		total.Recomputes += st.Recomputes
+		total.EccScans += st.EccScans
+		total.HeapOps += st.HeapOps
+		total.PairTouches += st.PairTouches
+		total.PairRescans += st.PairRescans
+	}
+	return total
+}

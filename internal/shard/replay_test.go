@@ -1,0 +1,177 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"diacap/internal/core"
+	"diacap/internal/dynamic"
+	"diacap/internal/shard"
+)
+
+// TestReplayOneShardMatchesSimulate is the decomposition anchor for the
+// scenario path: a one-shard plane replaying a scenario must reproduce
+// dynamic.SimulateScenario bit-for-bit — same counters, same Timeline,
+// same FinalD/MaxD/TimeAvgD down to the last bit.
+func TestReplayOneShardMatchesSimulate(t *testing.T) {
+	kinds := dynamic.ScenarioKinds()
+	if testing.Short() {
+		kinds = []string{"flashcrowd", "storm"}
+	}
+	for _, kind := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			sc, err := dynamic.BuildScenario(kind, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := dynamic.SimulateScenario(sc, nil, dynamic.NewGreedyJoin(sc.Pop.Instance))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := shard.NewFromPopulation(sc.Pop, shard.Options{Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Replay(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareReplay(t, got, want)
+		})
+	}
+}
+
+// TestReplayOneShardCapacitated repeats the anchor under binding
+// capacities, exercising the capacity-split and effective-capacity
+// paths against the simulator's.
+func TestReplayOneShardCapacitated(t *testing.T) {
+	sc, err := dynamic.BuildScenario("flashcrowd", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make(core.Capacities, len(sc.Pop.Servers))
+	for k := range caps {
+		caps[k] = sc.Pop.Instance.NumClients()/len(caps) + 4
+	}
+	want, err := dynamic.SimulateScenario(sc, caps, dynamic.NewGreedyJoin(sc.Pop.Instance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := shard.NewFromPopulation(sc.Pop, shard.Options{Shards: 1, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Replay(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReplay(t, got, want)
+}
+
+func compareReplay(t *testing.T, got *shard.ReplayResult, want *dynamic.ScenarioResult) {
+	t.Helper()
+	if got.Joins != want.Joins || got.Leaves != want.Leaves {
+		t.Fatalf("churn counters: got %d/%d, want %d/%d", got.Joins, got.Leaves, want.Joins, want.Leaves)
+	}
+	if got.KillsApplied != want.KillsApplied || got.Restarts != want.Restarts {
+		t.Fatalf("failure counters: got %d/%d, want %d/%d",
+			got.KillsApplied, got.Restarts, want.KillsApplied, want.Restarts)
+	}
+	if got.DriftSteps != want.DriftSteps {
+		t.Fatalf("drift steps: got %d, want %d", got.DriftSteps, want.DriftSteps)
+	}
+	if got.ForcedMoves != want.ForcedMoves || got.RepairMoves != want.RepairMoves {
+		t.Fatalf("move counters: got %d/%d, want %d/%d",
+			got.ForcedMoves, got.RepairMoves, want.ForcedMoves, want.RepairMoves)
+	}
+	bitsEq(t, "FinalD", got.FinalD, want.FinalD)
+	bitsEq(t, "MaxD", got.MaxD, want.MaxD)
+	bitsEq(t, "TimeAvgD", got.TimeAvgD, want.TimeAvgD)
+	if len(got.Timeline) != len(want.Timeline) {
+		t.Fatalf("timeline length: got %d, want %d", len(got.Timeline), len(want.Timeline))
+	}
+	for i := range got.Timeline {
+		if got.Timeline[i].Time != want.Timeline[i].Time {
+			t.Fatalf("timeline[%d] time: got %v, want %v", i, got.Timeline[i].Time, want.Timeline[i].Time)
+		}
+		bitsEq(t, fmt.Sprintf("timeline[%d] D", i), got.Timeline[i].D, want.Timeline[i].D)
+	}
+}
+
+// TestReplayMultiShard replays failure-storm and drift scenarios
+// through 4- and 16-shard planes: the run must complete, the published
+// D must stay exact against an oracle evaluator over the population
+// instance, and the certified gap must respect the 4ρ envelope while
+// cell geometry is valid.
+func TestReplayMultiShard(t *testing.T) {
+	for _, kind := range []string{"storm", "drift"} {
+		for _, shards := range []int{4, 16} {
+			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
+				sc, err := dynamic.BuildScenario(kind, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := shard.NewFromPopulation(sc.Pop, shard.Options{Shards: shards, MaxCells: 24})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := p.Replay(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				final := p.Current()
+				if final.Epoch != res.FinalEpoch {
+					t.Fatalf("final epoch %d, result says %d", final.Epoch, res.FinalEpoch)
+				}
+				// Oracle: a single evaluator over the live geometry —
+				// the population instance, or the last drift snapshot's
+				// re-materialized instance once coordinates have moved.
+				oracle := sc.Pop.Instance
+				if res.DriftSteps > 0 {
+					oracle = sc.Snapshots[len(sc.Snapshots)-1].Instance
+				}
+				ev, err := oracle.NewEvaluator(final.Assignment)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bitsEq(t, "final sharded D vs oracle", final.D, ev.D())
+				if final.CertifiedD < final.D {
+					t.Fatalf("certified bound %v below exact D %v", final.CertifiedD, final.D)
+				}
+				if res.MaxCertGap > 4*final.MaxRho+1e-9 {
+					t.Fatalf("certified gap %v exceeded 4·maxρ = %v", res.MaxCertGap, 4*final.MaxRho)
+				}
+				events := 0
+				for _, n := range res.ShardEvents {
+					events += n
+				}
+				if events != res.Joins+res.Leaves {
+					t.Fatalf("shard event counts sum to %d, want %d joins+leaves", events, res.Joins+res.Leaves)
+				}
+				if st := p.EvaluatorStats(); st.Recomputes != 0 || st.EccScans != 0 {
+					t.Fatalf("replay fell back to O(world) repair: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayPopulationMismatch pins the defensive check against feeding
+// a plane a scenario sized for a different population.
+func TestReplayPopulationMismatch(t *testing.T) {
+	sc, err := dynamic.BuildScenario("flashcrowd", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := dynamic.NewPopulation(60, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := shard.NewFromPopulation(pop, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Replay(sc); err == nil {
+		t.Fatal("replay of a mis-sized scenario succeeded")
+	}
+}

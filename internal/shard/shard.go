@@ -1,0 +1,407 @@
+// Package shard is the horizontally sharded assignment control plane:
+// the client universe is partitioned across N shards along the
+// internal/scale cell decomposition, each shard owns a capacitated
+// sub-instance with its own incremental evaluator and online strategy,
+// and the merged world state is published as immutable snapshots behind
+// a monotone epoch counter swapped through an atomic pointer — reads on
+// the serving path never take a lock.
+//
+// The global objective survives the partition exactly: every shard
+// shares the full server set, a server's true eccentricity is the max
+// of its per-shard eccentricities (a max over a disjoint union is the
+// max of the per-part maxima, float-exactly), and D is the canonical
+// pair scan over those merged eccentricities — bit-identical to a
+// single evaluator over the unpartitioned world. Alongside the exact D
+// the plane maintains a certified upper bound from cell-level summaries
+// in the style of internal/scale's expansion bound: each client's
+// distance to its server is over-approximated by its cell
+// representative's distance plus the cell radius ρ, so
+// D ≤ CertifiedD ≤ D + 4·max ρ (2·max ρ per pair endpoint) without
+// ever touching per-client state.
+//
+// Mutations (Join, Leave, Migrate, server kill/restart, coordinate
+// drift) route to the owning shard and cost O(shard repair), not
+// O(world): the shard evaluators run the incremental D engine of
+// internal/core.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"diacap/internal/core"
+	"diacap/internal/dynamic"
+	"diacap/internal/latency"
+	"diacap/internal/obs"
+	"diacap/internal/scale"
+)
+
+// Typed control-plane errors.
+var (
+	// ErrUnknownClient reports a client id outside the plane's universe.
+	ErrUnknownClient = errors.New("shard: unknown client")
+	// ErrNoCapacity reports a join or migration that no admissible
+	// server can absorb within the owning shard's capacity share.
+	ErrNoCapacity = errors.New("shard: no capacity in owning shard")
+	// ErrServerDown reports an operation targeting a killed server.
+	ErrServerDown = errors.New("shard: server is down")
+)
+
+// StrategyFactory builds one online strategy per shard. Each shard gets
+// its own instance so stateful strategies (hysteresis budgets, periodic
+// clocks) stay shard-local; in is the shard's sub-instance.
+type StrategyFactory func(in *core.Instance) dynamic.Strategy
+
+// Options configures New.
+type Options struct {
+	// Shards is the number of shards (default 1).
+	Shards int
+	// Servers are the server coordinates (required). Every shard sees
+	// the full server set.
+	Servers []latency.Coord
+	// Clients is the client universe (required); client id i is
+	// Clients[i]. Clients start inactive and enter through Join.
+	Clients []latency.Coord
+	// Capacities are global per-server capacities, split across shards
+	// proportionally to shard population (nil = uncapacitated).
+	Capacities core.Capacities
+	// MaxCells bounds the cell decomposition used for partitioning
+	// (default scale.DefaultMaxCells).
+	MaxCells int
+	// KMeansIters refines the cell covering (default 8, matching
+	// internal/scale).
+	KMeansIters int
+	// Strategy builds each shard's online strategy (default GreedyJoin:
+	// minimize D on every placement, no repair).
+	Strategy StrategyFactory
+	// Metrics, if non-nil, receives control-plane metrics.
+	Metrics *obs.Registry
+}
+
+func (o *Options) fill() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.MaxCells == 0 {
+		o.MaxCells = scale.DefaultMaxCells
+	}
+	if o.KMeansIters == 0 {
+		o.KMeansIters = 8
+	}
+	if o.KMeansIters < 0 {
+		o.KMeansIters = 0
+	}
+	if o.Strategy == nil {
+		o.Strategy = func(in *core.Instance) dynamic.Strategy { return dynamic.NewGreedyJoin(in) }
+	}
+}
+
+// Plane is the sharded control plane. Mutations are serialized by an
+// internal mutex; snapshot reads are lock-free (Current / At).
+type Plane struct {
+	opts  Options
+	cells []scale.Cell
+	// cellShard[j] is the shard owning cell j; clientShard/clientLocal
+	// map a client id to its shard and its index inside the shard's
+	// sub-instance.
+	cellShard   []int
+	clientShard []int
+	clientLocal []int
+	clientCell  []int
+	// ss is the server-server latency table (CoordsToMatrix over the
+	// server coordinates, so entries are bit-identical to every shard
+	// sub-instance's ServerServerDist).
+	ss latency.Matrix
+	// repDist[j][k] is the certified distance bound base: latency from
+	// cell j's representative to server k.
+	repDist [][]float64
+	maxRho  float64
+
+	shards []*shardState
+	alive  []bool
+	dead   int
+
+	// serverNodes/clientNodes map plane indices to node ids of an
+	// external full-population matrix (set by NewFromPopulation, nil in
+	// coordinate mode). They let ApplyDriftMatrix slice drifted
+	// sub-instances out of a re-materialized matrix.
+	serverNodes []int
+	clientNodes []int
+	// drifted marks that the latency space no longer matches the cell
+	// geometry; the certified bound then degrades to the exact
+	// eccentricities (see rebuildSummary).
+	drifted bool
+
+	mu    sync.Mutex
+	epoch uint64
+	snap  atomic.Pointer[Snapshot]
+
+	met *planeMetrics
+}
+
+// shardState is one shard's mutable world.
+type shardState struct {
+	id int
+	// clients[i] is the global client id of shard-local client i,
+	// ascending.
+	clients []int
+	in      *core.Instance
+	ev      *core.Evaluator
+	// caps is this shard's capacity share (nil = uncapacitated).
+	caps core.Capacities
+	// effCaps is caps with dead servers clamped to zero (aliases caps
+	// while everything is alive).
+	effCaps core.Capacities
+	strat   dynamic.Strategy
+	active  int
+	// cellLoad[j][k] counts active clients of plane cell j assigned to
+	// server k — the cell-level summary behind the certified bound.
+	// Only cells owned by this shard have rows.
+	cellLoad map[int][]int
+	// dirty marks that the shard's summary must be rebuilt at the next
+	// publish.
+	dirty bool
+	// summary is the last published per-shard summary.
+	summary ShardSummary
+}
+
+// New builds a plane over the client universe: cluster the clients into
+// cells, balance the cells across shards (largest cell first onto the
+// least-loaded shard — deterministic LPT), build each shard's
+// sub-instance over [servers ∥ shard clients], and publish the empty
+// epoch-1 snapshot. All clients start inactive.
+func New(opts Options) (*Plane, error) {
+	opts.fill()
+	if len(opts.Servers) == 0 {
+		return nil, errors.New("shard: no servers")
+	}
+	if len(opts.Clients) == 0 {
+		return nil, errors.New("shard: no clients")
+	}
+	if opts.Capacities != nil && len(opts.Capacities) != len(opts.Servers) {
+		return nil, fmt.Errorf("shard: %d capacities for %d servers", len(opts.Capacities), len(opts.Servers))
+	}
+	for i, c := range opts.Clients {
+		if err := c.Valid(); err != nil {
+			return nil, fmt.Errorf("shard: client %d: %w", i, err)
+		}
+	}
+	for k, c := range opts.Servers {
+		if err := c.Valid(); err != nil {
+			return nil, fmt.Errorf("shard: server %d: %w", k, err)
+		}
+	}
+	if opts.Shards > len(opts.Clients) {
+		opts.Shards = len(opts.Clients)
+	}
+
+	cells, err := scale.Cluster(opts.Clients, opts.MaxCells, opts.KMeansIters)
+	if err != nil {
+		return nil, err
+	}
+	// Cells are the unit of partition, so more shards than populated
+	// cells would leave shards with no clients (an invalid sub-instance).
+	// Clamp: the LPT pass below then lands one populated cell on every
+	// shard before doubling up.
+	populated := 0
+	for _, cell := range cells {
+		if len(cell.Members) > 0 {
+			populated++
+		}
+	}
+	if opts.Shards > populated {
+		opts.Shards = populated
+	}
+
+	p := &Plane{
+		opts:        opts,
+		cells:       cells,
+		cellShard:   make([]int, len(cells)),
+		clientShard: make([]int, len(opts.Clients)),
+		clientLocal: make([]int, len(opts.Clients)),
+		clientCell:  make([]int, len(opts.Clients)),
+		ss:          latency.CoordsToMatrix(opts.Servers),
+		repDist:     make([][]float64, len(cells)),
+		alive:       make([]bool, len(opts.Servers)),
+		met:         newPlaneMetrics(opts.Metrics),
+	}
+	for k := range p.alive {
+		p.alive[k] = true
+	}
+	for j, cell := range cells {
+		row := make([]float64, len(opts.Servers))
+		for k, sc := range opts.Servers {
+			// Floored like CoordsToMatrix entries, so the bound
+			// rep→server + ρ dominates the (floored) member→server
+			// distances even for coincident coordinates.
+			row[k] = max(cell.Rep.LatencyTo(sc), 1e-9)
+		}
+		p.repDist[j] = row
+		if cell.Rho > p.maxRho {
+			p.maxRho = cell.Rho
+		}
+		for _, m := range cell.Members {
+			p.clientCell[m] = j
+		}
+	}
+	p.partition()
+	if err := p.buildShards(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.publishLocked()
+	p.mu.Unlock()
+	return p, nil
+}
+
+// partition assigns cells to shards: cells sorted by descending member
+// count (ascending index on ties) go greedily onto the shard with the
+// fewest clients so far (lowest id on ties). Deterministic and
+// balanced within one max-cell size.
+func (p *Plane) partition() {
+	order := make([]int, len(p.cells))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(x, y int) bool {
+		cx, cy := len(p.cells[order[x]].Members), len(p.cells[order[y]].Members)
+		if cx != cy {
+			return cx > cy
+		}
+		return order[x] < order[y]
+	})
+	loads := make([]int, p.opts.Shards)
+	for _, j := range order {
+		best := 0
+		for s := 1; s < len(loads); s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		p.cellShard[j] = best
+		loads[best] += len(p.cells[j].Members)
+		for _, m := range p.cells[j].Members {
+			p.clientShard[m] = best
+		}
+	}
+}
+
+// buildShards materializes each shard's sub-instance and capacity
+// share. The sub-instance matrix is CoordsToMatrix over the shard's
+// node coordinates, so its entries are bit-identical to the
+// corresponding entries of the unpartitioned matrix — with one shard
+// the sub-instance IS the unsharded instance.
+func (p *Plane) buildShards() error {
+	n := len(p.opts.Clients)
+	ns := len(p.opts.Servers)
+	p.shards = make([]*shardState, p.opts.Shards)
+	members := make([][]int, p.opts.Shards)
+	for c := 0; c < n; c++ {
+		s := p.clientShard[c]
+		p.clientLocal[c] = len(members[s])
+		members[s] = append(members[s], c)
+	}
+
+	// Split each server's capacity proportionally to shard population;
+	// leftover units go to shards in ascending id order so the split is
+	// deterministic and sums exactly to the global capacity.
+	var capShare [][]int
+	if p.opts.Capacities != nil {
+		capShare = make([][]int, p.opts.Shards)
+		for s := range capShare {
+			capShare[s] = make([]int, ns)
+		}
+		for k, total := range p.opts.Capacities {
+			given := 0
+			for s := 0; s < p.opts.Shards; s++ {
+				share := total * len(members[s]) / n
+				capShare[s][k] = share
+				given += share
+			}
+			for s := 0; given < total; s = (s + 1) % p.opts.Shards {
+				capShare[s][k]++
+				given++
+			}
+		}
+	}
+
+	for s := 0; s < p.opts.Shards; s++ {
+		coords := make([]latency.Coord, 0, ns+len(members[s]))
+		coords = append(coords, p.opts.Servers...)
+		for _, c := range members[s] {
+			coords = append(coords, p.opts.Clients[c])
+		}
+		servers := make([]int, ns)
+		clients := make([]int, len(members[s]))
+		for k := range servers {
+			servers[k] = k
+		}
+		for i := range clients {
+			clients[i] = ns + i
+		}
+		in, err := core.NewInstanceTrusted(latency.CoordsToMatrix(coords), servers, clients)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		ev, err := in.NewEvaluator(core.NewAssignment(len(members[s])))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		ev.EnableIncremental()
+		var caps core.Capacities
+		if capShare != nil {
+			caps = capShare[s]
+		}
+		p.shards[s] = &shardState{
+			id:       s,
+			clients:  members[s],
+			in:       in,
+			ev:       ev,
+			caps:     caps,
+			effCaps:  caps,
+			strat:    p.opts.Strategy(in),
+			cellLoad: make(map[int][]int),
+			dirty:    true,
+		}
+	}
+	return nil
+}
+
+// NumShards returns the shard count.
+func (p *Plane) NumShards() int { return len(p.shards) }
+
+// NumServers returns the server count.
+func (p *Plane) NumServers() int { return len(p.opts.Servers) }
+
+// NumClients returns the size of the client universe.
+func (p *Plane) NumClients() int { return len(p.opts.Clients) }
+
+// NumCells returns the number of partition cells.
+func (p *Plane) NumCells() int { return len(p.cells) }
+
+// ShardOf returns the shard owning client c, or an error for ids
+// outside the universe.
+func (p *Plane) ShardOf(c int) (int, error) {
+	if c < 0 || c >= len(p.clientShard) {
+		return 0, fmt.Errorf("%w: id %d (universe size %d)", ErrUnknownClient, c, len(p.clientShard))
+	}
+	return p.clientShard[c], nil
+}
+
+// Route returns the shard a client at the given coordinate would be
+// assigned to: the shard owning the nearest cell representative
+// (geometric tie broken toward the lower cell index). This is the
+// request-path router — O(cells), no lock.
+func (p *Plane) Route(at latency.Coord) (shard, cell int) {
+	best := 0
+	bestD := at.LatencyTo(p.cells[0].Rep)
+	for j := 1; j < len(p.cells); j++ {
+		if d := at.LatencyTo(p.cells[j].Rep); d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return p.cellShard[best], best
+}
