@@ -21,6 +21,18 @@
 //	               on the main listener
 //	-pprof         mount net/http/pprof under /debug/pprof/ (opt-in)
 //	-log-level     debug | info | warn | error
+//	-trace-sample  fraction of requests to trace (0 = off, 1 = all).
+//	               Traced responses carry X-Diacap-Trace; span trees are
+//	               served at /debug/trace?trace=<id>. The same tracer is
+//	               shared with the shard plane, so a traced
+//	               /v1/shard/assign attributes latency down to individual
+//	               evaluator deltas.
+//
+// The flight recorder is always on: ring-buffer journals of requests,
+// admission transitions, failovers, epoch bumps, and suppressed repairs
+// are served at /debug/flight and dumped to stderr on admission-shed
+// entry, shard-plane server kills, and SIGQUIT.
+//
 //	-live n        also boot a demo live TCP cluster over a synthetic
 //	               n-node latency matrix and drive a background workload,
 //	               so the diacap_live_* telemetry and the /healthz
@@ -65,6 +77,7 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		liveNodes    = flag.Int("live", 0, "boot a demo live cluster over a synthetic n-node matrix (0 = off)")
 		shardCount   = flag.Int("shards", 0, "front a demo sharded assignment control plane with this many shards over a synthetic 8-server/400-client population (0 = off)")
+		traceSample  = flag.Float64("trace-sample", 0, "fraction of requests to trace (0 = off, 1 = all); span trees at /debug/trace")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
@@ -78,6 +91,24 @@ func main() {
 	service.PreregisterMetrics(reg)
 	live.PreregisterMetrics(reg)
 
+	// The flight recorder is always on; automatic dumps (admission-shed
+	// entry, server kills, SIGQUIT) go to stderr.
+	flight := obs.NewRecorder(0)
+	flight.SetDumpWriter(os.Stderr)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			flight.Dump("sigquit")
+		}
+	}()
+
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(obs.TracerOptions{SampleRate: *traceSample, Metrics: reg})
+		logger.Info("request tracing on", "sampleRate", *traceSample)
+	}
+
 	opts := service.Options{
 		MaxNodes:       *maxNodes,
 		RequestTimeout: *reqTimeout,
@@ -85,9 +116,11 @@ func main() {
 		Metrics:        reg,
 		Logger:         logger,
 		EnablePprof:    *pprofFlag,
+		Tracer:         tracer,
+		Flight:         flight,
 	}
 	if *liveNodes > 0 {
-		cluster, stopWorkload, err := startDemoCluster(*liveNodes, reg, logger)
+		cluster, stopWorkload, err := startDemoCluster(*liveNodes, reg, flight, tracer, logger)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +144,8 @@ func main() {
 			Servers: cs[:demoServers],
 			Clients: cs[demoServers:],
 			Metrics: reg,
+			Tracer:  tracer,
+			Flight:  flight,
 		})
 		if err != nil {
 			fatal(err)
@@ -168,7 +203,7 @@ func main() {
 // assignment, δ = D — and drives a background operation workload so the
 // live telemetry (per-server executions, lag spread, RTT) moves. The
 // returned stop function ends the workload goroutine.
-func startDemoCluster(n int, reg *obs.Registry, logger *slog.Logger) (*live.Cluster, func(), error) {
+func startDemoCluster(n int, reg *obs.Registry, flight *obs.Recorder, tracer *obs.Tracer, logger *slog.Logger) (*live.Cluster, func(), error) {
 	if n < 4 {
 		return nil, nil, fmt.Errorf("capserver: -live %d nodes, want >= 4", n)
 	}
@@ -204,6 +239,7 @@ func startDemoCluster(n int, reg *obs.Registry, logger *slog.Logger) (*live.Clus
 		Delta:               off.D,
 		Offsets:             off,
 		Metrics:             reg,
+		Flight:              flight,
 		ReconnectJitterSeed: seed,
 	})
 	if err != nil {
@@ -224,12 +260,25 @@ func startDemoCluster(n int, reg *obs.Registry, logger *slog.Logger) (*live.Clus
 			case <-done:
 				return
 			case <-ticker.C:
-				for _, ci := range clients {
+				// One traced op per tick (when tracing is on) keeps the
+				// live ops journal and cross-layer traces populated
+				// without tracing the whole workload.
+				_, tsp := tracer.Root(context.Background(), "demo.tick")
+				tp := ""
+				if tsp != nil {
+					tp = tsp.Context().Traceparent()
+				}
+				for i, ci := range clients {
 					if c := cluster.Client(ci); c != nil {
-						c.Issue(opID)
+						if i == 0 && tp != "" {
+							c.IssueTraced(opID, tp)
+						} else {
+							c.Issue(opID)
+						}
 						opID++
 					}
 				}
+				tsp.End()
 			}
 		}
 	}()

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,9 +40,11 @@ import (
 	"diacap/internal/bench"
 	"diacap/internal/core"
 	"diacap/internal/latency"
+	"diacap/internal/obs"
 	"diacap/internal/perfkit"
 	"diacap/internal/placement"
 	"diacap/internal/scale"
+	"diacap/internal/shard"
 )
 
 // defaultThreshold is the regression gate: a kernel whose speedup ratio
@@ -186,6 +189,59 @@ func suite() []benchmark {
 			},
 		},
 		{
+			name:     "obs/plane_churn_traced",
+			workload: "per-op cost of tracing on the control-plane hot path: migrate loop with a 1%-sampled tracer + flight recorder vs an uninstrumented plane (the ratio is untraced/traced time; ≈ 1.00 means tracing is free at the shipped sampling rate, and BENCH_obs.json blesses it above 0.98, i.e. ≤ 2% overhead)",
+			setup: func() (func() float64, func() float64) {
+				tr := obs.NewTracer(obs.TracerOptions{SampleRate: 0.01, Seed: 31})
+				traced := benchPlane(tr, obs.NewRecorder(0))
+				plain := benchPlane(nil, nil)
+				tapeC, tapeS := churnTape(traced.NumClients(), traced.NumServers(), 7)
+				i, j := 0, 0
+				return func() float64 {
+						ctx, sp := tr.Root(context.Background(), "bench.migrate")
+						r, err := traced.Migrate(ctx, tapeC[i], tapeS[i])
+						if err != nil {
+							panic(err)
+						}
+						sp.End()
+						i = (i + 1) % len(tapeC)
+						return r.D
+					}, func() float64 {
+						r, err := plain.Migrate(context.Background(), tapeC[j], tapeS[j])
+						if err != nil {
+							panic(err)
+						}
+						j = (j + 1) % len(tapeC)
+						return r.D
+					}
+			},
+		},
+		{
+			name:     "obs/plane_churn_recorder",
+			workload: "per-op cost of the always-on flight recorder alone: migrate loop with journals attached (no tracer) vs an uninstrumented plane (every migrate publishes an epoch, so each op writes one event into the lock-free ring; the ratio bounds that write's cost)",
+			setup: func() (func() float64, func() float64) {
+				recorded := benchPlane(nil, obs.NewRecorder(0))
+				plain := benchPlane(nil, nil)
+				tapeC, tapeS := churnTape(recorded.NumClients(), recorded.NumServers(), 7)
+				i, j := 0, 0
+				return func() float64 {
+						r, err := recorded.Migrate(context.Background(), tapeC[i], tapeS[i])
+						if err != nil {
+							panic(err)
+						}
+						i = (i + 1) % len(tapeC)
+						return r.D
+					}, func() float64 {
+						r, err := plain.Migrate(context.Background(), tapeC[j], tapeS[j])
+						if err != nil {
+							panic(err)
+						}
+						j = (j + 1) % len(tapeC)
+						return r.D
+					}
+			},
+		},
+		{
 			name:     "e2e/fig7_scaled",
 			workload: "Figure 7 sweep (random placement, 200 nodes, servers ∈ {4,8}, 2 runs)",
 			setup: func() (func() float64, func() float64) {
@@ -240,6 +296,51 @@ func suite() []benchmark {
 
 // buildInstance places servers on the first ns nodes and a client on
 // every node — the same fixed layout the differential tests use.
+// benchPlane builds a 4-shard control plane (16 servers, 1600 clients,
+// synthetic coordinates — the suite's standard production scale) with
+// every client joined, optionally carrying a tracer and flight recorder.
+// The traced and untraced sides of the obs/ pairs each call this with
+// identical coordinates, so the only difference between opt and ref is
+// the instrumentation.
+func benchPlane(tr *obs.Tracer, fl *obs.Recorder) *shard.Plane {
+	const ns, nc = 16, 1600
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(ns+nc), 11)
+	if err != nil {
+		panic(err)
+	}
+	p, err := shard.New(shard.Options{
+		Shards:  4,
+		Servers: cs[:ns],
+		Clients: cs[ns:],
+		Tracer:  tr,
+		Flight:  fl,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	for c := 0; c < nc; c++ {
+		if _, err := p.Join(ctx, c); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// churnTape is a fixed migrate schedule (client, target server) both
+// sides of an obs/ pair replay cyclically.
+func churnTape(nc, ns int, seed int64) (clients, servers []int) {
+	const tapeLen = 4096
+	rng := rand.New(rand.NewSource(seed))
+	clients = make([]int, tapeLen)
+	servers = make([]int, tapeLen)
+	for i := range clients {
+		clients[i] = rng.Intn(nc)
+		servers[i] = rng.Intn(ns)
+	}
+	return clients, servers
+}
+
 func buildInstance(m latency.Matrix, ns int) *core.Instance {
 	servers := make([]int, ns)
 	for i := range servers {
@@ -537,7 +638,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer runtime.GOMAXPROCS(prev)
 
 	r := &report{
-		Description: "diabench pinned hot-path suite: optimized kernels vs retained naive references (speedup-gated) plus end-to-end figure timings (median-gated). Bless with: go run ./cmd/diabench -compare BENCH_core.json -bless",
+		Description: "diabench pinned hot-path suite: optimized kernels vs retained naive references (speedup-gated), obs/ instrumentation-overhead pairs (instrumented vs bare plane, ratio-gated like kernels), plus end-to-end figure timings (median-gated). Bless with: go run ./cmd/diabench -compare BENCH_core.json -bless (or -bench '^obs/' -compare BENCH_obs.json -bless)",
 		Environment: environment{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GoVersion: runtime.Version(),
 			GOMAXPROCS: *procs, NumCPU: runtime.NumCPU(),

@@ -14,6 +14,7 @@ package main
 // nonzero, which is what the CI chaos-soak job keys on.
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -128,7 +129,7 @@ func runScenarioSharded(sc *dynamic.Scenario, reg *obs.Registry) error {
 	fmt.Printf("strategy: %s, %d shards over %d cells\n\n",
 		label, p.NumShards(), p.NumCells())
 
-	res, err := p.Replay(sc)
+	res, err := p.Replay(context.Background(), sc)
 	if err != nil {
 		if errors.Is(err, dynamic.ErrCapacityExhausted) {
 			return fmt.Errorf("capacity exhausted mid-scenario (no panic, no overload — the join was refused): %w", err)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diacap/internal/obs"
+)
+
+// testTrace builds a real two-level trace through a seeded tracer.
+func testTrace(t *testing.T) obs.TraceDoc {
+	t.Helper()
+	tr := obs.NewTracer(obs.TracerOptions{SampleRate: 1, Seed: 3})
+	ctx, root := tr.Root(context.Background(), "http /v1/shard/assign")
+	root.SetAttr(obs.Str("endpoint", "/v1/shard/assign"), obs.Int("status", 200))
+	_, child := obs.Child(ctx, "plane.join")
+	child.SetAttr(obs.Int("client", 3))
+	child.Event("evaluator.join", obs.Int("server", 2))
+	child.End()
+	root.End()
+	spans := tr.Collect(root.TraceID())
+	return obs.TraceDoc{Trace: root.TraceID(), Spans: spans, Tree: obs.BuildSpanTree(spans)}
+}
+
+func TestRenderTrace(t *testing.T) {
+	doc := testTrace(t)
+	var sb strings.Builder
+	renderTrace(&sb, doc)
+	out := sb.String()
+	if !strings.Contains(out, "trace "+doc.Trace+": 2 spans") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	rootLine, childLine, eventLine := -1, -1, -1
+	for i, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "http /v1/shard/assign"):
+			rootLine = i
+		case strings.Contains(line, "plane.join"):
+			childLine = i
+		case strings.Contains(line, "evaluator.join"):
+			eventLine = i
+		}
+	}
+	if rootLine < 0 || childLine < 0 || eventLine < 0 {
+		t.Fatalf("missing lines (root=%d child=%d event=%d):\n%s", rootLine, childLine, eventLine, out)
+	}
+	lines := strings.Split(out, "\n")
+	if indent(lines[childLine]) <= indent(lines[rootLine]) {
+		t.Fatalf("child not indented under root:\n%s", out)
+	}
+	if !strings.Contains(lines[childLine], "client=3") {
+		t.Fatalf("child attrs not rendered:\n%s", out)
+	}
+	if !strings.Contains(lines[eventLine], "server=2") {
+		t.Fatalf("event attrs not rendered:\n%s", out)
+	}
+}
+
+func indent(s string) int { return len(s) - len(strings.TrimLeft(s, " ")) }
+
+func TestRenderFlight(t *testing.T) {
+	fl := obs.NewRecorder(0)
+	fl.Journal("failover", 0).Record("kill", "abc123", obs.Int("server", 1))
+	fl.Journal("requests", 0).Record("/v1/assign", "", obs.Int("status", 200))
+	var sb strings.Builder
+	renderFlight(&sb, fl.Snapshot("test"))
+	out := sb.String()
+	for _, want := range []string{
+		"flight dump (test)",
+		"journal failover: 1 events",
+		"kill trace=abc123  server=1",
+		"journal requests: 1 events",
+		"/v1/assign  status=200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiatraceEndToEnd runs the built binary against a live HTTP server
+// serving a real tracer and recorder, covering all three modes.
+func TestDiatraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "diatrace")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	doc := testTrace(t)
+	fl := obs.NewRecorder(0)
+	fl.Journal("requests", 0).Record("/v1/assign", doc.Trace)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("trace") == doc.Trace {
+			_ = json.NewEncoder(w).Encode(doc)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string][]string{"traces": {doc.Trace}})
+	})
+	mux.Handle("/debug/flight", fl.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	out, err := exec.Command(bin, "-addr", srv.URL).CombinedOutput()
+	if err != nil {
+		t.Fatalf("list mode: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != doc.Trace {
+		t.Fatalf("list mode output: %q", out)
+	}
+
+	out, err = exec.Command(bin, "-addr", srv.URL, "-trace", doc.Trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("trace mode: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "plane.join") {
+		t.Fatalf("trace mode output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-addr", srv.URL, "-flight").CombinedOutput()
+	if err != nil {
+		t.Fatalf("flight mode: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "journal requests") {
+		t.Fatalf("flight mode output:\n%s", out)
+	}
+}

@@ -43,6 +43,11 @@ type Evaluator struct {
 	// stats counts the work performed, split by kind (see
 	// EvaluatorStats).
 	stats EvaluatorStats
+	// deltaHook, when non-nil, observes every applied delta operation
+	// (see SetDeltaHook). Kept a plain func field so core stays free of
+	// observability dependencies; the cost when unset is one nil check
+	// per Apply call.
+	deltaHook func(DeltaEvent)
 }
 
 // NewEvaluator builds an evaluator over a copy of the assignment (the

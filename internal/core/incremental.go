@@ -41,6 +41,50 @@ type EvaluatorStats struct {
 	PairRescans int
 }
 
+// DeltaEvent describes one applied delta operation: what moved, the
+// resulting D, and the incremental work it cost (stats deltas for this
+// event alone). Consumers attribute per-event evaluator work to traces
+// without core importing any observability package.
+type DeltaEvent struct {
+	// Op is "join", "leave", or "move".
+	Op string
+	// Client is the client that moved; Server its new server (Unassigned
+	// for a leave).
+	Client, Server int
+	// D is the maintained global D after the event.
+	D float64
+	// HeapOps, PairTouches, and PairRescans are this event's share of the
+	// corresponding EvaluatorStats counters.
+	HeapOps, PairTouches, PairRescans int
+}
+
+// SetDeltaHook installs fn to observe every ApplyJoin / ApplyLeave /
+// ApplyMove (nil removes it). The hook fires synchronously after the
+// delta is applied; it must not mutate the evaluator. Plain Move calls
+// (batch solvers, strategy repairs) do not fire it — the hook attributes
+// control-plane events, not search iterations.
+func (ev *Evaluator) SetDeltaHook(fn func(DeltaEvent)) { ev.deltaHook = fn }
+
+// applyTracked runs one delta through the incremental engine and feeds
+// the hook, measuring the per-event work only when someone is listening.
+func (ev *Evaluator) applyTracked(op string, c, s int) float64 {
+	if ev.deltaHook == nil {
+		return ev.moveIncremental(c, s)
+	}
+	before := ev.stats
+	d := ev.moveIncremental(c, s)
+	ev.deltaHook(DeltaEvent{
+		Op:          op,
+		Client:      c,
+		Server:      s,
+		D:           d,
+		HeapOps:     ev.stats.HeapOps - before.HeapOps,
+		PairTouches: ev.stats.PairTouches - before.PairTouches,
+		PairRescans: ev.stats.PairRescans - before.PairRescans,
+	})
+	return d
+}
+
 // Stats returns the work counters accumulated so far.
 func (ev *Evaluator) Stats() EvaluatorStats { return ev.stats }
 
@@ -110,7 +154,7 @@ func (ev *Evaluator) ApplyJoin(c, s int) (float64, error) {
 		return 0, fmt.Errorf("%w: join of client %d (on server %d)", ErrAlreadyAssigned, c, ev.a[c])
 	}
 	ev.EnableIncremental()
-	return ev.moveIncremental(c, s), nil
+	return ev.applyTracked("join", c, s), nil
 }
 
 // ApplyLeave removes client c from its server and returns the new D.
@@ -122,7 +166,7 @@ func (ev *Evaluator) ApplyLeave(c int) (float64, error) {
 		return 0, fmt.Errorf("%w: leave of client %d", ErrNotAssigned, c)
 	}
 	ev.EnableIncremental()
-	return ev.moveIncremental(c, Unassigned), nil
+	return ev.applyTracked("leave", c, Unassigned), nil
 }
 
 // ApplyMove migrates the currently-assigned client c to server s and
@@ -139,7 +183,7 @@ func (ev *Evaluator) ApplyMove(c, s int) (float64, error) {
 		return 0, fmt.Errorf("%w: migrate of client %d", ErrNotAssigned, c)
 	}
 	ev.EnableIncremental()
-	return ev.moveIncremental(c, s), nil
+	return ev.applyTracked("move", c, s), nil
 }
 
 func (ev *Evaluator) checkDelta(c, s int) error {

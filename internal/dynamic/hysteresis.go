@@ -94,6 +94,12 @@ type Hysteresis struct {
 	MinRelGain float64
 	// Budget, if non-nil, caps the sustained migration rate.
 	Budget *MigrationBudget
+	// OnSuppress, if non-nil, observes every suppressed repair proposal:
+	// the virtual time, the number of moves the proposal would have
+	// performed, the predicted D gain it promised, and why it was gated
+	// ("gain" or "budget"). Control planes feed this into their flight
+	// recorders; the simulator leaves it nil.
+	OnSuppress func(now float64, moves int, gain float64, reason string)
 
 	suppressed     int
 	suppressedMove int
@@ -150,13 +156,11 @@ func (h *Hysteresis) Repair(ev *core.Evaluator, caps core.Capacities, now float6
 	}
 	gain := before - sandbox.D()
 	if gain < h.MinGain-eps || gain < h.MinRelGain*before-eps {
-		h.suppressed++
-		h.suppressedMove += moves
+		h.suppress(now, moves, gain, "gain")
 		return 0
 	}
 	if h.Budget != nil && !h.Budget.TryTake(now, moves) {
-		h.suppressed++
-		h.suppressedMove += moves
+		h.suppress(now, moves, gain, "budget")
 		return 0
 	}
 	for c, s := range proposal {
@@ -165,6 +169,15 @@ func (h *Hysteresis) Repair(ev *core.Evaluator, caps core.Capacities, now float6
 		}
 	}
 	return moves
+}
+
+// suppress counts one gated proposal and notifies the observer.
+func (h *Hysteresis) suppress(now float64, moves int, gain float64, reason string) {
+	h.suppressed++
+	h.suppressedMove += moves
+	if h.OnSuppress != nil {
+		h.OnSuppress(now, moves, gain, reason)
+	}
 }
 
 // Suppressed reports how many repair proposals the gate rejected and

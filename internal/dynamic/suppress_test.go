@@ -1,0 +1,69 @@
+package dynamic
+
+import "testing"
+
+// TestHysteresisOnSuppressObserver checks that the suppression observer
+// fires once per gated proposal with the right reason, and that the
+// counters it mirrors stay consistent with Suppressed().
+func TestHysteresisOnSuppressObserver(t *testing.T) {
+	in := testInstance(t, 1, 60, 5)
+	events, err := GenerateChurn(defaultChurn(in.NumClients()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Impossible gain threshold: every proposal is suppressed as "gain".
+	h := NewHysteresis(NewGreedyJoinRepair(in, 2), 1e9, 0, nil)
+	type obs struct {
+		moves  int
+		gain   float64
+		reason string
+	}
+	var seen []obs
+	h.OnSuppress = func(now float64, moves int, gain float64, reason string) {
+		seen = append(seen, obs{moves, gain, reason})
+	}
+	if _, err := Simulate(in, nil, events, 1000, h); err != nil {
+		t.Fatal(err)
+	}
+	prop, moves := h.Suppressed()
+	if prop == 0 {
+		t.Fatal("nothing suppressed; test instance too easy")
+	}
+	if len(seen) != prop {
+		t.Fatalf("observer fired %d times, Suppressed() reports %d proposals", len(seen), prop)
+	}
+	total := 0
+	for _, o := range seen {
+		if o.reason != "gain" {
+			t.Fatalf("reason = %q, want \"gain\" (threshold gate)", o.reason)
+		}
+		if o.moves <= 0 {
+			t.Fatalf("suppressed proposal reports %d moves, want > 0", o.moves)
+		}
+		total += o.moves
+	}
+	if total != moves {
+		t.Fatalf("observer move sum %d != Suppressed() moves %d", total, moves)
+	}
+
+	// Zero-rate budget: proposals clear the (zero) gain gate and are
+	// then gated by the budget once its initial burst is spent.
+	hb := NewHysteresis(NewGreedyJoinRepair(in, 2), 0, 0, NewMigrationBudget(0, 1))
+	var reasons []string
+	hb.OnSuppress = func(_ float64, _ int, _ float64, reason string) {
+		reasons = append(reasons, reason)
+	}
+	if _, err := Simulate(in, nil, events, 1000, hb); err != nil {
+		t.Fatal(err)
+	}
+	budgetGated := 0
+	for _, r := range reasons {
+		if r == "budget" {
+			budgetGated++
+		}
+	}
+	if budgetGated == 0 {
+		t.Fatal("zero-rate budget never gated a proposal")
+	}
+}

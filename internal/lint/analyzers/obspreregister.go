@@ -31,9 +31,14 @@ var registryMethods = map[string]bool{
 // per iteration of a hot loop). As a cross-package check it also flags
 // the same metric name registered with two different help strings, which
 // would make the Prometheus exposition depend on registration order.
+//
+// The same name discipline covers the flight recorder: journal names
+// passed to (*obs.Recorder).Journal must be package-level consts, and
+// the get-or-create lookup (a lock + map probe) stays out of loops —
+// journal handles are resolved once at construction, like instruments.
 var ObsPreregister = &lint.Analyzer{
 	Name: "obs-preregister",
-	Doc:  "obs registry metric names must be package-level consts, constructed outside loops, with one help string per name repo-wide",
+	Doc:  "obs registry metric names and flight-recorder journal names must be package-level consts, constructed outside loops, with one help string per metric repo-wide",
 	Run:  runObsPreregister,
 }
 
@@ -60,26 +65,31 @@ func runObsPreregister(pass *lint.Pass) error {
 				return
 			}
 			fn := calleeFunc(info, call)
-			if fn == nil || !registryMethods[fn.Name()] {
+			if fn == nil || len(call.Args) == 0 {
 				return
 			}
 			recv := recvNamed(fn)
-			if recv == nil || recv.Obj().Pkg() == nil ||
-				recv.Obj().Pkg().Path() != obsPkgPath || recv.Obj().Name() != "Registry" {
+			if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != obsPkgPath {
 				return
 			}
-			if len(call.Args) == 0 {
-				return
-			}
-			name := checkMetricName(pass, fn.Name(), call.Args[0])
-			if name != "" && len(call.Args) >= 2 {
-				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
-					fact[name] = constant.StringVal(tv.Value)
+			switch {
+			case registryMethods[fn.Name()] && recv.Obj().Name() == "Registry":
+				name := checkMetricName(pass, fn.Name(), call.Args[0])
+				if name != "" && len(call.Args) >= 2 {
+					if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						fact[name] = constant.StringVal(tv.Value)
+					}
 				}
-			}
-			if insideLoop(stack) && !anyFuncDeclNamed(stack, isRegistrationFunc) {
-				pass.Reportf(call.Pos(),
-					"Registry.%s inside a loop: resolve the instrument once and reuse the handle, or move registration into an init/Preregister function", fn.Name())
+				if insideLoop(stack) && !anyFuncDeclNamed(stack, isRegistrationFunc) {
+					pass.Reportf(call.Pos(),
+						"Registry.%s inside a loop: resolve the instrument once and reuse the handle, or move registration into an init/Preregister function", fn.Name())
+				}
+			case fn.Name() == "Journal" && recv.Obj().Name() == "Recorder":
+				checkJournalName(pass, call.Args[0])
+				if insideLoop(stack) && !anyFuncDeclNamed(stack, isRegistrationFunc) {
+					pass.Reportf(call.Pos(),
+						"Recorder.Journal inside a loop: resolve the journal handle once at construction and reuse it")
+				}
 			}
 		})
 	}
@@ -100,6 +110,35 @@ func runObsPreregister(pass *lint.Pass) error {
 		pass.ExportPackageFact(fact)
 	}
 	return nil
+}
+
+// checkJournalName validates a flight-recorder journal name argument:
+// a compile-time constant declared at package scope, mirroring the
+// metric-name rule so journal schemas stay auditable.
+func checkJournalName(pass *lint.Pass, arg ast.Expr) {
+	info := pass.TypesInfo()
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(),
+			"journal name passed to Recorder.Journal is not a compile-time constant: dynamic names unbound the recorder's memory and hide journals from readers of the const block")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		pass.Reportf(arg.Pos(),
+			"journal name %q must be a package-level const, not an inline literal or constant expression", name)
+		return
+	}
+	if c, ok := obj.(*types.Const); !ok || c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+		pass.Reportf(arg.Pos(),
+			"journal name %q must be declared as a package-level const (found a local declaration)", name)
+	}
 }
 
 // checkMetricName validates the name argument and returns its constant

@@ -46,3 +46,36 @@ func PreregisterAll(reg *obs.Registry, stages []string) {
 		reg.Counter(nRequests, hRequests, obs.L("stage", s)).Add(0) // clean
 	}
 }
+
+// Journal names follow the same const discipline as metric names.
+
+const jFailover = "failover"
+
+func constJournal(rec *obs.Recorder) {
+	rec.Journal(jFailover, 0).Record("kill", "") // clean: package-level const
+}
+
+func inlineJournal(rec *obs.Recorder) {
+	rec.Journal("epoch", 0).Record("publish", "") // want "journal name \"epoch\" must be a package-level const, not an inline literal"
+}
+
+func dynamicJournal(rec *obs.Recorder, shard string) {
+	rec.Journal("ops-"+shard, 0).Record("execute", "") // want "journal name passed to Recorder.Journal is not a compile-time constant"
+}
+
+func localJournal(rec *obs.Recorder) {
+	const name = "suppressed"
+	rec.Journal(name, 0).Record("gain", "") // want "journal name \"suppressed\" must be declared as a package-level const"
+}
+
+func journalPerEvent(rec *obs.Recorder, kills []int) {
+	for range kills {
+		rec.Journal(jFailover, 0).Record("kill", "") // want "Recorder.Journal inside a loop"
+	}
+}
+
+func registerJournals(rec *obs.Recorder) {
+	for i := 0; i < 2; i++ {
+		rec.Journal(jFailover, 0) // clean: register* functions resolve handles up front
+	}
+}

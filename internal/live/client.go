@@ -277,6 +277,14 @@ func (c *Client) Reconnect(serverAddr string, uplinkDelay float64) error {
 
 // Issue sends an operation at the client's current simulation time.
 func (c *Client) Issue(opID int) {
+	c.IssueTraced(opID, "")
+}
+
+// IssueTraced issues an operation stamped with a W3C traceparent, so
+// the executing server's flight recorder and span tree can attribute
+// the execution back to the originating trace. An empty traceparent is
+// exactly Issue.
+func (c *Client) IssueTraced(opID int, traceparent string) {
 	c.mu.Lock()
 	if c.disconnected || c.closed {
 		c.droppedOps++
@@ -285,7 +293,8 @@ func (c *Client) Issue(opID int) {
 	}
 	up := c.up
 	c.mu.Unlock()
-	up.send(Msg{Op: &OpMsg{OpID: opID, ClientID: c.cfg.ID, IssueSim: c.cfg.Clock.NowVirtual()}})
+	up.send(Msg{Op: &OpMsg{OpID: opID, ClientID: c.cfg.ID,
+		IssueSim: c.cfg.Clock.NowVirtual(), TraceParent: traceparent}})
 }
 
 // IssueAt blocks until virtual time t, then issues.

@@ -52,6 +52,9 @@ type ClusterConfig struct {
 	// execution counts, per-delivery lag spread, reconnect attempts,
 	// failover durations, fault-injection totals (see obs.go).
 	Metrics *obs.Registry
+	// Flight, if non-nil, gives every server a flight-recorder journal
+	// of traced op executions (see Client.IssueTraced).
+	Flight *obs.Recorder
 }
 
 // Cluster is a running live deployment.
@@ -212,6 +215,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			},
 			LatenessTolerance: cfg.LatenessTolerance,
 			Faults:            cl.inj,
+			Flight:            cfg.Flight,
 		}, "127.0.0.1:0")
 		if err != nil {
 			cl.Close()

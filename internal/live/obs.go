@@ -7,6 +7,11 @@ import (
 	"diacap/internal/obs"
 )
 
+// JournalOps is the flight-recorder journal of traced op executions
+// (kind "execute"), a package-level const per the preregister
+// discipline (dialint checks Journal call sites).
+const JournalOps = "ops"
+
 // Metric names and help strings shared between the running cluster and
 // PreregisterMetrics, so the exposed schema is identical either way.
 const (

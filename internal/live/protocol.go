@@ -54,6 +54,11 @@ type OpMsg struct {
 	ClientID int
 	// IssueSim is the client's simulation time of issuance (virtual ms).
 	IssueSim float64
+	// TraceParent optionally carries the issuing request's W3C
+	// traceparent so executions can be attributed to a trace across the
+	// TCP hop. Wire-compatible both ways: gob omits the zero value on
+	// encode and ignores the unknown field when an old peer decodes.
+	TraceParent string
 }
 
 // ForwardMsg relays an operation between servers.

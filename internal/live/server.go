@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"diacap/internal/obs"
 )
 
 // ExecRecord is one executed operation at a server.
@@ -38,6 +40,9 @@ type ServerConfig struct {
 	LatenessTolerance float64
 	// Faults, if non-nil, supplies fault injection for outgoing links.
 	Faults *Injectors
+	// Flight, if non-nil, journals traced op executions (ops whose OpMsg
+	// carries a traceparent) into the flight recorder.
+	Flight *obs.Recorder
 	// Logf, if non-nil, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -64,6 +69,10 @@ type Server struct {
 	shutdown chan struct{}
 	wg       sync.WaitGroup
 	timers   []*time.Timer
+
+	// jOps is the traced-execution flight journal (nil-safe when no
+	// recorder is configured).
+	jOps *obs.Journal
 }
 
 // trackConn registers a connection for teardown; it returns false (and
@@ -103,6 +112,9 @@ func StartServer(cfg ServerConfig, addr string) (*Server, error) {
 		clients:  make(map[int]*delayLink),
 		seen:     make(map[int]bool),
 		shutdown: make(chan struct{}),
+	}
+	if cfg.Flight != nil {
+		s.jOps = cfg.Flight.Journal(JournalOps, 0)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -288,6 +300,18 @@ func (s *Server) execute(op OpMsg) {
 		link.send(update)
 	}
 	s.mu.Unlock()
+	if op.TraceParent != "" {
+		trace := op.TraceParent
+		if sc, ok := obs.ParseTraceparent(op.TraceParent); ok {
+			trace = sc.Trace.String()
+		}
+		s.jOps.Record("execute", trace,
+			obs.Int("server", s.cfg.ID),
+			obs.Int("op", op.OpID),
+			obs.Int("client", op.ClientID),
+			obs.F64("issueSim", op.IssueSim),
+			obs.F64("execSim", execSim))
+	}
 }
 
 // Stats reports the server's observations so far.

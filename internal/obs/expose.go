@@ -74,12 +74,16 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// HistogramSnapshot is the JSON form of a histogram.
+// HistogramSnapshot is the JSON form of a histogram. Exemplars, when
+// present, align with Buckets plus a final +Inf entry; buckets that never
+// saw a traced observation hold null. The Prometheus 0.0.4 text format
+// has no exemplar syntax, so exemplars appear only in the JSON view.
 type HistogramSnapshot struct {
-	Count   uint64    `json:"count"`
-	Sum     float64   `json:"sum"`
-	Upper   []float64 `json:"upper"`
-	Buckets []uint64  `json:"buckets"` // cumulative, aligned with Upper; +Inf omitted (= Count)
+	Count     uint64      `json:"count"`
+	Sum       float64     `json:"sum"`
+	Upper     []float64   `json:"upper"`
+	Buckets   []uint64    `json:"buckets"` // cumulative, aligned with Upper; +Inf omitted (= Count)
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot returns every metric as a JSON-encodable map keyed by
@@ -101,12 +105,20 @@ func (r *Registry) Snapshot() map[string]any {
 				out[id] = s.g.Value()
 			case kindHistogram:
 				upper, cum := s.h.Buckets()
-				out[id] = HistogramSnapshot{
+				snap := HistogramSnapshot{
 					Count:   cum[len(cum)-1],
 					Sum:     s.h.Sum(),
 					Upper:   upper,
 					Buckets: cum[:len(cum)-1],
 				}
+				ex := s.h.Exemplars()
+				for _, e := range ex {
+					if e != nil {
+						snap.Exemplars = ex
+						break
+					}
+				}
+				out[id] = snap
 			}
 		}
 	}

@@ -1,0 +1,206 @@
+package obs
+
+// Flight recorder: always-on, fixed-memory journals of recent control-
+// plane events — requests, admission transitions, failovers, epoch bumps,
+// hysteresis-suppressed moves — kept in lock-free ring buffers so the
+// last N events of each category survive to the moment something goes
+// wrong. The recorder is dumped automatically on admission-shed entry,
+// server kill, or SIGQUIT, and served at /debug/flight; events carry the
+// trace ID of the request that caused them, cross-linking into the span
+// ring.
+//
+// A Record call is one allocation plus two atomic increments and one
+// atomic pointer store: events are immutable once published, which is
+// what makes concurrent Snapshot (dump-under-load) race-free without a
+// lock on the hot path. Memory is bounded by capacity × journals.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one recorded event. Seq is a recorder-global sequence
+// number, so events from different journals interleave in true order.
+type FlightEvent struct {
+	Seq   uint64    `json:"seq"`
+	Wall  time.Time `json:"wall"`
+	Kind  string    `json:"kind"`
+	Trace string    `json:"trace,omitempty"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Journal is one fixed-size event category ring. A nil *Journal is valid
+// and drops everything, so callers wire journals unconditionally.
+type Journal struct {
+	name  string
+	mask  uint64
+	head  atomic.Uint64
+	slots []atomic.Pointer[FlightEvent]
+	seq   *atomic.Uint64
+}
+
+// Name returns the journal's category name ("" for nil).
+func (j *Journal) Name() string {
+	if j == nil {
+		return ""
+	}
+	return j.name
+}
+
+// Record publishes one event. Safe for any number of concurrent writers;
+// the oldest event is evicted when the ring is full.
+func (j *Journal) Record(kind, trace string, attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	ev := &FlightEvent{
+		Seq:   j.seq.Add(1),
+		Wall:  time.Now(),
+		Kind:  kind,
+		Trace: trace,
+		Attrs: attrs,
+	}
+	idx := j.head.Add(1) - 1
+	j.slots[idx&j.mask].Store(ev)
+}
+
+// Snapshot returns the retained events, oldest first. It is safe to call
+// while writers are active: each slot read is an atomic pointer load of
+// an immutable event.
+func (j *Journal) Snapshot() []FlightEvent {
+	if j == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(j.slots))
+	for i := range j.slots {
+		if ev := j.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Recorder owns the per-category journals and the shared sequence
+// counter. A nil *Recorder is valid: Journal returns nil and dumps no-op.
+type Recorder struct {
+	defCap int
+	seq    atomic.Uint64
+
+	mu       sync.Mutex
+	journals map[string]*Journal
+	order    []string
+
+	dumpMu sync.Mutex
+	dumpTo io.Writer
+}
+
+// NewRecorder builds a recorder whose journals default to the given
+// capacity (rounded up to a power of two; 0 means 256 events each).
+func NewRecorder(defaultCapacity int) *Recorder {
+	return &Recorder{
+		defCap:   ceilPow2(defaultCapacity, 256),
+		journals: make(map[string]*Journal),
+	}
+}
+
+// Journal returns the named journal, creating it on first use with the
+// given capacity (0 = recorder default; rounded up to a power of two).
+// Get-or-create takes a lock — resolve journal handles once at
+// construction, like metric instruments, never per event.
+func (r *Recorder) Journal(name string, capacity int) *Journal {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.journals[name]; ok {
+		return j
+	}
+	c := r.defCap
+	if capacity > 0 {
+		c = ceilPow2(capacity, r.defCap)
+	}
+	j := &Journal{
+		name:  name,
+		mask:  uint64(c - 1),
+		slots: make([]atomic.Pointer[FlightEvent], c),
+		seq:   &r.seq,
+	}
+	r.journals[name] = j
+	r.order = append(r.order, name)
+	return j
+}
+
+// SetDumpWriter installs the destination for automatic dumps (nil
+// disables them). Typically os.Stderr in a server process.
+func (r *Recorder) SetDumpWriter(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.dumpMu.Lock()
+	r.dumpTo = w
+	r.dumpMu.Unlock()
+}
+
+// FlightDump is a point-in-time capture of every journal.
+type FlightDump struct {
+	Reason   string                   `json:"reason"`
+	TakenAt  time.Time                `json:"takenAt"`
+	Journals map[string][]FlightEvent `json:"journals"`
+}
+
+// Snapshot captures every journal, oldest events first.
+func (r *Recorder) Snapshot(reason string) FlightDump {
+	dump := FlightDump{Reason: reason, TakenAt: time.Now(), Journals: map[string][]FlightEvent{}}
+	if r == nil {
+		return dump
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		j := r.journals[name]
+		r.mu.Unlock()
+		dump.Journals[name] = j.Snapshot()
+	}
+	return dump
+}
+
+// WriteJSON writes a dump document to w.
+func (r *Recorder) WriteJSON(w io.Writer, reason string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot(reason))
+}
+
+// Dump writes a dump to the configured writer, if any. Concurrent dump
+// triggers (shed entry racing SIGQUIT) serialize so documents do not
+// interleave.
+func (r *Recorder) Dump(reason string) {
+	if r == nil {
+		return
+	}
+	r.dumpMu.Lock()
+	w := r.dumpTo
+	if w != nil {
+		fmt.Fprintf(w, "--- flight recorder dump (%s) ---\n", reason)
+		_ = r.WriteJSON(w, reason)
+	}
+	r.dumpMu.Unlock()
+}
+
+// Handler serves the recorder as JSON (GET /debug/flight).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w, "http")
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one key="value" pair attached to a metric series. Series
@@ -102,16 +103,39 @@ func (g *Gauge) Value() float64 {
 
 // Histogram counts observations into fixed buckets, Prometheus-style:
 // bucket i counts observations ≤ Upper[i], with an implicit +Inf bucket,
-// plus a running sum and total count. Observe is lock-free.
+// plus a running sum and total count. Observe is lock-free. Each bucket
+// additionally retains the latest exemplar (value + trace ID) recorded
+// through ObserveExemplar, so a slow bucket links to a concrete trace.
 type Histogram struct {
 	upper  []float64
 	counts []atomic.Uint64 // len(upper)+1; last is the +Inf overflow
-	sum    atomic.Uint64   // float64 bits, CAS-updated
+	ex     []atomic.Pointer[Exemplar]
+	sum    atomic.Uint64 // float64 bits, CAS-updated
 	count  atomic.Uint64
+}
+
+// Exemplar is the latest traced observation that landed in a bucket.
+type Exemplar struct {
+	Value float64   `json:"value"`
+	Trace string    `json:"trace"`
+	Wall  time.Time `json:"wall"`
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// ObserveExemplar records one value and, when trace is non-empty, stamps
+// the landing bucket's exemplar with it.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	i := h.observe(v)
+	if trace != "" && i < len(h.ex) {
+		h.ex[i].Store(&Exemplar{Value: v, Trace: trace, Wall: time.Now()})
+	}
+}
+
+func (h *Histogram) observe(v float64) int {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
 		i++
@@ -122,9 +146,20 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, nv) {
-			return
+			return i
 		}
 	}
+}
+
+// Exemplars returns the per-bucket exemplars, aligned with the buckets of
+// Buckets (the final entry is the +Inf bucket); entries are nil for
+// buckets that never saw a traced observation.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.ex))
+	for i := range h.ex {
+		out[i] = h.ex[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -277,6 +312,7 @@ func (r *Registry) getSeries(name, help string, kind metricKind, buckets []float
 		case kindHistogram:
 			h := &Histogram{upper: f.buckets}
 			h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+			h.ex = make([]atomic.Pointer[Exemplar], len(f.buckets)+1)
 			s.h = h
 		}
 		f.series[key] = s

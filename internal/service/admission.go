@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"diacap/internal/live"
+	"diacap/internal/obs"
 )
 
 // HealthSource yields live-cluster resilience telemetry; *live.Cluster
@@ -113,24 +114,47 @@ func (c *AdmissionConfig) fill() {
 // only active churn (failovers, reconnect storms, lag blowout) pushes
 // the service into load shedding.
 func healthScore(prev, cur live.HealthSnapshot, elapsedSec float64) float64 {
+	parts := healthParts(prev, cur, elapsedSec)
+	return saturate(parts[0] + parts[1] + parts[2] + parts[3])
+}
+
+// healthParts returns the four weighted score contributions, indexed in
+// the order of the healthComponents label set (dead_servers,
+// failover_rate, reconnect_rate, lag_spread). healthScore sums them in
+// that order, so the refactor is arithmetically identical to the
+// previous single-pass accumulation.
+func healthParts(prev, cur live.HealthSnapshot, elapsedSec float64) [4]float64 {
 	if elapsedSec <= 0 {
 		elapsedSec = 1
 	}
-	var score float64
+	var parts [4]float64
 	if cur.Servers > 0 {
-		score += 0.45 * float64(cur.DeadServers) / float64(cur.Servers)
+		parts[0] = 0.45 * float64(cur.DeadServers) / float64(cur.Servers)
 	}
 	failRate := float64(cur.Failovers-prev.Failovers) / elapsedSec
-	score += 0.20 * saturate(failRate/0.5)
+	parts[1] = 0.20 * saturate(failRate/0.5)
 	if cur.Clients > 0 {
 		reconRate := float64(cur.ReconnectAttempts-prev.ReconnectAttempts) / elapsedSec / float64(cur.Clients)
-		score += 0.20 * saturate(reconRate)
+		parts[2] = 0.20 * saturate(reconRate)
 	}
 	if dd := cur.Deliveries - prev.Deliveries; dd > 0 {
 		meanSpread := (cur.LagSpreadSum - prev.LagSpreadSum) / float64(dd)
-		score += 0.15 * saturate(meanSpread/50)
+		parts[3] = 0.15 * saturate(meanSpread/50)
 	}
-	return saturate(score)
+	return parts
+}
+
+// dominantComponent names the largest score contribution (first wins on
+// exact ties, matching the healthComponents order), or "none" when the
+// score is zero — the answer to "why is the service shedding".
+func dominantComponent(parts [4]float64) string {
+	best, bestV := 4, 0.0
+	for i, v := range parts {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return healthComponents[best]
 }
 
 func saturate(x float64) float64 {
@@ -186,6 +210,9 @@ type admission struct {
 	baseAt   time.Time
 	score    float64
 	state    AdmissionState
+	// dominant names the health component contributing most to the
+	// latest score (see dominantComponent).
+	dominant string
 	stale    map[string]staleEntry // endpoint → last-good response
 }
 
@@ -196,30 +223,36 @@ type staleEntry struct {
 
 func newAdmission(cfg AdmissionConfig) *admission {
 	cfg.fill()
-	return &admission{cfg: cfg, now: time.Now, stale: make(map[string]staleEntry)}
+	return &admission{cfg: cfg, now: time.Now, dominant: "none", stale: make(map[string]staleEntry)}
 }
 
 // refresh re-scores the cluster at most once per Window and returns the
-// current state and score.
-func (a *admission) refresh() (AdmissionState, float64) {
+// current state, score, the state before this reading (prev != state
+// marks a transition, attributable to the calling request), and the
+// dominant score component.
+func (a *admission) refresh() (state AdmissionState, score float64, prev AdmissionState, dominant string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	now := a.now()
 	if a.haveBase && now.Sub(a.baseAt) < a.cfg.Window {
-		return a.state, a.score
+		return a.state, a.score, a.state, a.dominant
 	}
 	snap := a.cfg.Health.HealthSnapshot()
+	var parts [4]float64
 	if !a.haveBase {
 		// First reading: no rate base yet, only the instantaneous
 		// components count.
 		a.haveBase = true
-		a.score = healthScore(snap, snap, 1)
+		parts = healthParts(snap, snap, 1)
 	} else {
-		a.score = healthScore(a.base, snap, now.Sub(a.baseAt).Seconds())
+		parts = healthParts(a.base, snap, now.Sub(a.baseAt).Seconds())
 	}
+	a.score = saturate(parts[0] + parts[1] + parts[2] + parts[3])
+	a.dominant = dominantComponent(parts)
+	prev = a.state
 	a.state = a.cfg.nextState(a.state, a.score)
 	a.base, a.baseAt = snap, now
-	return a.state, a.score
+	return a.state, a.score, prev, a.dominant
 }
 
 // storeStale caches a successful response for degraded-mode serving.
@@ -257,12 +290,31 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 	if a == nil {
 		return false
 	}
-	state, score := a.refresh()
+	_, asp := obs.Child(r.Context(), "service.admission")
+	state, score, prev, dominant := a.refresh()
+	asp.SetAttr(obs.Str("state", state.String()), obs.F64("score", score))
+	asp.End()
+	if state != prev {
+		// Journal the transition under the trace that triggered the
+		// re-score, then dump on shed entry: the dump must carry the
+		// trace id of the request that tipped the controller over.
+		trace := obs.SpanFromContext(r.Context()).TraceID()
+		s.jAdmission.Record(state.String(), trace,
+			obs.Str("from", prev.String()),
+			obs.F64("score", score),
+			obs.Str("dominant", dominant))
+		if state == AdmissionShed {
+			s.opts.Flight.Dump("admission-shed")
+		}
+	}
 	switch state {
 	case AdmissionShed:
 		s.countAdmission("shed", state, score)
+		if reg := s.opts.Metrics; reg != nil {
+			reg.Counter(nAdmShedComp, hAdmShedComp, obs.L("component", dominant)).Inc()
+		}
 		s.log.Warn("admission: shedding assignment load",
-			"endpoint", endpoint, "score", score)
+			"endpoint", endpoint, "score", score, "dominant", dominant)
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((a.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{

@@ -34,6 +34,8 @@ var endpoints = []string{
 	"/v1/shard/snapshot",
 	"/metrics",
 	"/debug/vars",
+	"/debug/trace",
+	"/debug/flight",
 }
 
 func normalizeEndpoint(path string) string {
@@ -91,10 +93,16 @@ const (
 	hAdmScore     = "Latest cluster health score in [0,1] driving admission control."
 	nAdmState     = "diacap_admission_state"
 	hAdmState     = "Admission state: 0 accept, 1 degraded (serve stale), 2 shed."
+	nAdmShedComp  = "diacap_admission_shed_component_total"
+	hAdmShedComp  = "Shed (429) responses, by the dominant health-score component that drove the score."
 )
 
 // admissionDecisions is the closed label set of admission outcomes.
 var admissionDecisions = []string{"accept", "stale", "shed"}
+
+// healthComponents is the closed label set of health-score components
+// (see healthParts); "none" covers an all-zero score.
+var healthComponents = []string{"dead_servers", "failover_rate", "reconnect_rate", "lag_spread", "none"}
 
 // PreregisterMetrics creates the service's metric families (zero-valued)
 // ahead of any traffic, so the first scrape already exposes the full
@@ -119,6 +127,9 @@ func PreregisterMetrics(reg *obs.Registry) {
 	}
 	for _, d := range admissionDecisions {
 		reg.Counter(nAdmDecisions, hAdmDecisions, obs.L("decision", d))
+	}
+	for _, c := range healthComponents {
+		reg.Counter(nAdmShedComp, hAdmShedComp, obs.L("component", c))
 	}
 	reg.Gauge(nAdmScore, hAdmScore)
 	reg.Gauge(nAdmState, hAdmState)
@@ -155,9 +166,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			}
 			reg.Counter(nHTTPRequests, hHTTPRequests,
 				obs.L("endpoint", ep), obs.L("code", strconv.Itoa(code))).Inc()
+			// Exemplar: the latest trace id that landed in each latency
+			// bucket, so a histogram outlier links to its span tree.
 			reg.Histogram(nHTTPSeconds, hHTTPSeconds,
 				obs.SecondsBuckets, obs.L("endpoint", ep)).
-				Observe(time.Since(start).Seconds())
+				ObserveExemplar(time.Since(start).Seconds(),
+					obs.SpanFromContext(r.Context()).TraceID())
 			if code >= 400 {
 				reg.Counter(nHTTPErrors, hHTTPErrors,
 					obs.L("endpoint", ep)).Inc()
@@ -175,6 +189,12 @@ func (s *Server) mountDebug() {
 		s.mux.Handle("/metrics", s.opts.Metrics.Handler())
 		s.mux.Handle("/debug/vars", s.opts.Metrics.VarsHandler())
 	}
+	if s.opts.Tracer != nil {
+		s.mux.Handle("/debug/trace", s.opts.Tracer.Handler())
+	}
+	// The recorder always exists (fill creates one), so the flight dump
+	// is always readable.
+	s.mux.Handle("/debug/flight", s.opts.Flight.Handler())
 	if s.opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -79,6 +79,18 @@ type Options struct {
 	// service fronts; it mounts POST /v1/shard/assign and
 	// GET /v1/shard/snapshot.
 	Shard *shard.Plane
+	// Tracer, if non-nil, samples requests into spans: traced responses
+	// carry X-Diacap-Trace, span trees are served at /debug/trace, and
+	// request-latency histograms gain trace exemplars. Incoming W3C
+	// traceparent headers are honored (remote trace and sampling
+	// decision adopted).
+	Tracer *obs.Tracer
+	// Flight is the always-on flight recorder behind /debug/flight. Nil
+	// gets a private recorder (the recorder is cheap: fixed rings,
+	// lock-free writes), so the journals are always recording; pass one
+	// explicitly to share journals with the shard plane and live layer
+	// or to set a dump writer.
+	Flight *obs.Recorder
 
 	// testHookAssign, when non-nil, runs inside every admitted /v1/assign
 	// request before the computation starts. In-package tests use it to
@@ -99,6 +111,9 @@ func (o *Options) fill() {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 10 * time.Second
 	}
+	if o.Flight == nil {
+		o.Flight = obs.NewRecorder(0)
+	}
 }
 
 // Server is the HTTP handler.
@@ -109,12 +124,18 @@ type Server struct {
 	mux       *http.ServeMux
 	handler   http.Handler
 	admission *admission
+	// Flight journals, resolved once (the recorder always exists after
+	// fill, so these are never nil).
+	jRequests  *obs.Journal
+	jAdmission *obs.Journal
 }
 
 // New builds the service.
 func New(opts Options) *Server {
 	opts.fill()
 	s := &Server{opts: opts, log: opts.Logger, mux: http.NewServeMux()}
+	s.jRequests = opts.Flight.Journal(JournalRequests, 0)
+	s.jAdmission = opts.Flight.Journal(JournalAdmission, 0)
 	if opts.Admission != nil && opts.Admission.Health != nil {
 		s.admission = newAdmission(*opts.Admission)
 	}
@@ -137,6 +158,10 @@ func New(opts Options) *Server {
 		s.algoTrace = obs.MetricsTrace(opts.Metrics)
 		h = s.instrument(h)
 	}
+	// Outermost: the root span must exist before instrument reads it for
+	// exemplars, and the request journal must see even panicking or
+	// timed-out requests with their final status.
+	h = s.observe(h)
 	s.handler = h
 	return s
 }
@@ -242,6 +267,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"dead":        dead,
 		}
 	}
+	if p := s.opts.Shard; p != nil {
+		snap := p.Current()
+		resp["shard"] = map[string]any{
+			"epoch":      snap.Epoch,
+			"active":     snap.Active,
+			"d":          snap.D,
+			"certifiedD": snap.CertifiedD,
+			"shards":     p.Health(),
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -318,7 +353,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if s.opts.testHookAssign != nil {
 		s.opts.testHookAssign()
 	}
+	_, csp := obs.Child(r.Context(), "service.compute")
 	resp, err := s.doAssign(&req)
+	if resp != nil {
+		csp.SetAttr(obs.Str("algorithm", resp.Algorithm), obs.F64("d", resp.D))
+	}
+	csp.End()
 	if err != nil {
 		s.fail(w, r, err,
 			"nodes", len(req.Matrix),

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 	"diacap/internal/shard"
 )
 
@@ -72,25 +73,25 @@ func shardOpError(err error) error {
 func (s *Server) handleShardAssign(w http.ResponseWriter, r *http.Request) {
 	p := s.opts.Shard
 	var req ShardAssignRequest
-	if err := s.decode(w, r, &req); err != nil {
+	_, dsp := obs.Child(r.Context(), "service.decode")
+	err := s.decode(w, r, &req)
+	dsp.End()
+	if err != nil {
 		s.fail(w, r, err)
 		return
 	}
-	var (
-		res shard.OpResult
-		err error
-	)
+	var res shard.OpResult
 	switch req.Op {
 	case "join":
-		res, err = p.Join(req.Client)
+		res, err = p.Join(r.Context(), req.Client)
 	case "leave":
-		res, err = p.Leave(req.Client)
+		res, err = p.Leave(r.Context(), req.Client)
 	case "migrate":
 		target := -1
 		if req.Server != nil {
 			target = *req.Server
 		}
-		res, err = p.Migrate(req.Client, target)
+		res, err = p.Migrate(r.Context(), req.Client, target)
 	default:
 		s.fail(w, r, badRequest("unknown op %q (want join, leave, or migrate)", req.Op))
 		return

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -88,10 +89,10 @@ func TestShardAssignErrors(t *testing.T) {
 		}
 	}
 	// Migration onto a dead server is a state conflict.
-	if _, err := p.Join(0); err != nil {
+	if _, err := p.Join(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.KillServer(2); err != nil {
+	if _, _, err := p.KillServer(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	rec := postJSON(t, s, "/v1/shard/assign", ShardAssignRequest{Op: "migrate", Client: 0, Server: ptr(2)})
@@ -117,7 +118,7 @@ func TestShardSnapshotConditionalRead(t *testing.T) {
 		t.Fatalf("initial snapshot: %+v", snap)
 	}
 
-	if _, err := p.Join(7); err != nil {
+	if _, err := p.Join(context.Background(), 7); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -29,12 +30,12 @@ func driveScript(t *testing.T, p *shard.Plane, seed int64) []byte {
 		c := rng.Intn(n)
 		switch {
 		case !activeSet[c]:
-			if _, err := p.Join(c); err != nil {
+			if _, err := p.Join(context.Background(), c); err != nil {
 				t.Fatalf("op %d: join(%d): %v", op, c, err)
 			}
 			activeSet[c] = true
 		case rng.Intn(3) == 0:
-			if _, err := p.Leave(c); err != nil {
+			if _, err := p.Leave(context.Background(), c); err != nil {
 				t.Fatalf("op %d: leave(%d): %v", op, c, err)
 			}
 			activeSet[c] = false
@@ -46,18 +47,18 @@ func driveScript(t *testing.T, p *shard.Plane, seed int64) []byte {
 					target = 1
 				}
 			}
-			if _, err := p.Migrate(c, target); err != nil {
+			if _, err := p.Migrate(context.Background(), c, target); err != nil {
 				t.Fatalf("op %d: migrate(%d,%d): %v", op, c, target, err)
 			}
 		}
 		if op == 200 {
-			if _, _, err := p.KillServer(0); err != nil {
+			if _, _, err := p.KillServer(context.Background(), 0); err != nil {
 				t.Fatal(err)
 			}
 			dead0 = true
 		}
 		if op == 300 {
-			if _, err := p.RestartServer(0); err != nil {
+			if _, err := p.RestartServer(context.Background(), 0); err != nil {
 				t.Fatal(err)
 			}
 			dead0 = false
@@ -151,13 +152,13 @@ func TestShardOneMatchesUnsharded(t *testing.T) {
 		c := rng.Intn(len(clients))
 		switch {
 		case !activeSet[c]:
-			if _, err := p.Join(c); err != nil {
+			if _, err := p.Join(context.Background(), c); err != nil {
 				t.Fatalf("op %d: plane join: %v", op, err)
 			}
 			ev.Move(c, strat.PlaceJoin(ev, nil, c))
 			activeSet[c] = true
 		case rng.Intn(3) == 0:
-			if _, err := p.Leave(c); err != nil {
+			if _, err := p.Leave(context.Background(), c); err != nil {
 				t.Fatalf("op %d: plane leave: %v", op, err)
 			}
 			ev.Move(c, core.Unassigned)
@@ -167,7 +168,7 @@ func TestShardOneMatchesUnsharded(t *testing.T) {
 			if rng.Intn(2) == 0 {
 				target = rng.Intn(len(servers))
 			}
-			if _, err := p.Migrate(c, target); err != nil {
+			if _, err := p.Migrate(context.Background(), c, target); err != nil {
 				t.Fatalf("op %d: plane migrate: %v", op, err)
 			}
 			if target < 0 {

@@ -30,6 +30,21 @@ const (
 	hShardStaleReads = "Snapshot reads that named a retired epoch."
 )
 
+// Flight-recorder journal names, package-level consts per the same
+// preregister discipline (dialint checks Journal call sites). Exported
+// so the service layer and tests can read the journals back by name.
+const (
+	// JournalFailover records server kills and restarts (kind "kill" /
+	// "restart") with the evacuation outcome.
+	JournalFailover = "failover"
+	// JournalEpoch records every snapshot publication (kind "publish")
+	// with the new epoch and reconciled D.
+	JournalEpoch = "epoch"
+	// JournalSuppressed records hysteresis-gated repair proposals; the
+	// event kind is the gate reason ("gain" or "budget").
+	JournalSuppressed = "suppressed"
+)
+
 // planeMetrics resolves the plane's instruments once at construction.
 // A nil registry yields a nil planeMetrics, and every method is
 // nil-safe, so the plane works unmetered.

@@ -1,12 +1,15 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"diacap/internal/assign"
 	"diacap/internal/core"
 	"diacap/internal/dynamic"
+	"diacap/internal/obs"
 )
 
 // OpResult reports the outcome of one control-plane mutation.
@@ -23,22 +26,36 @@ type OpResult struct {
 	D, CertifiedD float64
 }
 
-func (p *Plane) opResult(shard, server int) OpResult {
-	s := p.publishLocked()
+func (p *Plane) opResult(ctx context.Context, shard, server int) OpResult {
+	s := p.publishLocked(ctx)
 	return OpResult{Epoch: s.Epoch, Shard: shard, Server: server, D: s.D, CertifiedD: s.CertifiedD}
+}
+
+// begin opens the per-mutation span and parks it in p.curSpan so the
+// evaluator delta hook and the hysteresis hook can attach their events.
+// The returned func undoes the parking; callers hold p.mu. Every span
+// method is nil-safe, so untraced requests pay only the nil checks.
+func (p *Plane) begin(sp *obs.Span) func() {
+	p.curSpan = sp
+	return func() { p.curSpan = nil }
 }
 
 // Join activates client c, placing it through the owning shard's
 // strategy. Fails with ErrUnknownClient, core.ErrAlreadyAssigned, or
-// ErrNoCapacity.
-func (p *Plane) Join(c int) (OpResult, error) {
+// ErrNoCapacity. The context carries the request's trace span, if any;
+// the plane's work is recorded as a plane.join child span.
+func (p *Plane) Join(ctx context.Context, c int) (OpResult, error) {
 	sid, err := p.ShardOf(c)
 	if err != nil {
 		p.met.rejected("unknown_client")
 		return OpResult{}, err
 	}
+	ctx, sp := obs.Child(ctx, "plane.join")
+	defer sp.End()
+	sp.SetAttr(obs.Int("client", c), obs.Int("shard", sid))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	sh := p.shards[sid]
 	local := p.clientLocal[c]
 	if sh.ev.ServerOf(local) != core.Unassigned {
@@ -51,7 +68,9 @@ func (p *Plane) Join(c int) (OpResult, error) {
 		return OpResult{}, err
 	}
 	p.met.event("join")
-	return p.opResult(sid, s), nil
+	r := p.opResult(ctx, sid, s)
+	sp.SetAttr(obs.Int("server", s), obs.Uint("epoch", r.Epoch), obs.F64("d", r.D))
+	return r, nil
 }
 
 // place runs the shard strategy's join path for local client and
@@ -78,14 +97,18 @@ func (p *Plane) place(sh *shardState, local, global int) (int, error) {
 
 // Leave deactivates client c. Fails with ErrUnknownClient or
 // core.ErrNotAssigned.
-func (p *Plane) Leave(c int) (OpResult, error) {
+func (p *Plane) Leave(ctx context.Context, c int) (OpResult, error) {
 	sid, err := p.ShardOf(c)
 	if err != nil {
 		p.met.rejected("unknown_client")
 		return OpResult{}, err
 	}
+	ctx, sp := obs.Child(ctx, "plane.leave")
+	defer sp.End()
+	sp.SetAttr(obs.Int("client", c), obs.Int("shard", sid))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	sh := p.shards[sid]
 	local := p.clientLocal[c]
 	old := sh.ev.ServerOf(local)
@@ -95,7 +118,9 @@ func (p *Plane) Leave(c int) (OpResult, error) {
 	}
 	sh.noteAssign(p.clientCell[c], old, -1)
 	p.met.event("leave")
-	return p.opResult(sid, old), nil
+	r := p.opResult(ctx, sid, old)
+	sp.SetAttr(obs.Int("server", old), obs.Uint("epoch", r.Epoch), obs.F64("d", r.D))
+	return r, nil
 }
 
 // Migrate moves active client c to server target; target < 0 asks the
@@ -103,14 +128,18 @@ func (p *Plane) Leave(c int) (OpResult, error) {
 // old server if no better placement has room). Fails with
 // ErrUnknownClient, core.ErrNotAssigned, ErrServerDown, or
 // ErrNoCapacity.
-func (p *Plane) Migrate(c, target int) (OpResult, error) {
+func (p *Plane) Migrate(ctx context.Context, c, target int) (OpResult, error) {
 	sid, err := p.ShardOf(c)
 	if err != nil {
 		p.met.rejected("unknown_client")
 		return OpResult{}, err
 	}
+	ctx, sp := obs.Child(ctx, "plane.migrate")
+	defer sp.End()
+	sp.SetAttr(obs.Int("client", c), obs.Int("shard", sid), obs.Int("target", target))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	sh := p.shards[sid]
 	local := p.clientLocal[c]
 	old := sh.ev.ServerOf(local)
@@ -138,7 +167,9 @@ func (p *Plane) Migrate(c, target int) (OpResult, error) {
 			sh.noteAssign(p.clientCell[c], target, +1)
 		}
 		p.met.event("migrate")
-		return p.opResult(sid, target), nil
+		r := p.opResult(ctx, sid, target)
+		sp.SetAttr(obs.Int("server", target), obs.Uint("epoch", r.Epoch), obs.F64("d", r.D))
+		return r, nil
 	}
 	// Strategy re-placement: lift the client out, ask the strategy, and
 	// restore the old seat if nothing has room.
@@ -155,7 +186,9 @@ func (p *Plane) Migrate(c, target int) (OpResult, error) {
 		return OpResult{}, err
 	}
 	p.met.event("migrate")
-	return p.opResult(sid, s), nil
+	r := p.opResult(ctx, sid, s)
+	sp.SetAttr(obs.Int("server", s), obs.Uint("epoch", r.Epoch), obs.F64("d", r.D))
+	return r, nil
 }
 
 // KillServer marks server k dead and evacuates its clients shard by
@@ -163,13 +196,18 @@ func (p *Plane) Migrate(c, target int) (OpResult, error) {
 // client order — deterministic). Killing a dead server is idempotent.
 // If an evacuation cannot be placed the plane returns the typed
 // capacity error with the world left capacity-consistent (every client
-// either has a live seat or is detached).
-func (p *Plane) KillServer(k int) (OpResult, int, error) {
+// either has a live seat or is detached). A kill is a failover: it is
+// journaled in the flight recorder and triggers a recorder dump.
+func (p *Plane) KillServer(ctx context.Context, k int) (OpResult, int, error) {
 	if k < 0 || k >= len(p.alive) {
 		return OpResult{}, 0, fmt.Errorf("shard: server %d out of range [0,%d)", k, len(p.alive))
 	}
+	ctx, sp := obs.Child(ctx, "plane.kill")
+	defer sp.End()
+	sp.SetAttr(obs.Int("server", k))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	if !p.alive[k] {
 		// Idempotent double kill: no state change, no new epoch.
 		s := p.snap.Load()
@@ -179,6 +217,16 @@ func (p *Plane) KillServer(k int) (OpResult, int, error) {
 	p.dead++
 	p.rebuildEffCaps()
 	evacuated := 0
+	finish := func(r OpResult, evacuated int, failed bool) {
+		sp.SetAttr(obs.Int("evacuated", evacuated), obs.Uint("epoch", r.Epoch))
+		p.jFailover.Record("kill", sp.TraceID(),
+			obs.Int("server", k),
+			obs.Int("evacuated", evacuated),
+			obs.Int("dead", p.dead),
+			obs.Uint("epoch", r.Epoch),
+			obs.Str("evacuation_failed", fmt.Sprintf("%t", failed)))
+		p.flight.Dump("server-kill")
+	}
 	for _, sh := range p.shards {
 		for local := 0; local < len(sh.clients); local++ {
 			if sh.ev.ServerOf(local) != k {
@@ -191,32 +239,42 @@ func (p *Plane) KillServer(k int) (OpResult, int, error) {
 			sh.noteAssign(p.clientCell[global], k, -1)
 			if _, err := p.place(sh, local, global); err != nil {
 				p.met.event("kill")
-				r := p.opResult(-1, k)
+				r := p.opResult(ctx, -1, k)
+				finish(r, evacuated, true)
 				return r, evacuated, err
 			}
 			evacuated++
 		}
 	}
 	p.met.event("kill")
-	r := p.opResult(-1, k)
+	r := p.opResult(ctx, -1, k)
+	finish(r, evacuated, false)
 	return r, evacuated, nil
 }
 
 // RestartServer brings server k back. Restarting a live server is
 // idempotent.
-func (p *Plane) RestartServer(k int) (OpResult, error) {
+func (p *Plane) RestartServer(ctx context.Context, k int) (OpResult, error) {
 	if k < 0 || k >= len(p.alive) {
 		return OpResult{}, fmt.Errorf("shard: server %d out of range [0,%d)", k, len(p.alive))
 	}
+	ctx, sp := obs.Child(ctx, "plane.restart")
+	defer sp.End()
+	sp.SetAttr(obs.Int("server", k))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	if !p.alive[k] {
 		p.alive[k] = true
 		p.dead--
 		p.rebuildEffCaps()
 		p.met.event("restart")
+		p.jFailover.Record("restart", sp.TraceID(),
+			obs.Int("server", k), obs.Int("dead", p.dead))
 	}
-	return p.opResult(-1, k), nil
+	r := p.opResult(ctx, -1, k)
+	sp.SetAttr(obs.Uint("epoch", r.Epoch))
+	return r, nil
 }
 
 // rebuildEffCaps refreshes every shard's effective capacity vector
@@ -248,18 +306,24 @@ func (p *Plane) rebuildEffCaps() {
 // returns the number of migrations it performed. The strategy mutates
 // the evaluator directly, so the cell-level summary is reconciled from
 // the assignment diff afterwards.
-func (p *Plane) RepairShard(id int, now float64) (int, error) {
+func (p *Plane) RepairShard(ctx context.Context, id int, now float64) (int, error) {
 	if id < 0 || id >= len(p.shards) {
 		return 0, fmt.Errorf("shard: id %d out of range [0,%d)", id, len(p.shards))
 	}
+	ctx, sp := obs.Child(ctx, "plane.repair")
+	defer sp.End()
+	sp.SetAttr(obs.Int("shard", id))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	sh := p.shards[id]
+	sh.lastRepair = time.Now()
 	before := sh.ev.Assignment()
 	moves := sh.strat.Repair(sh.ev, sh.effCaps, now)
+	sp.SetAttr(obs.Int("moves", moves))
 	if moves != 0 {
 		sh.reconcileCells(p, before)
-		p.publishLocked()
+		p.publishLocked(ctx)
 	}
 	return moves, nil
 }
@@ -268,13 +332,17 @@ func (p *Plane) RepairShard(id int, now float64) (int, error) {
 // the named assignment algorithm (seeded) and applies the result — the
 // per-shard batch solver counterpart of the online strategies. It
 // returns the total number of clients that moved.
-func (p *Plane) Resolve(algName string, seed int64) (OpResult, int, error) {
+func (p *Plane) Resolve(ctx context.Context, algName string, seed int64) (OpResult, int, error) {
 	alg, err := assign.ByNameSeeded(algName, seed)
 	if err != nil {
 		return OpResult{}, 0, err
 	}
+	ctx, sp := obs.Child(ctx, "plane.resolve")
+	defer sp.End()
+	sp.SetAttr(obs.Str("algorithm", algName))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	moved := 0
 	for _, sh := range p.shards {
 		if sh.active == 0 {
@@ -320,7 +388,8 @@ func (p *Plane) Resolve(algName string, seed int64) (OpResult, int, error) {
 		sh.reconcileCells(p, before)
 	}
 	p.met.event("resolve")
-	r := p.opResult(-1, core.Unassigned)
+	r := p.opResult(ctx, -1, core.Unassigned)
+	sp.SetAttr(obs.Int("moved", moved), obs.Uint("epoch", r.Epoch), obs.F64("d", r.D))
 	return r, moved, nil
 }
 

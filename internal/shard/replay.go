@@ -2,6 +2,7 @@ package shard
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"diacap/internal/core"
 	"diacap/internal/dynamic"
 	"diacap/internal/latency"
+	"diacap/internal/obs"
 )
 
 // NewFromPopulation builds a plane over a scenario population: the
@@ -83,6 +85,8 @@ func (p *Plane) resliceLocked(m latency.Matrix) error {
 		ev.EnableIncremental()
 		sh.in, sh.ev = in, ev
 		sh.dirty = true
+		// The fresh evaluator dropped the previous delta hook; reattach.
+		p.installHooks(sh)
 	}
 	p.ss = m.Submatrix(p.serverNodes)
 	return nil
@@ -94,18 +98,22 @@ func (p *Plane) resliceLocked(m latency.Matrix) error {
 // fresh incremental evaluator over the new geometry; the certified
 // bound degrades to the exact eccentricities from here on, because the
 // cell radii no longer describe the live metric.
-func (p *Plane) ApplyDriftMatrix(m latency.Matrix) error {
+func (p *Plane) ApplyDriftMatrix(ctx context.Context, m latency.Matrix) error {
 	if p.serverNodes == nil {
 		return errors.New("shard: drift requires a population-built plane (NewFromPopulation)")
 	}
+	ctx, sp := obs.Child(ctx, "plane.drift")
+	defer sp.End()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.begin(sp)()
 	if err := p.resliceLocked(m); err != nil {
 		return err
 	}
 	p.drifted = true
 	p.met.event("drift")
-	p.publishLocked()
+	s := p.publishLocked(ctx)
+	sp.SetAttr(obs.Uint("epoch", s.Epoch), obs.F64("d", s.D))
 	return nil
 }
 
@@ -138,7 +146,14 @@ type replayEvent struct {
 // event semantics — tape ordering, evacuation order, effective
 // capacities, repair cadence — match dynamic.SimulateScenario, so a
 // one-shard replay reproduces the unsharded simulation bit-for-bit.
-func (p *Plane) Replay(sc *dynamic.Scenario) (*ReplayResult, error) {
+//
+// When the plane has a tracer, every tape event is stamped with its own
+// root span (replay.join, replay.leave, replay.kill, replay.restart,
+// replay.drift) whose children are the plane operation and the repair
+// passes it triggered. With a seeded tracer at sample rate 1 the
+// resulting span forest is deterministic: same scenario, same seed,
+// same tree.
+func (p *Plane) Replay(ctx context.Context, sc *dynamic.Scenario) (*ReplayResult, error) {
 	if sc == nil {
 		return nil, errors.New("shard: nil scenario")
 	}
@@ -193,14 +208,14 @@ func (p *Plane) Replay(sc *dynamic.Scenario) (*ReplayResult, error) {
 	// repairAfter runs the strategy repair for the affected shards
 	// (every shard for global events) and re-checks the capacity
 	// invariant, mirroring the scenario simulator's per-event cadence.
-	repairAfter := func(t float64, shards ...int) error {
+	repairAfter := func(ctx context.Context, t float64, shards ...int) error {
 		if len(shards) == 0 {
 			for s := 0; s < p.NumShards(); s++ {
 				shards = append(shards, s)
 			}
 		}
 		for _, s := range shards {
-			moves, err := p.RepairShard(s, t)
+			moves, err := p.RepairShard(ctx, s, t)
 			if err != nil {
 				return err
 			}
@@ -208,69 +223,72 @@ func (p *Plane) Replay(sc *dynamic.Scenario) (*ReplayResult, error) {
 		}
 		return p.checkInvariant(t)
 	}
+	spanNames := [5]string{"replay.leave", "replay.restart", "replay.kill", "replay.join", "replay.drift"}
 
 	for _, te := range tape {
 		if te.time > sc.Horizon {
 			break
 		}
-		switch te.kind {
-		case 3: // join
-			e := sc.Events[te.id]
-			r, err := p.Join(e.Client)
-			if err != nil {
-				return nil, fmt.Errorf("shard: join of client %d at t=%.1f: %w", e.Client, e.Time, err)
+		ectx, esp := p.tracer.Root(ctx, spanNames[te.kind])
+		esp.SetAttr(obs.F64("time", te.time))
+		err := func() error {
+			defer esp.End()
+			switch te.kind {
+			case 3: // join
+				e := sc.Events[te.id]
+				r, err := p.Join(ectx, e.Client)
+				if err != nil {
+					return fmt.Errorf("shard: join of client %d at t=%.1f: %w", e.Client, e.Time, err)
+				}
+				res.Joins++
+				res.ShardEvents[r.Shard]++
+				esp.SetAttr(obs.Int("client", e.Client), obs.Int("shard", r.Shard))
+				return repairAfter(ectx, te.time, r.Shard)
+			case 0: // leave
+				e := sc.Events[te.id]
+				r, err := p.Leave(ectx, e.Client)
+				if err != nil {
+					return fmt.Errorf("shard: leave of client %d at t=%.1f: %w", e.Client, e.Time, err)
+				}
+				res.Leaves++
+				res.ShardEvents[r.Shard]++
+				esp.SetAttr(obs.Int("client", e.Client), obs.Int("shard", r.Shard))
+				return repairAfter(ectx, te.time, r.Shard)
+			case 2: // kill
+				k := sc.Kills[te.id].Server
+				wasAlive := p.ServerAlive(k)
+				_, evacuated, err := p.KillServer(ectx, k)
+				if err != nil {
+					return fmt.Errorf("shard: kill of server %d at t=%.1f: %w", k, te.time, err)
+				}
+				res.ForcedMoves += evacuated
+				if wasAlive {
+					res.KillsApplied++
+				}
+				esp.SetAttr(obs.Int("server", k), obs.Int("evacuated", evacuated))
+				return repairAfter(ectx, te.time)
+			case 1: // restart
+				k := sc.Kills[te.id].Server
+				wasAlive := p.ServerAlive(k)
+				if _, err := p.RestartServer(ectx, k); err != nil {
+					return err
+				}
+				if !wasAlive {
+					res.Restarts++
+				}
+				esp.SetAttr(obs.Int("server", k))
+				return repairAfter(ectx, te.time)
+			default: // 4: drift
+				snap := sc.Snapshots[te.id]
+				if err := p.ApplyDriftMatrix(ectx, snap.Instance.Matrix()); err != nil {
+					return fmt.Errorf("shard: drift at t=%.1f: %w", snap.Time, err)
+				}
+				res.DriftSteps++
+				return repairAfter(ectx, te.time)
 			}
-			res.Joins++
-			res.ShardEvents[r.Shard]++
-			if err := repairAfter(te.time, r.Shard); err != nil {
-				return nil, err
-			}
-		case 0: // leave
-			e := sc.Events[te.id]
-			r, err := p.Leave(e.Client)
-			if err != nil {
-				return nil, fmt.Errorf("shard: leave of client %d at t=%.1f: %w", e.Client, e.Time, err)
-			}
-			res.Leaves++
-			res.ShardEvents[r.Shard]++
-			if err := repairAfter(te.time, r.Shard); err != nil {
-				return nil, err
-			}
-		case 2: // kill
-			k := sc.Kills[te.id].Server
-			wasAlive := p.ServerAlive(k)
-			_, evacuated, err := p.KillServer(k)
-			if err != nil {
-				return nil, fmt.Errorf("shard: kill of server %d at t=%.1f: %w", k, te.time, err)
-			}
-			res.ForcedMoves += evacuated
-			if wasAlive {
-				res.KillsApplied++
-			}
-			if err := repairAfter(te.time); err != nil {
-				return nil, err
-			}
-		case 1: // restart
-			k := sc.Kills[te.id].Server
-			wasAlive := p.ServerAlive(k)
-			if _, err := p.RestartServer(k); err != nil {
-				return nil, err
-			}
-			if !wasAlive {
-				res.Restarts++
-			}
-			if err := repairAfter(te.time); err != nil {
-				return nil, err
-			}
-		case 4: // drift
-			snap := sc.Snapshots[te.id]
-			if err := p.ApplyDriftMatrix(snap.Instance.Matrix()); err != nil {
-				return nil, fmt.Errorf("shard: drift at t=%.1f: %w", snap.Time, err)
-			}
-			res.DriftSteps++
-			if err := repairAfter(te.time); err != nil {
-				return nil, err
-			}
+		}()
+		if err != nil {
+			return nil, err
 		}
 		record(te.time)
 	}

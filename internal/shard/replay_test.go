@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestReplayOneShardMatchesSimulate(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := p.Replay(sc)
+			got, err := p.Replay(context.Background(), sc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,7 +62,7 @@ func TestReplayOneShardCapacitated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := p.Replay(sc)
+	got, err := p.Replay(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestReplayMultiShard(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := p.Replay(sc)
+				res, err := p.Replay(context.Background(), sc)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -171,7 +172,7 @@ func TestReplayPopulationMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Replay(sc); err == nil {
+	if _, err := p.Replay(context.Background(), sc); err == nil {
 		t.Fatal("replay of a mis-sized scenario succeeded")
 	}
 }

@@ -26,11 +26,13 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diacap/internal/core"
 	"diacap/internal/dynamic"
@@ -79,6 +81,15 @@ type Options struct {
 	Strategy StrategyFactory
 	// Metrics, if non-nil, receives control-plane metrics.
 	Metrics *obs.Registry
+	// Tracer, if non-nil, enables evaluator-level span events on plane
+	// mutations and lets Replay start per-event root spans. Request-level
+	// child spans (plane.join etc.) ride the request context and work
+	// without it, but attributing incremental-evaluator work to those
+	// spans requires the tracer here too — pass the service tracer.
+	Tracer *obs.Tracer
+	// Flight, if non-nil, receives failover, epoch-bump, and
+	// hysteresis-suppression events in the flight recorder.
+	Flight *obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -139,7 +150,18 @@ type Plane struct {
 	epoch uint64
 	snap  atomic.Pointer[Snapshot]
 
-	met *planeMetrics
+	met    *planeMetrics
+	tracer *obs.Tracer
+	flight *obs.Recorder
+	// Flight journals, resolved once at construction (nil-safe when the
+	// plane runs without a recorder).
+	jFailover   *obs.Journal
+	jEpoch      *obs.Journal
+	jSuppressed *obs.Journal
+	// curSpan is the span of the mutation currently holding p.mu; the
+	// evaluator delta hook and the hysteresis suppression hook attach
+	// their events to it. Guarded by p.mu.
+	curSpan *obs.Span
 }
 
 // shardState is one shard's mutable world.
@@ -164,8 +186,14 @@ type shardState struct {
 	// dirty marks that the shard's summary must be rebuilt at the next
 	// publish.
 	dirty bool
-	// summary is the last published per-shard summary.
-	summary ShardSummary
+	// summary is the last published per-shard summary; summaryEpoch is
+	// the epoch at which it was last rebuilt (a stale shard shows an old
+	// value here while the plane epoch keeps advancing).
+	summary      ShardSummary
+	summaryEpoch uint64
+	// lastRepair is the wall time of the last strategy repair pass run
+	// for this shard (zero until the first RepairShard).
+	lastRepair time.Time
 }
 
 // New builds a plane over the client universe: cluster the clients into
@@ -227,6 +255,13 @@ func New(opts Options) (*Plane, error) {
 		repDist:     make([][]float64, len(cells)),
 		alive:       make([]bool, len(opts.Servers)),
 		met:         newPlaneMetrics(opts.Metrics),
+		tracer:      opts.Tracer,
+		flight:      opts.Flight,
+	}
+	if opts.Flight != nil {
+		p.jFailover = opts.Flight.Journal(JournalFailover, 0)
+		p.jEpoch = opts.Flight.Journal(JournalEpoch, 0)
+		p.jSuppressed = opts.Flight.Journal(JournalSuppressed, 0)
 	}
 	for k := range p.alive {
 		p.alive[k] = true
@@ -252,7 +287,7 @@ func New(opts Options) (*Plane, error) {
 		return nil, err
 	}
 	p.mu.Lock()
-	p.publishLocked()
+	p.publishLocked(context.Background())
 	p.mu.Unlock()
 	return p, nil
 }
@@ -366,8 +401,50 @@ func (p *Plane) buildShards() error {
 			cellLoad: make(map[int][]int),
 			dirty:    true,
 		}
+		p.installHooks(p.shards[s])
 	}
 	return nil
+}
+
+// installHooks attaches the evaluator delta hook and the hysteresis
+// suppression hook to one shard's evaluator and strategy. Called from
+// buildShards and again from resliceLocked — a reslice builds fresh
+// evaluators, which would silently drop the previous hook. Both hooks
+// fire only while a mutation holds p.mu, so reading p.curSpan is safe.
+func (p *Plane) installHooks(sh *shardState) {
+	shard := sh.id
+	if p.tracer != nil {
+		sh.ev.SetDeltaHook(func(ev core.DeltaEvent) {
+			if p.curSpan == nil {
+				// Unsampled mutation: skip attr rendering entirely —
+				// Event would discard it, but its arguments are built
+				// eagerly, and this hook sits on the evaluator hot path.
+				return
+			}
+			p.curSpan.Event("evaluator."+ev.Op,
+				obs.Int("shard", shard),
+				obs.Int("client", ev.Client),
+				obs.Int("server", ev.Server),
+				obs.F64("d", ev.D),
+				obs.Int("heapOps", ev.HeapOps),
+				obs.Int("pairTouches", ev.PairTouches),
+				obs.Int("pairRescans", ev.PairRescans))
+		})
+	}
+	if h, ok := sh.strat.(*dynamic.Hysteresis); ok && (p.tracer != nil || p.jSuppressed != nil) {
+		h.OnSuppress = func(now float64, moves int, gain float64, reason string) {
+			p.curSpan.Event("hysteresis.suppress",
+				obs.Int("shard", shard),
+				obs.Int("moves", moves),
+				obs.F64("gain", gain),
+				obs.Str("reason", reason))
+			p.jSuppressed.Record(reason, p.curSpan.TraceID(),
+				obs.Int("shard", shard),
+				obs.Int("moves", moves),
+				obs.F64("gain", gain),
+				obs.F64("now", now))
+		}
+	}
 }
 
 // NumShards returns the shard count.

@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -81,7 +82,7 @@ func TestPlaneSnapshotExactD(t *testing.T) {
 		case k == 0 && len(inactive) > 0:
 			i := rng.Intn(len(inactive))
 			c := inactive[i]
-			if _, err := p.Join(c); err != nil {
+			if _, err := p.Join(context.Background(), c); err != nil {
 				t.Fatalf("op %d: join(%d): %v", op, c, err)
 			}
 			inactive[i] = inactive[len(inactive)-1]
@@ -90,7 +91,7 @@ func TestPlaneSnapshotExactD(t *testing.T) {
 		case k == 1 && len(active) > 0:
 			i := rng.Intn(len(active))
 			c := active[i]
-			if _, err := p.Leave(c); err != nil {
+			if _, err := p.Leave(context.Background(), c); err != nil {
 				t.Fatalf("op %d: leave(%d): %v", op, c, err)
 			}
 			active[i] = active[len(active)-1]
@@ -102,7 +103,7 @@ func TestPlaneSnapshotExactD(t *testing.T) {
 			if rng.Intn(2) == 0 {
 				target = rng.Intn(len(servers))
 			}
-			if _, err := p.Migrate(c, target); err != nil {
+			if _, err := p.Migrate(context.Background(), c, target); err != nil {
 				t.Fatalf("op %d: migrate(%d,%d): %v", op, c, target, err)
 			}
 		default:
@@ -145,7 +146,7 @@ func TestPlaneEpochProtocol(t *testing.T) {
 	if _, err := p.At(first); err != nil {
 		t.Fatalf("At(current): %v", err)
 	}
-	r, err := p.Join(0)
+	r, err := p.Join(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestPlaneEpochProtocol(t *testing.T) {
 		t.Fatalf("stale epochs = %+v, want requested %d current %d", stale, first, r.Epoch)
 	}
 	// Rejected mutations must not burn epochs.
-	if _, err := p.Join(0); !errors.Is(err, core.ErrAlreadyAssigned) {
+	if _, err := p.Join(context.Background(), 0); !errors.Is(err, core.ErrAlreadyAssigned) {
 		t.Fatalf("double join: %v", err)
 	}
 	if p.Epoch() != r.Epoch {
@@ -180,28 +181,28 @@ func TestPlaneOpErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Join(len(clients)); !errors.Is(err, shard.ErrUnknownClient) {
+	if _, err := p.Join(context.Background(), len(clients)); !errors.Is(err, shard.ErrUnknownClient) {
 		t.Fatalf("join of unknown client: %v", err)
 	}
-	if _, err := p.Leave(5); !errors.Is(err, core.ErrNotAssigned) {
+	if _, err := p.Leave(context.Background(), 5); !errors.Is(err, core.ErrNotAssigned) {
 		t.Fatalf("leave of inactive client: %v", err)
 	}
-	if _, err := p.Migrate(5, 0); !errors.Is(err, core.ErrNotAssigned) {
+	if _, err := p.Migrate(context.Background(), 5, 0); !errors.Is(err, core.ErrNotAssigned) {
 		t.Fatalf("migrate of inactive client: %v", err)
 	}
-	if _, err := p.Join(5); err != nil {
+	if _, err := p.Join(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.KillServer(0); err != nil {
+	if _, _, err := p.KillServer(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Migrate(5, 0); !errors.Is(err, shard.ErrServerDown) {
+	if _, err := p.Migrate(context.Background(), 5, 0); !errors.Is(err, shard.ErrServerDown) {
 		t.Fatalf("migrate to dead server: %v", err)
 	}
-	if _, err := p.RestartServer(0); err != nil {
+	if _, err := p.RestartServer(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Migrate(5, 0); err != nil {
+	if _, err := p.Migrate(context.Background(), 5, 0); err != nil {
 		t.Fatalf("migrate to restarted server: %v", err)
 	}
 }
@@ -218,7 +219,7 @@ func TestPlaneCapacityExhaustion(t *testing.T) {
 	joined := 0
 	var lastErr error
 	for c := 0; c < len(clients); c++ {
-		if _, err := p.Join(c); err != nil {
+		if _, err := p.Join(context.Background(), c); err != nil {
 			lastErr = err
 			break
 		}
@@ -241,7 +242,7 @@ func TestPlaneKillRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for c := 0; c < len(clients); c++ {
-		if _, err := p.Join(c); err != nil {
+		if _, err := p.Join(context.Background(), c); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -249,7 +250,7 @@ func TestPlaneKillRestart(t *testing.T) {
 	if p.Current().Loads[victim] == 0 {
 		t.Skipf("server %d drew no load under this seed", victim)
 	}
-	_, evacuated, err := p.KillServer(victim)
+	_, evacuated, err := p.KillServer(context.Background(), victim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,11 +269,11 @@ func TestPlaneKillRestart(t *testing.T) {
 	}
 	bitsEq(t, "post-kill snapshot D", s.D, globalD(t, servers, clients, s.Assignment))
 	// Double kill is an epoch-neutral no-op.
-	r2, evac2, err := p.KillServer(victim)
+	r2, evac2, err := p.KillServer(context.Background(), victim)
 	if err != nil || evac2 != 0 || r2.Epoch != s.Epoch {
 		t.Fatalf("double kill: r=%+v evac=%d err=%v", r2, evac2, err)
 	}
-	if _, err := p.RestartServer(victim); err != nil {
+	if _, err := p.RestartServer(context.Background(), victim); err != nil {
 		t.Fatal(err)
 	}
 	if !p.Current().Alive[victim] {
@@ -293,12 +294,12 @@ func TestPlaneResolve(t *testing.T) {
 		t.Fatal(err)
 	}
 	for c := 0; c < len(clients); c++ {
-		if _, err := p.Join(c); err != nil {
+		if _, err := p.Join(context.Background(), c); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := p.Current().D
-	r, moved, err := p.Resolve("Greedy", 1)
+	r, moved, err := p.Resolve(context.Background(), "Greedy", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,12 +341,12 @@ func TestPlaneLockFreeReads(t *testing.T) {
 		}()
 	}
 	for c := 0; c < len(clients); c++ {
-		if _, err := p.Join(c); err != nil {
+		if _, err := p.Join(context.Background(), c); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for c := 0; c < len(clients); c += 2 {
-		if _, err := p.Migrate(c, -1); err != nil {
+		if _, err := p.Migrate(context.Background(), c, -1); err != nil {
 			t.Fatal(err)
 		}
 	}

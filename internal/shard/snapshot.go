@@ -1,11 +1,13 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"diacap/internal/core"
+	"diacap/internal/obs"
 )
 
 // ErrStaleEpoch reports a snapshot read that named an epoch other than
@@ -93,10 +95,21 @@ func (p *Plane) Epoch() uint64 { return p.snap.Load().Epoch }
 
 // publishLocked rebuilds dirty shard summaries, reconciles the global
 // state, and atomically swaps in the next snapshot. Callers hold p.mu.
-func (p *Plane) publishLocked() *Snapshot {
+// The reconciliation is recorded as a plane.publish child span of the
+// context's span (if traced) and every epoch bump lands in the flight
+// recorder's epoch journal.
+func (p *Plane) publishLocked(ctx context.Context) *Snapshot {
 	start := time.Now()
+	_, sp := obs.Child(ctx, "plane.publish")
+	defer sp.End()
 	ns := len(p.opts.Servers)
 	p.epoch++
+	dirty := 0
+	for _, sh := range p.shards {
+		if sh.dirty {
+			dirty++
+		}
+	}
 	snap := &Snapshot{
 		Epoch:      p.epoch,
 		Assignment: make([]int, len(p.opts.Clients)),
@@ -119,6 +132,7 @@ func (p *Plane) publishLocked() *Snapshot {
 		if sh.dirty {
 			sh.rebuildSummary(p)
 			sh.dirty = false
+			sh.summaryEpoch = p.epoch
 		}
 		snap.Shards[sh.id] = sh.summary
 		snap.Active += sh.summary.Active
@@ -142,7 +156,49 @@ func (p *Plane) publishLocked() *Snapshot {
 	snap.CertifiedD = eccPairMax(p.ss, bound)
 	p.snap.Store(snap)
 	p.met.published(snap, time.Since(start).Seconds())
+	// Guarded so an uninstrumented publish skips attr rendering: both
+	// calls are nil-safe no-ops, but their arguments are built eagerly
+	// and every mutation passes through here.
+	if sp != nil {
+		sp.SetAttr(obs.Uint("epoch", snap.Epoch), obs.Int("dirty", dirty),
+			obs.F64("d", snap.D), obs.F64("certifiedD", snap.CertifiedD),
+			obs.Int("active", snap.Active))
+	}
+	if p.jEpoch != nil {
+		p.jEpoch.Record("publish", sp.TraceID(),
+			obs.Uint("epoch", snap.Epoch), obs.Int("dirty", dirty),
+			obs.F64("d", snap.D), obs.Int("active", snap.Active))
+	}
 	return snap
+}
+
+// ShardHealth is one shard's health line as exposed by /healthz: its
+// current summary epoch (the plane epoch at which the summary was last
+// rebuilt — a lagging value marks a quiet shard, not a broken one),
+// active client count, and last repair-pass wall time (zero until the
+// first RepairShard).
+type ShardHealth struct {
+	Shard        int       `json:"shard"`
+	SummaryEpoch uint64    `json:"summaryEpoch"`
+	Active       int       `json:"active"`
+	LastRepair   time.Time `json:"lastRepair"`
+}
+
+// Health reports per-shard health for liveness endpoints: one entry per
+// shard, ascending shard id.
+func (p *Plane) Health() []ShardHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ShardHealth, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = ShardHealth{
+			Shard:        sh.id,
+			SummaryEpoch: sh.summaryEpoch,
+			Active:       sh.active,
+			LastRepair:   sh.lastRepair,
+		}
+	}
+	return out
 }
 
 // rebuildSummary refreshes one shard's published summary from its
