@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	dialint [-list] [-rules rule1,rule2] [packages...]
+//	dialint [-list] [-rules rule1,rule2] [-json] [-github] [packages...]
 //
-// Packages default to ./... relative to the enclosing module. A finding
-// can be silenced in place with
+// Packages default to ./... relative to the enclosing module.
+// `-rules list` (or -list) prints the registered analyzers with their
+// one-line docs. -json emits findings as a JSON array for tooling;
+// -github emits GitHub Actions workflow commands so findings surface as
+// inline PR annotations. A finding can be silenced in place with
 //
 //	//lint:ignore dialint/<rule> reason
 //
@@ -18,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,15 +47,17 @@ func main() {
 // are operational failures (exit 2), findings mean exit 1, like go vet.
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("dialint", flag.ContinueOnError)
-	list := fs.Bool("list", false, "list analyzers and exit")
-	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers with their docs and exit")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all); \"list\" prints the registry")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	github := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
 	active := analyzers.All()
-	if *list {
+	if *list || *rules == "list" || *rules == "help" {
 		for _, a := range active {
-			fmt.Fprintf(out, "%-18s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-20s %s\n", a.Name, a.Doc)
 		}
 		return 0, nil
 	}
@@ -60,7 +66,7 @@ func run(args []string, out io.Writer) (int, error) {
 		for _, name := range strings.Split(*rules, ",") {
 			a, ok := analyzers.ByName(strings.TrimSpace(name))
 			if !ok {
-				return 0, fmt.Errorf("unknown rule %q (try -list)", name)
+				return 0, fmt.Errorf("unknown rule %q (try -rules list)", name)
 			}
 			active = append(active, a)
 		}
@@ -82,11 +88,57 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	switch {
+	case *asJSON:
+		if err := writeJSON(out, diags); err != nil {
+			return 0, err
+		}
+	case *github:
+		writeGitHub(out, diags)
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
-	if len(diags) > 0 {
+	if len(diags) > 0 && !*asJSON {
 		fmt.Fprintf(out, "dialint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 	}
 	return len(diags), nil
+}
+
+// jsonDiag is the stable wire shape of one finding under -json.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(out io.Writer, diags []lint.Diagnostic) error {
+	arr := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		arr = append(arr, jsonDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    "dialint/" + d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// writeGitHub renders findings as workflow commands, which the Actions
+// runner turns into inline annotations on the PR diff. Newlines and
+// percent signs in messages must be escaped per the workflow-command
+// grammar.
+func writeGitHub(out io.Writer, diags []lint.Diagnostic) {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	for _, d := range diags {
+		fmt.Fprintf(out, "::error file=%s,line=%d,col=%d,title=dialint/%s::%s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, esc.Replace(d.Message))
+	}
 }

@@ -1,9 +1,20 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"diacap/internal/lint"
 )
+
+var everyRule = []string{
+	"seeded-rand", "obs-preregister", "float-eq",
+	"goroutine-owner", "ctx-first", "mutex-value",
+	"snapshot-immutable", "lock-order", "hotpath-alloc",
+	"map-iter-order", "wallclock-determinism",
+}
 
 func TestListNamesEveryRule(t *testing.T) {
 	var out strings.Builder
@@ -11,13 +22,71 @@ func TestListNamesEveryRule(t *testing.T) {
 	if err != nil || findings != 0 {
 		t.Fatalf("run(-list) = %d, %v", findings, err)
 	}
-	for _, rule := range []string{
-		"seeded-rand", "obs-preregister", "float-eq",
-		"goroutine-owner", "ctx-first", "mutex-value",
-	} {
+	for _, rule := range everyRule {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}
+	}
+}
+
+// TestRulesListAlias covers the `-rules list` spelling: same registry
+// dump, one doc line per analyzer.
+func TestRulesListAlias(t *testing.T) {
+	var out strings.Builder
+	findings, err := run([]string{"-rules", "list"}, &out)
+	if err != nil || findings != 0 {
+		t.Fatalf("run(-rules list) = %d, %v", findings, err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(everyRule) {
+		t.Fatalf("-rules list printed %d lines, want %d:\n%s", len(lines), len(everyRule), out.String())
+	}
+	for i, rule := range everyRule {
+		if !strings.HasPrefix(lines[i], rule) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], rule)
+		}
+		if doc := strings.TrimSpace(strings.TrimPrefix(lines[i], rule)); doc == "" {
+			t.Errorf("rule %s listed without a doc line", rule)
+		}
+	}
+}
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Pos:     token.Position{Filename: "internal/shard/snapshot.go", Line: 42, Column: 7},
+			Rule:    "snapshot-immutable",
+			Message: "write to snap after it was published\nsecond line with 100%",
+		},
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	var out strings.Builder
+	if err := writeJSON(&out, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var arr []jsonDiag
+	if err := json.Unmarshal([]byte(out.String()), &arr); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(arr) != 1 || arr[0].Rule != "dialint/snapshot-immutable" || arr[0].Line != 42 {
+		t.Errorf("unexpected decoded findings: %+v", arr)
+	}
+}
+
+func TestGitHubAnnotationEscaping(t *testing.T) {
+	var out strings.Builder
+	writeGitHub(&out, sampleDiags())
+	got := out.String()
+	if !strings.HasPrefix(got, "::error file=internal/shard/snapshot.go,line=42,col=7,title=dialint/snapshot-immutable::") {
+		t.Errorf("bad workflow command prefix:\n%s", got)
+	}
+	if strings.Count(got, "\n") != 1 {
+		t.Errorf("message newline not escaped:\n%q", got)
+	}
+	if !strings.Contains(got, "%0A") || !strings.Contains(got, "100%25") {
+		t.Errorf("escapes missing from %q", got)
 	}
 }
 

@@ -67,6 +67,8 @@ func (ev *Evaluator) SetDeltaHook(fn func(DeltaEvent)) { ev.deltaHook = fn }
 
 // applyTracked runs one delta through the incremental engine and feeds
 // the hook, measuring the per-event work only when someone is listening.
+//
+//dialint:hotpath
 func (ev *Evaluator) applyTracked(op string, c, s int) float64 {
 	if ev.deltaHook == nil {
 		return ev.moveIncremental(c, s)
@@ -200,6 +202,8 @@ func (ev *Evaluator) checkDelta(c, s int) error {
 // servers' eccentricities are repaired through their distance heaps and
 // the global max is repaired through the cached pair values, with no
 // O(|C|) scan and no O(U²) pair walk.
+//
+//dialint:hotpath
 func (ev *Evaluator) moveIncremental(c, s int) float64 {
 	st := ev.inc
 	old := ev.a[c]

@@ -14,6 +14,8 @@ import (
 )
 
 // All returns every dialint analyzer, in the order cmd/dialint runs them.
+// The syntactic rules come first; the CFG/dataflow-backed rules (added
+// with the dataflow engine) follow.
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		SeededRand,
@@ -22,6 +24,11 @@ func All() []*lint.Analyzer {
 		GoroutineOwner,
 		CtxFirst,
 		MutexValue,
+		SnapshotImmutable,
+		LockOrder,
+		HotpathAlloc,
+		MapIterOrder,
+		Wallclock,
 	}
 }
 

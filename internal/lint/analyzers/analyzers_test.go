@@ -31,6 +31,26 @@ func TestMutexValue(t *testing.T) {
 	linttest.Run(t, "testdata/src/mutexvalue", analyzers.MutexValue)
 }
 
+func TestSnapshotImmutable(t *testing.T) {
+	linttest.Run(t, "testdata/src/snapshotimmutable", analyzers.SnapshotImmutable)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockorder", analyzers.LockOrder)
+}
+
+func TestHotpathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotpathalloc", analyzers.HotpathAlloc)
+}
+
+func TestMapIterOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiterorder", analyzers.MapIterOrder)
+}
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock", analyzers.Wallclock)
+}
+
 func TestAllHaveDocsAndNames(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range analyzers.All() {
@@ -46,7 +66,7 @@ func TestAllHaveDocsAndNames(t *testing.T) {
 			t.Errorf("ByName(%q) = %v, %v; want the analyzer itself", a.Name, got, ok)
 		}
 	}
-	if len(seen) != 6 {
-		t.Errorf("expected 6 analyzers, got %d", len(seen))
+	if len(seen) != 11 {
+		t.Errorf("expected 11 analyzers, got %d", len(seen))
 	}
 }

@@ -1,0 +1,243 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"diacap/internal/lint"
+)
+
+// HotpathAlloc enforces the zero-allocation contract on functions
+// annotated //dialint:hotpath. The perfkit kernels, the incremental
+// evaluator's apply path, and the snapshot read path are all called
+// per-event or per-cell at frequencies where a single heap allocation
+// per call turns into GC pressure that shows up directly in the
+// latency-bound experiments. An AllocsPerRun test pins the contract at
+// runtime; this analyzer explains it at review time by pointing at the
+// exact construct that allocates:
+//
+//   - make/new and map or slice composite literals (&T{...} included)
+//   - append (growth allocates; flagged so the author documents retained
+//     capacity with a suppression or hoists the buffer)
+//   - closures (a FuncLit that captures variables lives on the heap)
+//   - fmt.* calls, string concatenation, and string<->[]byte conversions
+//   - arguments boxed into interface parameters
+//
+// Constructs inside a loop are prefixed "in a loop:" — those multiply.
+// The analyzer is intraprocedural by design: a call to a non-annotated
+// helper is not flagged here, the AllocsPerRun test owns the transitive
+// contract.
+var HotpathAlloc = &lint.Analyzer{
+	Name:  "hotpath-alloc",
+	Doc:   "functions annotated //dialint:hotpath must not contain allocating constructs: make, new, map/slice literals, append, closures, fmt calls, string building, or interface boxing",
+	Match: matchInternal,
+	Run:   runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+	for _, d := range pass.Directives() {
+		if d.Name != "hotpath" || d.Fn == nil || d.Fn.Body == nil {
+			continue
+		}
+		checkHotpathBody(pass, info, d.Fn)
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *lint.Pass, info *types.Info, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	// loopDepth tracks enclosing for/range statements *within this
+	// function* so findings inside them carry the multiplier prefix.
+	var walk func(n ast.Node, inLoop bool)
+	report := func(pos token.Pos, inLoop bool, format string, args ...any) {
+		if inLoop {
+			format = "in a loop: " + format
+		}
+		args = append(args, name)
+		pass.Reportf(pos, format+" in //dialint:hotpath function %s", args...)
+	}
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if sub == n {
+				return true
+			}
+			switch sub := sub.(type) {
+			case *ast.ForStmt:
+				if sub.Init != nil {
+					walk(sub.Init, inLoop)
+				}
+				if sub.Cond != nil {
+					walk(sub.Cond, inLoop)
+				}
+				if sub.Post != nil {
+					walk(sub.Post, inLoop)
+				}
+				walk(sub.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(sub.X, inLoop)
+				walk(sub.Body, true)
+				return false
+			case *ast.FuncLit:
+				report(sub.Pos(), inLoop, "closure allocation")
+				return false // its body allocates into the closure's frame, not this one
+			case *ast.CompositeLit:
+				tv, ok := info.Types[sub]
+				if ok && allocatingLitType(tv.Type) {
+					report(sub.Pos(), inLoop, "%s composite literal allocates", litKind(tv.Type))
+					return false
+				}
+			case *ast.UnaryExpr:
+				if sub.Op == token.AND {
+					if _, ok := ast.Unparen(sub.X).(*ast.CompositeLit); ok {
+						report(sub.Pos(), inLoop, "&composite literal escapes to the heap")
+						return false
+					}
+				}
+			case *ast.BinaryExpr:
+				if sub.Op == token.ADD {
+					if tv, ok := info.Types[sub]; ok && isStringType(tv.Type) {
+						report(sub.Pos(), inLoop, "string concatenation allocates")
+					}
+				}
+			case *ast.CallExpr:
+				checkHotpathCall(info, sub, inLoop, report)
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+}
+
+func checkHotpathCall(info *types.Info, call *ast.CallExpr, inLoop bool, report func(pos token.Pos, inLoop bool, format string, args ...any)) {
+	// Builtins and conversions first: they have no callee *types.Func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch info.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "make":
+				report(call.Pos(), inLoop, "make allocates")
+				return
+			case "new":
+				report(call.Pos(), inLoop, "new allocates")
+				return
+			case "append":
+				report(call.Pos(), inLoop, "append may grow and allocate; document retained capacity with a reasoned ignore or hoist the buffer")
+				return
+			}
+		case *types.TypeName:
+			checkHotpathConversion(info, call, inLoop, report)
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkHotpathConversion(info, call, inLoop, report)
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), inLoop, "fmt.%s allocates (formatting state and boxed operands)", fn.Name())
+		return
+	}
+	// Interface boxing: a concrete-typed argument assigned to an
+	// interface parameter is heap-boxed at the call site.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil || types.IsInterface(at.Type.Underlying()) {
+			continue
+		}
+		if at.IsNil() {
+			continue
+		}
+		report(arg.Pos(), inLoop, "argument boxed into interface parameter allocates")
+	}
+}
+
+func checkHotpathConversion(info *types.Info, call *ast.CallExpr, inLoop bool, report func(pos token.Pos, inLoop bool, format string, args ...any)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	src, ok := info.Types[call.Args[0]]
+	if !ok || src.Type == nil {
+		return
+	}
+	dstT, srcT := dst.Type.Underlying(), src.Type.Underlying()
+	if isStringType(dstT) && isByteSlice(srcT) {
+		report(call.Pos(), inLoop, "[]byte→string conversion copies and allocates")
+	}
+	if isByteSlice(dstT) && isStringType(srcT) {
+		report(call.Pos(), inLoop, "string→[]byte conversion copies and allocates")
+	}
+}
+
+// callSignature returns the called function's signature, or nil for
+// conversions and unresolvable callees.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// allocatingLitType reports whether a composite literal of t heap
+// allocates by construction: maps always, slices always (backing
+// array). Struct and array values are built in place.
+func allocatingLitType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func litKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "composite"
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,330 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"diacap/internal/lint"
+)
+
+// LockOrder builds the repository-wide lock-acquisition graph and
+// reports cycles. The shard plane, the live cluster, and the service
+// layer each own mutexes, and nothing but convention stops a call chain
+// from acquiring them in opposite orders on two paths — the classic
+// ABBA deadlock that only fires under production interleavings. Per
+// function, a forward may-held dataflow over the CFG tracks which lock
+// identities are held at each acquisition site (defer'd unlocks release
+// at exit, so they correctly keep the lock held for the rest of the
+// function); each "acquire B while holding A" pair becomes an A→B edge.
+// Edges are exported as package facts, the graph accumulates across
+// packages in dependency order, and an edge that closes a cycle is
+// reported at its acquisition site together with the site of the
+// reversed edge.
+//
+// Lock identity is type-scoped (pkg.Type.field for field mutexes,
+// pkg.var for package-level ones): two instances of the same field
+// count as one identity, so self-edges are deliberately not reported
+// (locking two different shards' mutexes in index order is legal and
+// common); function-local mutexes are untracked.
+var LockOrder = &lint.Analyzer{
+	Name:  "lock-order",
+	Doc:   "mutex acquisition order must be globally consistent: acquiring B while holding A and A while holding B is a potential deadlock, reported with both acquisition sites",
+	Match: matchInternal,
+	Run:   runLockOrder,
+}
+
+// lockEdge is one "To acquired while From was held" observation.
+type lockEdge struct {
+	From, To string
+	// FromSite and ToSite are "file:line" strings of the two
+	// acquisitions (ToSite is where the edge was observed).
+	FromSite, ToSite string
+}
+
+// lockFact is the package fact: this package's acquisition edges.
+type lockFact struct {
+	Edges []lockEdge
+}
+
+// lockOp is one Lock/Unlock call found in a CFG node.
+type lockOp struct {
+	ident   string
+	acquire bool
+	pos     token.Pos
+}
+
+func runLockOrder(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+
+	// Collect this package's edges: one may-held dataflow per function.
+	type edgeSite struct {
+		edge lockEdge
+		pos  token.Pos
+	}
+	var edges []edgeSite
+	seenEdge := make(map[lockEdge]bool)
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cfg := pass.FuncCFG(fd)
+			for _, e := range heldEdges(cfg, info, pass.Fset()) {
+				key := e.edge
+				if !seenEdge[key] {
+					seenEdge[key] = true
+					edges = append(edges, edgeSite{edge: e.edge, pos: e.pos})
+				}
+			}
+		}
+	}
+
+	// The global graph: edges from every already-analyzed package plus
+	// this one. Cross-package sites are carried as strings.
+	graph := make(map[string][]lockEdge)
+	for _, pf := range pass.AllPackageFacts() {
+		if f, ok := pf.Fact.(lockFact); ok {
+			for _, e := range f.Edges {
+				graph[e.From] = append(graph[e.From], e)
+			}
+		}
+	}
+	for _, e := range edges {
+		graph[e.edge.From] = append(graph[e.edge.From], e.edge)
+	}
+
+	// Report each local edge whose target can reach its source: the
+	// returned path closes the cycle and names the reversing site.
+	for _, e := range edges {
+		if path := lockPath(graph, e.edge.To, e.edge.From); path != nil {
+			var steps []string
+			for _, pe := range path {
+				steps = append(steps, fmt.Sprintf("%s→%s (at %s)", pe.From, pe.To, pe.ToSite))
+			}
+			pass.Reportf(e.pos,
+				"acquiring %s while holding %s (held since %s) closes a lock-order cycle: %s; acquire these locks in one global order",
+				e.edge.To, e.edge.From, e.edge.FromSite, strings.Join(steps, ", "))
+		}
+	}
+
+	sorted := make([]lockEdge, 0, len(edges))
+	for _, e := range edges {
+		sorted = append(sorted, e.edge)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].From != sorted[j].From {
+			return sorted[i].From < sorted[j].From
+		}
+		return sorted[i].To < sorted[j].To
+	})
+	if len(sorted) > 0 {
+		pass.ExportPackageFact(lockFact{Edges: sorted})
+	}
+	return nil
+}
+
+// heldEdges runs the may-held forward dataflow over one function and
+// returns the acquisition edges it observes.
+func heldEdges(cfg *lint.CFG, info *types.Info, fset *token.FileSet) []struct {
+	edge lockEdge
+	pos  token.Pos
+} {
+	// held maps lock identity → site string of the acquisition that
+	// (first, deterministically smallest) put it there.
+	type held map[string]string
+	in := make([]held, len(cfg.Blocks))
+	for i := range in {
+		in[i] = make(held)
+	}
+	var out []struct {
+		edge lockEdge
+		pos  token.Pos
+	}
+	emit := func(h held, op lockOp) {
+		site := fset.Position(op.pos).String()
+		if !op.acquire {
+			delete(h, op.ident)
+			return
+		}
+		for from, fromSite := range h {
+			if from == op.ident {
+				continue
+			}
+			out = append(out, struct {
+				edge lockEdge
+				pos  token.Pos
+			}{
+				edge: lockEdge{From: from, To: op.ident, FromSite: trimSite(fromSite), ToSite: trimSite(site)},
+				pos:  op.pos,
+			})
+		}
+		h[op.ident] = site
+	}
+	// Fixpoint: iterate until the in-sets stop growing. The emit of
+	// edges happens on every pass but out is rebuilt each round, so only
+	// the final round's edges are returned.
+	for changed := true; changed; {
+		changed = false
+		out = out[:0]
+		for _, b := range cfg.Blocks {
+			h := make(held, len(in[b.Index]))
+			for k, v := range in[b.Index] {
+				h[k] = v
+			}
+			for _, n := range b.Nodes {
+				for _, op := range lockOpsIn(info, n) {
+					emit(h, op)
+				}
+			}
+			for _, s := range b.Succs {
+				for k, v := range h {
+					prev, ok := in[s.Index][k]
+					if !ok || v < prev {
+						in[s.Index][k] = v
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// trimSite keeps a site string readable in diagnostics: strip any
+// directory prefix, keep file:line:col.
+func trimSite(site string) string {
+	if i := strings.LastIndexByte(site, '/'); i >= 0 {
+		return site[i+1:]
+	}
+	return site
+}
+
+// lockOpsIn extracts the Lock/RLock/Unlock/RUnlock calls performed by
+// one CFG node, in source order. Deferred unlocks are skipped — they
+// run at function exit, so the lock stays held for edge collection —
+// and FuncLit bodies are opaque (they have their own CFG).
+func lockOpsIn(info *types.Info, n ast.Node) []lockOp {
+	var ops []lockOp
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		_ = ds
+		return nil
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(info, sub)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			var acquire bool
+			switch fn.Name() {
+			case "Lock", "RLock":
+				acquire = true
+			case "Unlock", "RUnlock":
+				acquire = false
+			default:
+				return true
+			}
+			sel, ok := ast.Unparen(sub.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if ident := lockIdent(info, sel.X); ident != "" {
+				ops = append(ops, lockOp{ident: ident, acquire: acquire, pos: sub.Pos()})
+			}
+		}
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// lockIdent names the mutex expression with a stable, instance-blind
+// identity:
+//
+//	x.mu.Lock()      → pkg.TypeOfX.mu
+//	pkgVar.Lock()    → pkg.pkgVar
+//	s.Lock()         → pkg.TypeOfS (type embedding sync.Mutex)
+//
+// Function-local mutexes return "" (untracked: their scope bounds any
+// deadlock to one function, which the CFG pass would need finer
+// instance tracking to judge).
+func lockIdent(info *types.Info, mutexExpr ast.Expr) string {
+	switch e := ast.Unparen(mutexExpr).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[e.X]
+		if !ok {
+			return ""
+		}
+		if named := namedType(tv.Type); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+		// Package-qualified var: pkg.Mu.Lock().
+		if id, ok := e.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + e.Sel.Name
+			}
+		}
+		return ""
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		// Package-level mutex variable.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// Value of a named type embedding the mutex.
+		if named := namedType(v.Type()); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// lockPath finds a path from → to in the accumulated graph (BFS,
+// deterministic neighbor order) and returns its edges, or nil.
+func lockPath(graph map[string][]lockEdge, from, to string) []lockEdge {
+	type qe struct {
+		node string
+		path []lockEdge
+	}
+	visited := map[string]bool{from: true}
+	queue := []qe{{node: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		edges := append([]lockEdge(nil), graph[cur.node]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].To != edges[j].To {
+				return edges[i].To < edges[j].To
+			}
+			return edges[i].ToSite < edges[j].ToSite
+		})
+		for _, e := range edges {
+			path := append(append([]lockEdge(nil), cur.path...), e)
+			if e.To == to {
+				return path
+			}
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, qe{node: e.To, path: path})
+			}
+		}
+	}
+	return nil
+}

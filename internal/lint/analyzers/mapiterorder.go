@@ -1,0 +1,211 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"diacap/internal/lint"
+)
+
+// matchDeterministic scopes map-iter-order to the packages whose output
+// feeds the determinism fingerprints: assignment solvers, the
+// incremental core, the shard plane (snapshot summaries), the dynamic
+// scenario engine, and the scale pipeline's cluster/solve results. A
+// range over a map in these packages injects Go's per-run random
+// iteration order straight into artifacts two seeds are supposed to
+// reproduce bit-for-bit.
+func matchDeterministic(path string) bool {
+	for _, p := range []string{
+		"diacap/internal/assign",
+		"diacap/internal/core",
+		"diacap/internal/shard",
+		"diacap/internal/dynamic",
+		"diacap/internal/scale",
+	} {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// MapIterOrder flags range-over-map in determinism-fingerprinted
+// packages. Two body shapes are recognized as order-safe and exempted:
+//
+//   - key extraction: the body is a single `keys = append(keys, k)` and
+//     a sort call over that slice is reachable after the loop in the
+//     function's CFG — the canonical sorted-iteration idiom;
+//   - delete-only: every statement is a delete on the ranged map, the
+//     one mutation the language specifies as safe mid-iteration and
+//     whose result is order-independent.
+//
+// Genuinely order-independent folds (pure max/sum over values) exist
+// but are not provable cheaply; those carry a reasoned //lint:ignore
+// stating the commutativity argument.
+var MapIterOrder = &lint.Analyzer{
+	Name:  "map-iter-order",
+	Doc:   "range over a map in determinism-fingerprinted packages leaks random iteration order into reproducible artifacts; extract and sort keys first",
+	Match: matchDeterministic,
+	Run:   runMapIterOrder,
+}
+
+func runMapIterOrder(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if deleteOnlyBody(info, rng) {
+				return
+			}
+			fn := enclosingFunc(stack)
+			if fn != nil && sortedKeyExtraction(pass, info, fn, rng) {
+				return
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is random per run and this package feeds determinism fingerprints; extract keys, sort, and iterate the sorted slice")
+		})
+	}
+	return nil
+}
+
+// deleteOnlyBody reports whether every statement in the range body is a
+// delete on the ranged map itself.
+func deleteOnlyBody(info *types.Info, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	rangedObj := exprObject(info, rng.X)
+	for _, stmt := range rng.Body.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "delete" {
+			return false
+		}
+		// delete must target the ranged map (when the ranged expression
+		// is a trackable variable at all).
+		if rangedObj != nil && exprObject(info, call.Args[0]) != rangedObj {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeyExtraction recognizes
+//
+//	for k := range m { keys = append(keys, k) }
+//	...
+//	sort.Strings(keys) // or sort.Slice, slices.Sort, ...
+//
+// with the sort call reachable after the loop in the function's CFG.
+func sortedKeyExtraction(pass *lint.Pass, info *types.Info, fn ast.Node, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	sliceObj := exprObject(info, as.Lhs[0])
+	if sliceObj == nil || exprObject(info, call.Args[0]) != sliceObj {
+		return false
+	}
+	// The appended element must be the range key variable.
+	keyObj := exprObject(info, rng.Key)
+	if keyObj == nil || exprObject(info, call.Args[1]) != keyObj {
+		return false
+	}
+	// A sort over the collected slice must be reachable after the loop.
+	cfg := pass.FuncCFG(fn)
+	for _, n := range cfg.ReachableAfter(rng.Pos()) {
+		if nodeSortsSlice(info, n, sliceObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeSortsSlice reports whether node n contains a call into sort or
+// slices that mentions obj among its arguments.
+func nodeSortsSlice(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			argMentions := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && exprObject(info, id) == obj {
+					argMentions = true
+					return false
+				}
+				return true
+			})
+			if argMentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprObject resolves an expression to its types.Object when it is a
+// plain identifier (possibly parenthesized), nil otherwise.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

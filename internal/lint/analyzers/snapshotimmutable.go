@@ -1,0 +1,314 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"diacap/internal/lint"
+)
+
+// SnapshotImmutable enforces the control plane's publication contract:
+// a value handed to atomic.Pointer.Store is frozen at the publish
+// point. Lock-free readers (shard.Plane.Current, the obs ring buffers)
+// see the pointer without any happens-before edge beyond the store
+// itself, so a single post-publish write is a data race AND a
+// corruption of the exact-D / certified-bound story the snapshot
+// carries. Two rules, both built on the CFG + dataflow layer:
+//
+//  1. Publisher rule (intraprocedural): after a Store(v) call, no
+//     statement reachable in the function's CFG may write through v or
+//     any local alias of v (a light alias closure catches `w := v`
+//     renames).
+//  2. Consumer rule (cross-package, fact-driven): packages that Store a
+//     named type export it as a published-snapshot fact (types can also
+//     opt in with a //dialint:published directive). Any write through a
+//     value of a published type is flagged unless reaching definitions
+//     prove the value is a fresh allocation this function built — the
+//     builder may mutate, everyone downstream of a publish may not.
+var SnapshotImmutable = &lint.Analyzer{
+	Name:  "snapshot-immutable",
+	Doc:   "values published via atomic.Pointer.Store are immutable: no reachable writes after the publish point, and no writes through published snapshot types outside their builder",
+	Match: matchInternal,
+	Run:   runSnapshotImmutable,
+}
+
+// publishedFact is the package fact: the fully-qualified named types
+// this package publishes through atomic.Pointer.Store.
+type publishedFact struct {
+	Types []string
+}
+
+func runSnapshotImmutable(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+
+	// Gather the published-type set: facts from dependency packages,
+	// Store sites in this package, and //dialint:published directives.
+	published := make(map[string]bool)
+	for _, pf := range pass.AllPackageFacts() {
+		if f, ok := pf.Fact.(publishedFact); ok {
+			for _, t := range f.Types {
+				published[t] = true
+			}
+		}
+	}
+	// local accumulates everything this package publishes (exported as
+	// the fact); localStored is the subset with a visible Store site,
+	// whose builder functions the precise publisher rule already covers
+	// — the consumer rule skips those to let pre-publish construction
+	// helpers in the publishing package mutate freely.
+	local := make(map[string]bool)
+	localStored := make(map[string]bool)
+	for _, d := range pass.Directives() {
+		if d.Name != "published" || d.Type == nil {
+			continue
+		}
+		if obj := info.Defs[d.Type.Name]; obj != nil {
+			name := obj.Pkg().Path() + "." + obj.Name()
+			local[name] = true
+			published[name] = true
+		}
+	}
+
+	type storeSite struct {
+		call *ast.CallExpr
+		fn   ast.Node // enclosing FuncDecl or FuncLit
+	}
+	var stores []storeSite
+	for _, f := range pass.Files() {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			elem := atomicPointerStoreElem(info, call)
+			if elem == nil {
+				return
+			}
+			if named := namedType(elem); named != nil && named.Obj().Pkg() != nil {
+				name := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+				local[name] = true
+				localStored[name] = true
+				published[name] = true
+			}
+			if fn := enclosingFunc(stack); fn != nil {
+				stores = append(stores, storeSite{call: call, fn: fn})
+			}
+		})
+	}
+	names := make([]string, 0, len(local))
+	for t := range local {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		pass.ExportPackageFact(publishedFact{Types: names})
+	}
+
+	reported := make(map[token.Pos]bool)
+
+	// Publisher rule: no write through the stored value (or an alias)
+	// may be reachable after the Store.
+	for _, site := range stores {
+		obj := storedObject(info, site.call)
+		if obj == nil {
+			continue // inline &T{...} or call result: nothing to alias
+		}
+		var body ast.Node
+		switch fn := site.fn.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		aliases := lint.ComputeAliases(body, info, obj)
+		cfg := pass.FuncCFG(site.fn)
+		for _, n := range cfg.ReachableAfter(site.call.Pos()) {
+			forEachWrite(info, n, func(root *ast.Ident, rootObj types.Object, pos token.Pos) {
+				if !aliases.Set[rootObj] || reported[pos] {
+					return
+				}
+				reported[pos] = true
+				pass.Reportf(pos,
+					"write to %s after it was published via atomic.Pointer.Store (%s): published snapshots are immutable; build fully, then publish",
+					root.Name, pass.Fset().Position(site.call.Pos()))
+			})
+		}
+	}
+
+	// Consumer rule: writes through a value of a published type are only
+	// legal in the builder that freshly allocated it.
+	if len(published) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.IncDecStmt:
+			default:
+				return
+			}
+			fn := enclosingFunc(stack)
+			if fn == nil {
+				return
+			}
+			forEachWrite(info, n, func(root *ast.Ident, rootObj types.Object, pos token.Pos) {
+				named := namedType(rootObj.Type())
+				if named == nil || named.Obj().Pkg() == nil || reported[pos] {
+					return
+				}
+				name := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+				if !published[name] || localStored[name] {
+					return
+				}
+				cfg := pass.FuncCFG(fn)
+				rd := lint.NewReachingDefs(cfg, info)
+				defs := rd.At(n.Pos(), rootObj)
+				fresh := len(defs) > 0
+				for _, d := range defs {
+					if d.Node == nil || !d.IsFreshAlloc(info) {
+						fresh = false
+					}
+				}
+				if fresh {
+					return
+				}
+				reported[pos] = true
+				pass.Reportf(pos,
+					"write through %s of published snapshot type %s: only the builder of a fresh snapshot may mutate it; received snapshots are immutable",
+					root.Name, name)
+			})
+		})
+	}
+	return nil
+}
+
+// atomicPointerStoreElem returns T when call is x.Store(v) with x of
+// type sync/atomic.Pointer[T] (possibly behind pointers), nil
+// otherwise.
+func atomicPointerStoreElem(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	named := namedType(tv.Type)
+	if named == nil {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	return args.At(0)
+}
+
+// storedObject resolves the variable whose value is being published:
+// Store(v) yields v's object, Store(&v) yields v's.
+func storedObject(info *types.Info, call *ast.CallExpr) types.Object {
+	arg := ast.Unparen(call.Args[0])
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = ast.Unparen(u.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// forEachWrite invokes fn for every store-through write in node n: an
+// assignment or inc/dec whose left-hand side is a selector, index, or
+// dereference chain rooted at an identifier. Plain `x = ...` rebinding
+// is not a write through x and is skipped.
+func forEachWrite(info *types.Info, n ast.Node, fn func(root *ast.Ident, obj types.Object, pos token.Pos)) {
+	report := func(lhs ast.Expr) {
+		e := ast.Unparen(lhs)
+		if _, isIdent := e.(*ast.Ident); isIdent {
+			return // rebinding, not mutation
+		}
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		obj := info.Uses[root]
+		if obj == nil {
+			obj = info.Defs[root]
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		fn(root, obj, lhs.Pos())
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			report(lhs)
+		}
+	case *ast.IncDecStmt:
+		report(n.X)
+	default:
+		// CFG nodes can be composite (an if condition, a range head);
+		// writes only live in the two statement forms above, but those
+		// may be nested (e.g. inside a range body handled elsewhere), so
+		// scan conservatively.
+		ast.Inspect(n, func(sub ast.Node) bool {
+			switch sub := sub.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range sub.Lhs {
+					report(lhs)
+				}
+			case *ast.IncDecStmt:
+				report(sub.X)
+			}
+			return true
+		})
+	}
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier: p.shards[i].summary → p. Returns nil when the base is not
+// an identifier (a call result, for example).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFunc returns the innermost enclosing function node (FuncDecl
+// or FuncLit) from a WalkStack stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

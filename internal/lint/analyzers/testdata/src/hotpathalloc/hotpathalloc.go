@@ -1,0 +1,113 @@
+// Package hotpathalloc exercises dialint/hotpath-alloc: functions
+// annotated //dialint:hotpath must not contain allocating constructs.
+package hotpathalloc
+
+import "fmt"
+
+//dialint:hotpath
+func pureKernel(a, b []float64) float64 {
+	best := 0.0
+	for i := range a {
+		if v := a[i] + b[i]; v > best {
+			best = v
+		}
+	}
+	return best // clean: loads, compares, and arithmetic only
+}
+
+func notAnnotated(n int) []int {
+	return make([]int, n) // clean: no directive, no contract
+}
+
+//dialint:hotpath
+func makes(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//dialint:hotpath
+func news() *int {
+	return new(int) // want "new allocates"
+}
+
+//dialint:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "slice composite literal"
+}
+
+//dialint:hotpath
+func mapLit() map[string]int {
+	return map[string]int{} // want "map composite literal"
+}
+
+type point struct{ x, y int }
+
+//dialint:hotpath
+func ptrLit() *point {
+	return &point{x: 1} // want "composite literal escapes to the heap"
+}
+
+//dialint:hotpath
+func structValue() point {
+	return point{x: 1, y: 2} // clean: struct value, built in place
+}
+
+//dialint:hotpath
+func arrayValue() [4]int {
+	return [4]int{1, 2, 3, 4} // clean: array value, built in place
+}
+
+//dialint:hotpath
+func closure(xs []int) func() int {
+	return func() int { return len(xs) } // want "closure allocation"
+}
+
+//dialint:hotpath
+func appendsInLoop(dst, src []int) []int {
+	for _, v := range src {
+		dst = append(dst, v) // want "in a loop: append"
+	}
+	return dst
+}
+
+//dialint:hotpath
+func appendsOnce(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow"
+}
+
+//dialint:hotpath
+func formats(v int) string {
+	return fmt.Sprintf("%d", v) // want "fmt.Sprintf allocates"
+}
+
+//dialint:hotpath
+func concats(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//dialint:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want "conversion copies and allocates"
+}
+
+//dialint:hotpath
+func toString(b []byte) string {
+	return string(b) // want "conversion copies and allocates"
+}
+
+func sink(v any) { _ = v }
+
+//dialint:hotpath
+func boxes(n int) {
+	sink(n) // want "boxed into interface parameter"
+}
+
+//dialint:hotpath
+func passesInterface(v any) {
+	sink(v) // clean: already an interface, no boxing at this site
+}
+
+//dialint:hotpath
+func retained(dst []float64, v float64) []float64 {
+	//lint:ignore dialint/hotpath-alloc caller retains capacity; the AllocsPerRun test pins steady-state zero
+	return append(dst, v)
+}

@@ -1,0 +1,117 @@
+// Package lockorder exercises dialint/lock-order: the global
+// acquisition graph must be acyclic. Each scenario uses its own mutex
+// set so the edges cannot contaminate one another.
+package lockorder
+
+import "sync"
+
+// Scenario 1: the ABBA cycle. Both sides are reported — each edge
+// closes the cycle the other opened.
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+var ga alpha
+var gb beta
+
+func abOrder() {
+	ga.mu.Lock()
+	gb.mu.Lock() // want "closes a lock-order cycle"
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+func baOrder() {
+	gb.mu.Lock()
+	ga.mu.Lock() // want "closes a lock-order cycle"
+	ga.mu.Unlock()
+	gb.mu.Unlock()
+}
+
+// Scenario 2: a deferred unlock keeps the lock held, but a consistent
+// one-way order is clean.
+
+type delta struct{ mu sync.RWMutex }
+type epsilon struct{ mu sync.Mutex }
+
+var gd delta
+var ge epsilon
+
+func deferredHold() {
+	gd.mu.RLock()
+	defer gd.mu.RUnlock()
+	ge.mu.Lock() // clean: delta.mu→epsilon.mu has no reverse edge
+	ge.mu.Unlock()
+}
+
+// Scenario 3: releasing before the next acquisition creates no edge, so
+// opposite sequential orders are clean.
+
+type fmu struct{ mu sync.Mutex }
+type gmu struct{ mu sync.Mutex }
+
+var gf fmu
+var gg gmu
+
+func fThenG() {
+	gf.mu.Lock()
+	gf.mu.Unlock()
+	gg.mu.Lock() // clean: fmu.mu was released first
+	gg.mu.Unlock()
+}
+
+func gThenF() {
+	gg.mu.Lock()
+	gg.mu.Unlock()
+	gf.mu.Lock() // clean: no overlap, no edge
+	gf.mu.Unlock()
+}
+
+// Scenario 4: two instances of one type are one identity; the self-edge
+// is deliberately not reported (index-ordered sibling locking is legal).
+
+type shard struct{ mu sync.Mutex }
+
+func lockPair(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // clean: self-edge shard.mu→shard.mu is skipped
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Scenario 5: a suppressed side of a cycle. The reverse side still
+// reports.
+
+type iota2 struct{ mu sync.Mutex }
+type kappa struct{ mu sync.Mutex }
+
+var gi iota2
+var gk kappa
+
+func ikOrder() {
+	gi.mu.Lock()
+	//lint:ignore dialint/lock-order testdata demonstrates a reasoned suppression of one side
+	gk.mu.Lock()
+	gk.mu.Unlock()
+	gi.mu.Unlock()
+}
+
+func kiOrder() {
+	gk.mu.Lock()
+	gi.mu.Lock() // want "closes a lock-order cycle"
+	gi.mu.Unlock()
+	gk.mu.Unlock()
+}
+
+// Scenario 6: package-level mutex variables get pkg.var identities and
+// participate like field mutexes.
+
+var tableMu sync.Mutex
+var cacheMu sync.Mutex
+
+func tableThenCache() {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	cacheMu.Lock() // clean: one-way order only
+	defer cacheMu.Unlock()
+}

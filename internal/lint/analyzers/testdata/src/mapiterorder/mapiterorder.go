@@ -1,0 +1,82 @@
+// Package mapiterorder exercises dialint/map-iter-order: ranging over a
+// map in fingerprinted packages leaks random iteration order unless the
+// body is a recognized order-safe shape.
+package mapiterorder
+
+import "sort"
+
+func accumulatesUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is random"
+		out = append(out, v)
+	}
+	return out
+}
+
+func sortedStringKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // clean: key extraction with a reachable sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedIntKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // clean: sort.Slice over the collected keys
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func extractedButNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is random"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedOnlyOnSomePath(m map[string]int, skip bool) []string {
+	var keys []string
+	for k := range m { // clean: a sort is reachable after the loop (may-analysis)
+		keys = append(keys, k)
+	}
+	if !skip {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+func clearsEverything(m map[string]int) {
+	for k := range m { // clean: delete-only body, order-independent by spec
+		delete(m, k)
+	}
+}
+
+func deletesFromOtherMap(m, other map[string]int) {
+	for k := range m { // want "map iteration order is random"
+		delete(other, k)
+	}
+}
+
+func maxFoldSuppressed(m map[int]float64) float64 {
+	best := 0.0
+	//lint:ignore dialint/map-iter-order pure max fold; max is commutative so order cannot reach the result
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func rangesSlice(xs []int) int {
+	n := 0
+	for range xs { // clean: slices iterate in index order
+		n++
+	}
+	return n
+}

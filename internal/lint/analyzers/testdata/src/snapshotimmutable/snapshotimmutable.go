@@ -1,0 +1,93 @@
+// Package snapshotimmutable exercises dialint/snapshot-immutable: a
+// value handed to atomic.Pointer.Store is frozen, and writes through
+// published types are only legal on freshly built values.
+package snapshotimmutable
+
+import "sync/atomic"
+
+// Snapshot is published through the plane's atomic pointer below; the
+// Store site makes it a published type without any directive.
+type Snapshot struct {
+	Epoch      uint64
+	D          float64
+	Assignment []int
+}
+
+type plane struct {
+	snap atomic.Pointer[Snapshot]
+}
+
+func (p *plane) publishClean(n int) {
+	s := &Snapshot{Epoch: 1, Assignment: make([]int, n)}
+	s.D = 3 // clean: the write precedes the publish
+	p.snap.Store(s)
+}
+
+func (p *plane) publishThenWrite() {
+	s := &Snapshot{}
+	p.snap.Store(s)
+	s.D = 4 // want "after it was published"
+}
+
+func (p *plane) publishThenAliasWrite() {
+	s := &Snapshot{}
+	w := s
+	p.snap.Store(s)
+	w.Epoch = 9 // want "after it was published"
+}
+
+func (p *plane) publishInBranch(cold bool) {
+	s := &Snapshot{Epoch: 2}
+	if cold {
+		s.D = 1 // clean: runs before the store on every path
+	}
+	p.snap.Store(s)
+}
+
+func (p *plane) publishInLoop(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s := &Snapshot{}
+		p.snap.Store(s)
+		s.Epoch++ // want "after it was published"
+	}
+}
+
+func (p *plane) publishSuppressed() {
+	s := &Snapshot{}
+	p.snap.Store(s)
+	//lint:ignore dialint/snapshot-immutable testdata demonstrates a reasoned suppression
+	s.D = 1
+}
+
+// View opts into the published set by directive: no Store in this
+// package targets it, so the cross-package consumer rule applies.
+//
+//dialint:published
+type View struct {
+	N int
+}
+
+func mutateReceived(v *View) {
+	v.N++ // want "published snapshot type"
+}
+
+func overwriteReceived(v *View, n int) {
+	v.N = n // want "published snapshot type"
+}
+
+func buildFresh(n int) *View {
+	v := &View{}
+	v.N = n // clean: reaching definition is a fresh allocation
+	return v
+}
+
+func rebind(v *View) *View {
+	v = &View{} // clean: rebinding the variable, not writing through it
+	return v
+}
+
+func freshValue() View {
+	v := View{}
+	v.N = 7 // clean: fresh composite value
+	return v
+}

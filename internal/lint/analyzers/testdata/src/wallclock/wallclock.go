@@ -1,0 +1,59 @@
+// Package wallclock exercises dialint/wallclock-determinism: replay
+// code must not read the wall clock except to feed observability sinks.
+package wallclock
+
+import "time"
+
+// record is this package's observability sink: wall-clock durations may
+// flow into it, and nowhere else.
+//
+//dialint:wallclock-ok
+func record(seconds float64) { _ = seconds }
+
+var lastTick time.Time
+
+func leaksIntoState() {
+	lastTick = time.Now() // want "time.Now"
+}
+
+func returnsClock() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func comparesClock(deadline time.Time) bool {
+	return time.Now().After(deadline) // want "time.Now"
+}
+
+func sinceIntoLogic(start time.Time) bool {
+	return time.Since(start) > time.Second // want "time.Since"
+}
+
+func work() {}
+
+func timesOneCall() {
+	start := time.Now() // clean: the only use of start is the Since below
+	work()
+	record(time.Since(start).Seconds()) // clean: flows into the wallclock-ok sink
+}
+
+var someEpoch time.Time
+
+func sinkDirect() {
+	record(time.Since(someEpoch).Seconds()) // clean: method chain into the sink
+}
+
+func startLeaksToo() {
+	start := time.Now() // want "time.Now"
+	record(time.Since(start).Seconds())
+	lastTick = start
+}
+
+//dialint:wallclock-ok
+func annotatedSink() float64 {
+	return time.Since(someEpoch).Seconds() // clean: the enclosing function is the sink
+}
+
+func suppressed() time.Time {
+	//lint:ignore dialint/wallclock-determinism testdata demonstrates a reasoned suppression
+	return time.Now()
+}

@@ -1,0 +1,239 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"diacap/internal/lint"
+)
+
+// matchReplay scopes wallclock-determinism to the packages whose
+// behavior must replay identically under a fixed seed: the shard plane
+// (epoch decisions), the dynamic scenario engine (virtual time), the
+// incremental core, and the distributed greedy protocol. The scale
+// pipeline is deliberately excluded — its ClusterMs/SolveMs outputs are
+// measurements, not replayed decisions.
+func matchReplay(path string) bool {
+	for _, p := range []string{
+		"diacap/internal/shard",
+		"diacap/internal/dynamic",
+		"diacap/internal/core",
+		"diacap/internal/dgreedy",
+	} {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Wallclock bans wall-clock reads (time.Now, time.Since, time.Until) in
+// replay-scoped packages. Scenario time is virtual — events carry their
+// own timestamps and the fingerprint of a run must be a function of the
+// seed alone — so a wall-clock read is either a determinism bug or
+// observability plumbing. The observability case is recognized and
+// allowed:
+//
+//   - the value flows (through method chains like .Seconds()) into a
+//     call whose callee is in diacap/internal/obs or is annotated
+//     //dialint:wallclock-ok (annotations travel as package facts, so a
+//     sink in one package clears call sites in another);
+//   - a `start := time.Now()` whose every use is a time.Since/Until
+//     operand or such a sink argument (the Since call is then checked on
+//     its own merits).
+//
+// Anything else — a wall-clock value reaching state, a return value, or
+// a comparison — is reported.
+var Wallclock = &lint.Analyzer{
+	Name:  "wallclock-determinism",
+	Doc:   "replay-scoped packages must not read the wall clock except to feed observability sinks; time.Now/Since/Until results may only flow into diacap/internal/obs or //dialint:wallclock-ok functions",
+	Match: matchReplay,
+	Run:   runWallclock,
+}
+
+// wallclockFact lists the FullNames of //dialint:wallclock-ok functions
+// a package exports, so sinks clear call sites in dependent packages.
+type wallclockFact struct {
+	Funcs []string
+}
+
+func runWallclock(pass *lint.Pass) error {
+	info := pass.TypesInfo()
+
+	// Sink set: imported facts plus local directives (exported in turn).
+	sinks := make(map[string]bool)
+	for _, pf := range pass.AllPackageFacts() {
+		if f, ok := pf.Fact.(wallclockFact); ok {
+			for _, fn := range f.Funcs {
+				sinks[fn] = true
+			}
+		}
+	}
+	okFuncs := make(map[*ast.FuncDecl]bool)
+	var local []string
+	for _, d := range pass.Directives() {
+		if d.Name != "wallclock-ok" || d.Fn == nil {
+			continue
+		}
+		okFuncs[d.Fn] = true
+		if obj, ok := info.Defs[d.Fn.Name].(*types.Func); ok {
+			sinks[obj.FullName()] = true
+			local = append(local, obj.FullName())
+		}
+	}
+	if len(local) > 0 {
+		sort.Strings(local)
+		pass.ExportPackageFact(wallclockFact{Funcs: local})
+	}
+
+	for _, f := range pass.Files() {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+			default:
+				return
+			}
+			if encl, _ := enclosingFunc(stack).(*ast.FuncDecl); encl != nil && okFuncs[encl] {
+				return
+			}
+			if wallclockUseAllowed(info, stack, call, sinks) {
+				return
+			}
+			if assignedVarOnlyFeedsSinks(pass, info, stack, call, sinks) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in a replay-scoped package: run behavior must be a function of the seed, not the wall clock; use the scenario clock, or route the value into diacap/internal/obs or a //dialint:wallclock-ok sink",
+				fn.Name())
+		})
+	}
+	return nil
+}
+
+// wallclockUseAllowed ascends from node (the wall-clock expression,
+// whose enclosing nodes are stack, outermost first) through
+// value-preserving wrappers — parens, selector chains, method calls
+// staying inside package time — and reports whether the value lands as
+// an argument of an allowed call: an obs-package callee, a
+// //dialint:wallclock-ok sink, or time.Since/Until (which is then
+// checked at its own call site).
+func wallclockUseAllowed(info *types.Info, stack []ast.Node, node ast.Node, sinks map[string]bool) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+		case *ast.SelectorExpr:
+			if p.X != child {
+				return false // child is the field name, not the value
+			}
+			child = p
+		case *ast.CallExpr:
+			if p.Fun == child || ast.Unparen(p.Fun) == child {
+				// The ascended selector is the callee: a method chain
+				// like time.Since(start).Seconds(). Keep ascending only
+				// while the chain stays inside package time.
+				fn := calleeFunc(info, p)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					child = p
+					continue
+				}
+				return false
+			}
+			for _, arg := range p.Args {
+				if arg == child || ast.Unparen(arg) == child {
+					return allowedSinkCall(info, p, sinks)
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// allowedSinkCall reports whether a call may legitimately consume a
+// wall-clock value.
+func allowedSinkCall(info *types.Info, call *ast.CallExpr, sinks map[string]bool) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "diacap/internal/obs" {
+		return true
+	}
+	if fn.Pkg().Path() == "time" && (fn.Name() == "Since" || fn.Name() == "Until") {
+		return true // that call is checked at its own site
+	}
+	return sinks[fn.FullName()]
+}
+
+// assignedVarOnlyFeedsSinks handles `start := time.Now()`: allowed when
+// every use of start inside the enclosing function is itself an allowed
+// wall-clock use (a Since/Until operand or a sink argument).
+func assignedVarOnlyFeedsSinks(pass *lint.Pass, info *types.Info, stack []ast.Node, call *ast.CallExpr, sinks map[string]bool) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call {
+		return false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	fnNode := enclosingFunc(stack)
+	if fnNode == nil {
+		return false
+	}
+	allowed := true
+	lint.WalkStack(fileOf(pass, fnNode), func(n ast.Node, useStack []ast.Node) {
+		if !allowed {
+			return
+		}
+		use, ok := n.(*ast.Ident)
+		if !ok || info.Uses[use] != obj {
+			return
+		}
+		if !withinNode(fnNode, n) {
+			return
+		}
+		if !wallclockUseAllowed(info, useStack, use, sinks) {
+			allowed = false
+		}
+	})
+	return allowed
+}
+
+// fileOf finds the *ast.File containing node n.
+func fileOf(pass *lint.Pass, n ast.Node) *ast.File {
+	for _, f := range pass.Files() {
+		if f.Pos() <= n.Pos() && n.End() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+func withinNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}

@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is dialint's control-flow layer: intraprocedural CFGs over
+// go/ast, built per function body and cached on the Package. The CFG is
+// deliberately source-level — blocks hold the original statement and
+// control-expression nodes, in execution order — so analyzers can walk
+// from a syntactic event (a publish call, a lock acquisition) to the
+// set of statements that may execute after it, without any IR lowering.
+//
+// Precision notes, shared by every client:
+//
+//   - Branch conditions are treated as opaque: both arms of every if,
+//     every case of every switch/select, and the zero-iteration exit of
+//     every loop are considered possible. The analyses built on top are
+//     therefore may-analyses.
+//   - panic(...), os.Exit, runtime.Goexit, and log.Fatal* terminate the
+//     block with an edge to Exit, so code behind an early panic guard is
+//     not considered reachable from before it.
+//   - Function literals are opaque values here: a FuncLit appearing in a
+//     statement does not splice its body into the enclosing CFG. Build a
+//     separate CFG for the literal to analyze its body.
+//   - defer bodies run at function exit; DeferStmt nodes stay in their
+//     block (their arguments evaluate there) and are also collected in
+//     CFG.Defers for clients that model exit-time effects.
+
+// Block is one basic block: a maximal straight-line run of statements
+// and control expressions with a single entry point.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry = 0).
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order. A node is a statement, or the condition/tag
+	// expression of the branch that ends the block.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges, in creation order
+	// (deterministic for a given syntax tree).
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Fn is the function the graph was built from: an *ast.FuncDecl or
+	// *ast.FuncLit.
+	Fn ast.Node
+	// Blocks lists every block; Blocks[0] is the entry block.
+	Blocks []*Block
+	// Exit is the synthetic exit block (no Nodes). Returns, panics, and
+	// the fall-off-the-end path all edge here.
+	Exit *Block
+	// Defers collects the defer statements seen anywhere in the body, in
+	// source order; their calls run at every path into Exit.
+	Defers []*ast.DeferStmt
+}
+
+// Entry returns the entry block.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// BuildCFG constructs the CFG for a function body. body may be nil (a
+// declaration without a body), yielding a graph with only entry and
+// exit.
+func BuildCFG(fn ast.Node, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Fn: fn},
+		labels: make(map[string]*Block),
+	}
+	entry := b.newBlock()
+	b.cfg.Exit = &Block{}
+	b.cur = entry
+	if body != nil {
+		b.stmt(body, "")
+	}
+	if b.cur != nil {
+		b.link(b.cur, b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.link(g.from, target)
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+// branchTarget is one entry of the break/continue resolution stacks.
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type gotoFixup struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil after a terminating statement (unreachable point)
+	brk    []branchTarget
+	cont   []branchTarget
+	labels map[string]*Block
+	gotos  []gotoFixup
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// ensure gives unreachable statements their own island block so they
+// still appear in the graph (with no predecessors).
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// target resolves a break/continue label against a stack; the empty
+// label matches the innermost entry.
+func target(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement is the body of a LabeledStmt, so labeled break/continue
+// resolve to this loop or switch.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			b.stmt(sub, "")
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.ensure()
+		thenB := b.newBlock()
+		b.link(cond, thenB)
+		b.cur = thenB
+		b.stmt(s.Body, "")
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			elseB := b.newBlock()
+			b.link(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		if thenEnd != nil {
+			b.link(thenEnd, join)
+		}
+		if !hasElse {
+			b.link(cond, join)
+		} else if elseEnd != nil {
+			b.link(elseEnd, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.ensure(), head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		join := b.newBlock()
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+			contTarget = post
+		}
+		if s.Cond != nil {
+			b.link(head, join)
+		}
+		body := b.newBlock()
+		b.link(head, body)
+		b.brk = append(b.brk, branchTarget{label, join})
+		b.cont = append(b.cont, branchTarget{label, contTarget})
+		b.cur = body
+		b.stmt(s.Body, "")
+		if b.cur != nil {
+			b.link(b.cur, contTarget)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = join
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.link(b.ensure(), head)
+		// The RangeStmt itself is the head node: it evaluates X and, on
+		// each iteration, (re)defines Key and Value.
+		head.Nodes = append(head.Nodes, s)
+		join := b.newBlock()
+		b.link(head, join) // zero iterations
+		body := b.newBlock()
+		b.link(head, body)
+		b.brk = append(b.brk, branchTarget{label, join})
+		b.cont = append(b.cont, branchTarget{label, head})
+		b.cur = body
+		b.stmt(s.Body, "")
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.add(sw.Init)
+			}
+			if sw.Tag != nil {
+				b.add(sw.Tag)
+			}
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.add(sw.Init)
+			}
+			b.add(sw.Assign)
+			bodyList = sw.Body.List
+		}
+		entry := b.ensure()
+		join := b.newBlock()
+		b.brk = append(b.brk, branchTarget{label, join})
+		// Pre-create the case blocks so fallthrough can edge forward.
+		caseBlocks := make([]*Block, len(bodyList))
+		hasDefault := false
+		for i, cs := range bodyList {
+			caseBlocks[i] = b.newBlock()
+			b.link(entry, caseBlocks[i])
+			if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		for i, cs := range bodyList {
+			cc := cs.(*ast.CaseClause)
+			// The clause node carries the case expressions (and, in a
+			// type switch, the per-clause implicit definition).
+			caseBlocks[i].Nodes = append(caseBlocks[i].Nodes, cc)
+			b.cur = caseBlocks[i]
+			for _, sub := range cc.Body {
+				if br, ok := sub.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					if b.cur != nil && i+1 < len(caseBlocks) {
+						b.link(b.cur, caseBlocks[i+1])
+					}
+					b.cur = nil
+					continue
+				}
+				b.stmt(sub, "")
+			}
+			if b.cur != nil {
+				b.link(b.cur, join)
+			}
+		}
+		if !hasDefault {
+			b.link(entry, join)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cur = join
+
+	case *ast.SelectStmt:
+		entry := b.ensure()
+		join := b.newBlock()
+		b.brk = append(b.brk, branchTarget{label, join})
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			cb := b.newBlock()
+			b.link(entry, cb)
+			if cc.Comm != nil {
+				cb.Nodes = append(cb.Nodes, cc.Comm)
+			}
+			b.cur = cb
+			for _, sub := range cc.Body {
+				b.stmt(sub, "")
+			}
+			if b.cur != nil {
+				b.link(b.cur, join)
+			}
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.link(b.ensure(), lbl)
+		b.labels[s.Label.Name] = lbl
+		b.cur = lbl
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := target(b.brk, labelName(s)); t != nil {
+				b.link(b.ensure(), t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := target(b.cont, labelName(s)); t != nil {
+				b.link(b.ensure(), t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, gotoFixup{from: b.ensure(), label: labelName(s)})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled inside the switch lowering; a stray one (invalid
+			// Go) is ignored.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.link(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// isTerminalCall reports whether expr is a call that never returns:
+// panic, os.Exit, runtime.Goexit, or log.Fatal*. Purely syntactic (no
+// type info is available at CFG-build time), which is fine: a shadowed
+// `panic` would only make the graph conservative in the wrong direction
+// for exotic code the repo does not contain.
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// BlockOf locates the block and node index whose node spans pos, or
+// (nil, -1) when pos is not inside any recorded node (e.g. inside a
+// FuncLit body, which has its own CFG). Some recorded nodes span nested
+// ones — a RangeStmt or CaseClause covers its whole body — so the
+// tightest spanning node wins.
+func (c *CFG) BlockOf(pos token.Pos) (*Block, int) {
+	var best *Block
+	bestIdx := -1
+	var bestSpan token.Pos = -1
+	for _, blk := range c.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				if span := n.End() - n.Pos(); bestSpan < 0 || span < bestSpan {
+					best, bestIdx, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return best, bestIdx
+}
+
+// ReachableAfter returns the nodes that may execute strictly after the
+// node spanning pos: the rest of its own block, every node of every
+// transitively reachable successor block, and — when the node sits in a
+// cycle — the earlier nodes of its own block too. The order is
+// deterministic (own-block suffix first, then blocks by index).
+func (c *CFG) ReachableAfter(pos token.Pos) []ast.Node {
+	blk, idx := c.BlockOf(pos)
+	if blk == nil {
+		return nil
+	}
+	var out []ast.Node
+	out = append(out, blk.Nodes[idx+1:]...)
+	seen := make([]bool, len(c.Blocks))
+	stack := append([]*Block(nil), blk.Succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n.Index] {
+			continue
+		}
+		seen[n.Index] = true
+		stack = append(stack, n.Succs...)
+	}
+	for _, b2 := range c.Blocks {
+		if !seen[b2.Index] {
+			continue
+		}
+		if b2 == blk {
+			// The node is inside a loop: its own earlier nodes (and
+			// itself) may run again after it.
+			out = append(out, b2.Nodes[:idx+1]...)
+			continue
+		}
+		out = append(out, b2.Nodes...)
+	}
+	return out
+}

@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (a complete function declaration) and builds its
+// CFG. Marker calls — statements like `a()` — let tests name program
+// points without depending on block numbering.
+func parseFunc(t *testing.T, src string) (*token.FileSet, *ast.FuncDecl, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", "package p\n\nfunc a()\nfunc b()\nfunc c()\nfunc d()\nfunc e()\n\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn = fd
+		}
+	}
+	if fn == nil {
+		t.Fatal("no function with a body in source")
+	}
+	return fset, fn, BuildCFG(fn, fn.Body)
+}
+
+// markerPos finds the position of the call to the named marker.
+func markerPos(t *testing.T, fn *ast.FuncDecl, name string) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			pos = call.Pos()
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatalf("marker %s() not found", name)
+	}
+	return pos
+}
+
+// markersIn lists the marker calls (a–e) among a node set, sorted.
+// FuncLit bodies are skipped: the CFG treats literals as opaque values,
+// so a marker inside one is not "executed at" the enclosing statement.
+func markersIn(nodes []ast.Node) []string {
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if _, ok := sub.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := sub.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && len(id.Name) == 1 && id.Name[0] >= 'a' && id.Name[0] <= 'e' {
+					seen[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCFGReachableAfter(t *testing.T) {
+	// Each case asserts which marker calls may execute strictly after
+	// marker "a" (including "a" itself only when it sits in a cycle).
+	cases := []struct {
+		name string
+		src  string
+		want string // comma-joined sorted markers
+	}{
+		{
+			name: "straight line",
+			src:  `func f() { a(); b(); c() }`,
+			want: "b,c",
+		},
+		{
+			name: "if branches rejoin",
+			src: `func f(x bool) {
+				a()
+				if x { b() } else { c() }
+				d()
+			}`,
+			want: "b,c,d",
+		},
+		{
+			name: "if before marker is unreachable",
+			src: `func f(x bool) {
+				if x { b() }
+				a()
+				c()
+			}`,
+			want: "c",
+		},
+		{
+			name: "for loop repeats its body",
+			src: `func f(n int) {
+				for i := 0; i < n; i++ {
+					a()
+				}
+				b()
+			}`,
+			want: "a,b",
+		},
+		{
+			name: "range loop repeats its body",
+			src: `func f(xs []int) {
+				for range xs {
+					a()
+					b()
+				}
+				c()
+			}`,
+			want: "a,b,c",
+		},
+		{
+			name: "break leaves the loop",
+			src: `func f(n int) {
+				for {
+					a()
+					break
+				}
+				b()
+			}`,
+			want: "b",
+		},
+		{
+			name: "continue re-enters the loop",
+			src: `func f(xs []int) {
+				for range xs {
+					a()
+					continue
+				}
+				b()
+			}`,
+			want: "a,b",
+		},
+		{
+			name: "switch cases are exclusive",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					a()
+					b()
+				case 2:
+					c()
+				}
+				d()
+			}`,
+			want: "b,d",
+		},
+		{
+			name: "fallthrough reaches the next case",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					a()
+					fallthrough
+				case 2:
+					c()
+				default:
+					d()
+				}
+				e()
+			}`,
+			want: "c,e",
+		},
+		{
+			name: "select branches are exclusive",
+			src: `func f(ch chan int) {
+				select {
+				case <-ch:
+					a()
+					b()
+				default:
+					c()
+				}
+				d()
+			}`,
+			want: "b,d",
+		},
+		{
+			name: "return stops the flow",
+			src: `func f(x bool) {
+				a()
+				if x { return }
+				b()
+			}`,
+			want: "b",
+		},
+		{
+			name: "panic terminates the block",
+			src: `func f() {
+				a()
+				panic("no")
+				b()
+			}`,
+			want: "",
+		},
+		{
+			name: "os.Exit terminates like panic",
+			src: `func f() {
+				a()
+				os.Exit(1)
+				b()
+			}`,
+			want: "",
+		},
+		{
+			name: "goto jumps backward into a cycle",
+			src: `func f() {
+			loop:
+				a()
+				b()
+				goto loop
+			}`,
+			want: "a,b",
+		},
+		{
+			name: "goto jumps forward over a statement",
+			src: `func f() {
+				a()
+				goto done
+				b()
+			done:
+				c()
+			}`,
+			want: "c",
+		},
+		{
+			name: "labeled break exits the outer loop",
+			src: `func f(xs []int) {
+			outer:
+				for range xs {
+					for {
+						a()
+						break outer
+					}
+				}
+				b()
+			}`,
+			want: "b",
+		},
+		{
+			name: "func literal body is opaque",
+			src: `func f() {
+				a()
+				g := func() { b() }
+				g()
+				c()
+			}`,
+			want: "c",
+		},
+		{
+			name: "defer arguments stay in place",
+			src: `func f() {
+				a()
+				defer b()
+				c()
+			}`,
+			want: "b,c",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, fn, cfg := parseFunc(t, tc.src)
+			got := strings.Join(markersIn(cfg.ReachableAfter(markerPos(t, fn, "a"))), ",")
+			if got != tc.want {
+				t.Errorf("reachable after a() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCFGStructure(t *testing.T) {
+	// Structural invariants every graph must satisfy, checked over a
+	// function exercising each construct at once.
+	src := `func f(xs []int, ch chan int) {
+		a()
+		if len(xs) > 0 {
+			b()
+		}
+		for i := range xs {
+			_ = i
+			if xs[0] == 0 {
+				continue
+			}
+			c()
+		}
+		switch len(xs) {
+		case 0:
+			d()
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+		defer e()
+		return
+	}`
+	_, _, cfg := parseFunc(t, src)
+
+	if cfg.Entry() != cfg.Blocks[0] {
+		t.Error("entry is not Blocks[0]")
+	}
+	if cfg.Exit != cfg.Blocks[len(cfg.Blocks)-1] {
+		t.Error("exit is not the last block")
+	}
+	if len(cfg.Exit.Nodes) != 0 {
+		t.Errorf("exit has %d nodes, want 0", len(cfg.Exit.Nodes))
+	}
+	if len(cfg.Exit.Succs) != 0 {
+		t.Error("exit must have no successors")
+	}
+	if len(cfg.Defers) != 1 {
+		t.Errorf("collected %d defers, want 1", len(cfg.Defers))
+	}
+	for _, b := range cfg.Blocks {
+		if b.Index >= len(cfg.Blocks) || cfg.Blocks[b.Index] != b {
+			t.Fatalf("block index %d inconsistent", b.Index)
+		}
+		for _, s := range b.Succs {
+			if !containsBlock(s.Preds, b) {
+				t.Errorf("edge %d->%d missing the reverse pred link", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !containsBlock(p.Succs, b) {
+				t.Errorf("pred %d of %d missing the forward succ link", p.Index, b.Index)
+			}
+		}
+	}
+	// Every non-entry, non-island block is reachable from entry; exit is.
+	reach := map[*Block]bool{cfg.Entry(): true}
+	stack := []*Block{cfg.Entry()}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if !reach[cfg.Exit] {
+		t.Error("exit unreachable from entry")
+	}
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGBlockOfTightestSpan(t *testing.T) {
+	// A RangeStmt head node spans its whole body; BlockOf must still
+	// attribute an inner statement to the body block, not the head.
+	src := `func f(xs []int) {
+		for _, x := range xs {
+			a()
+			_ = x
+		}
+	}`
+	_, fn, cfg := parseFunc(t, src)
+	blk, idx := cfg.BlockOf(markerPos(t, fn, "a"))
+	if blk == nil {
+		t.Fatal("BlockOf found nothing")
+	}
+	if _, isRange := blk.Nodes[idx].(*ast.RangeStmt); isRange {
+		t.Errorf("BlockOf attributed the marker to the RangeStmt head, want the body statement")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	cfg := BuildCFG(nil, nil)
+	if len(cfg.Blocks) != 2 {
+		t.Fatalf("nil body built %d blocks, want entry+exit", len(cfg.Blocks))
+	}
+	if got := fmt.Sprint(cfg.Entry().Succs[0].Index); got != fmt.Sprint(cfg.Exit.Index) {
+		t.Errorf("entry edges to block %s, want exit %d", got, cfg.Exit.Index)
+	}
+}

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is dialint's dataflow layer, built on the CFGs of cfg.go:
+//
+//   - ReachingDefs: classic forward may-analysis answering "which
+//     assignments to variable v may be the one in effect at this
+//     statement". Analyzers use it to trace a value back to its origin
+//     (a fresh allocation, a parameter, a call result).
+//   - Aliases: a light flow-insensitive alias/escape lattice rooted at
+//     one variable: the set of locals that may hold the same reference,
+//     and whether the value leaks out of the function through anything
+//     other than a direct call argument.
+//
+// Both are deliberately conservative may-analyses over a single
+// function; there is no interprocedural propagation here (analyzers
+// bridge functions with package facts where they need to).
+
+// Def is one definition of a variable: the statement that assigned it,
+// or the function entry for parameters, receivers, and captured
+// variables (Node == nil).
+type Def struct {
+	// Obj is the defined variable.
+	Obj types.Object
+	// Node is the defining statement or range/type-switch clause; nil
+	// for definitions live at function entry.
+	Node ast.Node
+}
+
+// defSet is a reaching-definitions lattice element.
+type defSet map[Def]bool
+
+// ReachingDefs holds the fixpoint solution for one CFG.
+type ReachingDefs struct {
+	cfg  *CFG
+	info *types.Info
+	in   map[*Block]defSet
+}
+
+// NewReachingDefs solves reaching definitions over cfg. Parameters and
+// the receiver of the enclosing function enter the analysis as entry
+// definitions with a nil Node; so does any variable first written
+// through a nested position the walker does not model, keeping the
+// analysis sound for "did this value come from a fresh allocation"
+// queries.
+func NewReachingDefs(cfg *CFG, info *types.Info) *ReachingDefs {
+	rd := &ReachingDefs{
+		cfg:  cfg,
+		info: info,
+		in:   make(map[*Block]defSet, len(cfg.Blocks)),
+	}
+	entry := make(defSet)
+	for _, obj := range entryObjects(cfg.Fn, info) {
+		entry[Def{Obj: obj}] = true
+	}
+	for _, b := range cfg.Blocks {
+		rd.in[b] = make(defSet)
+	}
+	for d := range entry {
+		rd.in[cfg.Entry()][d] = true
+	}
+	// Round-robin to fixpoint; block count is small (one function).
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			out := rd.transfer(b, rd.in[b])
+			for _, s := range b.Succs {
+				for d := range out {
+					if !rd.in[s][d] {
+						rd.in[s][d] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return rd
+}
+
+// transfer applies the block's gen/kill effects to in.
+func (rd *ReachingDefs) transfer(b *Block, in defSet) defSet {
+	out := make(defSet, len(in))
+	for d := range in {
+		out[d] = true
+	}
+	for _, n := range b.Nodes {
+		rd.apply(n, out)
+	}
+	return out
+}
+
+func (rd *ReachingDefs) apply(n ast.Node, set defSet) {
+	for _, obj := range DefinedObjects(rd.info, n) {
+		for d := range set {
+			if d.Obj == obj {
+				delete(set, d)
+			}
+		}
+		set[Def{Obj: obj, Node: n}] = true
+	}
+}
+
+// At returns the definitions of obj that may reach the program point
+// just before the node spanning pos, sorted by definition position
+// (entry definitions first). It returns nil when pos is not inside the
+// CFG's recorded nodes.
+func (rd *ReachingDefs) At(pos token.Pos, obj types.Object) []Def {
+	blk, idx := rd.cfg.BlockOf(pos)
+	if blk == nil {
+		return nil
+	}
+	set := make(defSet, len(rd.in[blk]))
+	for d := range rd.in[blk] {
+		set[d] = true
+	}
+	for _, n := range blk.Nodes[:idx] {
+		rd.apply(n, set)
+	}
+	var out []Def
+	for d := range set {
+		if d.Obj == obj {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := token.NoPos, token.NoPos
+		if out[i].Node != nil {
+			pi = out[i].Node.Pos()
+		}
+		if out[j].Node != nil {
+			pj = out[j].Node.Pos()
+		}
+		return pi < pj
+	})
+	return out
+}
+
+// DefinedObjects returns the variables (re)defined by one CFG node:
+// assignment and declaration targets, inc/dec targets, range key/value
+// bindings, and type-switch per-clause implicits. Writes through
+// selectors, indexes, and dereferences are stores into existing memory,
+// not definitions, and are deliberately excluded.
+func DefinedObjects(info *types.Info, n ast.Node) []types.Object {
+	var out []types.Object
+	addIdent := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			out = append(out, v)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			addIdent(lhs)
+		}
+	case *ast.IncDecStmt:
+		addIdent(n.X)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						addIdent(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			addIdent(n.Key)
+		}
+		if n.Value != nil {
+			addIdent(n.Value)
+		}
+	case *ast.CaseClause:
+		// Type switch: each clause may bind its own implicit object.
+		if obj := info.Implicits[n]; obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// entryObjects lists the variables live at function entry: parameters,
+// results (named), and the receiver.
+func entryObjects(fn ast.Node, info *types.Info) []types.Object {
+	var fields []*ast.FieldList
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		fields = append(fields, fn.Recv, fn.Type.Params, fn.Type.Results)
+	case *ast.FuncLit:
+		fields = append(fields, fn.Type.Params, fn.Type.Results)
+	}
+	var out []types.Object
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsFreshAlloc reports whether the definition's right-hand side for obj
+// is a fresh allocation the function itself performed: &T{...},
+// new(T), or a composite literal. Used to separate builders (which may
+// freely mutate the object they are constructing) from consumers of a
+// value that arrived from elsewhere.
+func (d Def) IsFreshAlloc(info *types.Info) bool {
+	as, ok := d.Node.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != d.Obj {
+			continue
+		}
+		return isAllocExpr(as.Rhs[i])
+	}
+	return false
+}
+
+func isAllocExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new" || id.Name == "make"
+		}
+	}
+	return false
+}
+
+// Aliases is the result of the alias/escape analysis rooted at one
+// variable: see ComputeAliases.
+type Aliases struct {
+	// Set holds the root and every local that may alias it.
+	Set map[types.Object]bool
+	// Escaped reports that the aliased value flowed somewhere the
+	// analysis cannot see: stored into a field, slice, map, channel, or
+	// global, or returned. (Passing it as a call argument does not set
+	// Escaped; callers decide how to treat calls.)
+	Escaped bool
+}
+
+// ComputeAliases runs a flow-insensitive closure over the function
+// body: starting from root, every `a := b` / `a = b` / `var a = b`
+// whose right-hand side is (or parenthesizes) an alias adds the
+// left-hand variable to the set, iterated to fixpoint. It
+// over-approximates — an alias dead at the program point of interest is
+// still in the set — which is the safe direction for immutability
+// checking.
+func ComputeAliases(body ast.Node, info *types.Info, root types.Object) *Aliases {
+	a := &Aliases{Set: map[types.Object]bool{root: true}}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	isAlias := func(e ast.Expr) bool {
+		obj := objOf(e)
+		return obj != nil && a.Set[obj]
+	}
+	pair := func(lhs, rhs ast.Expr) {
+		if !isAlias(rhs) {
+			return
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := info.Defs[l]
+			if obj == nil {
+				obj = info.Uses[l]
+			}
+			if obj != nil {
+				a.Set[obj] = true
+				// Binding a package-level variable publishes the value
+				// beyond the function.
+				if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					a.Escaped = true
+				}
+			}
+		default:
+			// Stored through a field/index/deref: the value escapes the
+			// local alias graph.
+			a.Escaped = true
+		}
+	}
+	for changed := true; changed; {
+		before := len(a.Set)
+		escaped := a.Escaped
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						pair(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						pair(name, n.Values[i])
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if isAlias(r) {
+						a.Escaped = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isAlias(v) {
+						a.Escaped = true
+					}
+				}
+			case *ast.SendStmt:
+				if isAlias(n.Value) {
+					a.Escaped = true
+				}
+			}
+			return true
+		})
+		changed = len(a.Set) != before || escaped != a.Escaped
+	}
+	return a
+}

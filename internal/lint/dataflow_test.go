@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// checkFunc parses and type-checks src (a full file body following
+// "package p") and returns the named function with its CFG and info.
+func checkFunc(t *testing.T, src, fnName string) (*token.FileSet, *types.Info, *ast.FuncDecl, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "df_test_src.go", "package p\n\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: importer.Default()}
+	if _, err := cfg.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fnName {
+			return fset, info, fd, BuildCFG(fd, fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", fnName)
+	return nil, nil, nil, nil
+}
+
+// queryPos finds the `use(v)` marker call and returns its position.
+func queryPos(t *testing.T, fn *ast.FuncDecl) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+				pos = call.Pos()
+			}
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatal("use(...) marker not found")
+	}
+	return pos
+}
+
+// objNamed finds the unique variable object with the given name defined
+// anywhere in the function (parameters included).
+func objNamed(t *testing.T, info *types.Info, fn *ast.FuncDecl, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if def := info.Defs[id]; def != nil {
+				obj = def
+			}
+		}
+		return true
+	})
+	if obj == nil {
+		t.Fatalf("no definition of %q in %s", name, fn.Name.Name)
+	}
+	return obj
+}
+
+// describeDefs renders a def list as sorted "entry" / "L<line>" tags —
+// the golden form the table compares against.
+func describeDefs(fset *token.FileSet, defs []Def) string {
+	var tags []string
+	for _, d := range defs {
+		if d.Node == nil {
+			tags = append(tags, "entry")
+		} else {
+			tags = append(tags, fmt.Sprintf("L%d", fset.Position(d.Node.Pos()).Line))
+		}
+	}
+	sort.Strings(tags)
+	return strings.Join(tags, ",")
+}
+
+// Line numbers in the goldens are relative to the synthetic file: the
+// "package p" header is line 1, a blank line 2, and the source begins
+// at line 3.
+func TestReachingDefsGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		v    string
+		want string
+	}{
+		{
+			name: "straight line overwrite kills",
+			src: `func use(any) {}
+func f() {
+	x := 1
+	x = 2
+	use(x)
+}`,
+			v:    "x",
+			want: "L6", // only x = 2 reaches the use
+		},
+		{
+			name: "branches merge defs",
+			src: `func use(any) {}
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	}
+	use(x)
+}`,
+			v:    "x",
+			want: "L5,L7", // both the original and the branch def survive
+		},
+		{
+			name: "both arms kill the original",
+			src: `func use(any) {}
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	use(x)
+}`,
+			v:    "x",
+			want: "L7,L9",
+		},
+		{
+			name: "loop def joins pre-loop def",
+			src: `func use(any) {}
+func f(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = 2
+	}
+	use(x)
+}`,
+			v:    "x",
+			want: "L5,L7",
+		},
+		{
+			name: "use inside loop sees previous iteration",
+			src: `func use(any) {}
+func f(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		use(x)
+		x = 2
+	}
+}`,
+			v:    "x",
+			want: "L5,L8", // first iteration sees L5, later ones L8
+		},
+		{
+			name: "parameter is an entry def",
+			src: `func use(any) {}
+func f(x int) {
+	use(x)
+}`,
+			v:    "x",
+			want: "entry",
+		},
+		{
+			name: "parameter overwritten on one path",
+			src: `func use(any) {}
+func f(x int, c bool) {
+	if c {
+		x = 9
+	}
+	use(x)
+}`,
+			v:    "x",
+			want: "L6,entry",
+		},
+		{
+			name: "range loop redefines the key each iteration",
+			src: `func use(any) {}
+func f(xs []int) {
+	k := -1
+	for k = range xs {
+		use(k)
+	}
+}`,
+			v:    "k",
+			want: "L6", // the head re-assigns k before every body entry
+		},
+		{
+			name: "early return does not leak its def",
+			src: `func use(any) {}
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+		return
+	}
+	use(x)
+}`,
+			v:    "x",
+			want: "L5", // the returned path's def never reaches the use
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, info, fn, cfg := checkFunc(t, tc.src, "f")
+			rd := NewReachingDefs(cfg, info)
+			got := describeDefs(fset, rd.At(queryPos(t, fn), objNamed(t, info, fn, tc.v)))
+			if got != tc.want {
+				t.Errorf("defs of %s at use() = %q, want %q", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIsFreshAlloc(t *testing.T) {
+	src := `type T struct{ N int }
+func use(any) {}
+func g() *T { return nil }
+func f(p *T) {
+	a := &T{}
+	b := T{}
+	c := new(T)
+	d := make([]int, 4)
+	e := g()
+	q := p
+	use(a)
+	use(b)
+	use(c)
+	use(d)
+	use(e)
+	use(q)
+}`
+	_, info, fn, cfg := checkFunc(t, src, "f")
+	rd := NewReachingDefs(cfg, info)
+	fresh := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": false, "q": false}
+	// One query point late in the function sees every def.
+	pos := queryPos(t, fn)
+	for name, want := range fresh {
+		defs := rd.At(pos, objNamed(t, info, fn, name))
+		if len(defs) != 1 {
+			t.Fatalf("%s: %d defs, want 1", name, len(defs))
+		}
+		if got := defs[0].IsFreshAlloc(info); got != want {
+			t.Errorf("IsFreshAlloc(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestComputeAliases(t *testing.T) {
+	src := `type T struct{ N int }
+var global *T
+func use(any) {}
+func f() *T {
+	s := &T{}
+	w := s
+	v := w
+	other := &T{}
+	use(other)
+	return v
+}
+func h(s *T) {
+	w := s
+	global = w
+}
+func k(s *T) {
+	w := s
+	use(w)
+}`
+	for _, tc := range []struct {
+		fn      string
+		aliases []string
+		escaped bool
+	}{
+		{fn: "f", aliases: []string{"s", "w", "v"}, escaped: true}, // returned
+		{fn: "h", aliases: []string{"s", "w"}, escaped: true},      // bound to a package-level variable
+		{fn: "k", aliases: []string{"s", "w"}, escaped: false},     // call args do not escape
+	} {
+		t.Run(tc.fn, func(t *testing.T) {
+			_, info, fn, _ := checkFunc(t, src, tc.fn)
+			root := objNamed(t, info, fn, "s")
+			a := ComputeAliases(fn.Body, info, root)
+			for _, name := range tc.aliases {
+				if !a.Set[objNamed(t, info, fn, name)] {
+					t.Errorf("%s missing from alias set", name)
+				}
+			}
+			if a.Set[infoObjUse(info, fn, "other")] {
+				t.Error("other wrongly aliased")
+			}
+			if a.Escaped != tc.escaped {
+				t.Errorf("Escaped = %v, want %v", a.Escaped, tc.escaped)
+			}
+		})
+	}
+}
+
+// infoObjUse is objNamed without the fatal: nil when the function has no
+// variable of that name.
+func infoObjUse(info *types.Info, fn *ast.FuncDecl, name string) types.Object {
+	var obj types.Object
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if def := info.Defs[id]; def != nil {
+				obj = def
+			}
+		}
+		return true
+	})
+	return obj
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directives are dialint's annotation mechanism: a `//dialint:<name>`
+// comment in a declaration's doc group attaches machine-readable intent
+// to that declaration. Current names:
+//
+//   - //dialint:hotpath      (on a func) — the function is on a serving
+//     or kernel hot path and must not allocate; the hotpath-alloc
+//     analyzer flags allocating constructs inside it, and an
+//     AllocsPerRun test should pin the contract at runtime.
+//   - //dialint:wallclock-ok (on a func) — the function is an
+//     observability sink; wall-clock values may flow into its arguments
+//     without tripping wallclock-determinism.
+//   - //dialint:published    (on a type) — values of the type are
+//     treated as published snapshots by snapshot-immutable even if no
+//     atomic.Pointer.Store of the type is visible in the package.
+//
+// Unlike //lint:ignore, a directive is not a suppression: it widens or
+// narrows what the analyzers check, and the analyzers verify the code
+// against the declared intent.
+
+// Directive is one parsed //dialint:<name> annotation.
+type Directive struct {
+	// Name is the directive name ("hotpath", "wallclock-ok", ...).
+	Name string
+	// Pos is the position of the directive comment.
+	Pos token.Position
+	// Fn is the annotated function declaration, when the directive sits
+	// in a FuncDecl doc group (nil otherwise).
+	Fn *ast.FuncDecl
+	// Type is the annotated type spec, for type-level directives (nil
+	// otherwise).
+	Type *ast.TypeSpec
+}
+
+var directiveRE = regexp.MustCompile(`^//dialint:([a-z][a-z0-9-]*)(?:\s.*)?$`)
+
+// Directives returns the package's parsed //dialint directives, in
+// source order, computed once and cached.
+func (p *Pass) Directives() []Directive {
+	if p.Pkg.dirsParsed {
+		return p.Pkg.dirs
+	}
+	p.Pkg.dirsParsed = true
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				for _, name := range directiveNames(d.Doc) {
+					p.Pkg.dirs = append(p.Pkg.dirs, Directive{
+						Name: name,
+						Pos:  p.Pkg.Fset.Position(d.Pos()),
+						Fn:   d,
+					})
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					// A one-spec `type X ...` hangs its doc on the
+					// GenDecl; grouped specs document the TypeSpec.
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					for _, name := range directiveNames(doc) {
+						p.Pkg.dirs = append(p.Pkg.dirs, Directive{
+							Name: name,
+							Pos:  p.Pkg.Fset.Position(ts.Pos()),
+							Type: ts,
+						})
+					}
+				}
+			}
+		}
+	}
+	return p.Pkg.dirs
+}
+
+func directiveNames(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		if m := directiveRE.FindStringSubmatch(strings.TrimSpace(c.Text)); m != nil {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// FuncCFG builds (or returns the cached) control-flow graph for a
+// function. fn must be an *ast.FuncDecl or *ast.FuncLit of this
+// package. Graphs are cached on the Package, so several analyzers
+// walking the same functions share one construction.
+func (p *Pass) FuncCFG(fn ast.Node) *CFG {
+	if p.Pkg.cfgs == nil {
+		p.Pkg.cfgs = make(map[ast.Node]*CFG)
+	}
+	if c, ok := p.Pkg.cfgs[fn]; ok {
+		return c
+	}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	c := BuildCFG(fn, body)
+	p.Pkg.cfgs[fn] = c
+	return c
+}

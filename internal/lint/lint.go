@@ -145,9 +145,19 @@ func WalkStack(file *ast.File, fn func(n ast.Node, stack []ast.Node)) {
 	})
 }
 
-// ignoreRE matches a suppression comment. The rule must carry the
-// dialint/ prefix so grepping for a rule name finds its suppressions.
-var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+dialint/([A-Za-z-]+)\s*(.*)$`)
+// ignoreRE matches a well-formed suppression comment. The rule must
+// carry the dialint/ prefix so grepping for a rule name finds its
+// suppressions; the rule name is a letter followed by letters, digits,
+// or hyphens, and must be separated from the reason by whitespace —
+// `dialint/rule!junk` is rejected rather than silently parsed as rule
+// "rule" with reason "!junk". ignoreLooseRE catches anything that
+// tries to be an ignore directive but fails the strict form, so typos
+// surface as malformed-ignore diagnostics instead of silently
+// suppressing nothing.
+var (
+	ignoreRE      = regexp.MustCompile(`^//\s*lint:ignore\s+dialint/([A-Za-z][A-Za-z0-9-]*)(?:\s+(\S.*?))?\s*$`)
+	ignoreLooseRE = regexp.MustCompile(`^//\s*lint:ignore(\s|$)`)
+)
 
 // suppression is one parsed //lint:ignore comment.
 type suppression struct {
@@ -188,6 +198,16 @@ func parseSuppressions(pkg *Package) (suppressions, []suppression) {
 			for _, c := range cg.List {
 				m := ignoreRE.FindStringSubmatch(c.Text)
 				if m == nil {
+					// A comment that looks like an ignore directive but
+					// fails the strict form (bad rule name, trailing
+					// junk, missing dialint/ prefix) would otherwise
+					// suppress nothing, silently.
+					if ignoreLooseRE.MatchString(c.Text) {
+						pos := pkg.Fset.Position(c.Pos())
+						malformed = append(malformed, suppression{
+							file: pos.Filename, line: pos.Line, pos: pos,
+						})
+					}
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -225,10 +245,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, pkg := range pkgs {
 		supp, malformed := parseSuppressions(pkg)
 		for _, m := range malformed {
+			msg := fmt.Sprintf("lint:ignore dialint/%s needs a reason; an unexplained suppression is not an invariant", m.rule)
+			if m.rule == "" {
+				msg = "unparseable lint:ignore directive: want //lint:ignore dialint/<rule> reason"
+			}
 			diags = append(diags, Diagnostic{
 				Pos:     m.pos,
 				Rule:    "malformed-ignore",
-				Message: fmt.Sprintf("lint:ignore dialint/%s needs a reason; an unexplained suppression is not an invariant", m.rule),
+				Message: msg,
 			})
 		}
 		for _, err := range pkg.TypeErrors {

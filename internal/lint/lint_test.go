@@ -63,6 +63,38 @@ func TestMalformedIgnore(t *testing.T) {
 	}
 }
 
+// TestSuppressionGrammar: digits are legal in rule names, while
+// trailing junk and a missing dialint/ prefix make a directive
+// unparseable — flagged, never silently inert.
+func TestSuppressionGrammar(t *testing.T) {
+	pkg := load(t, "testdata/src/suppress", "dialint.test/internal/suppress")
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzers.FloatEq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed, floatEq int
+	for _, d := range diags {
+		switch d.Rule {
+		case "malformed-ignore":
+			malformed++
+			if !strings.Contains(d.Message, "unparseable") {
+				t.Errorf("malformed diagnostic should say unparseable, got %q", d.Message)
+			}
+		case "float-eq":
+			floatEq++
+		default:
+			t.Errorf("unexpected rule %s", d.Rule)
+		}
+	}
+	// trailingJunk and missingPrefix are unparseable; the digits-named
+	// rule parses fine (so no malformed) but suppresses a different
+	// rule, leaving three live float-eq findings. eqSuppressed is clean.
+	if malformed != 2 || floatEq != 3 {
+		t.Errorf("got %d malformed-ignore and %d float-eq, want 2 and 3:\n%s",
+			malformed, floatEq, render(diags))
+	}
+}
+
 // TestObsFactConflict: the same metric name registered with two help
 // strings in different packages is flagged on the later package.
 func TestObsFactConflict(t *testing.T) {
@@ -83,6 +115,37 @@ func TestObsFactConflict(t *testing.T) {
 	}
 	if filepath.Base(d.Pos.Filename) != "b.go" {
 		t.Errorf("conflict should be reported on the later package, got %s", d.Pos.Filename)
+	}
+}
+
+// TestSnapshotFactCrossesPackages: analyzing the real shard package
+// exports shard.Snapshot as a published type; a dependent package that
+// writes through a received *shard.Snapshot is then flagged, while a
+// fresh local build stays clean.
+func TestSnapshotFactCrossesPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the real shard package")
+	}
+	loaderOnce.Do(func() { loader, loaderErr = lint.NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	shardPkgs, err := loader.Load("diacap/internal/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer := load(t, "testdata/src/snapconsumer", "dialint.test/internal/snapconsumer")
+	diags, err := lint.Run(append(shardPkgs, consumer), []*lint.Analyzer{analyzers.SnapshotImmutable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the tamper diagnostic, got:\n%s", render(diags))
+	}
+	d := diags[0]
+	if filepath.Base(d.Pos.Filename) != "snapconsumer.go" ||
+		!strings.Contains(d.Message, "diacap/internal/shard.Snapshot") {
+		t.Errorf("unexpected diagnostic: %s", d)
 	}
 }
 

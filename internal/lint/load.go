@@ -39,6 +39,13 @@ type Package struct {
 	// deps(A) strictly contains deps(B)∪{B} whenever A imports B, sorting
 	// by this count is a valid topological order for fact flow.
 	moduleDeps int
+
+	// cfgs caches per-function control-flow graphs (Pass.FuncCFG) and
+	// dirs the parsed //dialint directives (Pass.Directives), shared
+	// across the analyzers run over this package.
+	cfgs       map[ast.Node]*CFG
+	dirs       []Directive
+	dirsParsed bool
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.

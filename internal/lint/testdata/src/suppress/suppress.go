@@ -1,0 +1,27 @@
+// Package suppress exercises the hardened suppression grammar: digits
+// are legal in rule names, trailing junk and a missing dialint/ prefix
+// are unparseable (and therefore flagged, not silently ignored).
+package suppress
+
+func eqSuppressed(a, b float64) bool {
+	//lint:ignore dialint/float-eq comparing against a sentinel stored verbatim
+	return a == b
+}
+
+func digitsInRule(a, b float64) bool {
+	// Parses cleanly (digits are allowed in rule names) but names a rule
+	// that is not float-eq, so the finding below still reports and no
+	// malformed-ignore fires.
+	//lint:ignore dialint/float-eq-v2 reserved for a future rule
+	return a == b
+}
+
+func trailingJunk(a, b float64) bool {
+	//lint:ignore dialint/float-eq!force some reason
+	return a == b
+}
+
+func missingPrefix(a, b float64) bool {
+	//lint:ignore float-eq some reason
+	return a == b
+}

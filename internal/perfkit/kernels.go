@@ -20,6 +20,8 @@ import "math"
 // super-optimal lower bound (both phases are min-plus products) and is
 // unrolled into four independent accumulators so the adds pipeline
 // instead of serializing on one running minimum.
+//
+//dialint:hotpath
 func MinPlus(a, b []float64) float64 {
 	n := len(a)
 	if n == 0 {
@@ -83,6 +85,8 @@ func MinPlusRef(a, b []float64) float64 {
 // never raise lb. That skip drops most of the work once lb is large
 // (in practice a ~3x wall-clock cut at MIT scale) and provably cannot
 // change the fold — the result is bit-identical to MaxMinPlusRef.
+//
+//dialint:hotpath
 func MaxMinPlus(bi []float64, cs *FlatMatrix, jStart int, lb float64) float64 {
 	n := cs.Rows()
 	for j := jStart; j < n; j++ {
@@ -119,6 +123,8 @@ func MaxMinPlusRef(bi []float64, cs *FlatMatrix, jStart int, lb float64) float64
 // "server has no clients" sentinel used throughout the repo. This is
 // Greedy's per-candidate-server m term (the paper's
 // max_b {d(s, sA(b)) + d(sA(b), b)}).
+//
+//dialint:hotpath
 func MaxPlusSkip(row, ecc []float64) float64 {
 	n := len(row)
 	if n == 0 {
@@ -156,6 +162,8 @@ func MaxPlusSkipRef(row, ecc []float64) float64 {
 // eccentricity of each server under assignment a: the maximum distance
 // from the server to a client assigned to it, or -1 for servers with
 // no clients. a[i] < 0 means client i is unassigned.
+//
+//dialint:hotpath
 func EccInto(cs *FlatMatrix, a []int, ecc []float64) {
 	for k := range ecc {
 		ecc[k] = -1
@@ -194,6 +202,8 @@ func EccIntoRef(cs *FlatMatrix, a []int, ecc []float64) {
 // so the pair loop runs over gap-free data — with U used servers out
 // of |S| the loop is U² tight iterations instead of |S|² sentinel
 // tests. scratch may be nil, in which case a pooled arena is used.
+//
+//dialint:hotpath
 func MaxPathEcc(ss *FlatMatrix, ecc []float64, scratch *Scratch) float64 {
 	s := scratch
 	if s == nil {
@@ -250,6 +260,8 @@ func MaxPathEccRef(ss *FlatMatrix, ecc []float64) float64 {
 // dc[x] = d(client, its server) and srv[x] = its server, for the x-th
 // assigned client in index order. It returns the number of assigned
 // clients. dc and srv must have length ≥ len(a).
+//
+//dialint:hotpath
 func CompactAssigned(cs *FlatMatrix, a []int, dc []float64, srv []int) int {
 	n := 0
 	for i, s := range a {
@@ -274,6 +286,8 @@ func CompactAssigned(cs *FlatMatrix, a []int, dc []float64, srv []int) int {
 // branches and four indexed loads), compaction turns the O(|C|²) scan
 // into two contiguous streams plus one gather, which is where the
 // diabench speedup at Meridian scale comes from.
+//
+//dialint:hotpath
 func MaxPathPairsRange(dc []float64, srv []int, ss *FlatMatrix, start, stride int) float64 {
 	n := len(dc)
 	var best float64
@@ -295,6 +309,8 @@ func MaxPathPairsRange(dc []float64, srv []int, ss *FlatMatrix, start, stride in
 // is kept in a register instead of re-reading row[best] each
 // comparison, and the row slice is re-sliced for bounds-check
 // elimination.
+//
+//dialint:hotpath
 func NearestInto(cs *FlatMatrix, out []int) {
 	for i := 0; i < cs.rows; i++ {
 		row := cs.Row(i)

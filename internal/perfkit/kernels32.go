@@ -14,6 +14,8 @@ import "math"
 
 // MinPlus32 returns min over i of a[i] + b[i] in float32 arithmetic,
 // or +Inf when a is empty.
+//
+//dialint:hotpath
 func MinPlus32(a, b []float32) float32 {
 	n := len(a)
 	if n == 0 {
@@ -67,6 +69,8 @@ func MinPlus32Ref(a, b []float32) float32 {
 
 // NearestInto32 fills out[i] with the argmin of row i of cs, ties
 // toward the lower index.
+//
+//dialint:hotpath
 func NearestInto32(cs *FlatMatrix32, out []int) {
 	for i := 0; i < cs.rows; i++ {
 		row := cs.Row(i)

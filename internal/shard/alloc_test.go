@@ -1,0 +1,40 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"diacap/internal/shard"
+	"diacap/internal/testkit"
+)
+
+// The snapshot read path (Current, Epoch) is annotated
+// //dialint:hotpath: every live operation and every reader poll goes
+// through it, so it must stay a bare atomic pointer load with no
+// allocation and no lock.
+func TestSnapshotReadZeroAlloc(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation counts include race-detector bookkeeping")
+	}
+	servers, clients := testCoords(t, 40, 4, 3)
+	p, err := shard.New(shard.Options{Shards: 2, Servers: servers, Clients: clients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 10; c++ {
+		if _, err := p.Join(context.Background(), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap *shard.Snapshot
+	var epoch uint64
+	if avg := testing.AllocsPerRun(1000, func() {
+		snap = p.Current()
+		epoch = p.Epoch()
+	}); avg != 0 {
+		t.Errorf("snapshot read allocates %.2f times per run, want 0", avg)
+	}
+	if snap == nil || snap.Epoch != epoch {
+		t.Fatalf("inconsistent read: snapshot epoch %d, Epoch() %d", snap.Epoch, epoch)
+	}
+}

@@ -108,6 +108,11 @@ func (m *planeMetrics) rejected(reason string) {
 	m.reg.Counter(nShardRejected, hShardRejected, obs.L("reason", reason)).Inc()
 }
 
+// published records the post-publish gauges and the publish latency.
+// It is the one blessed destination for wall-clock durations measured
+// around publishLocked: metrics only, never replayed state.
+//
+//dialint:wallclock-ok
 func (m *planeMetrics) published(s *Snapshot, seconds float64) {
 	if m == nil {
 		return

@@ -317,6 +317,7 @@ func (p *Plane) RepairShard(ctx context.Context, id int, now float64) (int, erro
 	defer p.mu.Unlock()
 	defer p.begin(sp)()
 	sh := p.shards[id]
+	//lint:ignore dialint/wallclock-determinism lastRepair feeds only the health endpoint's staleness display, never a replayed decision
 	sh.lastRepair = time.Now()
 	before := sh.ev.Assignment()
 	moves := sh.strat.Repair(sh.ev, sh.effCaps, now)

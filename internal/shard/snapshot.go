@@ -76,6 +76,8 @@ type Snapshot struct {
 }
 
 // Current returns the published snapshot (lock-free).
+//
+//dialint:hotpath
 func (p *Plane) Current() *Snapshot { return p.snap.Load() }
 
 // At returns the published snapshot if its epoch is exactly epoch, and
@@ -91,6 +93,8 @@ func (p *Plane) At(epoch uint64) (*Snapshot, error) {
 }
 
 // Epoch returns the published epoch (lock-free).
+//
+//dialint:hotpath
 func (p *Plane) Epoch() uint64 { return p.snap.Load().Epoch }
 
 // publishLocked rebuilds dirty shard summaries, reconciles the global
@@ -230,6 +234,7 @@ func (sh *shardState) rebuildSummary(p *Plane) {
 	// Iteration order over the map cannot affect the result — max is
 	// order-independent — but the summary itself is fully determined by
 	// the (cell, server) occupancy, which is deterministic.
+	//lint:ignore dialint/map-iter-order pure max fold; max is commutative and associative, so iteration order cannot reach the summary
 	for j, row := range sh.cellLoad {
 		rd := p.repDist[j]
 		rho := p.cells[j].Rho

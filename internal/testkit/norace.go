@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testkit holds tiny build-sensitive helpers shared by tests
+// across the repo. It has no dependencies and no non-test importers.
+package testkit
+
+// RaceEnabled reports whether this build has the race detector
+// compiled in. testing.AllocsPerRun counts the detector's own
+// bookkeeping, so zero-allocation tests skip themselves when it is set.
+const RaceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package testkit
+
+// RaceEnabled reports whether this build has the race detector
+// compiled in. testing.AllocsPerRun counts the detector's own
+// bookkeeping, so zero-allocation tests skip themselves when it is set.
+const RaceEnabled = true
