@@ -14,6 +14,18 @@
 //	}'
 //	curl -s localhost:9090/metrics
 //
+// With -shards the sharded control plane also mounts the zero-alloc
+// serving endpoints /v1/assign-one and /v1/assign-batch: lock-free
+// snapshot reads answering "which server should this prospective client
+// attach to", one admission decision and one perfkit evaluation per
+// request no matter how many clients the batch carries (cmd/diaload
+// load-tests them; see DESIGN.md §17 for the protocol):
+//
+//	capserver -shards 4 &
+//	curl -s -X POST localhost:8080/v1/assign-batch -d '{
+//	    "coords": [[12.5, 37.25], [40, 80, 1, 0.5]]
+//	}'
+//
 // Observability flags:
 //
 //	-metrics-addr  serve /metrics (Prometheus text) and /debug/vars

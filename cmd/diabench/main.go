@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -30,10 +31,13 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"testing"
 	"time"
 
@@ -44,6 +48,7 @@ import (
 	"diacap/internal/perfkit"
 	"diacap/internal/placement"
 	"diacap/internal/scale"
+	"diacap/internal/service"
 	"diacap/internal/shard"
 )
 
@@ -242,6 +247,86 @@ func suite() []benchmark {
 			},
 		},
 		{
+			name:     "service/resolve_10k",
+			workload: "serving read path: one amortized ResolveInto over 10000 coordinates (one snapshot pin, one perfkit evaluation) vs 10000 per-coordinate resolutions each pinning its own view (4-shard plane, 16 servers)",
+			setup: func() (func() float64, func() float64) {
+				p := benchPlane(nil, nil)
+				coords := queryCoords(10000, 13)
+				var cs perfkit.FlatMatrix
+				out := make([]int, len(coords))
+				lat := make([]float64, len(coords))
+				var cs1 perfkit.FlatMatrix
+				out1 := make([]int, 1)
+				lat1 := make([]float64, 1)
+				return func() float64 {
+						v := p.View()
+						v.ResolveInto(coords, &cs, out, lat)
+						return lat[0]
+					}, func() float64 {
+						var s float64
+						for i := range coords {
+							v := p.View()
+							v.ResolveInto(coords[i:i+1], &cs1, out1, lat1)
+							s += lat1[0]
+						}
+						return s
+					}
+			},
+		},
+		{
+			name:     "service/assign_batch_10k",
+			workload: "serving-path amortization over the real TCP/HTTP stack: one /v1/assign-batch POST carrying 10000 clients vs 10000 sequential /v1/assign-one POSTs on the same keep-alive connection (4-shard plane, 16 servers; the speedup IS the per-client throughput ratio, blessed at >= 10x in BENCH_service.json)",
+			setup: func() (func() float64, func() float64) {
+				p := benchPlane(nil, nil)
+				srv := httptest.NewServer(service.New(service.Options{Shard: p}))
+				client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+				coords := queryCoords(10000, 13)
+				appendCoord := func(b []byte, c latency.Coord) []byte {
+					b = strconv.AppendFloat(b, c.X, 'g', -1, 64)
+					b = append(b, ',')
+					b = strconv.AppendFloat(b, c.Y, 'g', -1, 64)
+					b = append(b, ',')
+					b = strconv.AppendFloat(b, c.Z, 'g', -1, 64)
+					b = append(b, ',')
+					return strconv.AppendFloat(b, c.H, 'g', -1, 64)
+				}
+				batch := []byte(`{"coords":[`)
+				unary := make([][]byte, len(coords))
+				for i, c := range coords {
+					if i > 0 {
+						batch = append(batch, ',')
+					}
+					batch = append(batch, '[')
+					batch = appendCoord(batch, c)
+					batch = append(batch, ']')
+					u := []byte(`{"coord":[`)
+					u = appendCoord(u, c)
+					unary[i] = append(u, `]}`...)
+				}
+				batch = append(batch, `]}`...)
+				post := func(path string, body []byte) float64 {
+					resp, err := client.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+					if err != nil {
+						panic(err)
+					}
+					n, err := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK {
+						panic(fmt.Sprintf("%s: status %d, read %d bytes, err %v", path, resp.StatusCode, n, err))
+					}
+					return float64(n)
+				}
+				return func() float64 { return post("/v1/assign-batch", batch) },
+					func() float64 {
+						var s float64
+						for i := range unary {
+							s += post("/v1/assign-one", unary[i])
+						}
+						return s
+					}
+			},
+		},
+		{
 			name:     "e2e/fig7_scaled",
 			workload: "Figure 7 sweep (random placement, 200 nodes, servers ∈ {4,8}, 2 runs)",
 			setup: func() (func() float64, func() float64) {
@@ -325,6 +410,17 @@ func benchPlane(tr *obs.Tracer, fl *obs.Recorder) *shard.Plane {
 		}
 	}
 	return p
+}
+
+// queryCoords generates n prospective-client coordinates disjoint from
+// the bench plane's own population (different seed), the query stream
+// the service/ benchmarks resolve.
+func queryCoords(n int, seed int64) []latency.Coord {
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(n), seed)
+	if err != nil {
+		panic(err)
+	}
+	return cs
 }
 
 // churnTape is a fixed migrate schedule (client, target server) both

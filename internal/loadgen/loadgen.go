@@ -1,0 +1,545 @@
+// Package loadgen drives the serving endpoints (/v1/assign-one,
+// /v1/assign-batch) over the real TCP/HTTP stack — net/http client,
+// keep-alive connections, full request/response cycle — and reports
+// per-phase latency quantiles. It is the measurement half of the
+// zero-alloc serving path: the AllocsPerRun tests pin what the handler
+// does per request, this package pins what a client actually observes
+// under ramp, steady, and overload phases.
+//
+// Two generator disciplines:
+//
+//   - Closed loop (Workers): N workers issue back-to-back requests, each
+//     waiting for its response before sending the next. Offered load
+//     adapts to the server — this measures best-case service latency at
+//     a given concurrency.
+//   - Open loop (Rate): arrivals fire on a fixed schedule whether or not
+//     earlier requests have completed, the discipline that exposes
+//     queueing collapse under overload (closed loops self-throttle and
+//     hide it). In-flight requests are capped at MaxInFlight; arrivals
+//     beyond the cap are counted as Dropped, not silently skipped.
+//
+// Classification is strict about the serving protocol: a 429 carrying
+// Retry-After is admission shed and counted separately (sheds are the
+// server protecting itself, not a failure); everything else that is not
+// a complete, well-formed 200 — transport errors, unexpected statuses,
+// a 429 missing Retry-After, malformed JSON, or a partial batch with
+// fewer answers than questions — counts as an error. The storm
+// regression test leans on exactly this: a batch split by a mid-request
+// shed would surface here as an error, never as a shed.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"diacap/internal/latency"
+	"diacap/internal/obs"
+)
+
+// Mode selects the generator discipline.
+type Mode string
+
+const (
+	// Closed runs Phase.Workers synchronous request loops.
+	Closed Mode = "closed"
+	// Open fires arrivals at Phase.Rate per second regardless of
+	// completions.
+	Open Mode = "open"
+)
+
+// Phase is one segment of a run. Phases execute in order; each gets its
+// own histogram and counters so overload pain cannot hide inside a
+// steady-state average.
+type Phase struct {
+	// Name labels the phase in results and metric series ("ramp",
+	// "steady", "overload", ...).
+	Name string
+	// Duration is how long the phase runs. Zero-duration phases are
+	// skipped.
+	Duration time.Duration
+	// Workers is the closed-loop concurrency (Closed mode).
+	Workers int
+	// Rate is the open-loop arrival rate in requests/sec (Open mode).
+	Rate float64
+	// Ramp grows the offered load linearly from zero to the target over
+	// the phase: staggered worker starts in closed mode, a linearly
+	// increasing arrival rate in open mode.
+	Ramp bool
+}
+
+// Config describes a run.
+type Config struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Endpoint is the serving path; default "/v1/assign-batch". The
+	// unary response shape is validated when Endpoint is
+	// "/v1/assign-one".
+	Endpoint string
+	// Batch is the number of coordinates per batch request (default 64;
+	// forced to 1 for the unary endpoint).
+	Batch int
+	// Mode selects closed or open loop (default Closed).
+	Mode Mode
+	// Phases run in order.
+	Phases []Phase
+	// Seed feeds the synthetic coordinate generator; equal seeds offer
+	// identical request bodies.
+	Seed int64
+	// MaxInFlight caps concurrent open-loop requests (default 512).
+	MaxInFlight int
+	// Client overrides the HTTP client (default: keep-alive transport
+	// with MaxInFlight idle connections and a 10s request timeout).
+	Client *http.Client
+	// Registry, when set, also publishes each phase's latency histogram
+	// and counters as diaload_* series for scraping mid-run.
+	Registry *obs.Registry
+}
+
+// PhaseStats is the outcome of one phase. Counters partition every
+// arrival: OK + Shed + Errors + Dropped == Requests.
+type PhaseStats struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"durationNs"`
+	// Requests is every arrival the phase produced.
+	Requests uint64 `json:"requests"`
+	// OK counts complete, well-formed 200 responses.
+	OK uint64 `json:"ok"`
+	// Clients is the total coordinates resolved across OK responses.
+	Clients uint64 `json:"clients"`
+	// Shed counts whole-request 429s carrying Retry-After.
+	Shed uint64 `json:"shed"`
+	// Errors counts everything else: transport failures, unexpected
+	// statuses, 429 without Retry-After, malformed or partial bodies.
+	Errors uint64 `json:"errors"`
+	// Dropped counts open-loop arrivals refused locally because
+	// MaxInFlight was saturated.
+	Dropped uint64 `json:"dropped"`
+	// FirstError preserves the first error's description for diagnosis.
+	FirstError string `json:"firstError,omitempty"`
+	// P50/P99/P999 are OK-request latency quantiles in milliseconds
+	// (NaN when no request succeeded).
+	P50  float64 `json:"p50Ms"`
+	P99  float64 `json:"p99Ms"`
+	P999 float64 `json:"p999Ms"`
+}
+
+// Throughput returns successful requests per second.
+func (ps *PhaseStats) Throughput() float64 {
+	if ps.Duration <= 0 {
+		return 0
+	}
+	return float64(ps.OK) / ps.Duration.Seconds()
+}
+
+// ClientRate returns resolved clients (coordinates) per second.
+func (ps *PhaseStats) ClientRate() float64 {
+	if ps.Duration <= 0 {
+		return 0
+	}
+	return float64(ps.Clients) / ps.Duration.Seconds()
+}
+
+// Result is a whole run.
+type Result struct {
+	Endpoint string       `json:"endpoint"`
+	Mode     Mode         `json:"mode"`
+	Batch    int          `json:"batch"`
+	Phases   []PhaseStats `json:"phases"`
+}
+
+// TotalErrors sums non-shed errors across phases — the quantity a CI
+// smoke gate requires to be zero.
+func (r *Result) TotalErrors() uint64 {
+	var n uint64
+	for i := range r.Phases {
+		n += r.Phases[i].Errors
+	}
+	return n
+}
+
+// TotalShed sums admission sheds across phases.
+func (r *Result) TotalShed() uint64 {
+	var n uint64
+	for i := range r.Phases {
+		n += r.Phases[i].Shed
+	}
+	return n
+}
+
+// nLoadLatency is the per-phase latency series diaload publishes when
+// given a registry.
+const nLoadLatency = "diaload_latency_ms"
+
+// loadBuckets resolve sub-millisecond loopback latencies; the standard
+// LatencyMsBuckets start at 0.5ms, which would flatten every quantile
+// of an in-process serving path into one bucket.
+var loadBuckets = []float64{0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2500, 5000}
+
+// unaryResponse / batchResponse mirror the serving response shapes
+// (service.AssignOneResponse / AssignBatchResponse). Declared here
+// rather than imported so the service package's tests can drive loadgen
+// without an import cycle.
+type unaryResponse struct {
+	Epoch     uint64   `json:"epoch"`
+	Server    *int     `json:"server"`
+	LatencyMs *float64 `json:"latencyMs"`
+}
+
+type batchResponse struct {
+	Epoch     uint64    `json:"epoch"`
+	Servers   []int     `json:"servers"`
+	LatencyMs []float64 `json:"latencyMs"`
+}
+
+// phaseRun is the mutable state one running phase accumulates.
+type phaseRun struct {
+	stats PhaseStats
+	hist  *obs.Histogram
+	mu    sync.Mutex // guards stats counters + FirstError
+}
+
+func (pr *phaseRun) record(lat time.Duration, clients int, shed bool, err error) {
+	pr.mu.Lock()
+	pr.stats.Requests++
+	switch {
+	case err != nil:
+		pr.stats.Errors++
+		if pr.stats.FirstError == "" {
+			pr.stats.FirstError = err.Error()
+		}
+	case shed:
+		pr.stats.Shed++
+	default:
+		pr.stats.OK++
+		pr.stats.Clients += uint64(clients)
+	}
+	pr.mu.Unlock()
+	if err == nil && !shed {
+		pr.hist.Observe(float64(lat) / float64(time.Millisecond))
+	}
+}
+
+func (pr *phaseRun) drop() {
+	pr.mu.Lock()
+	pr.stats.Requests++
+	pr.stats.Dropped++
+	pr.mu.Unlock()
+}
+
+// Runner executes a Config. Construct with New (validates and
+// pre-encodes request bodies), then Run.
+type Runner struct {
+	cfg    Config
+	client *http.Client
+	bodies [][]byte
+	unary  bool
+}
+
+// New validates cfg, applies defaults, and pre-encodes a pool of
+// request bodies from synthetic coordinates.
+func New(cfg Config) (*Runner, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: URL is required")
+	}
+	if cfg.Endpoint == "" {
+		cfg.Endpoint = "/v1/assign-batch"
+	}
+	unary := cfg.Endpoint == "/v1/assign-one"
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if unary {
+		cfg.Batch = 1
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = Closed
+	}
+	if cfg.Mode != Closed && cfg.Mode != Open {
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 512
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one phase is required")
+	}
+	for i := range cfg.Phases {
+		p := &cfg.Phases[i]
+		if p.Duration < 0 {
+			return nil, fmt.Errorf("loadgen: phase %q: negative duration", p.Name)
+		}
+		if cfg.Mode == Closed && p.Workers <= 0 && p.Duration > 0 {
+			return nil, fmt.Errorf("loadgen: phase %q: closed mode needs Workers > 0", p.Name)
+		}
+		if cfg.Mode == Open && p.Rate <= 0 && p.Duration > 0 {
+			return nil, fmt.Errorf("loadgen: phase %q: open mode needs Rate > 0", p.Name)
+		}
+	}
+	bodies, err := encodeBodies(cfg.Batch, cfg.Seed, unary)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.MaxInFlight,
+				MaxIdleConnsPerHost: cfg.MaxInFlight,
+			},
+		}
+	}
+	return &Runner{cfg: cfg, client: client, bodies: bodies, unary: unary}, nil
+}
+
+// bodyPool is the number of distinct pre-encoded request bodies workers
+// rotate through — enough variety to defeat any accidental caching,
+// cheap enough to build up front.
+const bodyPool = 32
+
+// encodeBodies renders the request-body pool. Bodies are built once so
+// the generator's own JSON encoding never sits on the measured path.
+func encodeBodies(batch int, seed int64, unary bool) ([][]byte, error) {
+	cs, err := latency.GenerateCoords(latency.DefaultConfig(max(batch+bodyPool, 64)), seed)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: generating coordinates: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([][]byte, bodyPool)
+	appendCoord := func(b []byte, c latency.Coord) []byte {
+		b = append(b, '[')
+		b = strconv.AppendFloat(b, c.X, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, c.Y, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, c.Z, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, c.H, 'g', -1, 64)
+		return append(b, ']')
+	}
+	for i := range bodies {
+		var b []byte
+		if unary {
+			b = append(b, `{"coord":`...)
+			b = appendCoord(b, cs[rng.Intn(len(cs))])
+		} else {
+			b = append(b, `{"coords":[`...)
+			start := rng.Intn(len(cs))
+			for j := 0; j < batch; j++ {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = appendCoord(b, cs[(start+j)%len(cs)])
+			}
+			b = append(b, ']')
+		}
+		bodies[i] = append(b, '}')
+	}
+	return bodies, nil
+}
+
+// Run executes every phase in order and returns the per-phase stats.
+// Cancelling ctx ends the current phase early (its stats cover the
+// elapsed portion) and skips the rest.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	res := &Result{Endpoint: r.cfg.Endpoint, Mode: r.cfg.Mode, Batch: r.cfg.Batch}
+	for i := range r.cfg.Phases {
+		p := r.cfg.Phases[i]
+		if p.Duration == 0 {
+			continue
+		}
+		pr := &phaseRun{stats: PhaseStats{Name: p.Name}}
+		pr.hist = r.phaseHistogram(p.Name)
+		start := time.Now()
+		phaseCtx, cancel := context.WithTimeout(ctx, p.Duration)
+		if r.cfg.Mode == Closed {
+			r.runClosed(phaseCtx, p, pr)
+		} else {
+			r.runOpen(phaseCtx, p, pr)
+		}
+		cancel()
+		pr.stats.Duration = time.Since(start)
+		pr.stats.P50 = pr.hist.Quantile(0.50)
+		pr.stats.P99 = pr.hist.Quantile(0.99)
+		pr.stats.P999 = pr.hist.Quantile(0.999)
+		res.Phases = append(res.Phases, pr.stats)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return res, ctx.Err()
+}
+
+// phaseHistogram returns the phase's latency histogram — a scrapeable
+// registry series when Config.Registry is set, a private one otherwise.
+func (r *Runner) phaseHistogram(phase string) *obs.Histogram {
+	reg := r.cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return reg.Histogram(nLoadLatency,
+		"diaload per-phase request latency in milliseconds (successful requests only).",
+		loadBuckets, obs.L("phase", phase), obs.L("endpoint", r.cfg.Endpoint))
+}
+
+// runClosed drives p.Workers synchronous loops until the phase context
+// expires. In a ramp phase worker i starts i/Workers of the way in, so
+// offered concurrency grows linearly to the target.
+func (r *Runner) runClosed(ctx context.Context, p Phase, pr *phaseRun) {
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if p.Ramp {
+				delay := time.Duration(int64(p.Duration) * int64(w) / int64(p.Workers))
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(delay):
+				}
+			}
+			for i := w; ctx.Err() == nil; i++ {
+				r.issue(ctx, pr, r.bodies[i%len(r.bodies)])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen fires arrivals on the open-loop schedule. Arrival n is due at
+// the time where the integral of the (possibly ramping) rate reaches n,
+// independent of how long requests take — the server falling behind
+// does not slow the generator down, it fills MaxInFlight and then shows
+// up as Dropped.
+func (r *Runner) runOpen(ctx context.Context, p Phase, pr *phaseRun) {
+	sem := make(chan struct{}, r.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	dur := p.Duration
+	for n := 0; ; n++ {
+		// Due time for arrival n: constant rate ⇒ n/Rate; linear ramp
+		// from 0 to Rate over dur ⇒ rate(t) = Rate·t/dur integrates to
+		// Rate·t²/(2·dur) = n, i.e. t = sqrt(2·n·dur/Rate).
+		var due time.Duration
+		if p.Ramp {
+			due = time.Duration(math.Sqrt(2 * float64(n) * float64(dur) / p.Rate))
+		} else {
+			due = time.Duration(float64(n) / p.Rate * float64(time.Second))
+		}
+		if due >= dur {
+			break
+		}
+		wait := due - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				r.issue(ctx, pr, r.bodies[n%len(r.bodies)])
+			}(n)
+		default:
+			pr.drop()
+		}
+	}
+	wg.Wait()
+}
+
+// issue sends one request and classifies the outcome. Latency covers
+// send through full body read — what a broker calling the serving tier
+// actually waits.
+func (r *Runner) issue(ctx context.Context, pr *phaseRun, body []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.URL+r.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		pr.record(0, 0, false, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // phase deadline, not a server failure
+		}
+		pr.record(0, 0, false, err)
+		return
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		pr.record(0, 0, false, fmt.Errorf("reading response: %w", err))
+		return
+	}
+	clients, shed, err := r.classify(resp, data)
+	pr.record(lat, clients, shed, err)
+}
+
+// classify enforces the serving protocol on one response.
+func (r *Runner) classify(resp *http.Response, data []byte) (clients int, shed bool, err error) {
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			return 0, false, fmt.Errorf("429 without Retry-After")
+		}
+		return 0, true, nil
+	default:
+		return 0, false, fmt.Errorf("status %d: %s", resp.StatusCode, firstLine(data))
+	}
+	if r.unary {
+		var u unaryResponse
+		if err := json.Unmarshal(data, &u); err != nil {
+			return 0, false, fmt.Errorf("malformed unary response: %w", err)
+		}
+		if u.Server == nil || u.LatencyMs == nil {
+			return 0, false, fmt.Errorf("incomplete unary response: %s", firstLine(data))
+		}
+		return 1, false, nil
+	}
+	var b batchResponse
+	if err := json.Unmarshal(data, &b); err != nil {
+		return 0, false, fmt.Errorf("malformed batch response: %w", err)
+	}
+	// The atomicity contract: a 200 answers every coordinate or it is a
+	// protocol violation. A shed can never truncate a batch.
+	if len(b.Servers) != r.cfg.Batch || len(b.LatencyMs) != r.cfg.Batch {
+		return 0, false, fmt.Errorf("partial batch: %d/%d servers, %d/%d latencies",
+			len(b.Servers), r.cfg.Batch, len(b.LatencyMs), r.cfg.Batch)
+	}
+	return r.cfg.Batch, false, nil
+}
+
+// firstLine truncates a response body for error messages.
+func firstLine(data []byte) string {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	if len(data) > 120 {
+		data = data[:120]
+	}
+	return string(data)
+}

@@ -1,0 +1,298 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServe implements just enough of the serving protocol for the
+// generator to grade: it decodes the request with encoding/json and
+// answers per the configured behavior.
+type fakeServe struct {
+	// behavior is consulted per request.
+	behavior func(n int64) string // "ok" | "shed" | "shed-bare" | "partial" | "garbage" | "boom"
+	requests atomic.Int64
+	clients  atomic.Int64
+}
+
+func (f *fakeServe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.requests.Add(1)
+	var req struct {
+		Coord  []float64   `json:"coord"`
+		Coords [][]float64 `json:"coords"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	unary := r.URL.Path == "/v1/assign-one"
+	count := len(req.Coords)
+	if unary {
+		count = 1
+	}
+	switch f.behavior(n) {
+	case "shed":
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		return
+	case "shed-bare": // protocol violation: 429 without Retry-After
+		w.WriteHeader(http.StatusTooManyRequests)
+		return
+	case "garbage":
+		fmt.Fprint(w, `{"epoch":1,"servers":[`)
+		return
+	case "boom":
+		http.Error(w, "internal", http.StatusInternalServerError)
+		return
+	case "partial":
+		count /= 2
+	}
+	f.clients.Add(int64(count))
+	if unary {
+		fmt.Fprintf(w, `{"epoch":1,"d":10,"certifiedD":10,"server":0,"latencyMs":1.5}`)
+		return
+	}
+	fmt.Fprint(w, `{"epoch":1,"d":10,"certifiedD":10,"servers":[`)
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, "0")
+	}
+	fmt.Fprint(w, `],"latencyMs":[`)
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, "1.5")
+	}
+	fmt.Fprint(w, "]}")
+}
+
+func always(kind string) func(int64) string { return func(int64) string { return kind } }
+
+func runOnce(t *testing.T, f *fakeServe, mutate func(*Config)) *Result {
+	t.Helper()
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+	cfg := Config{
+		URL:    srv.URL,
+		Batch:  8,
+		Seed:   1,
+		Phases: []Phase{{Name: "steady", Duration: 200 * time.Millisecond, Workers: 4, Rate: 200}},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 1 {
+		t.Fatalf("got %d phases, want 1", len(res.Phases))
+	}
+	return res
+}
+
+func TestClosedLoopHealthyServer(t *testing.T) {
+	f := &fakeServe{behavior: always("ok")}
+	res := runOnce(t, f, nil)
+	ps := res.Phases[0]
+	if ps.OK == 0 || ps.Errors != 0 || ps.Shed != 0 || ps.Dropped != 0 {
+		t.Fatalf("healthy closed loop: %+v", ps)
+	}
+	if ps.Requests != ps.OK {
+		t.Fatalf("requests %d != ok %d", ps.Requests, ps.OK)
+	}
+	if want := ps.OK * 8; ps.Clients != want {
+		t.Fatalf("clients %d, want %d (batch 8)", ps.Clients, want)
+	}
+	if !(ps.P50 > 0) || !(ps.P99 >= ps.P50) || !(ps.P999 >= ps.P99) {
+		t.Fatalf("quantiles not ordered: p50=%v p99=%v p999=%v", ps.P50, ps.P99, ps.P999)
+	}
+	// Requests in flight at the phase deadline are cancelled and not
+	// recorded, so the server may have seen up to Workers more.
+	if got, saw := int64(ps.OK), f.requests.Load(); saw < got || saw > got+4 {
+		t.Fatalf("generator counted %d, server saw %d", got, saw)
+	}
+}
+
+func TestOpenLoopHonorsRate(t *testing.T) {
+	f := &fakeServe{behavior: always("ok")}
+	res := runOnce(t, f, func(c *Config) {
+		c.Mode = Open
+		c.Phases = []Phase{{Name: "steady", Duration: 300 * time.Millisecond, Rate: 100}}
+	})
+	ps := res.Phases[0]
+	// 100/s for 0.3s ⇒ 30 arrivals; allow generous slack for scheduler
+	// jitter but catch a runaway (closed-loop would do thousands).
+	if ps.Requests < 20 || ps.Requests > 40 {
+		t.Fatalf("open loop at 100/s for 300ms made %d arrivals, want ≈30", ps.Requests)
+	}
+	if ps.Errors != 0 {
+		t.Fatalf("errors: %+v", ps)
+	}
+}
+
+func TestShedCountedSeparately(t *testing.T) {
+	// Every third request shed with the full protocol.
+	f := &fakeServe{behavior: func(n int64) string {
+		if n%3 == 0 {
+			return "shed"
+		}
+		return "ok"
+	}}
+	res := runOnce(t, f, nil)
+	ps := res.Phases[0]
+	if ps.Shed == 0 {
+		t.Fatalf("no sheds recorded: %+v", ps)
+	}
+	if ps.Errors != 0 {
+		t.Fatalf("sheds misclassified as errors: %+v", ps)
+	}
+	if ps.OK+ps.Shed != ps.Requests {
+		t.Fatalf("partition broken: %+v", ps)
+	}
+}
+
+func TestShedWithoutRetryAfterIsError(t *testing.T) {
+	f := &fakeServe{behavior: always("shed-bare")}
+	res := runOnce(t, f, nil)
+	ps := res.Phases[0]
+	if ps.Errors == 0 || ps.Shed != 0 {
+		t.Fatalf("429 without Retry-After must be an error, not a shed: %+v", ps)
+	}
+	if ps.FirstError == "" {
+		t.Fatal("FirstError not captured")
+	}
+}
+
+func TestPartialBatchIsError(t *testing.T) {
+	f := &fakeServe{behavior: always("partial")}
+	res := runOnce(t, f, nil)
+	ps := res.Phases[0]
+	if ps.OK != 0 || ps.Errors == 0 {
+		t.Fatalf("partial batches must be errors: %+v", ps)
+	}
+}
+
+func TestMalformedBodyIsError(t *testing.T) {
+	f := &fakeServe{behavior: always("garbage")}
+	res := runOnce(t, f, nil)
+	if ps := res.Phases[0]; ps.OK != 0 || ps.Errors == 0 {
+		t.Fatalf("malformed bodies must be errors: %+v", ps)
+	}
+}
+
+func TestServerErrorIsError(t *testing.T) {
+	f := &fakeServe{behavior: always("boom")}
+	res := runOnce(t, f, nil)
+	ps := res.Phases[0]
+	if ps.OK != 0 || ps.Errors == 0 {
+		t.Fatalf("500s must be errors: %+v", ps)
+	}
+	if res.TotalErrors() != ps.Errors {
+		t.Fatalf("TotalErrors %d != %d", res.TotalErrors(), ps.Errors)
+	}
+}
+
+func TestUnaryEndpointShape(t *testing.T) {
+	f := &fakeServe{behavior: always("ok")}
+	res := runOnce(t, f, func(c *Config) {
+		c.Endpoint = "/v1/assign-one"
+		c.Batch = 99 // forced to 1 for unary
+	})
+	ps := res.Phases[0]
+	if ps.Errors != 0 || ps.OK == 0 {
+		t.Fatalf("unary run: %+v", ps)
+	}
+	if ps.Clients != ps.OK {
+		t.Fatalf("unary clients %d != ok %d", ps.Clients, ps.OK)
+	}
+	if res.Batch != 1 {
+		t.Fatalf("unary batch forced to %d, want 1", res.Batch)
+	}
+}
+
+func TestPhaseOrderAndSkip(t *testing.T) {
+	f := &fakeServe{behavior: always("ok")}
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+	r, err := New(Config{
+		URL:  srv.URL,
+		Seed: 1,
+		Phases: []Phase{
+			{Name: "ramp", Duration: 80 * time.Millisecond, Workers: 2, Ramp: true},
+			{Name: "skipped", Duration: 0},
+			{Name: "steady", Duration: 80 * time.Millisecond, Workers: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (zero-duration skipped)", len(res.Phases))
+	}
+	if res.Phases[0].Name != "ramp" || res.Phases[1].Name != "steady" {
+		t.Fatalf("phase order: %q, %q", res.Phases[0].Name, res.Phases[1].Name)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{URL: "http://x", Phases: []Phase{{Name: "p", Duration: time.Second}}},
+		{URL: "http://x", Mode: Open, Phases: []Phase{{Name: "p", Duration: time.Second}}},
+		{URL: "http://x", Mode: "sideways", Phases: []Phase{{Name: "p", Duration: time.Second, Workers: 1}}},
+		{URL: "http://x"},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	f := &fakeServe{behavior: always("ok")}
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+	r, err := New(Config{
+		URL:  srv.URL,
+		Seed: 1,
+		Phases: []Phase{
+			{Name: "long", Duration: 10 * time.Second, Workers: 2},
+			{Name: "never", Duration: 10 * time.Second, Workers: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := r.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if len(res.Phases) != 1 {
+		t.Fatalf("cancelled mid-first-phase, got %d phases", len(res.Phases))
+	}
+}

@@ -181,6 +181,48 @@ func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
 	return upper, cumulative
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly within
+// the containing bucket (the Prometheus histogram_quantile convention:
+// the first bucket interpolates from zero, values in the +Inf overflow
+// bucket report the last finite upper bound). It returns NaN when the
+// histogram is empty. The estimate is bucket-resolution coarse — load
+// reports pair it with bucket layouts shaped for their latency range.
+func (h *Histogram) Quantile(q float64) float64 {
+	upper, cum := h.Buckets()
+	total := cum[len(cum)-1]
+	if total == 0 || len(upper) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if c == 0 || float64(c) < rank {
+			continue
+		}
+		if i >= len(upper) {
+			// Overflow bucket: no finite upper bound to interpolate
+			// toward; the last finite bound is the honest floor.
+			return upper[len(upper)-1]
+		}
+		lo, loCount := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCount = upper[i-1], cum[i-1]
+		}
+		width := float64(c - loCount)
+		if width == 0 {
+			return upper[i]
+		}
+		return lo + (upper[i]-lo)*(rank-float64(loCount))/width
+	}
+	return upper[len(upper)-1]
+}
+
 // LatencyMsBuckets is the default bucket layout for millisecond
 // latencies, spanning sub-millisecond LAN paths to multi-second stalls.
 var LatencyMsBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -330,4 +331,44 @@ func ExampleRegistry() {
 	// # HELP ops_total Operations.
 	// # TYPE ops_total counter
 	// ops_total 3
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", h.Quantile(0.5))
+	}
+	// 100 observations uniform over (0, 1]: every quantile interpolates
+	// inside the first bucket, from zero.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 of uniform (0,1] = %v, want 0.5", got)
+	}
+	// 100 more in (1, 2]: the p50 boundary sits exactly at bucket edge 1,
+	// p75 is halfway through the second bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+	// Overflow observations clamp to the last finite bound.
+	h2 := r.Histogram("q2", "", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow-only p99 = %v, want last finite bound 2", got)
+	}
+	// Clamped q arguments.
+	if got := h2.Quantile(-1); got != 2 {
+		t.Errorf("Quantile(-1) = %v, want 2", got)
+	}
+	if got := h2.Quantile(2); got != 2 {
+		t.Errorf("Quantile(2) = %v, want 2", got)
+	}
 }

@@ -103,6 +103,26 @@ func (f *FlatMatrix) At(i, j int) float64 { return f.data[i*f.stride+j] }
 // Set stores element (i, j).
 func (f *FlatMatrix) Set(i, j int, v float64) { f.data[i*f.stride+j] = v }
 
+// Resize reshapes the matrix to rows×cols, reusing the backing array
+// when it is large enough — the pooled-buffer form used by the serving
+// path, where batch sizes vary per request but settle quickly. After a
+// Resize the element contents are unspecified (a reusing resize leaves
+// stale values behind): callers must fully fill every row before any
+// kernel reads it. Growth allocates a fresh aligned array.
+//
+//dialint:hotpath
+func (f *FlatMatrix) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		//lint:ignore dialint/hotpath-alloc the panic argument boxes only on the failure path
+		panic("perfkit: negative Resize")
+	}
+	stride := roundUp(cols, f64PerLine)
+	if rows*stride > len(f.data) {
+		f.data = alignedF64(rows * stride)
+	}
+	f.rows, f.cols, f.stride = rows, cols, stride
+}
+
 // FlatMatrix32 is the float32 variant of FlatMatrix: half the memory
 // traffic for bandwidth-bound sweeps over very large instances, at the
 // cost of ~7 decimal digits of precision. It is an opt-in

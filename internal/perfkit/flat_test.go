@@ -119,3 +119,52 @@ func TestScratchReuseAndGrowth(t *testing.T) {
 	_ = q.Floats(3)
 	PutScratch(q)
 }
+
+func TestFlatMatrixResize(t *testing.T) {
+	f := NewFlatMatrix(8, 5)
+	base := &f.data[0]
+	// Shrinking and same-size reshapes must reuse the backing array.
+	for _, dims := range [][2]int{{4, 5}, {8, 5}, {2, 8}, {8, 5}} {
+		f.Resize(dims[0], dims[1])
+		if f.Rows() != dims[0] || f.Cols() != dims[1] {
+			t.Fatalf("Resize%v: got %dx%d", dims, f.Rows(), f.Cols())
+		}
+		if f.Stride()%f64PerLine != 0 || f.Stride() < f.Cols() {
+			t.Fatalf("Resize%v: bad stride %d", dims, f.Stride())
+		}
+		if &f.data[0] != base {
+			t.Fatalf("Resize%v reallocated a fitting buffer", dims)
+		}
+	}
+	// Row writes and reads still address the reshaped layout.
+	f.Resize(3, 7)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 7; j++ {
+			f.Set(i, j, float64(10*i+j))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		row := f.Row(i)
+		if len(row) != 7 || cap(row) != 7 {
+			t.Fatalf("row %d len/cap = %d/%d, want 7", i, len(row), cap(row))
+		}
+		for j, v := range row {
+			if v != float64(10*i+j) {
+				t.Fatalf("row %d[%d] = %v, want %v", i, j, v, float64(10*i+j))
+			}
+		}
+	}
+	// Growth allocates fresh aligned storage.
+	f.Resize(64, 80)
+	if f.Rows() != 64 || f.Cols() != 80 {
+		t.Fatalf("grow: got %dx%d", f.Rows(), f.Cols())
+	}
+	addr := uintptr(unsafe.Pointer(&f.data[0]))
+	if addr%cacheLineBytes != 0 {
+		t.Fatalf("grown base address %#x not aligned", addr)
+	}
+	// Steady state: repeated same-shape resizes are allocation-free.
+	if avg := testing.AllocsPerRun(200, func() { f.Resize(64, 80) }); avg != 0 {
+		t.Errorf("steady-state Resize allocates %.2f times per run, want 0", avg)
+	}
+}

@@ -1,0 +1,541 @@
+package service
+
+// Pooled request/response buffers and the hand-rolled JSON codec behind
+// the serving endpoints (/v1/assign-one, /v1/assign-batch). The serving
+// path extends perfkit's zero-alloc discipline to HTTP: encoding/json
+// allocates per decode (tokenizer state, boxed values, result slices),
+// which at thousands of requests per second turns into GC pressure that
+// shows up directly in the tail latencies the load harness measures. So
+// the steady state reuses everything — body buffer, parsed coordinates,
+// the latency scratch matrix, result slices, and the response buffer
+// all live in one pooled serveScratch, and the codec parses in place
+// from (and encodes in place into) those buffers.
+//
+// The grammar is deliberately tiny. Batch requests are
+//
+//	{"coords": [[x,y], [x,y,z], [x,y,z,h], ...], "epoch": N}
+//
+// and unary requests replace "coords" with a single "coord" array.
+// Numbers are scanned with a strict numeric charset before
+// strconv.ParseFloat sees them, so non-JSON spellings like NaN or Inf
+// are syntax errors (400), exactly as encoding/json would treat them.
+// Semantic violations — wrong coordinate arity, non-finite values from
+// range overflow, negative heights — map to 422, and batches beyond
+// Options.MaxBatchClients to 413. The AllocsPerRun tests in
+// alloc_test.go pin the steady-state contract at runtime; the
+// //dialint:hotpath annotations here make hotpath-alloc explain it at
+// review time.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"unsafe"
+
+	"diacap/internal/latency"
+	"diacap/internal/perfkit"
+)
+
+// serveScratch is the pooled per-request working set of the serving
+// endpoints. Every field keeps its backing storage across requests
+// (capacities settle at the deployment's typical batch size), so a
+// warmed scratch serves a request without a single heap allocation.
+type serveScratch struct {
+	// body holds the raw request body.
+	body []byte
+	// coords are the parsed query coordinates.
+	coords []latency.Coord
+	// cs is the client×server latency scratch the resolve fill writes.
+	cs perfkit.FlatMatrix
+	// out and lat receive the resolved server indices and latencies.
+	out []int
+	lat []float64
+	// resp is the encoded response body.
+	resp []byte
+}
+
+var servePool = sync.Pool{New: func() any { return new(serveScratch) }}
+
+// getServeScratch takes a scratch from the pool (boxing a pointer into
+// the pool's interface does not allocate).
+//
+//dialint:hotpath
+func getServeScratch() *serveScratch { return servePool.Get().(*serveScratch) }
+
+// putServeScratch returns a scratch, retaining all capacity.
+//
+//dialint:hotpath
+func putServeScratch(sc *serveScratch) {
+	//lint:ignore dialint/hotpath-alloc boxing a pointer fills the interface word without heap allocation
+	servePool.Put(sc)
+}
+
+// unsafeString views b as a string without copying — safe here because
+// every use hands the string to strconv.Parse*, which does not retain
+// it past the call.
+func unsafeString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// Codec error constructors. They live outside the annotated functions'
+// bodies (fmt formatting allocates) and take concrete parameters so the
+// hot callers never box arguments: errors are the cold path, but the
+// calls to build them sit inside //dialint:hotpath functions.
+
+func errBodyTooLarge(limit int64) *httpError {
+	return &httpError{status: http.StatusRequestEntityTooLarge,
+		msg: fmt.Sprintf("request body exceeds %d bytes", limit)}
+}
+
+func errBatchTooLarge(max int) *httpError {
+	return &httpError{status: http.StatusRequestEntityTooLarge,
+		msg: fmt.Sprintf("batch exceeds %d clients", max)}
+}
+
+func errBodyRead(err error) *httpError {
+	return badRequest("reading body: %v", err)
+}
+
+func errExpected(c byte, off int) *httpError {
+	return badRequest("invalid JSON: expected %q at offset %d", c, off)
+}
+
+func errExpectedNumber(off int) *httpError {
+	return badRequest("invalid JSON: expected a number at offset %d", off)
+}
+
+func errBadNumber(off int) *httpError {
+	return unprocessable("number at offset %d out of float64 range", off)
+}
+
+func errUnterminated(off int) *httpError {
+	return badRequest("invalid JSON: unterminated string at offset %d", off)
+}
+
+func errUnknownKey(key string) *httpError {
+	return badRequest("unknown key %q", key)
+}
+
+func errDuplicateKey(key string) *httpError {
+	return badRequest("duplicate key %q", key)
+}
+
+func errTrailing(off int) *httpError {
+	return badRequest("invalid JSON: trailing data at offset %d", off)
+}
+
+func errCoordArity(idx, n int) *httpError {
+	return unprocessable("coordinate %d has %d components, want 2 to 4 ([x, y], [x, y, z], or [x, y, z, h])", idx, n)
+}
+
+func errCoordInvalid(idx int, err error) *httpError {
+	return unprocessable("coordinate %d: %v", idx, err)
+}
+
+func errNoCoords(unary bool) *httpError {
+	if unary {
+		return badRequest("coord is required")
+	}
+	return badRequest("coords are required")
+}
+
+// readServeBody reads the request body into sc.body, rejecting bodies
+// over limit with 413. It replaces http.MaxBytesReader on this path:
+// the wrapper allocates per request, a pooled buffer plus a length
+// check does not.
+//
+//dialint:hotpath
+func readServeBody(r *http.Request, sc *serveScratch, limit int64) error {
+	b := sc.body[:0]
+	for {
+		if len(b) == cap(b) {
+			//lint:ignore dialint/hotpath-alloc growth is amortized: the pooled buffer retains its capacity across requests
+			b = append(b, 0)
+			b = b[:len(b)-1]
+		}
+		n, err := r.Body.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		sc.body = b
+		if int64(len(b)) > limit {
+			return errBodyTooLarge(limit)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return errBodyRead(err)
+		}
+	}
+}
+
+// batchParser is a cursor over one request body.
+type batchParser struct {
+	b   []byte
+	pos int
+}
+
+// peek returns the next non-whitespace byte without consuming it, or 0
+// at end of input.
+//
+//dialint:hotpath
+func (p *batchParser) peek() byte {
+	for p.pos < len(p.b) {
+		switch p.b[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return p.b[p.pos]
+		}
+	}
+	return 0
+}
+
+//dialint:hotpath
+func (p *batchParser) expect(c byte) error {
+	if p.peek() != c {
+		return errExpected(c, p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+// parseKey consumes a double-quoted object key. Keys are plain
+// identifiers in this grammar, so escapes are not interpreted — an
+// escaped or exotic key simply fails the known-key comparison.
+//
+//dialint:hotpath
+func (p *batchParser) parseKey() (string, error) {
+	if err := p.expect('"'); err != nil {
+		return "", err
+	}
+	start := p.pos
+	for p.pos < len(p.b) && p.b[p.pos] != '"' {
+		p.pos++
+	}
+	if p.pos >= len(p.b) {
+		return "", errUnterminated(start)
+	}
+	key := unsafeString(p.b[start:p.pos])
+	p.pos++
+	return key, nil
+}
+
+// isNumByte reports whether c can appear in a JSON number token.
+func isNumByte(c byte) bool {
+	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}
+
+// validJSONNumber reports whether tok matches the JSON number grammar
+// exactly. strconv.ParseFloat is more lenient — it also accepts "+1",
+// ".5", "1.", hex floats, and digit-separating underscores — and the
+// fuzz differential against encoding/json holds this codec to the
+// strict grammar.
+//
+//dialint:hotpath
+func validJSONNumber(tok []byte) bool {
+	i := 0
+	if i < len(tok) && tok[i] == '-' {
+		i++
+	}
+	if i >= len(tok) {
+		return false
+	}
+	switch {
+	case tok[i] == '0':
+		i++
+	case tok[i] >= '1' && tok[i] <= '9':
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(tok) && tok[i] == '.' {
+		i++
+		if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(tok) && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(tok)
+}
+
+// parseFloat consumes one number token. The charset gate rejects NaN /
+// Inf spellings as syntax (400); tokens that scan but overflow float64
+// are a semantic error (422).
+//
+//dialint:hotpath
+func (p *batchParser) parseFloat() (float64, error) {
+	p.peek()
+	start := p.pos
+	for p.pos < len(p.b) && isNumByte(p.b[p.pos]) {
+		p.pos++
+	}
+	tok := p.b[start:p.pos]
+	if !validJSONNumber(tok) {
+		return 0, errExpectedNumber(start)
+	}
+	v, err := strconv.ParseFloat(unsafeString(tok), 64)
+	if err != nil {
+		if ne, ok := err.(*strconv.NumError); ok && ne.Err == strconv.ErrRange {
+			return 0, errBadNumber(start)
+		}
+		return 0, errExpectedNumber(start)
+	}
+	return v, nil
+}
+
+// parseEpoch consumes an unsigned integer token (negative or fractional
+// epochs are syntax errors).
+//
+//dialint:hotpath
+func (p *batchParser) parseEpoch() (uint64, error) {
+	p.peek()
+	start := p.pos
+	for p.pos < len(p.b) && p.b[p.pos] >= '0' && p.b[p.pos] <= '9' {
+		p.pos++
+	}
+	tok := p.b[start:p.pos]
+	if len(tok) == 0 || (len(tok) > 1 && tok[0] == '0') {
+		return 0, errExpectedNumber(start)
+	}
+	v, err := strconv.ParseUint(unsafeString(tok), 10, 64)
+	if err != nil {
+		return 0, errBadNumber(start)
+	}
+	return v, nil
+}
+
+// parseCoordValue consumes one [x, y(, z(, h))] array into a Coord,
+// enforcing arity and latency.Coord.Valid (finite components,
+// non-negative height).
+//
+//dialint:hotpath
+func (p *batchParser) parseCoordValue(idx int) (latency.Coord, error) {
+	var c latency.Coord
+	if err := p.expect('['); err != nil {
+		return c, err
+	}
+	var vals [4]float64
+	n := 0
+	for {
+		if n == len(vals) {
+			return c, errCoordArity(idx, n+1)
+		}
+		v, err := p.parseFloat()
+		if err != nil {
+			return c, err
+		}
+		vals[n] = v
+		n++
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			if n < 2 {
+				return c, errCoordArity(idx, n)
+			}
+			c = latency.Coord{X: vals[0], Y: vals[1], Z: vals[2], H: vals[3]}
+			if err := c.Valid(); err != nil {
+				return c, errCoordInvalid(idx, err)
+			}
+			return c, nil
+		default:
+			return c, errExpected(']', p.pos)
+		}
+	}
+}
+
+// parseCoords consumes the batch "coords" array into sc.coords,
+// rejecting batches beyond max with 413 as soon as the count crosses it
+// (no point scanning the rest of an oversized body).
+//
+//dialint:hotpath
+func (p *batchParser) parseCoords(sc *serveScratch, max int) error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	if p.peek() == ']' {
+		p.pos++
+		return nil
+	}
+	for {
+		if len(sc.coords) >= max {
+			return errBatchTooLarge(max)
+		}
+		c, err := p.parseCoordValue(len(sc.coords))
+		if err != nil {
+			return err
+		}
+		//lint:ignore dialint/hotpath-alloc growth is amortized: the pooled scratch retains its backing array across requests
+		sc.coords = append(sc.coords, c)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return nil
+		default:
+			return errExpected(']', p.pos)
+		}
+	}
+}
+
+// parseResolveRequest parses sc.body into sc.coords (reused) and the
+// optional pinned epoch. unary selects the single-"coord" grammar.
+//
+//dialint:hotpath
+func parseResolveRequest(sc *serveScratch, maxBatch int, unary bool) (epoch uint64, hasEpoch bool, err error) {
+	sc.coords = sc.coords[:0]
+	p := batchParser{b: sc.body}
+	if err = p.expect('{'); err != nil {
+		return 0, false, err
+	}
+	if p.peek() == '}' {
+		p.pos++
+	} else {
+		for {
+			key, kerr := p.parseKey()
+			if kerr != nil {
+				return 0, false, kerr
+			}
+			if err = p.expect(':'); err != nil {
+				return 0, false, err
+			}
+			switch {
+			case !unary && key == "coords":
+				if len(sc.coords) > 0 {
+					return 0, false, errDuplicateKey(key)
+				}
+				if err = p.parseCoords(sc, maxBatch); err != nil {
+					return 0, false, err
+				}
+			case unary && key == "coord":
+				if len(sc.coords) > 0 {
+					return 0, false, errDuplicateKey(key)
+				}
+				c, cerr := p.parseCoordValue(0)
+				if cerr != nil {
+					return 0, false, cerr
+				}
+				//lint:ignore dialint/hotpath-alloc growth is amortized: the pooled scratch retains its backing array across requests
+				sc.coords = append(sc.coords, c)
+			case key == "epoch":
+				if hasEpoch {
+					return 0, false, errDuplicateKey(key)
+				}
+				if epoch, err = p.parseEpoch(); err != nil {
+					return 0, false, err
+				}
+				hasEpoch = true
+			default:
+				return 0, false, errUnknownKey(key)
+			}
+			if ch := p.peek(); ch == ',' {
+				p.pos++
+				continue
+			} else if ch == '}' {
+				p.pos++
+				break
+			}
+			return 0, false, errExpected('}', p.pos)
+		}
+	}
+	// peek-then-length, not peek != 0: a literal NUL byte is trailing
+	// data, not end of input.
+	if p.peek(); p.pos < len(p.b) {
+		return 0, false, errTrailing(p.pos)
+	}
+	if len(sc.coords) == 0 {
+		return 0, false, errNoCoords(unary)
+	}
+	return epoch, hasEpoch, nil
+}
+
+// growInts returns s with length n, reusing capacity when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns s with length n, reusing capacity when possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// ctJSON is the shared Content-Type header value the serving path
+// installs by direct map assignment — w.Header().Set builds a fresh
+// one-element slice per call, this shared value does not. Never mutated.
+var ctJSON = []string{"application/json"}
+
+// appendLit appends a literal JSON fragment. Split out of the annotated
+// encoder so the one amortized-growth append site is documented here
+// instead of flagged at every call.
+func appendLit(dst []byte, s string) []byte { return append(dst, s...) }
+
+// appendFloatJSON renders v in the shortest round-trippable form.
+// Serving-path values are always finite or the sentinel -1 (the resolve
+// layer replaces +Inf before encoding), so the output is valid JSON.
+func appendFloatJSON(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// encodeResolveResponse renders the response body into dst (reused).
+// Both endpoints share this encoder, so a batch response is
+// byte-identical to the concatenation of its unary twins' fields —
+// the property the differential test pins.
+//
+//dialint:hotpath
+func encodeResolveResponse(dst []byte, epoch uint64, d, certifiedD float64, out []int, lat []float64, unary bool) []byte {
+	dst = appendLit(dst, `{"epoch":`)
+	dst = strconv.AppendUint(dst, epoch, 10)
+	dst = appendLit(dst, `,"d":`)
+	dst = appendFloatJSON(dst, d)
+	dst = appendLit(dst, `,"certifiedD":`)
+	dst = appendFloatJSON(dst, certifiedD)
+	if unary {
+		dst = appendLit(dst, `,"server":`)
+		dst = strconv.AppendInt(dst, int64(out[0]), 10)
+		dst = appendLit(dst, `,"latencyMs":`)
+		dst = appendFloatJSON(dst, lat[0])
+	} else {
+		dst = appendLit(dst, `,"servers":[`)
+		for i, k := range out {
+			if i > 0 {
+				dst = appendLit(dst, ",")
+			}
+			dst = strconv.AppendInt(dst, int64(k), 10)
+		}
+		dst = appendLit(dst, `],"latencyMs":[`)
+		for i, v := range lat {
+			if i > 0 {
+				dst = appendLit(dst, ",")
+			}
+			dst = appendFloatJSON(dst, v)
+		}
+		dst = appendLit(dst, "]")
+	}
+	return appendLit(dst, "}\n")
+}

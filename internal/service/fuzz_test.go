@@ -1,0 +1,142 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"diacap/internal/latency"
+)
+
+// padCoord widens a JSON number array to the fixed Coord layout the
+// codec produces (missing z and h are zero).
+func padCoord(vals []float64) latency.Coord {
+	var c latency.Coord
+	if len(vals) > 0 {
+		c.X = vals[0]
+	}
+	if len(vals) > 1 {
+		c.Y = vals[1]
+	}
+	if len(vals) > 2 {
+		c.Z = vals[2]
+	}
+	if len(vals) > 3 {
+		c.H = vals[3]
+	}
+	return c
+}
+
+// decodeStrict is the reference decoder: encoding/json with unknown
+// keys rejected and the full input consumed.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err == nil {
+		return errors.New("trailing JSON value")
+	}
+	return nil
+}
+
+// FuzzAssignBatchDecode drives arbitrary bytes through the serving
+// codec in both batch and unary modes and holds it to three contracts:
+//
+//   - It never panics, whatever the input.
+//   - Every rejection is a typed *httpError with a serving-path status
+//     (400 syntax, 413 size, 422 semantics) — nothing the handlers
+//     would render as a 500.
+//   - Every acceptance agrees with encoding/json: the same body decodes
+//     into the documented request struct with the same coordinates and
+//     epoch, and every parsed coordinate is valid (finite, height ≥ 0).
+//     The codec may be stricter than encoding/json (duplicate keys,
+//     string escapes in keys) but never more lenient.
+func FuzzAssignBatchDecode(f *testing.F) {
+	seeds := []string{
+		`{"coords":[[1,2]]}`,
+		`{"coords":[[1,2],[3,4,5],[6,7,8,9]],"epoch":3}`,
+		`{"coord":[25.5,-3e2,1,0.5]}`,
+		`{"coords":[],"epoch":7}`,
+		`{"coords":[[1e999,0]]}`,
+		`{"coords":[[NaN,1]]}`,
+		`{"coords":[[1,2,3,-1]]}`,
+		`{"epoch":18446744073709551615,"coords":[[0,0]]}`,
+		`{"epoch":007,"coords":[[0,0]]}`,
+		`{"coords":[[+1,.5],[1.,2]]}`,
+		`{"coords":[[1,2]],"coords":[[3,4]]}`,
+		`{"coords":[[1,2]]}{"coords":[[3,4]]}`,
+		`{"coords":[[1,2],[3,4],[5,6],[7,8],[9,10]]}`,
+		`{"unknown":1}`,
+		`{}`,
+		`[]`,
+		`{"coords":[[1,2]`,
+		"{\"coords\":[[1,2]]}\x00",
+		` { "coords" : [ [ 1 , 2 ] ] , "epoch" : 12 } `,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxBatch = 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := getServeScratch()
+		defer putServeScratch(sc)
+		for _, unary := range []bool{false, true} {
+			sc.body = append(sc.body[:0], data...)
+			epoch, hasEpoch, err := parseResolveRequest(sc, maxBatch, unary)
+
+			if err != nil {
+				var he *httpError
+				if !errors.As(err, &he) {
+					t.Fatalf("unary=%v: rejection is %T, not *httpError: %v", unary, err, err)
+				}
+				switch he.status {
+				case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
+				default:
+					t.Fatalf("unary=%v: rejection status %d, want 400/413/422: %v", unary, he.status, he)
+				}
+				continue
+			}
+
+			if n := len(sc.coords); n < 1 || (!unary && n > maxBatch) || (unary && n != 1) {
+				t.Fatalf("unary=%v: accepted %d coords (max %d)", unary, n, maxBatch)
+			}
+			var want [][]float64
+			var wantEpoch *uint64
+			if unary {
+				var req AssignOneRequest
+				if derr := decodeStrict(data, &req); derr != nil {
+					t.Fatalf("unary codec accepted %q but encoding/json rejects it: %v", data, derr)
+				}
+				want, wantEpoch = [][]float64{req.Coord}, req.Epoch
+			} else {
+				var req AssignBatchRequest
+				if derr := decodeStrict(data, &req); derr != nil {
+					t.Fatalf("batch codec accepted %q but encoding/json rejects it: %v", data, derr)
+				}
+				want, wantEpoch = req.Coords, req.Epoch
+			}
+			if len(want) != len(sc.coords) {
+				t.Fatalf("unary=%v: codec parsed %d coords, encoding/json %d", unary, len(sc.coords), len(want))
+			}
+			for i, vals := range want {
+				if got, ref := sc.coords[i], padCoord(vals); got != ref {
+					t.Fatalf("unary=%v: coord %d: codec %+v, encoding/json %+v", unary, i, got, ref)
+				}
+				if verr := sc.coords[i].Valid(); verr != nil {
+					t.Fatalf("unary=%v: accepted invalid coordinate %d: %v", unary, i, verr)
+				}
+			}
+			if hasEpoch != (wantEpoch != nil) {
+				t.Fatalf("unary=%v: codec hasEpoch=%v, encoding/json epoch present=%v", unary, hasEpoch, wantEpoch != nil)
+			}
+			if hasEpoch && epoch != *wantEpoch {
+				t.Fatalf("unary=%v: codec epoch %d, encoding/json %d", unary, epoch, *wantEpoch)
+			}
+		}
+	})
+}

@@ -29,6 +29,8 @@ var endpoints = []string{
 	"/v1/algorithms",
 	"/v1/assign",
 	"/v1/assign-coords",
+	"/v1/assign-one",
+	"/v1/assign-batch",
 	"/v1/placement",
 	"/v1/shard/assign",
 	"/v1/shard/snapshot",
@@ -75,26 +77,28 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // Metric names and help strings shared between the middleware and
 // PreregisterMetrics, so the exposed schema is identical either way.
 const (
-	nHTTPRequests = "diacap_http_requests_total"
-	hHTTPRequests = "HTTP requests served, by endpoint and status code."
-	nHTTPSeconds  = "diacap_http_request_seconds"
-	hHTTPSeconds  = "HTTP request handling time in seconds."
-	nHTTPErrors   = "diacap_http_errors_total"
-	hHTTPErrors   = "HTTP requests answered with a 4xx/5xx status."
-	nHTTPInflight = "diacap_http_inflight_requests"
-	hHTTPInflight = "Requests currently being handled."
-	nAssignD      = "diacap_assign_d_ms"
-	hAssignD      = "Maximum interaction-path length D (= minimum feasible lag) of the last assignment, in ms."
-	nAssignSec    = "diacap_assign_seconds"
-	hAssignSec    = "Assignment computation time in seconds."
-	nAdmDecisions = "diacap_admission_decisions_total"
-	hAdmDecisions = "Admission decisions on the assignment endpoints, by outcome."
-	nAdmScore     = "diacap_admission_health_score"
-	hAdmScore     = "Latest cluster health score in [0,1] driving admission control."
-	nAdmState     = "diacap_admission_state"
-	hAdmState     = "Admission state: 0 accept, 1 degraded (serve stale), 2 shed."
-	nAdmShedComp  = "diacap_admission_shed_component_total"
-	hAdmShedComp  = "Shed (429) responses, by the dominant health-score component that drove the score."
+	nHTTPRequests   = "diacap_http_requests_total"
+	hHTTPRequests   = "HTTP requests served, by endpoint and status code."
+	nHTTPSeconds    = "diacap_http_request_seconds"
+	hHTTPSeconds    = "HTTP request handling time in seconds."
+	nHTTPErrors     = "diacap_http_errors_total"
+	hHTTPErrors     = "HTTP requests answered with a 4xx/5xx status."
+	nHTTPInflight   = "diacap_http_inflight_requests"
+	hHTTPInflight   = "Requests currently being handled."
+	nAssignD        = "diacap_assign_d_ms"
+	hAssignD        = "Maximum interaction-path length D (= minimum feasible lag) of the last assignment, in ms."
+	nAssignSec      = "diacap_assign_seconds"
+	hAssignSec      = "Assignment computation time in seconds."
+	nAdmDecisions   = "diacap_admission_decisions_total"
+	hAdmDecisions   = "Admission decisions on the assignment endpoints, by outcome."
+	nAdmScore       = "diacap_admission_health_score"
+	hAdmScore       = "Latest cluster health score in [0,1] driving admission control."
+	nAdmState       = "diacap_admission_state"
+	hAdmState       = "Admission state: 0 accept, 1 degraded (serve stale), 2 shed."
+	nAdmShedComp    = "diacap_admission_shed_component_total"
+	hAdmShedComp    = "Shed (429) responses, by the dominant health-score component that drove the score."
+	nResolveClients = "diacap_resolve_clients_total"
+	hResolveClients = "Clients resolved by the serving endpoints, by endpoint (batch requests add their batch size)."
 )
 
 // admissionDecisions is the closed label set of admission outcomes.
@@ -130,6 +134,9 @@ func PreregisterMetrics(reg *obs.Registry) {
 	}
 	for _, c := range healthComponents {
 		reg.Counter(nAdmShedComp, hAdmShedComp, obs.L("component", c))
+	}
+	for _, ep := range []string{"/v1/assign-one", "/v1/assign-batch"} {
+		reg.Counter(nResolveClients, hResolveClients, obs.L("endpoint", ep))
 	}
 	reg.Gauge(nAdmScore, hAdmScore)
 	reg.Gauge(nAdmState, hAdmState)

@@ -14,6 +14,12 @@
 //	                       no matrix and no MaxNodes limit (see
 //	                       AssignCoordsRequest)
 //	POST /v1/placement     choose server nodes (see PlacementRequest)
+//	POST /v1/assign-one    resolve one prospective client to its nearest
+//	                       admissible server from the published shard
+//	                       snapshot (Options.Shard; see AssignOneRequest)
+//	POST /v1/assign-batch  resolve a whole batch of prospective clients
+//	                       under one snapshot and one admission decision
+//	                       (Options.Shard; see AssignBatchRequest)
 //	POST /v1/shard/assign  mutate the sharded control plane
 //	                       (Options.Shard; see ShardAssignRequest)
 //	GET  /v1/shard/snapshot
@@ -76,9 +82,15 @@ type Options struct {
 	// (default 10 s).
 	DrainTimeout time.Duration
 	// Shard, if non-nil, is the sharded assignment control plane this
-	// service fronts; it mounts POST /v1/shard/assign and
-	// GET /v1/shard/snapshot.
+	// service fronts; it mounts POST /v1/shard/assign,
+	// GET /v1/shard/snapshot, and the zero-alloc serving endpoints
+	// POST /v1/assign-one and POST /v1/assign-batch.
 	Shard *shard.Plane
+	// MaxBatchClients bounds one /v1/assign-batch request (default
+	// 65536); larger batches get 413. The per-request scratch is
+	// O(MaxBatchClients × servers) float64s at worst, so this bound is
+	// also the pooled-memory bound.
+	MaxBatchClients int
 	// Tracer, if non-nil, samples requests into spans: traced responses
 	// carry X-Diacap-Trace, span trees are served at /debug/trace, and
 	// request-latency histograms gain trace exemplars. Incoming W3C
@@ -105,6 +117,9 @@ func (o *Options) fill() {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 64 << 20
 	}
+	if o.MaxBatchClients <= 0 {
+		o.MaxBatchClients = 65536
+	}
 	if o.Logger == nil {
 		o.Logger = obs.Discard()
 	}
@@ -128,6 +143,10 @@ type Server struct {
 	// fill, so these are never nil).
 	jRequests  *obs.Journal
 	jAdmission *obs.Journal
+	// Serving-path counters, resolved once at New so the hot handlers
+	// never perform a labeled metric lookup (nil without Metrics).
+	mResolveOne   *obs.Counter
+	mResolveBatch *obs.Counter
 }
 
 // New builds the service.
@@ -147,6 +166,14 @@ func New(opts Options) *Server {
 	if opts.Shard != nil {
 		s.mux.HandleFunc("/v1/shard/assign", s.handleShardAssign)
 		s.mux.HandleFunc("/v1/shard/snapshot", s.handleShardSnapshot)
+		s.mux.HandleFunc("/v1/assign-one", s.handleAssignOne)
+		s.mux.HandleFunc("/v1/assign-batch", s.handleAssignBatch)
+		if reg := opts.Metrics; reg != nil {
+			s.mResolveOne = reg.Counter(nResolveClients, hResolveClients,
+				obs.L("endpoint", "/v1/assign-one"))
+			s.mResolveBatch = reg.Counter(nResolveClients, hResolveClients,
+				obs.L("endpoint", "/v1/assign-batch"))
+		}
 	}
 	s.mountDebug()
 	var h http.Handler = s.mux
